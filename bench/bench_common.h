@@ -1,0 +1,78 @@
+// Shared helpers for the table-harness benchmarks: fixed-width table
+// printing in the style of the paper-claim tables in EXPERIMENTS.md, and a
+// --quick flag that shrinks trial counts for smoke runs.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lps::bench {
+
+inline bool Quick(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline int Scaled(bool quick, int full, int reduced) {
+  return quick ? reduced : full;
+}
+
+/// Fixed-width table: set headers once, add printf-formatted rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  static std::string Fmt(const char* format, ...) {
+    char buffer[128];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof(buffer), format, args);
+    va_end(args);
+    return buffer;
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t d = 0; d < widths[c] + 2; ++d) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const char* title) {
+  std::printf("== %s ==\n\n", title);
+}
+
+}  // namespace lps::bench

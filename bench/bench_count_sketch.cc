@@ -1,0 +1,84 @@
+// Claim C9 (Lemma 1 [6]): count-sketch point error obeys
+// |x_i - x*_i| <= Err_2^m(x) / sqrt(m) for all i w.h.p., and the m-sparse
+// approximation satisfies Err <= ||x - xhat||_2 <= 10 Err.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/sketch/count_sketch.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+using lps::bench::Table;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int trials = lps::bench::Scaled(quick, 50, 10);
+  const uint64_t n = 4096;
+  const auto stream = lps::stream::ZipfianVector(n, 1.0, 100000, true, 3);
+  lps::stream::ExactVector x(n);
+  x.Apply(stream);
+
+  lps::bench::Section("C9 (Lemma 1): count-sketch guarantees, Zipfian vector");
+  std::printf("n=%zu, rows=15, %d sketches per row of the table\n\n",
+              static_cast<size_t>(n), trials);
+
+  Table table({"m", "buckets", "Err_2^m/sqrt(m)", "max |x-x*| (worst trial)",
+               "violations", "median ||x-xhat|| / Err"});
+  for (int m : {4, 16, 64, 256}) {
+    const double err_bound =
+        x.ErrM2(static_cast<uint64_t>(m)) / std::sqrt(static_cast<double>(m));
+    double worst = 0;
+    int violations = 0;
+    std::vector<double> residual_ratio;
+    for (int trial = 0; trial < trials; ++trial) {
+      lps::sketch::CountSketch cs(15, 6 * m,
+                                  31000 + static_cast<uint64_t>(trial));
+      for (const auto& u : stream) {
+        cs.Update(u.index, static_cast<double>(u.delta));
+      }
+      const auto est = cs.EstimateAll(n);
+      double trial_worst = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        trial_worst = std::max(
+            trial_worst, std::abs(est[i] - static_cast<double>(x[i])));
+      }
+      worst = std::max(worst, trial_worst);
+      if (trial_worst > err_bound) ++violations;
+
+      // ||x - xhat||_2 for xhat = the m-sparse approximation from x*.
+      const auto top = cs.TopM(n, static_cast<uint64_t>(m));
+      std::vector<double> xhat(n, 0.0);
+      for (const auto& [i, v] : top) xhat[i] = v;
+      double norm_sq = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(x[i]) - xhat[i];
+        norm_sq += d * d;
+      }
+      const double err = x.ErrM2(static_cast<uint64_t>(m));
+      if (err > 0) residual_ratio.push_back(std::sqrt(norm_sq) / err);
+    }
+    double median_ratio = 0;
+    if (!residual_ratio.empty()) {
+      std::nth_element(residual_ratio.begin(),
+                       residual_ratio.begin() + residual_ratio.size() / 2,
+                       residual_ratio.end());
+      median_ratio = residual_ratio[residual_ratio.size() / 2];
+    }
+    table.AddRow({Table::Fmt("%d", m), Table::Fmt("%d", 6 * m),
+                  Table::Fmt("%.2f", err_bound), Table::Fmt("%.2f", worst),
+                  Table::Fmt("%d/%d", violations, trials),
+                  Table::Fmt("%.2f", median_ratio)});
+  }
+  table.Print();
+  std::printf(
+      "Expected (Lemma 1): violations ~ 0; the residual ratio lies in\n"
+      "[1, 10] — the paper's Err <= ||x - xhat|| <= 10 Err sandwich.\n");
+  return 0;
+}

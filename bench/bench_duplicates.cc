@@ -1,0 +1,239 @@
+// Claims C6, C7, C8, C15 (Section 3): the three duplicates algorithms and
+// the positive-coordinate generalization, with space accounting against
+// the baselines the paper improves on.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ako_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/duplicates/positive_finder.h"
+#include "src/stream/generators.h"
+#include "src/util/bits.h"
+
+namespace {
+
+using lps::bench::Table;
+
+bool IsDuplicate(const lps::stream::LetterStream& letters, uint64_t letter) {
+  int count = 0;
+  for (uint64_t l : letters) count += (l == letter);
+  return count >= 2;
+}
+
+size_t AkoL1Bits(uint64_t n) {
+  // The log^3 n baseline (GR's bound, realized here by an AKO-configured
+  // L1 sampler with the same repetitions as our finder).
+  lps::core::LpSamplerParams params;
+  params.n = n;
+  params.p = 1.0;
+  params.eps = 0.5;
+  params.seed = 1;
+  lps::core::AkoSampler ako(params);
+  return ako.SpaceBits(2 * lps::CeilLog2(n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+
+  // --- C6: Theorem 3 on streams of length n+1. ---
+  lps::bench::Section("C6 (Theorem 3): duplicates in streams of length n+1");
+  {
+    const int trials = lps::bench::Scaled(quick, 60, 15);
+    Table table({"n", "found rate", "wrong answers", "Thm3 bits",
+                 "Thm3 growth", "AKO bits (log^3)", "hash set (n log n)",
+                 "hash growth"});
+    size_t prev_bits = 0, prev_hash = 0;
+    for (uint64_t n : {256ULL, 1024ULL, 4096ULL, 16384ULL}) {
+      int found = 0, wrong = 0;
+      size_t bits = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto letters =
+            lps::stream::DuplicateStream(n, 1, static_cast<uint64_t>(trial));
+        lps::duplicates::DuplicateFinder finder(
+            {n, 0.2, 0, 60000 + static_cast<uint64_t>(trial)});
+        bits = finder.SpaceBits(2 * lps::CeilLog2(n));
+        for (uint64_t l : letters) finder.ProcessItem(l);
+        auto res = finder.Find();
+        if (res.ok()) {
+          ++found;
+          if (!IsDuplicate(letters, res.value())) ++wrong;
+        }
+      }
+      const size_t hash_bits = n * lps::CeilLog2(n);
+      table.AddRow(
+          {Table::Fmt("%zu", n),
+           Table::Fmt("%.3f", static_cast<double>(found) / trials),
+           Table::Fmt("%d", wrong), Table::Fmt("%zu", bits),
+           prev_bits ? Table::Fmt("%.2fx", static_cast<double>(bits) / prev_bits)
+                     : "-",
+           Table::Fmt("%zu", AkoL1Bits(n)), Table::Fmt("%zu", hash_bits),
+           prev_hash
+               ? Table::Fmt("%.2fx", static_cast<double>(hash_bits) / prev_hash)
+               : "-"});
+      prev_bits = bits;
+      prev_hash = hash_bits;
+    }
+    table.Print();
+    std::printf(
+        "Expected: found rate >= 1 - delta, zero wrong answers; Thm3 bits\n"
+        "grow polylogarithmically (~1.2x per 4x n) vs the hash set's linear\n"
+        "4x — the asymptotic win; the AKO-based log^3 baseline is a log\n"
+        "factor above Thm3 at every n.\n\n");
+  }
+
+  // --- C7: Theorem 4 on streams of length n-s. ---
+  lps::bench::Section("C7 (Theorem 4): length n-s, certified NO-DUPLICATE");
+  {
+    const int trials = lps::bench::Scaled(quick, 40, 10);
+    const uint64_t n = 2048;
+    Table table({"s", "planted dups", "exact answers", "dup found",
+                 "no-dup certified", "fails", "space bits"});
+    for (uint64_t s : {0ULL, 8ULL, 32ULL, 128ULL}) {
+      for (uint64_t dups : {0ULL, 3ULL, 200ULL}) {
+        if (2 * dups > n - s) continue;
+        int exact = 0, dup_found = 0, certified = 0, fails = 0;
+        size_t bits = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+          const auto letters = lps::stream::ShortStreamWithDuplicates(
+              n, s, dups, static_cast<uint64_t>(trial));
+          lps::duplicates::SparseDuplicateFinder finder(
+              {n, s, 0.2, 0, 70000 + static_cast<uint64_t>(trial)});
+          bits = finder.SpaceBits(2 * lps::CeilLog2(n));
+          for (uint64_t l : letters) finder.ProcessItem(l);
+          const auto outcome = finder.Find();
+          exact += outcome.exact;
+          switch (outcome.kind) {
+            case lps::duplicates::SparseDuplicateFinder::Kind::kDuplicate:
+              ++dup_found;
+              break;
+            case lps::duplicates::SparseDuplicateFinder::Kind::kNoDuplicate:
+              ++certified;
+              break;
+            case lps::duplicates::SparseDuplicateFinder::Kind::kFail:
+              ++fails;
+              break;
+          }
+        }
+        table.AddRow({Table::Fmt("%zu", s), Table::Fmt("%zu", dups),
+                      Table::Fmt("%d/%d", exact, trials),
+                      Table::Fmt("%d", dup_found), Table::Fmt("%d", certified),
+                      Table::Fmt("%d", fails), Table::Fmt("%zu", bits)});
+      }
+    }
+    table.Print();
+    std::printf(
+        "Expected: dups=0 rows certify NO-DUPLICATE exactly; sparse dup\n"
+        "rows answer exactly; dense rows (200 dups) fall back to sampling;\n"
+        "space grows additively as O(s log n) + O(log^2 n).\n\n");
+  }
+
+  // --- C8: length n+s and the min{log^2 n, (n/s) log n} crossover. ---
+  lps::bench::Section("C8 (Section 3): length n+s strategy crossover");
+  {
+    const int trials = lps::bench::Scaled(quick, 60, 15);
+    const uint64_t n = 4096;
+    Table table({"s", "n/s", "auto strategy", "found rate", "wrong",
+                 "sampling bits", "Thm3 bits"});
+    for (uint64_t s : {1ULL, 16ULL, 256ULL, 2048ULL}) {
+      int found = 0, wrong = 0;
+      size_t sampling_bits = 0, thm3_bits = 0;
+      lps::duplicates::OversampledDuplicateFinder::Strategy strategy{};
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto letters =
+            lps::stream::DuplicateStream(n, s, static_cast<uint64_t>(trial));
+        lps::duplicates::OversampledDuplicateFinder finder(
+            {n, s, 0.25, 0, 80000 + static_cast<uint64_t>(trial), 0});
+        strategy = finder.strategy();
+        for (uint64_t l : letters) finder.ProcessItem(l);
+        auto res = finder.Find();
+        if (res.ok()) {
+          ++found;
+          if (!IsDuplicate(letters, res.value())) ++wrong;
+        }
+        if (strategy ==
+            lps::duplicates::OversampledDuplicateFinder::Strategy::
+                kPositionSampling) {
+          sampling_bits = finder.SpaceBits(2 * lps::CeilLog2(n));
+        } else {
+          thm3_bits = finder.SpaceBits(2 * lps::CeilLog2(n));
+        }
+      }
+      table.AddRow(
+          {Table::Fmt("%zu", s), Table::Fmt("%.1f", static_cast<double>(n) / s),
+           strategy == lps::duplicates::OversampledDuplicateFinder::Strategy::
+                           kPositionSampling
+               ? "position-sampling"
+               : "L1-sampler",
+           Table::Fmt("%.3f", static_cast<double>(found) / trials),
+           Table::Fmt("%d", wrong),
+           sampling_bits ? Table::Fmt("%zu", sampling_bits) : "-",
+           thm3_bits ? Table::Fmt("%zu", thm3_bits) : "-"});
+    }
+    table.Print();
+    std::printf("Expected: crossover at n/s = log2 n = 12; position-sampling\n"
+                "bits shrink with s while Thm3 bits are s-independent.\n\n");
+  }
+
+  // --- C15: the positive-coordinate generalization. ---
+  lps::bench::Section("C15: find i with x_i > 0 (general update streams)");
+  {
+    const int trials = lps::bench::Scaled(quick, 60, 15);
+    const uint64_t n = 1024;
+    Table table({"scenario", "found", "certified none", "fails", "wrong"});
+    struct Scenario {
+      const char* name;
+      int positives;        // coordinates with +mass
+      int negatives;        // coordinates with -1
+      int64_t pos_value;
+      uint64_t s_budget;    // recovery budget (5x coordinates)
+    };
+    for (const Scenario& sc :
+         {Scenario{"deficit<0, sparse positives", 2, 100, 60, 4},
+          Scenario{"deficit>0, budgeted recovery", 2, 300, 20, 64},
+          // deliberately under-provisioned: graceful degradation, never a
+          // wrong answer (the recovery cap is far below the true deficit)
+          Scenario{"deficit>0, budget too small", 2, 300, 20, 4},
+          // certification requires x inside the 5*s_budget recovery cap
+          Scenario{"deficit>0, no positives (sparse)", 0, 15, 0, 4},
+          Scenario{"dense positives", 150, 400, 3, 4}}) {
+      int found = 0, none = 0, fails = 0, wrong = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        lps::duplicates::PositiveFinder finder(
+            {n, sc.s_budget, 0.2, 0, 90000 + static_cast<uint64_t>(trial)});
+        for (int j = 0; j < sc.negatives; ++j) {
+          finder.Update(static_cast<uint64_t>(j), -1);
+        }
+        const uint64_t pos_base = n - 256;  // disjoint from the negatives
+        for (int j = 0; j < sc.positives; ++j) {
+          finder.Update(pos_base + static_cast<uint64_t>(j), sc.pos_value);
+        }
+        const auto outcome = finder.Find();
+        switch (outcome.kind) {
+          case lps::duplicates::PositiveFinder::Kind::kFound:
+            ++found;
+            if (outcome.index < pos_base) ++wrong;
+            break;
+          case lps::duplicates::PositiveFinder::Kind::kNone:
+            ++none;
+            break;
+          case lps::duplicates::PositiveFinder::Kind::kFail:
+            ++fails;
+            break;
+        }
+      }
+      table.AddRow({sc.name, Table::Fmt("%d", found), Table::Fmt("%d", none),
+                    Table::Fmt("%d", fails), Table::Fmt("%d", wrong)});
+    }
+    table.Print();
+    std::printf(
+        "Expected: positives found whenever they exist and the recovery is\n"
+        "budgeted for the deficit (Theorem 4's contract); the deliberately\n"
+        "under-budgeted row degrades to sampler-only success but NEVER\n"
+        "reports a wrong index; 'none' certified exactly.\n");
+  }
+  return 0;
+}

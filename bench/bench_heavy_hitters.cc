@@ -1,0 +1,137 @@
+// Claim C12 (Section 4.4): count-sketch with m = Theta(phi^-p) produces
+// valid heavy hitter sets for every p in (0, 2] in O(phi^-p log^2 n) bits
+// (matching the Theorem 9 lower bound), count-min handles the strict
+// turnstile p = 1 case, and the dyadic variant trades space for query time.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/util/bits.h"
+
+namespace {
+
+using lps::bench::Table;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+
+  lps::bench::Section("C12: count-sketch heavy hitters across p and phi");
+  {
+    const int trials = lps::bench::Scaled(quick, 15, 5);
+    const uint64_t n = 2048;
+    Table table({"p", "phi", "valid sets", "missing", "spurious",
+                 "space bits"});
+    for (double p : {0.5, 1.0, 2.0}) {
+      for (double phi : {0.3, 0.2, 0.1}) {
+        int valid = 0, missing = 0, spurious = 0;
+        size_t bits = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+          const auto stream = lps::stream::PlantedHeavyHitters(
+              n, 3, 300, 200, true, 40 + static_cast<uint64_t>(trial));
+          lps::stream::ExactVector x(n);
+          x.Apply(stream);
+          lps::heavy::CsHeavyHitters::Params params;
+          params.n = n;
+          params.p = p;
+          params.phi = phi;
+          params.seed = 50000 + static_cast<uint64_t>(trial);
+          params.norm_rows = quick ? 600 : 1200;
+          lps::heavy::CsHeavyHitters hh(params);
+          bits = hh.SpaceBits(2 * lps::CeilLog2(n));
+          for (const auto& u : stream) {
+            hh.Update(u.index, static_cast<double>(u.delta));
+          }
+          const auto v = lps::heavy::ValidateHeavySet(x, p, phi, hh.Query());
+          valid += v.valid;
+          missing += v.missing_heavy;
+          spurious += v.included_light;
+        }
+        table.AddRow({Table::Fmt("%.1f", p), Table::Fmt("%.2f", phi),
+                      Table::Fmt("%d/%d", valid, trials),
+                      Table::Fmt("%d", missing), Table::Fmt("%d", spurious),
+                      Table::Fmt("%zu", bits)});
+      }
+    }
+    table.Print();
+    std::printf("Expected: valid sets throughout; space grows as phi^-p\n"
+                "(compare rows within a p block), matching Theorem 9.\n\n");
+  }
+
+  lps::bench::Section("C12: strict turnstile p=1 — count-min vs count-sketch "
+                      "vs dyadic");
+  {
+    const int trials = lps::bench::Scaled(quick, 15, 5);
+    const int log_n = 11;
+    const uint64_t n = 1ULL << log_n;
+    const double phi = 0.1;
+    Table table({"algorithm", "valid sets", "space bits", "query usec"});
+
+    int valid_cm = 0, valid_cs = 0, valid_dy = 0;
+    size_t bits_cm = 0, bits_cs = 0, bits_dy = 0;
+    double usec_cm = 0, usec_cs = 0, usec_dy = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto stream = lps::stream::PlantedHeavyHitters(
+          n, 4, 400, 300, false, 60 + static_cast<uint64_t>(trial));
+      lps::stream::ExactVector x(n);
+      x.Apply(stream);
+
+      lps::heavy::CmHeavyHitters cm(
+          {n, phi, 0, 61000 + static_cast<uint64_t>(trial), false});
+      lps::heavy::CsHeavyHitters::Params csp;
+      csp.n = n;
+      csp.p = 1.0;
+      csp.phi = phi;
+      csp.strict_turnstile = true;
+      csp.seed = 62000 + static_cast<uint64_t>(trial);
+      lps::heavy::CsHeavyHitters cs(csp);
+      lps::heavy::DyadicHeavyHitters dy(log_n, phi,
+                                        63000 + static_cast<uint64_t>(trial));
+      for (const auto& u : stream) {
+        const double d = static_cast<double>(u.delta);
+        cm.Update(u.index, d);
+        cs.Update(u.index, d);
+        dy.Update(u.index, d);
+      }
+      auto timed = [](auto&& query, double* usec) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = query();
+        *usec += std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+        return result;
+      };
+      valid_cm += lps::heavy::ValidateHeavySet(
+                      x, 1.0, phi, timed([&] { return cm.Query(); }, &usec_cm))
+                      .valid;
+      valid_cs += lps::heavy::ValidateHeavySet(
+                      x, 1.0, phi, timed([&] { return cs.Query(); }, &usec_cs))
+                      .valid;
+      valid_dy += lps::heavy::ValidateHeavySet(
+                      x, 1.0, phi, timed([&] { return dy.Query(); }, &usec_dy))
+                      .valid;
+      bits_cm = cm.SpaceBits(2 * log_n);
+      bits_cs = cs.SpaceBits(2 * log_n);
+      bits_dy = dy.SpaceBits(2 * log_n);
+    }
+    table.AddRow({"count-min (flat scan)", Table::Fmt("%d/%d", valid_cm, trials),
+                  Table::Fmt("%zu", bits_cm),
+                  Table::Fmt("%.0f", usec_cm / trials)});
+    table.AddRow({"count-sketch (flat scan)",
+                  Table::Fmt("%d/%d", valid_cs, trials),
+                  Table::Fmt("%zu", bits_cs),
+                  Table::Fmt("%.0f", usec_cs / trials)});
+    table.AddRow({"dyadic count-min", Table::Fmt("%d/%d", valid_dy, trials),
+                  Table::Fmt("%zu", bits_dy),
+                  Table::Fmt("%.0f", usec_dy / trials)});
+    table.Print();
+    std::printf("Expected: all valid; dyadic pays ~log n extra space for\n"
+                "orders-of-magnitude faster extraction.\n");
+  }
+  return 0;
+}

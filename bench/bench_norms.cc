@@ -1,0 +1,91 @@
+// Claim C10 (Lemma 2 [17]): the Lp norm estimator returns r with
+// ||x||_p <= r <= 2 ||x||_p w.h.p.; coverage improves with rows = O(log n).
+// Also validates the L0 (distinct-count) estimator used by the two-round
+// UR protocol.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+using lps::bench::Table;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int trials = lps::bench::Scaled(quick, 200, 40);
+
+  lps::bench::Section(
+      "C10 (Lemma 2): coverage of [||x||_p, 2||x||_p] vs rows");
+  {
+    const uint64_t n = 1024;
+    const auto stream = lps::stream::ZipfianVector(n, 1.1, 1000, true, 1);
+    lps::stream::ExactVector x(n);
+    x.Apply(stream);
+
+    Table table({"p", "rows=32", "rows=64", "rows=128", "rows=256",
+                 "rows=512"});
+    for (double p : {0.5, 1.0, 1.5, 2.0}) {
+      const double truth = x.NormP(p);
+      std::vector<std::string> row = {Table::Fmt("%.1f", p)};
+      for (int rows : {32, 64, 128, 256, 512}) {
+        int within = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+          lps::norm::LpNormEstimator est(
+              p, rows, 12000 + static_cast<uint64_t>(trial));
+          for (const auto& u : stream) {
+            est.Update(u.index, static_cast<double>(u.delta));
+          }
+          const double r = est.Estimate2Approx();
+          within += (r >= truth && r <= 2 * truth);
+        }
+        row.push_back(Table::Fmt("%.3f", static_cast<double>(within) / trials));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("Expected: coverage -> 1 as rows grow (exp(-Theta(rows)));\n"
+                "p < 1 needs more rows (flatter density at the median).\n\n");
+  }
+
+  lps::bench::Section("C10 aux: turnstile L0 estimator (level fingerprints)");
+  {
+    const uint64_t n = 1 << 14;
+    Table table({"true L0", "median estimate", "within 4x", "space bits"});
+    for (uint64_t support : {4ULL, 64ULL, 1024ULL, 8192ULL}) {
+      std::vector<double> estimates;
+      int within = 0;
+      size_t bits = 0;
+      const int reps_trials = lps::bench::Scaled(quick, 60, 15);
+      for (int trial = 0; trial < reps_trials; ++trial) {
+        lps::norm::L0Estimator est(n, 25,
+                                   13000 + static_cast<uint64_t>(trial));
+        bits = est.SpaceBits();
+        const auto stream = lps::stream::SparseVector(
+            n, support, 100, static_cast<uint64_t>(trial));
+        for (const auto& u : stream) est.Update(u.index, u.delta);
+        const double e = est.Estimate();
+        estimates.push_back(e);
+        within += (e >= support / 4.0 && e <= support * 4.0);
+      }
+      std::nth_element(estimates.begin(),
+                       estimates.begin() + estimates.size() / 2,
+                       estimates.end());
+      table.AddRow({Table::Fmt("%zu", support),
+                    Table::Fmt("%.1f", estimates[estimates.size() / 2]),
+                    Table::Fmt("%d/%d", within, reps_trials),
+                    Table::Fmt("%zu", bits)});
+    }
+    table.Print();
+    std::printf("Expected: constant-factor accuracy across four orders of\n"
+                "magnitude — all the two-round UR protocol needs.\n");
+  }
+  return 0;
+}

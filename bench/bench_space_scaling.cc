@@ -1,0 +1,102 @@
+// Claim C2 (Theorem 1 vs [1]): our sampler's space is
+// O(eps^{-max(1,p)} log^2 n) bits against AKO's O(eps^{-p} log^3 n).
+//
+// Space is reported under the paper's counter model: every counter costs
+// 2 log2(n) bits (coordinates bounded by poly(n)), hash seeds included.
+// Two sweeps: bits vs n at fixed eps (log^2 vs log^3 growth), and bits vs
+// eps at fixed n (eps^{-max(1,p)} vs eps^{-p} growth).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/ako_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/util/bits.h"
+
+namespace {
+
+using lps::bench::Table;
+
+size_t OursBits(uint64_t n, double p, double eps) {
+  lps::core::LpSamplerParams params;
+  params.n = n;
+  params.p = p;
+  params.eps = eps;
+  params.repetitions = 1;  // per-round space; repetitions multiply both sides
+  params.seed = 1;
+  lps::core::LpSampler sampler(params);
+  return sampler.SpaceBits(2 * lps::CeilLog2(n));
+}
+
+size_t AkoBits(uint64_t n, double p, double eps) {
+  lps::core::LpSamplerParams params;
+  params.n = n;
+  params.p = p;
+  params.eps = eps;
+  params.repetitions = 1;
+  params.seed = 1;
+  lps::core::AkoSampler sampler(params);
+  return sampler.SpaceBits(2 * lps::CeilLog2(n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)lps::bench::Quick(argc, argv);  // pure accounting: always fast
+
+  lps::bench::Section("C2: space vs n (eps = 0.25, per sampler round)");
+  for (double p : {1.0, 1.5}) {
+    std::printf("p = %.1f\n", p);
+    Table table({"log2 n", "ours (bits)", "AKO (bits)", "AKO/ours",
+                 "ours growth", "AKO growth"});
+    size_t prev_ours = 0, prev_ako = 0;
+    for (int log_n = 10; log_n <= 22; log_n += 2) {
+      const uint64_t n = 1ULL << log_n;
+      const size_t ours = OursBits(n, p, 0.25);
+      const size_t ako = AkoBits(n, p, 0.25);
+      table.AddRow(
+          {Table::Fmt("%d", log_n), Table::Fmt("%zu", ours),
+           Table::Fmt("%zu", ako),
+           Table::Fmt("%.2f", static_cast<double>(ako) / ours),
+           prev_ours ? Table::Fmt("%.2fx", static_cast<double>(ours) / prev_ours)
+                     : "-",
+           prev_ako ? Table::Fmt("%.2fx", static_cast<double>(ako) / prev_ako)
+                    : "-"});
+      prev_ours = ours;
+      prev_ako = ako;
+    }
+    table.Print();
+  }
+  std::printf(
+      "Expected shape: AKO/ours grows with log n (the saved log factor);\n"
+      "per-step growth ~ (log n ratio)^2 for ours, ^3 for AKO.\n\n");
+
+  lps::bench::Section("C2: space vs eps (n = 2^16, per sampler round)");
+  for (double p : {0.5, 1.0, 1.5}) {
+    std::printf("p = %.1f   (ours ~ eps^-%s, AKO ~ eps^-%.1f)\n", p,
+                p < 1.0 ? "0 .. log(1/eps)" : Table::Fmt("%.1f", std::max(1.0, p)).c_str(),
+                p);
+    Table table({"eps", "ours (bits)", "AKO (bits)", "ours growth",
+                 "AKO growth"});
+    size_t prev_ours = 0, prev_ako = 0;
+    for (double eps : {0.5, 0.25, 0.125, 0.0625, 0.03125}) {
+      const size_t ours = OursBits(1 << 16, p, eps);
+      const size_t ako = AkoBits(1 << 16, p, eps);
+      table.AddRow(
+          {Table::Fmt("%.5f", eps), Table::Fmt("%zu", ours),
+           Table::Fmt("%zu", ako),
+           prev_ours ? Table::Fmt("%.2fx", static_cast<double>(ours) / prev_ours)
+                     : "-",
+           prev_ako ? Table::Fmt("%.2fx", static_cast<double>(ako) / prev_ako)
+                    : "-"});
+      prev_ours = ours;
+      prev_ako = ako;
+    }
+    table.Print();
+  }
+  std::printf(
+      "Expected shape: halving eps multiplies ours by ~2^max(1,p-? ) per\n"
+      "Figure 1 (eps^{-(p-1)} for p>1, log(1/eps) for p=1, O(1) for p<1)\n"
+      "and AKO by 2^p.\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Claim C17 (engineering table): update throughput and query latency of
+// every sketch and sampler, so downstream users can size deployments.
+// google-benchmark binary; pass --benchmark_filter=... as usual.
+#include <benchmark/benchmark.h>
+
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/norm/l0_norm.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/sketch/ams_f2.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/dyadic.h"
+#include "src/sketch/stable_sketch.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+constexpr uint64_t kN = 1 << 16;
+
+const lps::stream::UpdateStream& SharedStream() {
+  static const auto* stream = new lps::stream::UpdateStream(
+      lps::stream::UniformTurnstile(kN, 1 << 16, 100, 7));
+  return *stream;
+}
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  lps::sketch::CountSketch cs(static_cast<int>(state.range(0)), 96, 1);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    cs.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchUpdate)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  lps::sketch::CountMin cm(17, 96, 2);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    cm.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_AmsF2Update(benchmark::State& state) {
+  lps::sketch::AmsF2 ams(9, 16, 3);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    ams.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsF2Update);
+
+void BM_StableSketchUpdate(benchmark::State& state) {
+  lps::sketch::StableSketch sketch(
+      static_cast<double>(state.range(0)) / 10.0, 96, 4);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    sketch.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StableSketchUpdate)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SparseRecoveryUpdate(benchmark::State& state) {
+  lps::recovery::SparseRecovery rec(kN, static_cast<uint64_t>(state.range(0)),
+                                    5);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    rec.Update(u.index, u.delta);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseRecoveryUpdate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SparseRecoveryRecover(benchmark::State& state) {
+  const uint64_t s = static_cast<uint64_t>(state.range(0));
+  lps::recovery::SparseRecovery rec(kN, s, 6);
+  const auto stream = lps::stream::SparseVector(kN, s, 1000, 7);
+  for (const auto& u : stream) rec.Update(u.index, u.delta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.Recover());
+  }
+}
+BENCHMARK(BM_SparseRecoveryRecover)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_L0SamplerUpdate(benchmark::State& state) {
+  lps::core::L0Sampler sampler({kN, 0.25, 0, 8, false});
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    sampler.Update(u.index, u.delta);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L0SamplerUpdate);
+
+void BM_L0SamplerNisanUpdate(benchmark::State& state) {
+  lps::core::L0Sampler sampler({kN, 0.25, 0, 9, true});
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    sampler.Update(u.index, u.delta);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L0SamplerNisanUpdate);
+
+void BM_LpSamplerUpdate(benchmark::State& state) {
+  lps::core::LpSamplerParams params;
+  params.n = kN;
+  params.p = 1.0;
+  params.eps = 0.25;
+  params.repetitions = static_cast<int>(state.range(0));
+  params.seed = 10;
+  lps::core::LpSampler sampler(params);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    sampler.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LpSamplerUpdate)->Arg(1)->Arg(8);
+
+void BM_LpSamplerRecovery(benchmark::State& state) {
+  lps::core::LpSamplerParams params;
+  params.n = 1 << 12;  // recovery scans [n]
+  params.p = 1.0;
+  params.eps = 0.25;
+  params.repetitions = 1;
+  params.seed = 11;
+  lps::core::LpSampler sampler(params);
+  const auto stream = lps::stream::UniformTurnstile(1 << 12, 4096, 100, 12);
+  for (const auto& u : stream) {
+    sampler.Update(u.index, static_cast<double>(u.delta));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample());
+  }
+}
+BENCHMARK(BM_LpSamplerRecovery);
+
+void BM_DyadicCountMinUpdate(benchmark::State& state) {
+  lps::sketch::DyadicCountMin tree(16, 9, 64, 14);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    tree.Update(u.index, static_cast<double>(u.delta));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DyadicCountMinUpdate);
+
+void BM_DyadicHeavyQuery(benchmark::State& state) {
+  lps::sketch::DyadicCountMin tree(16, 9, 64, 15);
+  const auto stream = lps::stream::PlantedHeavyHitters(kN, 5, 1000, 500,
+                                                       false, 16);
+  for (const auto& u : stream) {
+    tree.Update(u.index, static_cast<double>(u.delta));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.HeavyLeaves(500.0));
+  }
+}
+BENCHMARK(BM_DyadicHeavyQuery);
+
+void BM_L0EstimatorUpdate(benchmark::State& state) {
+  lps::norm::L0Estimator est(kN, 25, 13);
+  const auto& stream = SharedStream();
+  size_t pos = 0;
+  for (auto _ : state) {
+    const auto& u = stream[pos++ & (stream.size() - 1)];
+    est.Update(u.index, u.delta);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L0EstimatorUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

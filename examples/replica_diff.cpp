@@ -1,0 +1,62 @@
+// Replica reconciliation: find a key where two replicas disagree, in one
+// round and O(log^2 n) bits (Proposition 5's universal relation protocol).
+//
+// Two databases each hold a characteristic bit-vector over a key space of
+// a million slots. They diverged slightly (a lost write, a stale delete).
+// Shipping either vector costs n bits; the one-round UR protocol ships a
+// serialized L0-sampler sketch instead — the receiving side subtracts its
+// own vector (the sketch is linear) and samples a differing key directly.
+// The two-round variant gets to O(log n) bits.
+//
+// Build & run:  ./build/examples/replica_diff
+#include <cstdio>
+
+#include "src/comm/universal_relation.h"
+
+int main() {
+  const uint64_t n = 1 << 20;  // one million key slots
+
+  // Build the instance: replicas agree except on 3 keys.
+  lps::comm::URInstance replicas = lps::comm::MakeURInstance(
+      n, /*num_diffs=*/3, /*density=*/0.25, /*seed=*/2718);
+  std::printf("key space: %llu slots; replicas differ on 3 keys\n\n",
+              static_cast<unsigned long long>(n));
+
+  // One-round protocol: primary -> secondary.
+  const auto one = lps::comm::RunOneRoundUR(replicas, /*delta=*/0.02,
+                                            /*shared_seed=*/31337);
+  if (one.ok) {
+    std::printf("one-round : divergent key %llu (%s), message %zu bits\n",
+                static_cast<unsigned long long>(one.index),
+                one.correct ? "verified" : "WRONG", one.stats.TotalBits());
+  } else {
+    std::printf("one-round : protocol failed this run\n");
+  }
+
+  // Two-round protocol: fingerprint pass, then targeted sparse recovery.
+  const auto two = lps::comm::RunTwoRoundUR(replicas, 0.02, 1618);
+  if (two.ok) {
+    std::printf("two-round : divergent key %llu (%s), messages %zu + %zu bits\n",
+                static_cast<unsigned long long>(two.index),
+                two.correct ? "verified" : "WRONG",
+                two.stats.message_bits[0], two.stats.message_bits[1]);
+  } else {
+    std::printf("two-round : protocol failed this run\n");
+  }
+
+  // The naive alternative.
+  const auto trivial = lps::comm::RunTrivialUR(replicas);
+  std::printf("naive     : ship the whole vector, %zu bits\n",
+              trivial.stats.TotalBits());
+
+  if (one.ok && two.ok) {
+    std::printf("\nsavings   : %.0fx (one-round), %.0fx (two-round)\n",
+                static_cast<double>(trivial.stats.TotalBits()) /
+                    one.stats.TotalBits(),
+                static_cast<double>(trivial.stats.TotalBits()) /
+                    two.stats.TotalBits());
+  }
+  std::printf("\n(Theorem 6: the one-round message size is optimal up to\n"
+              "constants — Omega(log^2 n) bits are required.)\n");
+  return 0;
+}

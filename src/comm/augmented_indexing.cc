@@ -1,0 +1,22 @@
+#include "src/comm/augmented_indexing.h"
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::comm {
+
+AugmentedIndexingInstance MakeAugmentedIndexing(int s, int t, uint64_t seed) {
+  LPS_CHECK(s >= 1 && t >= 1 && t <= 31);
+  Rng rng(seed);
+  AugmentedIndexingInstance instance;
+  instance.s = s;
+  instance.t = t;
+  instance.z.resize(static_cast<size_t>(s));
+  for (auto& symbol : instance.z) {
+    symbol = static_cast<uint32_t>(rng.Below(1ULL << t));
+  }
+  instance.index = static_cast<int>(rng.Below(static_cast<uint64_t>(s)));
+  return instance;
+}
+
+}  // namespace lps::comm

@@ -1,0 +1,27 @@
+// The augmented indexing communication problem (Section 4, Lemma 6 [22]):
+// Alice holds z in [2^t]^s; Bob holds an index i in [s] and the prefix
+// z_1 .. z_{i-1}. Alice sends one message; Bob must output z_i. Any
+// protocol with success 1 - delta > 3/(2 * 2^t) requires messages of
+// Omega((1 - delta) s t) bits.
+//
+// This file provides instance generation; the reductions that *solve*
+// augmented indexing through streaming algorithms (Theorems 6, 7, 9) live
+// in reductions.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::comm {
+
+struct AugmentedIndexingInstance {
+  int s = 0;                ///< string length
+  int t = 0;                ///< symbols are in [0, 2^t)
+  std::vector<uint32_t> z;  ///< Alice's string, z[j] in [0, 2^t)
+  int index = 0;            ///< Bob's index (0-based); Bob knows z[0..index)
+};
+
+/// Uniform instance: z uniform, index uniform in [0, s).
+AugmentedIndexingInstance MakeAugmentedIndexing(int s, int t, uint64_t seed);
+
+}  // namespace lps::comm

@@ -1,0 +1,56 @@
+// The lower-bound reductions of Section 4, run end-to-end as executable
+// protocols. Each reduction solves augmented indexing (or UR^n) through a
+// streaming algorithm whose serialized memory is the protocol message, so
+// the measured message sizes are exactly the space the lower bounds
+// constrain, and the measured success rates validate the reductions'
+// correctness arguments.
+//
+//   - Theorem 6: augmented indexing -> UR^n with exponentially-repeated
+//     unit vectors; the symmetrized (Lemma 7) UR protocol's uniform output
+//     lands in Bob's block with probability > 1/2.
+//   - Theorem 7: UR^n -> finding duplicates: S = {2i + x_i},
+//     T = {2i + 1 - y_i} inside a shared random n-subset P of [2n]; any
+//     duplicate of the combined (n+1)-letter stream reveals a differing
+//     index.
+//   - Theorem 9: augmented indexing -> Lp heavy hitters in the strict
+//     turnstile model with geometrically growing values ceil(b^{s-j}),
+//     b = (1 - (2 phi)^p)^{-1/p}: the first non-zero coordinate is always
+//     phi-heavy, so the smallest index of a valid heavy set decodes z_i.
+//
+// (Theorem 8 — the Lp-sampling lower bound on 0/±1 vectors — is the
+// composition of Theorems 6 and 7 with the sampler-based duplicates
+// algorithm; the bench measures it directly on the sampler.)
+#pragma once
+
+#include <cstdint>
+
+#include "src/comm/augmented_indexing.h"
+#include "src/comm/transcript.h"
+#include "src/comm/universal_relation.h"
+
+namespace lps::comm {
+
+struct ReductionResult {
+  bool ok = false;       ///< the protocol produced an answer
+  bool correct = false;  ///< the answer matches the instance
+  ProtocolStats stats;
+};
+
+/// Theorem 6: solves augmented indexing via the one-round symmetrized UR
+/// protocol on vectors of dimension (2^s - 1) * 2^t. Keep s + t <= ~20.
+ReductionResult RunAiViaUr(const AugmentedIndexingInstance& instance,
+                           double ur_delta, uint64_t shared_seed);
+
+/// Theorem 7: solves UR^n via the Theorem 3 duplicates finder.
+ReductionResult RunUrViaDuplicates(const URInstance& instance, double delta,
+                                   uint64_t shared_seed);
+
+/// Theorem 9: solves augmented indexing via an Lp heavy hitters algorithm
+/// in the strict turnstile model. `phi` and `p` parameterize the heavy
+/// hitters algorithm; the instance's t should satisfy s * 2^t well below
+/// the heavy-hitter universe budget.
+ReductionResult RunAiViaHeavyHitters(const AugmentedIndexingInstance& instance,
+                                     double p, double phi,
+                                     uint64_t shared_seed);
+
+}  // namespace lps::comm

@@ -1,0 +1,24 @@
+// Bit-exact accounting of protocol transcripts. Every message in the
+// communication harness is a BitWriter; the stats collect per-message bit
+// counts, which are the quantities the paper's lower bounds constrain
+// (Section 4: all bounds are proved in the joint random source model, so
+// shared seeds travel out of band and are not charged).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace lps::comm {
+
+struct ProtocolStats {
+  std::vector<size_t> message_bits;  // one entry per message, in order
+
+  size_t TotalBits() const {
+    return std::accumulate(message_bits.begin(), message_bits.end(),
+                           static_cast<size_t>(0));
+  }
+  int rounds() const { return static_cast<int>(message_bits.size()); }
+};
+
+}  // namespace lps::comm

@@ -1,0 +1,271 @@
+#include "src/comm/universal_relation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/core/l0_sampler.h"
+#include "src/hash/kwise.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/util/bits.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+
+namespace lps::comm {
+
+namespace {
+
+// Small prime field for the two-round protocol's level fingerprints:
+// constant bits per level, constant zero-test error per level (enough for a
+// constant-factor survivor-count estimate; the recovery slack absorbs it).
+constexpr uint64_t kSmallPrime = 8191;  // 2^13 - 1
+constexpr int kSmallFieldBits = 13;
+constexpr int kFingerprintReps = 5;
+
+// Per-(rep, level) fingerprints over GF(8191) of the restriction of a bit
+// vector to nested subsamples at rates 2^-level. Linear in the vector, so
+// Bob can subtract his own from Alice's.
+class SmallLevelFingerprints {
+ public:
+  SmallLevelFingerprints(uint64_t n, uint64_t seed)
+      : n_(n), levels_(CeilLog2(std::max<uint64_t>(n, 2)) + 1),
+        table_(static_cast<size_t>(kFingerprintReps) *
+                   static_cast<size_t>(levels_),
+               0) {
+    for (int r = 0; r < kFingerprintReps; ++r) {
+      level_hash_.emplace_back(
+          2, Mix64(seed ^ (0x2c0ULL + static_cast<uint64_t>(r))));
+      weight_hash_.emplace_back(
+          4, Mix64(seed ^ (0x2d0ULL + static_cast<uint64_t>(r))));
+    }
+  }
+
+  void Add(uint64_t i, uint64_t value) {
+    for (int r = 0; r < kFingerprintReps; ++r) {
+      const size_t rr = static_cast<size_t>(r);
+      const double u = level_hash_[rr].UniformPositive(i);
+      const int deepest =
+          std::min(levels_ - 1, static_cast<int>(std::floor(-std::log2(u))));
+      const uint64_t w =
+          (value * (1 + weight_hash_[rr].Eval(i) % (kSmallPrime - 1))) %
+          kSmallPrime;
+      for (int l = 0; l <= deepest; ++l) {
+        uint64_t& cell =
+            table_[rr * static_cast<size_t>(levels_) + static_cast<size_t>(l)];
+        cell = (cell + w) % kSmallPrime;
+      }
+    }
+  }
+
+  void SubtractFrom(const SmallLevelFingerprints& alice) {
+    for (size_t c = 0; c < table_.size(); ++c) {
+      table_[c] = (alice.table_[c] + kSmallPrime - table_[c]) % kSmallPrime;
+    }
+  }
+
+  /// Median over reps of the deepest non-zero level; -1 if all zero.
+  int MedianDeepestLevel() const {
+    std::vector<int> deepest(kFingerprintReps, -1);
+    for (int r = 0; r < kFingerprintReps; ++r) {
+      for (int l = levels_ - 1; l >= 0; --l) {
+        if (table_[static_cast<size_t>(r) * static_cast<size_t>(levels_) +
+                   static_cast<size_t>(l)] != 0) {
+          deepest[static_cast<size_t>(r)] = l;
+          break;
+        }
+      }
+    }
+    std::nth_element(deepest.begin(), deepest.begin() + kFingerprintReps / 2,
+                     deepest.end());
+    return deepest[kFingerprintReps / 2];
+  }
+
+  void Serialize(BitWriter* writer) const {
+    for (uint64_t cell : table_) writer->WriteBits(cell, kSmallFieldBits);
+  }
+  void Deserialize(BitReader* reader) {
+    for (uint64_t& cell : table_) cell = reader->ReadBits(kSmallFieldBits);
+  }
+
+  int levels() const { return levels_; }
+
+ private:
+  uint64_t n_;
+  int levels_;
+  std::vector<uint64_t> table_;
+  std::vector<hash::KWiseHash> level_hash_;
+  std::vector<hash::KWiseHash> weight_hash_;
+};
+
+}  // namespace
+
+URInstance MakeURInstance(uint64_t n, uint64_t num_diffs, double density,
+                          uint64_t seed) {
+  LPS_CHECK(num_diffs >= 1 && num_diffs <= n);
+  Rng rng(seed);
+  URInstance instance;
+  instance.n = n;
+  instance.x.resize(n);
+  instance.y.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    instance.x[i] = rng.NextDouble() < density ? 1 : 0;
+    instance.y[i] = instance.x[i];
+  }
+  // Flip y at num_diffs distinct random positions.
+  std::vector<uint64_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (uint64_t j = 0; j < num_diffs; ++j) {
+    std::swap(pool[j], pool[j + rng.Below(n - j)]);
+    instance.y[pool[j]] ^= 1;
+  }
+  return instance;
+}
+
+URResult RunOneRoundUR(const URInstance& instance, double delta,
+                       uint64_t shared_seed) {
+  const uint64_t n = instance.n;
+  URResult result;
+
+  // Alice: L0-sample sketch of x (Theorem 2 machinery, shared seed).
+  core::L0SamplerParams params;
+  params.n = n;
+  params.delta = delta;
+  params.seed = shared_seed;
+  core::L0Sampler alice(params);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.x[i]) alice.Update(i, +1);
+  }
+  BitWriter message;
+  alice.SerializeCounters(&message);
+  result.stats.message_bits.push_back(message.bit_count());
+
+  // Bob: same-seed sketch, install Alice's counters, subtract y, sample.
+  core::L0Sampler bob(params);
+  BitReader reader(message);
+  bob.DeserializeCounters(&reader);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.y[i]) bob.Update(i, -1);
+  }
+  auto sample = bob.Sample();
+  if (!sample.ok()) return result;
+  result.ok = true;
+  result.index = sample.value().index;
+  result.correct = instance.x[result.index] != instance.y[result.index];
+  return result;
+}
+
+URResult RunTwoRoundUR(const URInstance& instance, double delta,
+                       uint64_t shared_seed) {
+  const uint64_t n = instance.n;
+  URResult result;
+  const uint64_t s = static_cast<uint64_t>(
+      std::max(4.0, std::ceil(4 * std::log2(1 / delta)))) + 4;
+
+  // Round 1 (Alice -> Bob): small-field level fingerprints of x.
+  SmallLevelFingerprints alice_fp(n, shared_seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.x[i]) alice_fp.Add(i, 1);
+  }
+  BitWriter round1;
+  alice_fp.Serialize(&round1);
+  result.stats.message_bits.push_back(round1.bit_count());
+
+  // Bob: fingerprint y, subtract, estimate the difference's support size,
+  // choose the subsampling level k with E[survivors] ~ s/3.
+  SmallLevelFingerprints bob_fp(n, shared_seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.y[i]) bob_fp.Add(i, 1);
+  }
+  {
+    SmallLevelFingerprints alice_received(n, shared_seed);
+    BitReader r1(round1);
+    alice_received.Deserialize(&r1);
+    bob_fp.SubtractFrom(alice_received);  // bob_fp now fingerprints x - y
+  }
+  const int med = bob_fp.MedianDeepestLevel();
+  if (med < 0) return result;  // x == y according to fingerprints
+  const double d_hat = std::max(1.0, std::log(2.0) * std::pow(2.0, med));
+  const int k = std::max(
+      0, CeilLog2(static_cast<uint64_t>(
+             std::max(1.0, std::ceil(3.0 * d_hat / static_cast<double>(s))))));
+
+  // Round 2 (Bob -> Alice): s-sparse recovery sketch of y restricted to the
+  // level-k subsample (membership from the shared seed), plus k itself.
+  hash::KWiseHash member(2, Mix64(shared_seed ^ 0x2f0ULL));
+  const double rate = std::pow(2.0, -k);
+  recovery::SparseRecovery bob_sketch(n, s, Mix64(shared_seed ^ 0x2f1ULL));
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.y[i] && member.Uniform01(i) < rate) bob_sketch.Update(i, +1);
+  }
+  BitWriter round2;
+  round2.WriteBits(static_cast<uint64_t>(k), 8);
+  bob_sketch.SerializeCounters(&round2);
+  result.stats.message_bits.push_back(round2.bit_count());
+
+  // Alice: subtract her restriction of x, recover the surviving differences.
+  recovery::SparseRecovery alice_sketch(n, s, Mix64(shared_seed ^ 0x2f1ULL));
+  BitReader r2(round2);
+  const int k_received = static_cast<int>(r2.ReadBits(8));
+  alice_sketch.DeserializeCounters(&r2);
+  const double rate_received = std::pow(2.0, -k_received);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (instance.x[i] && member.Uniform01(i) < rate_received) {
+      alice_sketch.Update(i, -1);  // sketch now holds y - x restricted
+    }
+  }
+  auto recovered = alice_sketch.Recover();
+  if (!recovered.ok() || recovered.value().empty()) return result;
+  // Uniform choice among the recovered differing indices (shared seed).
+  const auto& entries = recovered.value();
+  const uint64_t pick = Mix64(shared_seed ^ 0x2f2ULL) % entries.size();
+  result.ok = true;
+  result.index = entries[pick].index;
+  result.correct = instance.x[result.index] != instance.y[result.index];
+  return result;
+}
+
+URResult RunTrivialUR(const URInstance& instance) {
+  URResult result;
+  result.stats.message_bits.push_back(instance.n);
+  for (uint64_t i = 0; i < instance.n; ++i) {
+    if (instance.x[i] != instance.y[i]) {
+      result.ok = true;
+      result.index = i;
+      result.correct = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+URResult RunSymmetrized(
+    const URInstance& instance, uint64_t shared_seed,
+    const std::function<URResult(const URInstance&, uint64_t)>& protocol) {
+  const uint64_t n = instance.n;
+  Rng rng(Mix64(shared_seed ^ 0x5e77ULL));
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  std::vector<uint8_t> mask(n);
+  for (auto& b : mask) b = static_cast<uint8_t>(rng.Next() & 1);
+
+  URInstance conjugated;
+  conjugated.n = n;
+  conjugated.x.resize(n);
+  conjugated.y.resize(n);
+  for (uint64_t j = 0; j < n; ++j) {
+    conjugated.x[j] = instance.x[perm[j]] ^ mask[j];
+    conjugated.y[j] = instance.y[perm[j]] ^ mask[j];
+  }
+  URResult result = protocol(conjugated, Mix64(shared_seed ^ 0x5e78ULL));
+  if (result.ok) {
+    result.index = perm[result.index];
+    result.correct = instance.x[result.index] != instance.y[result.index];
+  }
+  return result;
+}
+
+}  // namespace lps::comm

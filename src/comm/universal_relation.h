@@ -1,0 +1,72 @@
+// The universal relation UR^n (Section 4.1): Alice holds x in {0,1}^n, Bob
+// holds y in {0,1}^n with x != y; the last player to receive a message must
+// output an index where they differ.
+//
+// Protocols implemented (Proposition 5):
+//   - One round, O(log^2 n log 1/delta) bits: Alice serializes the counter
+//     state of a Theorem 2 L0 sampler fed with x; Bob subtracts y (the
+//     sketch is linear, the seed is shared randomness) and samples a
+//     non-zero coordinate of x - y.
+//   - Two rounds, O(log n log 1/delta) bits: round 1, Alice sends
+//     constant-width per-level fingerprints of x over GF(8191) (O(log n)
+//     bits total); Bob subtracts his own fingerprints, locates the deepest
+//     level at which x - y survives, and derives a subsampling level k with
+//     E[#surviving differences] ~ s/3. Round 2, Bob sends an s-sparse
+//     recovery sketch of y restricted to that level; Alice subtracts her
+//     restriction of x, recovers x - y's survivors exactly, and outputs one.
+//   - The trivial deterministic one-round protocol (n bits), the reference
+//     point for the randomized savings.
+//
+// Lemma 7 (output symmetrization: conjugating any protocol by a shared
+// random permutation and XOR mask makes the output uniform over the
+// differing indices) is available as a wrapper and is required by the
+// Theorem 6 reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/comm/transcript.h"
+#include "src/util/status.h"
+
+namespace lps::comm {
+
+struct URInstance {
+  uint64_t n = 0;
+  std::vector<uint8_t> x;  // Alice's bits
+  std::vector<uint8_t> y;  // Bob's bits
+};
+
+/// Instance with exactly `num_diffs` >= 1 differing positions; the common
+/// part is random with density `density`.
+URInstance MakeURInstance(uint64_t n, uint64_t num_diffs, double density,
+                          uint64_t seed);
+
+struct URResult {
+  bool ok = false;        ///< protocol produced an index
+  uint64_t index = 0;     ///< claimed differing index
+  bool correct = false;   ///< x[index] != y[index] actually holds
+  ProtocolStats stats;
+};
+
+/// One-round randomized protocol (Proposition 5, first part).
+URResult RunOneRoundUR(const URInstance& instance, double delta,
+                       uint64_t shared_seed);
+
+/// Two-round randomized protocol (Proposition 5, second part).
+URResult RunTwoRoundUR(const URInstance& instance, double delta,
+                       uint64_t shared_seed);
+
+/// Deterministic one-round baseline: Alice ships x verbatim (n bits).
+URResult RunTrivialUR(const URInstance& instance);
+
+/// Lemma 7: runs `protocol` on the instance conjugated by a shared random
+/// permutation and XOR mask; the returned index is mapped back. If the
+/// inner protocol errs with probability delta, the wrapped protocol outputs
+/// a *uniform* differing index with probability >= 1 - delta.
+URResult RunSymmetrized(
+    const URInstance& instance, uint64_t shared_seed,
+    const std::function<URResult(const URInstance&, uint64_t)>& protocol);
+
+}  // namespace lps::comm

@@ -1,0 +1,46 @@
+// Baseline: a Frahling-Indyk-Sohler-style L0 sampler [12] with the
+// O(log^3 n)-bit space shape the paper's Theorem 2 improves to O(log^2 n).
+//
+// Structure: log n + 1 subsampling levels (level l keeps coordinates at
+// rate 2^-l); each level hashes survivors into Theta(log n) buckets, each
+// bucket a 1-sparse detector of O(log n) bits. Sampling scans levels from
+// the *sparsest* down and returns a uniform choice among the valid 1-sparse
+// buckets of the first productive level. Space: log n levels x log n
+// buckets x O(log n) bits = O(log^3 n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/sampler.h"
+#include "src/hash/kwise.h"
+#include "src/util/status.h"
+
+#include "src/recovery/one_sparse.h"
+
+namespace lps::core {
+
+class FisL0Sampler {
+ public:
+  /// Universe [0, n); `buckets` = 0 picks Theta(log n).
+  FisL0Sampler(uint64_t n, uint64_t seed, int buckets = 0);
+
+  void Update(uint64_t i, int64_t delta);
+
+  Result<SampleResult> Sample() const;
+
+  size_t SpaceBits() const;
+
+ private:
+  int DeepestLevel(uint64_t i) const;
+
+  uint64_t n_;
+  int levels_;
+  int buckets_;
+  uint64_t seed_;
+  hash::KWiseHash level_hash_;
+  std::vector<hash::KWiseHash> bucket_hash_;         // per level
+  std::vector<std::vector<recovery::OneSparse>> table_;  // [level][bucket]
+};
+
+}  // namespace lps::core

@@ -1,0 +1,166 @@
+#include "src/core/lp_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::core {
+
+namespace {
+
+// Scaling factors below this are clamped; the event t_i < 2^-60 has
+// probability < n * 2^-60 per stream, the same "low probability" bucket the
+// paper uses for t_i^{-1} > n^c (Theorem 1 proof).
+constexpr double kMinScaling = 0x1.0p-60;
+
+// Calibrated "large enough constant factor" for m (Figure 1 step 1); see
+// EXPERIMENTS.md (claims C1/C3) for the measured distribution accuracy.
+constexpr double kMConstant = 8.0;
+
+// Inflation applied to the count-sketch residual-F2 median so that
+// s in [||z - zhat||_2, 2||z - zhat||_2] w.h.p. (recovery stage, step 3).
+constexpr double kResidualInflation = 1.35;
+
+}  // namespace
+
+LpSamplerParams LpSampler::Resolve(LpSamplerParams params) {
+  LPS_CHECK(params.n >= 1);
+  LPS_CHECK(params.p > 0 && params.p < 2);
+  LPS_CHECK(params.eps > 0 && params.eps < 1);
+  LPS_CHECK(params.delta > 0 && params.delta < 1);
+  const double p = params.p;
+  const double eps = params.eps;
+  if (params.k == 0) {
+    if (p == 1.0) {
+      params.k = std::max(4, static_cast<int>(std::ceil(4 * std::log2(1 / eps))));
+    } else {
+      params.k = 10 * static_cast<int>(std::ceil(1.0 / std::abs(p - 1.0)));
+    }
+  }
+  if (params.m == 0) {
+    if (p == 1.0) {
+      params.m = std::max(
+          4, static_cast<int>(std::ceil(4 * std::log2(1 / eps))));
+    } else {
+      params.m = std::max(4, static_cast<int>(std::ceil(
+                                 kMConstant * std::pow(eps, -std::max(0.0, p - 1)))));
+    }
+  }
+  if (params.cs_rows == 0) {
+    params.cs_rows = std::max(7, 2 * CeilLog2(std::max<uint64_t>(params.n, 2)) + 1);
+  }
+  if (params.norm_rows == 0) {
+    params.norm_rows = norm::LpNormEstimator::DefaultRows(params.n);
+  }
+  if (params.repetitions == 0) {
+    // Per-round success is >= eps / 2^p (Theorem 1 proof); the 1.5 safety
+    // factor is calibrated against the measured rates in
+    // bench_lp_sampler_accuracy (which run ~3.5x above the bound).
+    const double per_round = eps / std::pow(2.0, p) / 1.5;
+    params.repetitions = std::clamp(
+        static_cast<int>(std::ceil(std::log(1 / params.delta) / per_round)), 1,
+        300);
+  }
+  return params;
+}
+
+LpSamplerRound::LpSamplerRound(const LpSamplerParams& params, int round_index)
+    : n_(params.n), p_(params.p), eps_(params.eps), m_(params.m),
+      beta_(std::pow(params.eps, 1.0 - 1.0 / params.p)),
+      override_index_(params.override_index), override_t_(params.override_t),
+      t_hash_(params.k,
+              Mix64(params.seed ^ (0x70f0ULL + static_cast<uint64_t>(round_index)))),
+      cs_(params.cs_rows, 6 * params.m,
+          Mix64(params.seed ^ (0xc500ULL + static_cast<uint64_t>(round_index)))) {}
+
+double LpSamplerRound::ScalingFactor(uint64_t i) const {
+  if (override_index_ >= 0 && static_cast<uint64_t>(override_index_) == i) {
+    return override_t_;
+  }
+  return std::max(t_hash_.UniformPositive(i), kMinScaling);
+}
+
+void LpSamplerRound::Update(uint64_t i, double delta) {
+  const double t = ScalingFactor(i);
+  cs_.Update(i, delta / std::pow(t, 1.0 / p_));
+}
+
+bool LpSamplerRound::WouldAbortOnTail(double r) const {
+  const auto zhat = cs_.TopM(n_, static_cast<uint64_t>(m_));
+  const double s = kResidualInflation * cs_.EstimateResidualL2(zhat);
+  return s > beta_ * std::sqrt(static_cast<double>(m_)) * r;
+}
+
+Result<SampleResult> LpSamplerRound::Recover(double r) const {
+  // Step 1: count-sketch output z* and its best m-sparse approximation.
+  const auto zhat = cs_.TopM(n_, static_cast<uint64_t>(m_));
+  if (zhat.empty()) return Status::Failed("empty sketch");
+
+  // Step 3: s in [||z - zhat||_2, 2||z - zhat||_2].
+  const double s = kResidualInflation * cs_.EstimateResidualL2(zhat);
+
+  // Step 5: the two abort tests.
+  if (s > beta_ * std::sqrt(static_cast<double>(m_)) * r) {
+    return Status::Failed("tail too heavy: s > beta m^1/2 r");
+  }
+  const auto& [index, z_star] = zhat[0];  // step 4: argmax |z*_i|
+  if (std::abs(z_star) < std::pow(eps_, -1.0 / p_) * r) {
+    return Status::Failed("no sufficiently heavy coordinate");
+  }
+
+  // Step 6: the sample and the estimate of x_i.
+  const double t = ScalingFactor(index);
+  return SampleResult{index, z_star * std::pow(t, 1.0 / p_)};
+}
+
+size_t LpSamplerRound::SpaceBits(int bits_per_counter) const {
+  return cs_.SpaceBits(bits_per_counter) + t_hash_.SeedBits();
+}
+
+LpSampler::LpSampler(LpSamplerParams params)
+    : params_(Resolve(std::move(params))),
+      norm_(params_.p, params_.norm_rows, Mix64(params_.seed ^ 0x4042ULL)) {
+  rounds_.reserve(static_cast<size_t>(params_.repetitions));
+  for (int v = 0; v < params_.repetitions; ++v) {
+    rounds_.emplace_back(params_, v);
+  }
+}
+
+void LpSampler::Update(uint64_t i, double delta) {
+  LPS_CHECK(i < params_.n);
+  norm_.Update(i, delta);
+  for (auto& round : rounds_) round.Update(i, delta);
+}
+
+double LpSampler::NormEstimate() const { return norm_.Estimate2Approx(); }
+
+Result<SampleResult> LpSampler::Sample() const {
+  const double r = NormEstimate();
+  if (r <= 0) return Status::Failed("zero vector");
+  for (const auto& round : rounds_) {
+    Result<SampleResult> res = round.Recover(r);
+    if (res.ok()) return res;
+  }
+  return Status::Failed("all rounds failed");
+}
+
+void LpSampler::SerializeCounters(BitWriter* writer) const {
+  norm_.sketch().SerializeCounters(writer);
+  for (const auto& round : rounds_) round.SerializeCounters(writer);
+}
+
+void LpSampler::DeserializeCounters(BitReader* reader) {
+  norm_.mutable_sketch()->DeserializeCounters(reader);
+  for (auto& round : rounds_) round.DeserializeCounters(reader);
+}
+
+size_t LpSampler::SpaceBits(int bits_per_counter) const {
+  size_t bits = norm_.SpaceBits(bits_per_counter);
+  for (const auto& round : rounds_) bits += round.SpaceBits(bits_per_counter);
+  return bits;
+}
+
+}  // namespace lps::core

@@ -1,0 +1,148 @@
+// The paper's Lp sampler for p in (0, 2): Figure 1, Lemmas 3-4, Theorem 1.
+//
+// One *round* is exactly the algorithm of Figure 1:
+//
+//   Initialization:
+//     k-wise independent scaling factors t_i in (0, 1]
+//       (k = 10 ceil(1/|p-1|), or O(log 1/eps) for p = 1);
+//     count-sketch with parameter m (6m buckets x l = O(log n) rows)
+//       for the scaled vector z_i = x_i / t_i^{1/p};
+//     linear sketches for ||x||_p (Lemma 2) and ||z - zhat||_2.
+//   Processing: every update (i, u) feeds the count-sketch with
+//     (i, u / t_i^{1/p}) and the norm sketches.
+//   Recovery:
+//     z* = count-sketch estimates, zhat = best m-sparse approximation;
+//     r in [||x||_p, 2||x||_p]; s in [||z - zhat||_2, 2||z - zhat||_2];
+//     i = argmax |z*_i|;
+//     FAIL if s > beta m^{1/2} r or |z*_i| < eps^{-1/p} r, where
+//     beta = eps^{1 - 1/p}; else output i and x_i ~= z*_i t_i^{1/p}.
+//
+// A round succeeds with probability Theta(eps) and, conditioned on success,
+// outputs i with probability (1 +- O(eps)) |x_i|^p / ||x||_p^p (Lemma 4).
+// The full sampler runs v = O(log(1/delta)/eps) rounds in parallel and
+// returns the first non-failing output (Theorem 1), sharing a single
+// ||x||_p estimator across rounds (the estimate depends only on x).
+//
+// Space: O(eps^{-max(1,p)} log^2 n log(1/delta)) bits for p != 1 and an
+// extra log(1/eps) for p = 1, under the paper's counter model
+// (SpaceBits(bits_per_counter)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/sampler.h"
+#include "src/hash/kwise.h"
+#include "src/norm/lp_norm.h"
+#include "src/sketch/count_sketch.h"
+#include "src/util/status.h"
+
+namespace lps::core {
+
+struct LpSamplerParams {
+  uint64_t n = 0;       ///< universe size (required)
+  double p = 1.0;       ///< in (0, 2)
+  double eps = 0.5;     ///< relative error target, in (0, 1)
+  double delta = 0.25;  ///< overall failure probability target
+
+  /// 0 means "derive from the paper's formulas with calibrated constants":
+  int repetitions = 0;  ///< v = O(log(1/delta)/eps)
+  int cs_rows = 0;      ///< l = O(log n)
+  int m = 0;            ///< count-sketch parameter (Figure 1 step 1/2)
+  int k = 0;            ///< independence of the scaling factors
+  int norm_rows = 0;    ///< rows of the Lemma 2 estimator
+
+  uint64_t seed = 0;
+
+  /// Experiment hook for Lemma 3 (claim C4): if override_index >= 0, the
+  /// scaling factor of that coordinate is pinned to override_t in every
+  /// round, reproducing the lemma's conditioning on t_i = t.
+  int64_t override_index = -1;
+  double override_t = 0.0;
+};
+
+/// A single round of Figure 1. Exposed publicly because the distribution
+/// experiments measure the *conditional* output law of one round, and the
+/// Lemma 3 experiment pins scaling factors round-by-round.
+class LpSamplerRound {
+ public:
+  LpSamplerRound(const LpSamplerParams& params, int round_index);
+
+  void Update(uint64_t i, double delta);
+
+  /// Runs the recovery stage of Figure 1 against a norm estimate r
+  /// (Lemma 2 output, supplied by the owning sampler).
+  Result<SampleResult> Recover(double r) const;
+
+  /// The scaling factor t_i used by this round.
+  double ScalingFactor(uint64_t i) const;
+
+  /// Abort diagnostics for the Lemma 3 experiment: returns true iff the
+  /// round would abort with s > beta m^{1/2} r.
+  bool WouldAbortOnTail(double r) const;
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+  /// Counter-state serialization for protocol messages (seeds are shared
+  /// randomness and travel out of band).
+  void SerializeCounters(BitWriter* writer) const {
+    cs_.SerializeCounters(writer);
+  }
+  void DeserializeCounters(BitReader* reader) {
+    cs_.DeserializeCounters(reader);
+  }
+
+  int m() const { return m_; }
+  double beta() const { return beta_; }
+
+ private:
+  uint64_t n_;
+  double p_;
+  double eps_;
+  int m_;
+  double beta_;
+  int64_t override_index_;
+  double override_t_;
+  hash::KWiseHash t_hash_;
+  sketch::CountSketch cs_;
+};
+
+class LpSampler {
+ public:
+  explicit LpSampler(LpSamplerParams params);
+
+  /// Processes one stream update (i, u).
+  void Update(uint64_t i, double delta);
+
+  /// Theorem 1: the first non-failing round's output, or Status::Failed.
+  Result<SampleResult> Sample() const;
+
+  /// The shared Lemma 2 estimate r (exposed for experiments).
+  double NormEstimate() const;
+
+  int repetitions() const { return static_cast<int>(rounds_.size()); }
+  const LpSamplerRound& round(int i) const {
+    return rounds_[static_cast<size_t>(i)];
+  }
+  const LpSamplerParams& params() const { return params_; }
+
+  /// Total space under the paper's counter model.
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+  /// Serializes every counter (all rounds + norm sketch) so another party
+  /// holding the same seeds can continue the stream — the "send the memory
+  /// contents" step of the reductions in Section 4.
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
+
+  /// The derived parameters actually in use (after 0 -> auto resolution).
+  static LpSamplerParams Resolve(LpSamplerParams params);
+
+ private:
+  LpSamplerParams params_;  // resolved
+  norm::LpNormEstimator norm_;
+  std::vector<LpSamplerRound> rounds_;
+};
+
+}  // namespace lps::core

@@ -1,0 +1,32 @@
+#include "src/core/reservoir_sampler.h"
+
+#include "src/util/check.h"
+
+namespace lps::core {
+
+void WeightedReservoir::Update(uint64_t i, double weight) {
+  LPS_CHECK(weight > 0);
+  total_ += weight;
+  // Replace the held sample with probability weight / total: a one-line
+  // induction shows P[held == j] = x_j / total at every prefix.
+  if (rng_.NextDouble() < weight / total_) current_ = i;
+}
+
+uint64_t WeightedReservoir::Sample() const {
+  LPS_CHECK(HasSample());
+  return current_;
+}
+
+ItemReservoir::ItemReservoir(int k, uint64_t seed)
+    : rng_(seed), held_(static_cast<size_t>(k), 0) {
+  LPS_CHECK(k >= 1);
+}
+
+void ItemReservoir::Add(uint64_t item) {
+  ++count_;
+  for (auto& slot : held_) {
+    if (rng_.Below(count_) == 0) slot = item;
+  }
+}
+
+}  // namespace lps::core

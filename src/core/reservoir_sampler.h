@@ -1,0 +1,53 @@
+// Classical reservoir sampling [20] (attributed to Alan G. Waterman),
+// described in the paper's introduction: for insertion-only streams it is
+// a perfect L1 sampler in O(1) words. Included both as the positive-update
+// baseline and as the uniform-position sampler used by the length-(n+s)
+// duplicates algorithm of Section 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace lps::core {
+
+/// Weighted reservoir over positive updates: after the stream, holds index
+/// i with probability x_i / ||x||_1 exactly.
+class WeightedReservoir {
+ public:
+  explicit WeightedReservoir(uint64_t seed) : rng_(seed) {}
+
+  /// Processes update (i, u); u must be positive.
+  void Update(uint64_t i, double weight);
+
+  bool HasSample() const { return total_ > 0; }
+  uint64_t Sample() const;
+  double total_weight() const { return total_; }
+
+ private:
+  Rng rng_;
+  double total_ = 0;
+  uint64_t current_ = 0;
+};
+
+/// k independent uniform samples (with replacement) from an item stream of
+/// unknown length: k parallel single-item reservoirs.
+class ItemReservoir {
+ public:
+  ItemReservoir(int k, uint64_t seed);
+
+  void Add(uint64_t item);
+
+  /// Items currently held (one per reservoir; meaningful once count() > 0).
+  const std::vector<uint64_t>& held() const { return held_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  Rng rng_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> held_;
+};
+
+}  // namespace lps::core

@@ -1,0 +1,16 @@
+// Common result type for all samplers (Definition 1): an index drawn
+// (approximately) from the Lp distribution of the stream vector, plus the
+// sampler's estimate of the sampled coordinate's value (our sampler, like
+// the paper's, approximates x_i itself — see footnote 1).
+#pragma once
+
+#include <cstdint>
+
+namespace lps::core {
+
+struct SampleResult {
+  uint64_t index;    ///< sampled coordinate
+  double estimate;   ///< estimate of x_index (exact for the L0 sampler)
+};
+
+}  // namespace lps::core

@@ -1,0 +1,71 @@
+#include "src/core/two_pass_l0_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::core {
+
+TwoPassL0Sampler::TwoPassL0Sampler(Params params)
+    : n_(params.n),
+      s_(params.s != 0
+             ? params.s
+             : static_cast<uint64_t>(
+                   std::max(4.0, std::ceil(4 * std::log2(1 / params.delta)))) +
+                   4),
+      seed_(params.seed),
+      estimator_(params.n, 12, Mix64(params.seed ^ 0x2Aa55ULL)),
+      member_(2, Mix64(params.seed ^ 0x2Aa56ULL)),
+      recovery_(params.n, s_, Mix64(params.seed ^ 0x2Aa57ULL)) {
+  LPS_CHECK(params.n >= 1);
+}
+
+void TwoPassL0Sampler::UpdateFirstPass(uint64_t i, int64_t delta) {
+  LPS_CHECK(!first_pass_done_);
+  estimator_.Update(i, delta);
+}
+
+void TwoPassL0Sampler::FinishFirstPass() {
+  LPS_CHECK(!first_pass_done_);
+  first_pass_done_ = true;
+  const double l0 = estimator_.Estimate();
+  if (l0 <= static_cast<double>(s_) / 2) {
+    level_ = 0;  // support fits the recovery budget outright
+    return;
+  }
+  // Subsample at rate 2^-level so E[survivors] ~ s/2; the constant-factor
+  // slack of the estimator is absorbed by s/2 vs s.
+  level_ = std::max(
+      0, CeilLog2(static_cast<uint64_t>(
+             std::ceil(2.0 * l0 / static_cast<double>(s_)))));
+}
+
+void TwoPassL0Sampler::UpdateSecondPass(uint64_t i, int64_t delta) {
+  LPS_CHECK(first_pass_done_);
+  const double rate = std::pow(2.0, -level_);
+  if (member_.Uniform01(i) < rate) recovery_.Update(i, delta);
+}
+
+Result<SampleResult> TwoPassL0Sampler::Sample() const {
+  LPS_CHECK(first_pass_done_);
+  auto recovered = recovery_.Recover();
+  if (!recovered.ok()) {
+    return Status::Failed("subsample not sparse (estimate was low)");
+  }
+  if (recovered.value().empty()) {
+    return Status::Failed("empty subsample (zero vector or estimate high)");
+  }
+  const auto& entries = recovered.value();
+  const uint64_t pick = Mix64(seed_ ^ 0x2Aa58ULL) % entries.size();
+  return SampleResult{entries[pick].index,
+                      static_cast<double>(entries[pick].value)};
+}
+
+size_t TwoPassL0Sampler::SpaceBits() const {
+  return estimator_.SpaceBits() + recovery_.SpaceBits() + member_.SeedBits();
+}
+
+}  // namespace lps::core

@@ -1,0 +1,68 @@
+// The two-pass zero-relative-error L0 sampler sketched in the remark after
+// Proposition 5: "along similar lines one can find an
+// O(log n log log n log 1/delta) space two-pass zero relative error
+// L0-sampling algorithm, by estimating L0 of the vector defined by the
+// stream in the first pass using [17]".
+//
+// Pass 1 runs the turnstile L0 estimator (norm/l0_norm.h); between passes
+// the sampler fixes the single subsampling rate 2^-k with
+// E[survivors] ~ s/2, and pass 2 runs one s-sparse recovery on the
+// restriction — one level instead of Theorem 2's log n levels, trading a
+// second pass for a log factor of space.
+//
+// The output remains exactly uniform on the support for the same
+// exchangeability reason as Theorem 2.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/sampler.h"
+#include "src/hash/kwise.h"
+#include "src/norm/l0_norm.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/util/status.h"
+
+namespace lps::core {
+
+class TwoPassL0Sampler {
+ public:
+  struct Params {
+    uint64_t n = 0;
+    double delta = 0.25;
+    uint64_t s = 0;  ///< 0 => ceil(4 log2(1/delta)) + slack
+    uint64_t seed = 0;
+  };
+
+  explicit TwoPassL0Sampler(Params params);
+
+  /// Pass 1: feed every update.
+  void UpdateFirstPass(uint64_t i, int64_t delta);
+
+  /// Call once after the first pass; chooses the subsampling level.
+  void FinishFirstPass();
+
+  /// Pass 2: feed the same stream again.
+  void UpdateSecondPass(uint64_t i, int64_t delta);
+
+  /// Uniform non-zero coordinate with its exact value, or Status::Failed.
+  Result<SampleResult> Sample() const;
+
+  /// The level chosen between passes (exposed for tests).
+  int level() const { return level_; }
+
+  /// Space across both passes: one estimator + ONE recovery structure —
+  /// no log n level fan-out.
+  size_t SpaceBits() const;
+
+ private:
+  uint64_t n_;
+  uint64_t s_;
+  uint64_t seed_;
+  bool first_pass_done_ = false;
+  int level_ = 0;
+  norm::L0Estimator estimator_;
+  hash::KWiseHash member_;
+  recovery::SparseRecovery recovery_;
+};
+
+}  // namespace lps::core

@@ -1,0 +1,51 @@
+#include "src/field/berlekamp_massey.h"
+
+#include "src/field/gf61.h"
+
+namespace lps::field {
+
+namespace gf = ::lps::gf61;
+
+poly::Poly BerlekampMassey(const std::vector<uint64_t>& sequence) {
+  const size_t n = sequence.size();
+  poly::Poly c = {1};  // current connection polynomial
+  poly::Poly b = {1};  // connection polynomial before last length change
+  size_t length = 0;   // current LFSR length
+  size_t m = 1;        // steps since last length change
+  uint64_t last_discrepancy = 1;
+
+  for (size_t j = 0; j < n; ++j) {
+    // Discrepancy: how far C fails to predict S[j].
+    uint64_t d = sequence[j];
+    for (size_t i = 1; i <= length && i < c.size(); ++i) {
+      d = gf::Add(d, gf::Mul(c[i], sequence[j - i]));
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    const uint64_t coeff = gf::Mul(d, gf::Inv(last_discrepancy));
+    if (2 * length <= j) {
+      // Length change: C' = C - coeff * x^m * B, and B takes C's old value.
+      poly::Poly old_c = c;
+      if (c.size() < b.size() + m) c.resize(b.size() + m, 0);
+      for (size_t i = 0; i < b.size(); ++i) {
+        c[i + m] = gf::Sub(c[i + m], gf::Mul(coeff, b[i]));
+      }
+      b = std::move(old_c);
+      length = j + 1 - length;
+      last_discrepancy = d;
+      m = 1;
+    } else {
+      if (c.size() < b.size() + m) c.resize(b.size() + m, 0);
+      for (size_t i = 0; i < b.size(); ++i) {
+        c[i + m] = gf::Sub(c[i + m], gf::Mul(coeff, b[i]));
+      }
+      ++m;
+    }
+  }
+  poly::Trim(&c);
+  return c;
+}
+
+}  // namespace lps::field

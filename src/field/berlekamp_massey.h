@@ -1,0 +1,26 @@
+// Berlekamp-Massey over GF(2^61 - 1).
+//
+// Given a sequence S[0..N-1], finds the shortest linear-feedback shift
+// register generating it: a connection polynomial C(x) = 1 + c_1 x + ... +
+// c_L x^L of minimal L such that
+//
+//   sum_{i=0}^{L} C[i] * S[j - i] = 0   for all j in [L, N).
+//
+// In the sparse-recovery application (Lemma 5), S_r = sum_j v_j a_j^r are
+// the syndromes of an (at most) s-sparse vector with support nodes a_j; with
+// N = 2s syndromes, BM provably returns C(x) = prod_j (1 - a_j x), whose
+// reversal is the locator polynomial with roots exactly {a_j}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/field/poly.h"
+
+namespace lps::field {
+
+/// Returns the minimal connection polynomial of the sequence (C[0] == 1).
+/// Returns {1} (L = 0) for the all-zero sequence.
+poly::Poly BerlekampMassey(const std::vector<uint64_t>& sequence);
+
+}  // namespace lps::field

@@ -1,0 +1,22 @@
+#include "src/field/gf61.h"
+
+namespace lps::gf61 {
+
+uint64_t Pow(uint64_t a, uint64_t e) {
+  uint64_t result = 1;
+  uint64_t base = Reduce(a);
+  while (e > 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t Inv(uint64_t a) {
+  LPS_CHECK(a % kP != 0);
+  // Fermat: a^(p-2) = a^{-1}.
+  return Pow(a, kP - 2);
+}
+
+}  // namespace lps::gf61

@@ -1,0 +1,131 @@
+#include "src/field/poly.h"
+
+#include <algorithm>
+
+#include "src/field/gf61.h"
+#include "src/util/check.h"
+
+namespace lps::poly {
+
+namespace gf = ::lps::gf61;
+
+int Deg(const Poly& f) { return static_cast<int>(f.size()) - 1; }
+
+void Trim(Poly* f) {
+  while (!f->empty() && f->back() == 0) f->pop_back();
+}
+
+Poly Add(const Poly& a, const Poly& b) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (size_t i = 0; i < a.size(); ++i) r[i] = a[i];
+  for (size_t i = 0; i < b.size(); ++i) r[i] = gf::Add(r[i], b[i]);
+  Trim(&r);
+  return r;
+}
+
+Poly Sub(const Poly& a, const Poly& b) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (size_t i = 0; i < a.size(); ++i) r[i] = a[i];
+  for (size_t i = 0; i < b.size(); ++i) r[i] = gf::Sub(r[i], b[i]);
+  Trim(&r);
+  return r;
+}
+
+Poly Mul(const Poly& a, const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      r[i + j] = gf::Add(r[i + j], gf::Mul(a[i], b[j]));
+    }
+  }
+  Trim(&r);
+  return r;
+}
+
+void DivMod(const Poly& a, const Poly& b, Poly* q, Poly* r) {
+  LPS_CHECK(!b.empty());
+  *r = a;
+  Trim(r);
+  q->assign(r->size() >= b.size() ? r->size() - b.size() + 1 : 0, 0);
+  const uint64_t lead_inv = gf::Inv(b.back());
+  while (r->size() >= b.size()) {
+    const uint64_t coeff = gf::Mul(r->back(), lead_inv);
+    const size_t shift = r->size() - b.size();
+    (*q)[shift] = coeff;
+    for (size_t i = 0; i < b.size(); ++i) {
+      (*r)[shift + i] = gf::Sub((*r)[shift + i], gf::Mul(coeff, b[i]));
+    }
+    Trim(r);
+    if (r->empty()) break;
+  }
+  Trim(q);
+}
+
+Poly Mod(const Poly& a, const Poly& b) {
+  Poly q, r;
+  DivMod(a, b, &q, &r);
+  return r;
+}
+
+Poly Gcd(Poly a, Poly b) {
+  Trim(&a);
+  Trim(&b);
+  while (!b.empty()) {
+    Poly r = Mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  if (!a.empty()) MakeMonic(&a);
+  return a;
+}
+
+Poly MulMod(const Poly& a, const Poly& b, const Poly& f) {
+  return Mod(Mul(a, b), f);
+}
+
+Poly PowMod(const Poly& base, uint64_t e, const Poly& f) {
+  LPS_CHECK(Deg(f) >= 1);
+  Poly result = {1};
+  Poly b = Mod(base, f);
+  while (e > 0) {
+    if (e & 1) result = MulMod(result, b, f);
+    b = MulMod(b, b, f);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t Eval(const Poly& f, uint64_t x) {
+  uint64_t acc = 0;
+  for (size_t i = f.size(); i-- > 0;) {
+    acc = gf::Add(gf::Mul(acc, x), f[i]);
+  }
+  return acc;
+}
+
+Poly Derivative(const Poly& f) {
+  if (f.size() <= 1) return {};
+  Poly d(f.size() - 1);
+  for (size_t i = 1; i < f.size(); ++i) {
+    d[i - 1] = gf::Mul(f[i], gf::Reduce(i));
+  }
+  Trim(&d);
+  return d;
+}
+
+void MakeMonic(Poly* f) {
+  LPS_CHECK(!f->empty());
+  if (f->back() == 1) return;
+  const uint64_t inv = gf::Inv(f->back());
+  for (auto& c : *f) c = gf::Mul(c, inv);
+}
+
+Poly Reverse(const Poly& f) {
+  Poly r(f.rbegin(), f.rend());
+  Trim(&r);
+  return r;
+}
+
+}  // namespace lps::poly

@@ -1,0 +1,56 @@
+// Dense univariate polynomial arithmetic over GF(2^61 - 1).
+//
+// Polynomials are coefficient vectors, lowest degree first; the zero
+// polynomial is the empty vector. Degrees in this library are tiny (at most
+// 2s for sparsity parameter s, typically < 100), so schoolbook algorithms
+// are the right choice: they beat FFT methods well past degree 100 and keep
+// the code auditable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::poly {
+
+using Poly = std::vector<uint64_t>;
+
+/// Degree of f; -1 for the zero polynomial.
+int Deg(const Poly& f);
+
+/// Removes leading zero coefficients in place.
+void Trim(Poly* f);
+
+Poly Add(const Poly& a, const Poly& b);
+Poly Sub(const Poly& a, const Poly& b);
+Poly Mul(const Poly& a, const Poly& b);
+
+/// Divides a by b (b non-zero): a = q*b + r with deg r < deg b.
+void DivMod(const Poly& a, const Poly& b, Poly* q, Poly* r);
+
+/// Remainder of a modulo b.
+Poly Mod(const Poly& a, const Poly& b);
+
+/// Monic greatest common divisor.
+Poly Gcd(Poly a, Poly b);
+
+/// (a * b) mod f.
+Poly MulMod(const Poly& a, const Poly& b, const Poly& f);
+
+/// base^e mod f by binary exponentiation; deg f >= 1.
+Poly PowMod(const Poly& base, uint64_t e, const Poly& f);
+
+/// Evaluates f at x (Horner).
+uint64_t Eval(const Poly& f, uint64_t x);
+
+/// Formal derivative.
+Poly Derivative(const Poly& f);
+
+/// Scales f so its leading coefficient is 1; f must be non-zero.
+void MakeMonic(Poly* f);
+
+/// Reverses the coefficient order: x^deg(f) * f(1/x). Used to turn a
+/// Berlekamp-Massey connection polynomial into the locator polynomial whose
+/// roots are the syndrome nodes.
+Poly Reverse(const Poly& f);
+
+}  // namespace lps::poly

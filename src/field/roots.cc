@@ -1,0 +1,79 @@
+#include "src/field/roots.h"
+
+#include "src/field/gf61.h"
+#include "src/util/check.h"
+
+namespace lps::field {
+
+namespace gf = ::lps::gf61;
+using poly::Poly;
+
+namespace {
+
+// Computes gcd(x^p - x mod f, f): the product of the distinct linear
+// factors of f.
+Poly LinearFactorProduct(const Poly& f) {
+  LPS_CHECK(poly::Deg(f) >= 1);
+  const Poly x = {0, 1};
+  Poly xp = poly::PowMod(x, gf::kP, f);
+  return poly::Gcd(poly::Sub(xp, x), f);
+}
+
+// Recursively splits a monic polynomial known to be a product of distinct
+// linear factors, appending the roots found.
+void SplitAllRoots(const Poly& g, Rng* rng, std::vector<uint64_t>* roots) {
+  const int d = poly::Deg(g);
+  if (d <= 0) return;
+  if (d == 1) {
+    // g = x + g[0] (monic): root is -g[0].
+    roots->push_back(gf::Neg(g[0]));
+    return;
+  }
+  // Split by quadratic residuosity of shifted roots: for random a, the map
+  // r -> (r + a)^((p-1)/2) sends about half the roots to +1.
+  constexpr uint64_t kHalf = (gf::kP - 1) / 2;
+  while (true) {
+    const uint64_t a = rng->Below(gf::kP);
+    // If -a is itself a root, peel it off directly to guarantee progress.
+    if (poly::Eval(g, gf::Neg(a)) == 0) {
+      Poly linear = {a, 1};
+      roots->push_back(gf::Neg(a));
+      Poly q, r;
+      poly::DivMod(g, linear, &q, &r);
+      LPS_CHECK(r.empty());
+      SplitAllRoots(q, rng, roots);
+      return;
+    }
+    Poly shifted = {a, 1};  // x + a
+    Poly w = poly::PowMod(shifted, kHalf, g);
+    w = poly::Sub(w, Poly{1});
+    Poly d1 = poly::Gcd(w, g);
+    const int dd = poly::Deg(d1);
+    if (dd <= 0 || dd >= poly::Deg(g)) continue;  // trivial split; retry
+    Poly q, r;
+    poly::DivMod(g, d1, &q, &r);
+    LPS_CHECK(r.empty());
+    SplitAllRoots(d1, rng, roots);
+    SplitAllRoots(q, rng, roots);
+    return;
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> FindRoots(const Poly& f, Rng* rng) {
+  std::vector<uint64_t> roots;
+  if (poly::Deg(f) < 1) return roots;
+  Poly g = LinearFactorProduct(f);
+  if (poly::Deg(g) < 1) return roots;
+  SplitAllRoots(g, rng, &roots);
+  return roots;
+}
+
+bool SplitsIntoDistinctLinearFactors(const poly::Poly& f) {
+  if (poly::Deg(f) < 1) return false;
+  Poly g = LinearFactorProduct(f);
+  return poly::Deg(g) == poly::Deg(f);
+}
+
+}  // namespace lps::field

@@ -1,0 +1,31 @@
+// Root finding over GF(2^61 - 1) via Cantor-Zassenhaus.
+//
+// The locator polynomials arising in sparse recovery have degree <= s
+// (typically < 100) but the field has ~2^61 elements, so Chien search over
+// the coordinate domain would cost O(n * s) per recovery. Instead we
+// (1) isolate the product of distinct linear factors with
+//     g = gcd(x^p - x mod f, f), computed as one O(s^2 log p) modular
+//     exponentiation, and
+// (2) split g by the standard quadratic-residue partition
+//     gcd((x + a)^((p-1)/2) - 1, g) with random shifts a.
+// Total cost O(s^2 log p) field operations per recovery, independent of n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/field/poly.h"
+#include "src/util/random.h"
+
+namespace lps::field {
+
+/// Returns all distinct roots of f in GF(p), in unspecified order. The
+/// `rng` drives the Las Vegas splitting (the result is always exact).
+std::vector<uint64_t> FindRoots(const poly::Poly& f, Rng* rng);
+
+/// True iff f splits completely into deg(f) distinct linear factors, i.e.
+/// gcd(x^p - x, f) == f. Used by sparse recovery to reject DENSE inputs
+/// whose Berlekamp-Massey output is not a genuine locator polynomial.
+bool SplitsIntoDistinctLinearFactors(const poly::Poly& f);
+
+}  // namespace lps::field

@@ -1,0 +1,46 @@
+#include "src/field/vandermonde.h"
+
+#include "src/field/gf61.h"
+#include "src/field/poly.h"
+#include "src/util/check.h"
+
+namespace lps::field {
+
+namespace gf = ::lps::gf61;
+using poly::Poly;
+
+std::vector<uint64_t> SolveTransposedVandermonde(
+    const std::vector<uint64_t>& nodes, const std::vector<uint64_t>& rhs) {
+  const size_t k = nodes.size();
+  LPS_CHECK(rhs.size() >= k);
+  std::vector<uint64_t> values(k, 0);
+  if (k == 0) return values;
+
+  // Master polynomial A(x) = prod_j (x - a_j), built incrementally.
+  Poly a = {1};
+  for (uint64_t node : nodes) {
+    a = poly::Mul(a, Poly{gf::Neg(node), 1});
+  }
+  const Poly a_prime = poly::Derivative(a);
+
+  std::vector<uint64_t> lj(k);  // coefficients of L_j = A / (x - a_j)
+  for (size_t j = 0; j < k; ++j) {
+    // Synthetic division of A by (x - a_j): L_j has degree k - 1.
+    uint64_t carry = a[k];  // leading coefficient of A (== 1)
+    for (size_t r = k; r-- > 0;) {
+      lj[r] = carry;
+      carry = gf::Add(a[r], gf::Mul(carry, nodes[j]));
+    }
+    // carry is now A(a_j) == 0; unused.
+    uint64_t dot = 0;
+    for (size_t r = 0; r < k; ++r) {
+      dot = gf::Add(dot, gf::Mul(lj[r], rhs[r]));
+    }
+    const uint64_t denom = poly::Eval(a_prime, nodes[j]);
+    LPS_CHECK(denom != 0);  // nodes are distinct, so A' cannot vanish
+    values[j] = gf::Mul(dot, gf::Inv(denom));
+  }
+  return values;
+}
+
+}  // namespace lps::field

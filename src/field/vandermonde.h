@@ -1,0 +1,23 @@
+// Transposed Vandermonde solver over GF(2^61 - 1).
+//
+// Sparse recovery produces power-sum syndromes T_r = sum_j v_j a_j^r for
+// known distinct nodes a_j; recovering the values v_j means solving the
+// transposed Vandermonde system V^T v = T. The classical O(k^2) method is
+// used: with A(x) = prod_j (x - a_j) and L_j(x) = A(x) / (x - a_j),
+//
+//   sum_r L_j[r] * T_r = v_j * L_j(a_j) = v_j * A'(a_j),
+//
+// because L_j vanishes at every node except a_j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::field {
+
+/// Solves sum_j nodes[j]^r * v[j] = rhs[r] for r in [0, k). Nodes must be
+/// distinct; rhs.size() must be >= nodes.size() (extra rows are ignored).
+std::vector<uint64_t> SolveTransposedVandermonde(
+    const std::vector<uint64_t>& nodes, const std::vector<uint64_t>& rhs);
+
+}  // namespace lps::field

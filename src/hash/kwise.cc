@@ -1,0 +1,45 @@
+#include "src/hash/kwise.h"
+
+#include "src/util/check.h"
+
+namespace lps::hash {
+
+namespace gf = ::lps::gf61;
+
+KWiseHash::KWiseHash(int k, uint64_t seed) {
+  LPS_CHECK(k >= 1);
+  coeffs_.resize(static_cast<size_t>(k));
+  Rng rng(seed);
+  for (auto& c : coeffs_) c = rng.Below(gf::kP);
+}
+
+uint64_t KWiseHash::Eval(uint64_t key) const {
+  const uint64_t x = gf::Reduce(key);
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = gf::Add(gf::Mul(acc, x), coeffs_[i]);
+  }
+  return acc;
+}
+
+uint64_t KWiseHash::Range(uint64_t key, uint64_t range) const {
+  LPS_CHECK(range > 0);
+  const __uint128_t scaled = static_cast<__uint128_t>(Eval(key)) * range;
+  return static_cast<uint64_t>(scaled / gf::kP);
+}
+
+double KWiseHash::Uniform01(uint64_t key) const {
+  return static_cast<double>(Eval(key)) /
+         static_cast<double>(gf::kP);
+}
+
+double KWiseHash::UniformPositive(uint64_t key) const {
+  return (static_cast<double>(Eval(key)) + 1.0) /
+         static_cast<double>(gf::kP);
+}
+
+int KWiseHash::Sign(uint64_t key) const {
+  return (Eval(key) & 1) ? 1 : -1;
+}
+
+}  // namespace lps::hash

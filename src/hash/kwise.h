@@ -1,0 +1,57 @@
+// k-wise independent hash families over GF(2^61 - 1).
+//
+// A degree-(k-1) polynomial with uniform random coefficients evaluated at
+// distinct points is a k-wise independent family (the classic Wegman-Carter
+// construction). Every derived view (range hash, sign hash, uniform [0,1)
+// scaling factors) inherits the k-wise independence of the field value.
+//
+// Where the paper needs specific independence:
+//   - count-sketch rows use pairwise (k = 2) bucket and sign hashes [6];
+//   - the Lp sampler's scaling factors t_i use k = 10*ceil(1/|p-1|)
+//     (Figure 1, step 1) so that the S' and S'' sums in Lemma 3 concentrate;
+//   - fingerprints and subsampling use small constant k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/field/gf61.h"
+#include "src/util/random.h"
+
+namespace lps::hash {
+
+/// A single hash function drawn from a k-wise independent family mapping
+/// uint64 keys to uniform field elements in [0, 2^61 - 1).
+class KWiseHash {
+ public:
+  /// Draws a function from the k-wise family, k >= 1, seeded deterministically.
+  KWiseHash(int k, uint64_t seed);
+
+  /// Uniform field element in [0, p).
+  uint64_t Eval(uint64_t key) const;
+
+  /// Uniform integer in [0, range). Uses the multiply-shift reduction
+  /// (Eval * range) / p, whose bias is < range / p < 2^-40 for any range
+  /// used in this library.
+  uint64_t Range(uint64_t key, uint64_t range) const;
+
+  /// Uniform value in [0, 1) at 2^-61 granularity.
+  double Uniform01(uint64_t key) const;
+
+  /// Uniform value in (0, 1]: never returns zero, suitable for 1/t scalings.
+  double UniformPositive(uint64_t key) const;
+
+  /// Unbiased sign in {-1, +1}.
+  int Sign(uint64_t key) const;
+
+  int k() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Random bits consumed by this function in the paper's accounting:
+  /// k field elements of 61 bits each.
+  size_t SeedBits() const { return coeffs_.size() * 61; }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // degree k-1 polynomial, constant term first
+};
+
+}  // namespace lps::hash

@@ -1,0 +1,162 @@
+#include "src/heavy/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::heavy {
+
+namespace {
+
+int DefaultRows(uint64_t n) {
+  return std::max(7, 2 * CeilLog2(std::max<uint64_t>(n, 2)) + 1);
+}
+
+// Threshold constant: with point error <= (phi/8) ||x||_p and a norm
+// estimate within (1 +- 0.1), tau = 0.75 phi N~ separates heavy
+// (|x*| >= 0.875 phi N) from light (|x*| <= 0.625 phi N); see header.
+constexpr double kThresholdFraction = 0.75;
+
+}  // namespace
+
+CsHeavyHitters::CsHeavyHitters(Params params)
+    : params_(params),
+      m_(std::max(4, static_cast<int>(
+                         std::ceil(std::pow(8.0 / params.phi, params.p))))),
+      cs_(params.rows > 0 ? params.rows : DefaultRows(params.n), 6 * m_,
+          Mix64(params.seed ^ 0xbeefULL)) {
+  LPS_CHECK(params.n >= 1);
+  LPS_CHECK(params.p > 0 && params.p <= 2);
+  LPS_CHECK(params.phi > 0 && params.phi < 1);
+  const bool exact_l1 = params.strict_turnstile && params.p == 1.0;
+  const bool cs_f2 = params.p == 2.0;
+  if (!exact_l1 && !cs_f2) {
+    const int rows = params.norm_rows > 0 ? params.norm_rows : 1200;
+    norm_ = std::make_unique<norm::LpNormEstimator>(
+        params.p, rows, Mix64(params.seed ^ 0xbef0ULL));
+  }
+}
+
+void CsHeavyHitters::Update(uint64_t i, double delta) {
+  cs_.Update(i, delta);
+  running_sum_ += delta;
+  if (norm_) norm_->Update(i, delta);
+}
+
+double CsHeavyHitters::NormEstimate() const {
+  if (params_.strict_turnstile && params_.p == 1.0) return running_sum_;
+  if (params_.p == 2.0) {
+    // The count-sketch rows are themselves F2 estimators: each row's sum of
+    // squared buckets has mean F2 and relative sd ~ sqrt(2/buckets); the
+    // median over Theta(log n) rows is a (1 +- 0.1) estimate w.h.p. No
+    // extra sketch needed. Realized by querying the residual estimator
+    // with an empty sparse vector.
+    return cs_.EstimateResidualL2({});
+  }
+  return norm_->EstimateRaw();
+}
+
+std::vector<uint64_t> CsHeavyHitters::Query() const {
+  const double norm = NormEstimate();
+  const double tau = kThresholdFraction * params_.phi * norm;
+  std::vector<uint64_t> heavy;
+  if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
+  const std::vector<double> est = cs_.EstimateAll(params_.n);
+  for (uint64_t i = 0; i < params_.n; ++i) {
+    if (std::abs(est[i]) >= tau) heavy.push_back(i);
+  }
+  return heavy;
+}
+
+size_t CsHeavyHitters::SpaceBits(int bits_per_counter) const {
+  size_t bits = cs_.SpaceBits(bits_per_counter) +
+                static_cast<size_t>(bits_per_counter);  // running sum
+  if (norm_) bits += norm_->SpaceBits(bits_per_counter);
+  return bits;
+}
+
+void CsHeavyHitters::SerializeCounters(BitWriter* writer) const {
+  cs_.SerializeCounters(writer);
+  writer->WriteDouble(running_sum_);
+  if (norm_) norm_->sketch().SerializeCounters(writer);
+}
+
+void CsHeavyHitters::DeserializeCounters(BitReader* reader) {
+  cs_.DeserializeCounters(reader);
+  running_sum_ = reader->ReadDouble();
+  if (norm_) norm_->mutable_sketch()->DeserializeCounters(reader);
+}
+
+CmHeavyHitters::CmHeavyHitters(Params params)
+    : params_(params),
+      cm_(params.rows > 0 ? params.rows : DefaultRows(params.n),
+          std::max(4, static_cast<int>(std::ceil(8.0 / params.phi))),
+          Mix64(params.seed ^ 0xc0deULL)) {
+  LPS_CHECK(params.phi > 0 && params.phi < 1);
+}
+
+void CmHeavyHitters::Update(uint64_t i, double delta) {
+  cm_.Update(i, delta);
+  running_sum_ += delta;
+}
+
+std::vector<uint64_t> CmHeavyHitters::Query() const {
+  // Strict turnstile: ||x||_1 equals the running sum exactly.
+  const double tau = kThresholdFraction * params_.phi * running_sum_;
+  std::vector<uint64_t> heavy;
+  if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
+  for (uint64_t i = 0; i < params_.n; ++i) {
+    const double est =
+        params_.use_median ? cm_.QueryMedian(i) : cm_.QueryMin(i);
+    if (est >= tau) heavy.push_back(i);
+  }
+  return heavy;
+}
+
+size_t CmHeavyHitters::SpaceBits(int bits_per_counter) const {
+  return cm_.SpaceBits(bits_per_counter) +
+         static_cast<size_t>(bits_per_counter);
+}
+
+DyadicHeavyHitters::DyadicHeavyHitters(int log_n, double phi, uint64_t seed)
+    : phi_(phi),
+      tree_(log_n, DefaultRows(1ULL << log_n),
+            std::max(4, static_cast<int>(std::ceil(8.0 / phi))),
+            Mix64(seed ^ 0xdadULL)) {}
+
+void DyadicHeavyHitters::Update(uint64_t i, double delta) {
+  tree_.Update(i, delta);
+  running_sum_ += delta;
+}
+
+std::vector<uint64_t> DyadicHeavyHitters::Query() const {
+  const double tau = kThresholdFraction * phi_ * running_sum_;
+  if (tau <= 0) return {};  // zero vector: nothing can be heavy
+  return tree_.HeavyLeaves(tau);
+}
+
+size_t DyadicHeavyHitters::SpaceBits(int bits_per_counter) const {
+  return tree_.SpaceBits(bits_per_counter) +
+         static_cast<size_t>(bits_per_counter);
+}
+
+HeavyValidation ValidateHeavySet(const stream::ExactVector& x, double p,
+                                 double phi,
+                                 const std::vector<uint64_t>& set) {
+  HeavyValidation result;
+  const double norm = x.NormP(p);
+  std::vector<bool> in_set(x.n(), false);
+  for (uint64_t i : set) in_set[i] = true;
+  for (uint64_t i = 0; i < x.n(); ++i) {
+    const double v = std::abs(static_cast<double>(x[i]));
+    if (v >= phi * norm && !in_set[i]) ++result.missing_heavy;
+    if (v <= 0.5 * phi * norm && in_set[i]) ++result.included_light;
+  }
+  result.valid = result.missing_heavy == 0 && result.included_light == 0;
+  return result;
+}
+
+}  // namespace lps::heavy

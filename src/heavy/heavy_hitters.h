@@ -1,0 +1,122 @@
+// Heavy hitters in update streams (Section 4.4).
+//
+// A heavy hitters algorithm with parameters p > 0 and phi > 0 must output a
+// set S containing every i with |x_i| >= phi ||x||_p and no i with
+// |x_i| <= (phi/2) ||x||_p (a "valid heavy hitter set").
+//
+// Upper bounds implemented (all matched by the paper's Theorem 9 lower
+// bound of Omega(phi^-p log^2 n)):
+//   - CsHeavyHitters: the paper's observation that count-sketch with
+//     m = Theta(phi^-p) works for every p in (0, 2], because the point
+//     error d = Err_2^m(x)/sqrt(m) obeys d <= ||x||_p / m^{1/p}
+//     (the chain of inequalities proved in Section 4.4). Space
+//     O(phi^-p log^2 n).
+//   - CmHeavyHitters: count-min in the strict turnstile model for p = 1
+//     (the count-median variant of [8] handles general updates), where
+//     ||x||_1 = sum of all deltas is known exactly.
+//   - DyadicHeavyHitters: the engineering variant with O(#heavy log n)
+//     query time (strict turnstile, p = 1), built on DyadicCountMin.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/norm/lp_norm.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/dyadic.h"
+#include "src/stream/exact_vector.h"
+#include "src/util/serialize.h"
+
+namespace lps::heavy {
+
+class CsHeavyHitters {
+ public:
+  struct Params {
+    uint64_t n = 0;
+    double p = 1.0;       ///< in (0, 2]
+    double phi = 0.1;     ///< heaviness threshold
+    int rows = 0;         ///< 0 => Theta(log n)
+    /// Rows of the (1 +- 0.1) norm estimator for p not in {2} and
+    /// non-strict streams; 0 => 1200 (see DESIGN.md on the cost of tight
+    /// median estimators). Ignored when an exact/cheap norm is available.
+    int norm_rows = 0;
+    /// Strict turnstile promise: for p == 1 the norm is then the exact
+    /// running sum instead of a sketch.
+    bool strict_turnstile = false;
+    uint64_t seed = 0;
+  };
+
+  explicit CsHeavyHitters(Params params);
+
+  void Update(uint64_t i, double delta);
+
+  /// A valid heavy hitter set w.h.p., sorted ascending.
+  std::vector<uint64_t> Query() const;
+
+  /// The norm estimate used by Query (exposed for tests).
+  double NormEstimate() const;
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+  /// Memory-content transfer for the Theorem 9 reduction.
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
+
+  int m() const { return m_; }
+
+ private:
+  Params params_;
+  int m_;
+  sketch::CountSketch cs_;
+  std::unique_ptr<norm::LpNormEstimator> norm_;  // null if exact L1 is used
+  double running_sum_ = 0;                       // strict turnstile L1
+};
+
+class CmHeavyHitters {
+ public:
+  struct Params {
+    uint64_t n = 0;
+    double phi = 0.1;
+    int rows = 0;  ///< 0 => Theta(log n)
+    uint64_t seed = 0;
+    bool use_median = false;  ///< count-median (general updates) variant
+  };
+
+  explicit CmHeavyHitters(Params params);
+
+  void Update(uint64_t i, double delta);
+  std::vector<uint64_t> Query() const;
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  Params params_;
+  sketch::CountMin cm_;
+  double running_sum_ = 0;
+};
+
+class DyadicHeavyHitters {
+ public:
+  DyadicHeavyHitters(int log_n, double phi, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+  std::vector<uint64_t> Query() const;
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  double phi_;
+  sketch::DyadicCountMin tree_;
+  double running_sum_ = 0;
+};
+
+/// Checks S against the Section 4.4 definition on the exact vector.
+struct HeavyValidation {
+  bool valid = true;
+  int missing_heavy = 0;    ///< heavy coordinates absent from S
+  int included_light = 0;   ///< <= phi/2 coordinates present in S
+};
+HeavyValidation ValidateHeavySet(const stream::ExactVector& x, double p,
+                                 double phi, const std::vector<uint64_t>& set);
+
+}  // namespace lps::heavy

@@ -1,0 +1,90 @@
+#include "src/norm/l0_norm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/field/gf61.h"
+#include "src/util/bits.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::norm {
+
+namespace gf = ::lps::gf61;
+
+L0Estimator::L0Estimator(uint64_t n, int reps, uint64_t seed)
+    : n_(n), reps_(reps), levels_(CeilLog2(std::max<uint64_t>(n, 2)) + 1),
+      fingerprints_(static_cast<size_t>(reps) * static_cast<size_t>(levels_),
+                    0) {
+  LPS_CHECK(reps >= 1);
+  level_hash_.reserve(static_cast<size_t>(reps));
+  fp_hash_.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    level_hash_.emplace_back(
+        2, Mix64(seed ^ (0x10a0ULL + static_cast<uint64_t>(r))));
+    // Degree-3 polynomial weights: a non-trivial linear combination of
+    // values at distinct points vanishes w.p. <= 3/p per repetition, and
+    // the estimator takes a median over reps anyway.
+    fp_hash_.emplace_back(
+        4, Mix64(seed ^ (0x20b0ULL + static_cast<uint64_t>(r))));
+  }
+}
+
+void L0Estimator::Update(uint64_t i, int64_t delta) {
+  LPS_CHECK(i < n_);
+  const uint64_t fe = gf::FromInt64(delta);
+  for (int r = 0; r < reps_; ++r) {
+    const size_t rr = static_cast<size_t>(r);
+    const double u = level_hash_[rr].UniformPositive(i);
+    // Nested membership: i survives to levels 0 .. deepest.
+    int deepest = std::min(
+        levels_ - 1, static_cast<int>(std::floor(-std::log2(u))));
+    const uint64_t weighted = gf::Mul(fe, fp_hash_[rr].Eval(i));
+    for (int l = 0; l <= deepest; ++l) {
+      uint64_t& fp = fingerprints_[rr * static_cast<size_t>(levels_) +
+                                   static_cast<size_t>(l)];
+      fp = gf::Add(fp, weighted);
+    }
+  }
+}
+
+std::vector<int> L0Estimator::DeepestNonZeroLevels() const {
+  std::vector<int> deepest(static_cast<size_t>(reps_), -1);
+  for (int r = 0; r < reps_; ++r) {
+    for (int l = levels_ - 1; l >= 0; --l) {
+      if (fingerprints_[static_cast<size_t>(r) * static_cast<size_t>(levels_) +
+                        static_cast<size_t>(l)] != 0) {
+        deepest[static_cast<size_t>(r)] = l;
+        break;
+      }
+    }
+  }
+  return deepest;
+}
+
+double L0Estimator::Estimate() const {
+  std::vector<int> deepest = DeepestNonZeroLevels();
+  std::nth_element(deepest.begin(),
+                   deepest.begin() + static_cast<int64_t>(deepest.size() / 2),
+                   deepest.end());
+  const int med = deepest[deepest.size() / 2];
+  if (med < 0) return 0.0;
+  return std::log(2.0) * std::pow(2.0, med);
+}
+
+void L0Estimator::SerializeCounters(BitWriter* writer) const {
+  for (uint64_t fp : fingerprints_) writer->WriteBits(fp, 61);
+}
+
+void L0Estimator::DeserializeCounters(BitReader* reader) {
+  for (uint64_t& fp : fingerprints_) fp = reader->ReadBits(61);
+}
+
+size_t L0Estimator::SpaceBits() const {
+  size_t bits = fingerprints_.size() * 61;
+  for (const auto& h : level_hash_) bits += h.SeedBits();
+  for (const auto& h : fp_hash_) bits += h.SeedBits();
+  return bits;
+}
+
+}  // namespace lps::norm

@@ -1,0 +1,48 @@
+// Constant-factor Lp norm estimation (Lemma 2 / [17]): a streaming
+// algorithm based on a random linear map L with O(log n) rows whose output
+// r satisfies ||x||_p <= r <= 2 ||x||_p with high probability.
+//
+// Implementation: Indyk's p-stable median sketch (sketch/stable_sketch.h)
+// with the median inflated by sqrt(2), centering the 2-approximation window
+// [||x||_p, 2||x||_p] on the estimator. The failure probability decays as
+// exp(-Theta(rows)); rows = Theta(log n) gives the paper's high-probability
+// guarantee, and claim C10's bench measures the coverage-vs-rows curve.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sketch/stable_sketch.h"
+
+namespace lps::norm {
+
+class LpNormEstimator {
+ public:
+  /// rows = Theta(log n); see DefaultRows.
+  LpNormEstimator(double p, int rows, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// r with ||x||_p <= r <= 2 ||x||_p w.h.p.
+  double Estimate2Approx() const;
+
+  /// The raw (uninflated) median estimate, approximately ||x||_p.
+  double EstimateRaw() const { return sketch_.EstimateNorm(); }
+
+  /// Enough rows for ~97%+ coverage of the [N, 2N] window at typical n;
+  /// grows logarithmically as the paper requires.
+  static int DefaultRows(uint64_t n);
+
+  size_t SpaceBits(int bits_per_counter = 64) const {
+    return sketch_.SpaceBits(bits_per_counter);
+  }
+  int rows() const { return sketch_.rows(); }
+
+  /// Access to the underlying linear sketch, for protocol serialization.
+  const sketch::StableSketch& sketch() const { return sketch_; }
+  sketch::StableSketch* mutable_sketch() { return &sketch_; }
+
+ private:
+  sketch::StableSketch sketch_;
+};
+
+}  // namespace lps::norm

@@ -1,0 +1,41 @@
+#include "src/prg/nisan.h"
+
+#include "src/field/gf61.h"
+#include "src/util/check.h"
+
+namespace lps::prg {
+
+namespace gf = ::lps::gf61;
+
+NisanPrg::NisanPrg(int levels, uint64_t seed) : levels_(levels) {
+  LPS_CHECK(levels >= 0 && levels < 63);
+  Rng rng(seed);
+  x0_ = rng.Below(gf::kP);
+  a_.resize(static_cast<size_t>(levels));
+  b_.resize(static_cast<size_t>(levels));
+  for (int j = 0; j < levels; ++j) {
+    // a_j != 0 makes h_j a permutation, which slightly strengthens the
+    // generator and costs nothing.
+    a_[j] = 1 + rng.Below(gf::kP - 1);
+    b_[j] = rng.Below(gf::kP);
+  }
+}
+
+uint64_t NisanPrg::Block(uint64_t index) const {
+  LPS_CHECK(index < num_blocks());
+  // Walk the recursion G_j(x) = G_{j-1}(x) . G_{j-1}(h_j(x)) from the top
+  // level down: bit (j-1) of index (counting from the most significant
+  // level) selects the right half, i.e. applies h_j.
+  uint64_t x = x0_;
+  for (int j = levels_; j >= 1; --j) {
+    const uint64_t half = 1ULL << (j - 1);
+    if (index >= half) {
+      x = gf::Add(gf::Mul(a_[static_cast<size_t>(j - 1)], x),
+                  b_[static_cast<size_t>(j - 1)]);
+      index -= half;
+    }
+  }
+  return x;
+}
+
+}  // namespace lps::prg

@@ -1,0 +1,55 @@
+// Nisan's pseudorandom generator for space-bounded computation [25].
+//
+// The generator stretches a seed of O(log^2 n) bits to poly(n) output bits
+// that fool every O(log n)-space tester. Theorem 2 uses it to derandomize
+// the L0 sampler: the random subsets I_k and the final uniform choice are
+// read from the generator's output instead of a random oracle, bringing the
+// total randomness (and hence the space to store it) down to O(log^2 n).
+//
+// Construction: the seed is an initial block x of w bits plus `levels`
+// pairwise-independent hash functions h_1..h_k on w-bit blocks. The output
+// is defined recursively as
+//
+//   G_0(x)  = x
+//   G_j(x)  = G_{j-1}(x) . G_{j-1}(h_j(x))
+//
+// giving 2^levels blocks of w bits, where block `idx` is computed in
+// O(levels) hash evaluations by walking the recursion tree: the bit
+// decomposition of idx selects which h_j to apply. Blocks are field
+// elements of GF(2^61 - 1), so w = 61 and each h_j(x) = a_j x + b_j mod p
+// is a bona fide pairwise-independent permutation family.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace lps::prg {
+
+class NisanPrg {
+ public:
+  /// Creates a generator with 2^levels output blocks of 61 bits each.
+  /// The seed material (initial block + 2*levels field elements) is expanded
+  /// deterministically from `seed`.
+  NisanPrg(int levels, uint64_t seed);
+
+  /// Returns output block `index` (61 usable bits), index < 2^levels.
+  uint64_t Block(uint64_t index) const;
+
+  /// Number of output blocks.
+  uint64_t num_blocks() const { return 1ULL << levels_; }
+
+  /// Seed length in bits under the paper's accounting:
+  /// (2 * levels + 1) field elements of 61 bits — O(log^2 n) when
+  /// levels = O(log n).
+  size_t SeedBits() const { return (2 * static_cast<size_t>(levels_) + 1) * 61; }
+
+ private:
+  int levels_;
+  uint64_t x0_;                  // initial block
+  std::vector<uint64_t> a_, b_;  // h_j(x) = a_j * x + b_j over GF(p)
+};
+
+}  // namespace lps::prg

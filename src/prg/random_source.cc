@@ -1,0 +1,25 @@
+#include "src/prg/random_source.h"
+
+#include "src/field/gf61.h"
+#include "src/util/random.h"
+
+namespace lps::prg {
+
+namespace gf = ::lps::gf61;
+
+double RandomSource::Uniform01(uint64_t index) const {
+  return static_cast<double>(Word(index)) / static_cast<double>(gf::kP);
+}
+
+uint64_t OracleSource::Word(uint64_t index) const {
+  // Rejection-free mapping into [0, p): p = 2^61 - 1, so taking 61 bits and
+  // reducing introduces bias < 2^-60, far below every tolerance in use.
+  return gf::Reduce(Mix64(seed_ ^ (index * 0x9e3779b97f4a7c15ULL)) &
+                    ((1ULL << 61) - 1));
+}
+
+uint64_t NisanSource::Word(uint64_t index) const {
+  return prg_.Block(index % prg_.num_blocks());
+}
+
+}  // namespace lps::prg

@@ -1,0 +1,58 @@
+// Pluggable randomness backend for algorithms analyzed in the random-oracle
+// model and then derandomized with Nisan's PRG (Theorem 2).
+//
+// Algorithms address their random string as an array of 61-bit words. Two
+// backends are provided:
+//   - OracleSource: a hash-based "free random oracle" (the model the
+//     paper's lower bounds allow the adversary's algorithm);
+//   - NisanSource: words read from Nisan PRG output blocks, making the
+//     total true randomness O(log^2 n) as Theorem 2 requires.
+// Both are deterministic given their seed, so every experiment comparing
+// the two modes (claim C16) is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/prg/nisan.h"
+
+namespace lps::prg {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Word `index` of the random string: uniform in [0, 2^61 - 1).
+  virtual uint64_t Word(uint64_t index) const = 0;
+
+  /// Uniform double in [0, 1) derived from word `index`.
+  double Uniform01(uint64_t index) const;
+
+  /// Number of true random bits backing this source (paper accounting).
+  virtual size_t SeedBits() const = 0;
+};
+
+/// Random oracle: every word is an independent uniform value derived by
+/// mixing the seed with the index.
+class OracleSource : public RandomSource {
+ public:
+  explicit OracleSource(uint64_t seed) : seed_(seed) {}
+  uint64_t Word(uint64_t index) const override;
+  size_t SeedBits() const override { return 64; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Words are blocks of a Nisan generator with 2^levels blocks.
+class NisanSource : public RandomSource {
+ public:
+  NisanSource(int levels, uint64_t seed) : prg_(levels, seed) {}
+  uint64_t Word(uint64_t index) const override;
+  size_t SeedBits() const override { return prg_.SeedBits(); }
+
+ private:
+  NisanPrg prg_;
+};
+
+}  // namespace lps::prg

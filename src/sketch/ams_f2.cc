@@ -1,0 +1,68 @@
+#include "src/sketch/ams_f2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::sketch {
+
+AmsF2::AmsF2(int groups, int per_group, uint64_t seed)
+    : groups_(groups), per_group_(per_group),
+      counters_(static_cast<size_t>(groups) * static_cast<size_t>(per_group),
+                0.0) {
+  LPS_CHECK(groups >= 1 && per_group >= 1);
+  signs_.reserve(counters_.size());
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    signs_.emplace_back(4, Mix64(seed ^ (0xa3a3ULL + c)));
+  }
+}
+
+void AmsF2::Update(uint64_t i, double delta) {
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    counters_[c] += static_cast<double>(signs_[c].Sign(i)) * delta;
+  }
+}
+
+double AmsF2::EstimateF2From(const std::vector<double>& counters) const {
+  std::vector<double> group_means(static_cast<size_t>(groups_));
+  for (int g = 0; g < groups_; ++g) {
+    double sum = 0;
+    for (int c = 0; c < per_group_; ++c) {
+      const double v =
+          counters[static_cast<size_t>(g) * static_cast<size_t>(per_group_) +
+                   static_cast<size_t>(c)];
+      sum += v * v;
+    }
+    group_means[static_cast<size_t>(g)] = sum / per_group_;
+  }
+  const size_t mid = group_means.size() / 2;
+  std::nth_element(group_means.begin(),
+                   group_means.begin() + static_cast<int64_t>(mid),
+                   group_means.end());
+  return group_means[mid];
+}
+
+double AmsF2::EstimateF2() const { return EstimateF2From(counters_); }
+
+double AmsF2::EstimateL2() const { return std::sqrt(EstimateF2()); }
+
+double AmsF2::EstimateResidualL2(
+    const std::vector<std::pair<uint64_t, double>>& v) const {
+  std::vector<double> shadow = counters_;
+  for (const auto& [i, value] : v) {
+    for (size_t c = 0; c < shadow.size(); ++c) {
+      shadow[c] -= static_cast<double>(signs_[c].Sign(i)) * value;
+    }
+  }
+  return std::sqrt(EstimateF2From(shadow));
+}
+
+size_t AmsF2::SpaceBits(int bits_per_counter) const {
+  size_t bits = counters_.size() * static_cast<size_t>(bits_per_counter);
+  for (const auto& h : signs_) bits += h.SeedBits();
+  return bits;
+}
+
+}  // namespace lps::sketch

@@ -1,0 +1,50 @@
+// The AMS / tug-of-war F2 sketch (Alon-Matias-Szegedy), used by the Lp
+// sampler's recovery stage to estimate ||z - \hat{z}||_2 (Figure 1, step 3
+// of the recovery stage).
+//
+// Layout: `groups` independent groups of `per_group` counters; counter c
+// maintains sum_i s_c(i) x_i with a 4-wise independent sign hash s_c. Each
+// counter's square is an unbiased F2 estimate with bounded variance
+// (4-wise independence suffices); the estimator is the median over groups
+// of the mean within a group. Because the sketch is linear, the residual
+// z - \hat{z} is estimated by cloning the counters and subtracting the
+// m-sparse \hat{z} at query time — this is exactly how the paper computes
+// L'(z - \hat{z}) = L'(z) - L'(\hat{z}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hash/kwise.h"
+
+namespace lps::sketch {
+
+class AmsF2 {
+ public:
+  AmsF2(int groups, int per_group, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// Median-of-means estimate of F2 = ||x||_2^2.
+  double EstimateF2() const;
+
+  /// sqrt of EstimateF2.
+  double EstimateL2() const;
+
+  /// Estimate of ||x - v||_2 where v is the given sparse vector; the sketch
+  /// itself is unchanged.
+  double EstimateResidualL2(
+      const std::vector<std::pair<uint64_t, double>>& v) const;
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  double EstimateF2From(const std::vector<double>& counters) const;
+
+  int groups_;
+  int per_group_;
+  std::vector<double> counters_;        // groups_ x per_group_
+  std::vector<hash::KWiseHash> signs_;  // one 4-wise sign hash per counter
+};
+
+}  // namespace lps::sketch

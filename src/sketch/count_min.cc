@@ -1,0 +1,73 @@
+#include "src/sketch/count_min.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::sketch {
+
+CountMin::CountMin(int rows, int buckets, uint64_t seed)
+    : rows_(rows), buckets_(buckets),
+      table_(static_cast<size_t>(rows) * static_cast<size_t>(buckets), 0.0) {
+  LPS_CHECK(rows >= 1 && buckets >= 1);
+  bucket_.reserve(static_cast<size_t>(rows));
+  for (int j = 0; j < rows; ++j) {
+    bucket_.emplace_back(2, Mix64(seed ^ (0x5150ULL + static_cast<uint64_t>(j))));
+  }
+}
+
+void CountMin::Update(uint64_t i, double delta) {
+  for (int j = 0; j < rows_; ++j) {
+    const size_t jj = static_cast<size_t>(j);
+    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+    table_[jj * static_cast<size_t>(buckets_) + k] += delta;
+  }
+}
+
+double CountMin::QueryMin(uint64_t i) const {
+  double best = 0;
+  for (int j = 0; j < rows_; ++j) {
+    const size_t jj = static_cast<size_t>(j);
+    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+    const double v = table_[jj * static_cast<size_t>(buckets_) + k];
+    best = (j == 0) ? v : std::min(best, v);
+  }
+  return best;
+}
+
+double CountMin::QueryMedian(uint64_t i) const {
+  std::vector<double> estimates(static_cast<size_t>(rows_));
+  for (int j = 0; j < rows_; ++j) {
+    const size_t jj = static_cast<size_t>(j);
+    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+    estimates[jj] = table_[jj * static_cast<size_t>(buckets_) + k];
+  }
+  const size_t mid = estimates.size() / 2;
+  std::nth_element(estimates.begin(),
+                   estimates.begin() + static_cast<int64_t>(mid),
+                   estimates.end());
+  double median = estimates[mid];
+  if (estimates.size() % 2 == 0) {
+    const double lower = *std::max_element(
+        estimates.begin(), estimates.begin() + static_cast<int64_t>(mid));
+    median = (median + lower) / 2;
+  }
+  return median;
+}
+
+void CountMin::SerializeCounters(BitWriter* writer) const {
+  for (double counter : table_) writer->WriteDouble(counter);
+}
+
+void CountMin::DeserializeCounters(BitReader* reader) {
+  for (double& counter : table_) counter = reader->ReadDouble();
+}
+
+size_t CountMin::SpaceBits(int bits_per_counter) const {
+  size_t bits = table_.size() * static_cast<size_t>(bits_per_counter);
+  for (const auto& h : bucket_) bits += h.SeedBits();
+  return bits;
+}
+
+}  // namespace lps::sketch

@@ -1,0 +1,46 @@
+// The count-min sketch of Cormode and Muthukrishnan [8], plus the
+// count-median estimator, used by the heavy-hitters module (Section 4.4).
+//
+//   - QueryMin: the classic min-over-rows estimate; an overestimate that is
+//     within ||x||_1 / buckets of the truth w.h.p. in the strict turnstile
+//     model (all x_i >= 0 at query time).
+//   - QueryMedian: median-over-rows; works under general updates with
+//     error 3 ||x||_1 / buckets w.h.p. (the count-median of [8]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hash/kwise.h"
+#include "src/util/serialize.h"
+
+namespace lps::sketch {
+
+class CountMin {
+ public:
+  CountMin(int rows, int buckets, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// Strict-turnstile estimate (upper bound on x_i w.h.p. of construction).
+  double QueryMin(uint64_t i) const;
+
+  /// General-update estimate (count-median).
+  double QueryMedian(uint64_t i) const;
+
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
+
+  int rows() const { return rows_; }
+  int buckets() const { return buckets_; }
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  int rows_;
+  int buckets_;
+  std::vector<double> table_;
+  std::vector<hash::KWiseHash> bucket_;
+};
+
+}  // namespace lps::sketch

@@ -1,0 +1,143 @@
+#include "src/sketch/count_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::sketch {
+
+namespace {
+
+double MedianInPlace(std::vector<double>* v) {
+  LPS_CHECK(!v->empty());
+  const size_t mid = v->size() / 2;
+  std::nth_element(v->begin(), v->begin() + static_cast<int64_t>(mid),
+                   v->end());
+  double median = (*v)[mid];
+  if (v->size() % 2 == 0) {
+    const double lower =
+        *std::max_element(v->begin(), v->begin() + static_cast<int64_t>(mid));
+    median = (median + lower) / 2;
+  }
+  return median;
+}
+
+}  // namespace
+
+CountSketch::CountSketch(int rows, int buckets, uint64_t seed)
+    : rows_(rows), buckets_(buckets), seed_(seed),
+      table_(static_cast<size_t>(rows) * static_cast<size_t>(buckets), 0.0) {
+  LPS_CHECK(rows >= 1 && buckets >= 1);
+  bucket_.reserve(static_cast<size_t>(rows));
+  sign_.reserve(static_cast<size_t>(rows));
+  for (int j = 0; j < rows; ++j) {
+    bucket_.emplace_back(2, Mix64(seed ^ (0x1111ULL + 2 * static_cast<uint64_t>(j))));
+    sign_.emplace_back(2, Mix64(seed ^ (0x2222ULL + 2 * static_cast<uint64_t>(j) + 1)));
+  }
+}
+
+void CountSketch::Update(uint64_t i, double delta) {
+  for (int j = 0; j < rows_; ++j) {
+    const size_t jj = static_cast<size_t>(j);
+    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+    table_[jj * static_cast<size_t>(buckets_) + k] +=
+        static_cast<double>(sign_[jj].Sign(i)) * delta;
+  }
+}
+
+double CountSketch::Query(uint64_t i) const {
+  std::vector<double> estimates(static_cast<size_t>(rows_));
+  for (int j = 0; j < rows_; ++j) {
+    const size_t jj = static_cast<size_t>(j);
+    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+    estimates[jj] = static_cast<double>(sign_[jj].Sign(i)) *
+                    table_[jj * static_cast<size_t>(buckets_) + k];
+  }
+  return MedianInPlace(&estimates);
+}
+
+std::vector<double> CountSketch::EstimateAll(uint64_t n) const {
+  std::vector<double> result(n);
+  std::vector<double> estimates(static_cast<size_t>(rows_));
+  for (uint64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < rows_; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+      estimates[jj] = static_cast<double>(sign_[jj].Sign(i)) *
+                      table_[jj * static_cast<size_t>(buckets_) + k];
+    }
+    result[i] = MedianInPlace(&estimates);
+  }
+  return result;
+}
+
+std::vector<std::pair<uint64_t, double>> CountSketch::TopM(uint64_t n,
+                                                           uint64_t m) const {
+  std::vector<double> est = EstimateAll(n);
+  std::vector<uint64_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = i;
+  const uint64_t keep = std::min(m, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(keep),
+                    order.end(), [&est](uint64_t a, uint64_t b) {
+                      return std::abs(est[a]) > std::abs(est[b]);
+                    });
+  std::vector<std::pair<uint64_t, double>> top;
+  top.reserve(keep);
+  for (uint64_t r = 0; r < keep; ++r) {
+    top.emplace_back(order[r], est[order[r]]);
+  }
+  return top;
+}
+
+void CountSketch::AddScaled(const CountSketch& other, double scale) {
+  LPS_CHECK(other.rows_ == rows_ && other.buckets_ == buckets_ &&
+            other.seed_ == seed_);
+  for (size_t c = 0; c < table_.size(); ++c) {
+    table_[c] += scale * other.table_[c];
+  }
+}
+
+double CountSketch::EstimateResidualL2(
+    const std::vector<std::pair<uint64_t, double>>& v) const {
+  std::vector<double> shadow = table_;
+  for (const auto& [i, value] : v) {
+    for (int j = 0; j < rows_; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+      shadow[jj * static_cast<size_t>(buckets_) + k] -=
+          static_cast<double>(sign_[jj].Sign(i)) * value;
+    }
+  }
+  std::vector<double> row_f2(static_cast<size_t>(rows_));
+  for (int j = 0; j < rows_; ++j) {
+    double sum = 0;
+    for (int k = 0; k < buckets_; ++k) {
+      const double y = shadow[static_cast<size_t>(j) *
+                                  static_cast<size_t>(buckets_) +
+                              static_cast<size_t>(k)];
+      sum += y * y;
+    }
+    row_f2[static_cast<size_t>(j)] = sum;
+  }
+  const double f2 = MedianInPlace(&row_f2);
+  return std::sqrt(std::max(f2, 0.0));
+}
+
+void CountSketch::SerializeCounters(BitWriter* writer) const {
+  for (double counter : table_) writer->WriteDouble(counter);
+}
+
+void CountSketch::DeserializeCounters(BitReader* reader) {
+  for (double& counter : table_) counter = reader->ReadDouble();
+}
+
+size_t CountSketch::SpaceBits(int bits_per_counter) const {
+  size_t bits = table_.size() * static_cast<size_t>(bits_per_counter);
+  for (const auto& h : bucket_) bits += h.SeedBits();
+  for (const auto& h : sign_) bits += h.SeedBits();
+  return bits;
+}
+
+}  // namespace lps::sketch

@@ -1,0 +1,79 @@
+// The count-sketch of Charikar, Chen and Farach-Colton [6], exactly as
+// defined in Section 2 of the paper: for parameter m it keeps l = O(log n)
+// rows of 6m counters; row j uses pairwise-independent hashes
+// h_j : [n] -> [6m] and g_j : [n] -> {-1, +1} and maintains
+//
+//   y_{k,j} = sum_{i : h_j(i) = k} g_j(i) * x_i.
+//
+// The point estimate is x*_i = median_j g_j(i) * y_{h_j(i), j}, and Lemma 1
+// guarantees |x_i - x*_i| <= Err_2^m(x) / sqrt(m) for all i w.h.p.
+//
+// Counters are doubles because the Lp sampler feeds the *scaled* vector
+// z_i = x_i / t_i^{1/p}; the space accounting methods report the paper's
+// O(m log n)-counter model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hash/kwise.h"
+#include "src/util/serialize.h"
+
+namespace lps::sketch {
+
+class CountSketch {
+ public:
+  /// `rows` is l = O(log n); `buckets` is the row width (the paper uses 6m).
+  CountSketch(int rows, int buckets, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// Point estimate x*_i (median over rows).
+  double Query(uint64_t i) const;
+
+  /// All point estimates for coordinates [0, n): O(n * rows). This is the
+  /// recovery-stage cost model of Figure 1 — queries are rare, updates
+  /// dominate.
+  std::vector<double> EstimateAll(uint64_t n) const;
+
+  /// The m coordinates of [0, n) with largest |x*_i|, with their estimates,
+  /// sorted by decreasing magnitude. This is the best m-sparse
+  /// approximation \hat{x} of x* from Lemma 1.
+  std::vector<std::pair<uint64_t, double>> TopM(uint64_t n, uint64_t m) const;
+
+  /// Adds `scale` times another count-sketch drawn with the same seed and
+  /// shape (linearity of the sketch).
+  void AddScaled(const CountSketch& other, double scale);
+
+  /// Estimates ||x - v||_2 for a sparse vector v by subtracting v from a
+  /// clone of the counters and taking the median over rows of the row's
+  /// sum of squared buckets (each row is an unbiased F2 estimator with
+  /// relative standard deviation ~ sqrt(2 / buckets), since bucket and sign
+  /// hashes are pairwise independent). This realizes the paper's
+  /// L'(z - zhat) = L'(z) - L'(zhat) with the count-sketch itself playing
+  /// the role of the linear map L'.
+  double EstimateResidualL2(
+      const std::vector<std::pair<uint64_t, double>>& v) const;
+
+  /// Serializes the counter state (not the seed) for protocol messages.
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
+
+  int rows() const { return rows_; }
+  int buckets() const { return buckets_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Paper-model space: counters * bits_per_counter plus the pairwise hash
+  /// seeds (O(log n) bits each).
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  int rows_;
+  int buckets_;
+  uint64_t seed_;
+  std::vector<double> table_;            // rows_ x buckets_
+  std::vector<hash::KWiseHash> bucket_;  // one pairwise hash per row
+  std::vector<hash::KWiseHash> sign_;    // one pairwise sign hash per row
+};
+
+}  // namespace lps::sketch

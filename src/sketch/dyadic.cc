@@ -1,0 +1,119 @@
+#include "src/sketch/dyadic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::sketch {
+
+DyadicCountMin::DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed)
+    : log_n_(log_n) {
+  LPS_CHECK(log_n >= 0 && log_n < 63);
+  levels_.reserve(static_cast<size_t>(log_n) + 1);
+  for (int l = 0; l <= log_n; ++l) {
+    levels_.emplace_back(rows, buckets,
+                         Mix64(seed ^ (0xd1adULL + static_cast<uint64_t>(l))));
+  }
+}
+
+void DyadicCountMin::Update(uint64_t i, double delta) {
+  LPS_CHECK(i < (1ULL << log_n_));
+  for (int l = 0; l <= log_n_; ++l) {
+    levels_[static_cast<size_t>(l)].Update(i >> l, delta);
+  }
+}
+
+double DyadicCountMin::Query(uint64_t i) const {
+  return levels_[0].QueryMin(i);
+}
+
+std::vector<uint64_t> DyadicCountMin::HeavyLeaves(double threshold) const {
+  std::vector<uint64_t> heavy;
+  // Frontier of candidate blocks, expanded top-down. At the root level the
+  // whole universe is one block (block id 0).
+  std::vector<uint64_t> frontier = {0};
+  for (int l = log_n_; l >= 0; --l) {
+    std::vector<uint64_t> next;
+    for (uint64_t block : frontier) {
+      if (levels_[static_cast<size_t>(l)].QueryMin(block) >= threshold) {
+        if (l == 0) {
+          heavy.push_back(block);
+        } else {
+          next.push_back(block << 1);
+          next.push_back((block << 1) | 1);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty() && l > 0) break;
+  }
+  return heavy;
+}
+
+size_t DyadicCountMin::SpaceBits(int bits_per_counter) const {
+  size_t bits = 0;
+  for (const auto& level : levels_) bits += level.SpaceBits(bits_per_counter);
+  return bits;
+}
+
+DyadicCountSketch::DyadicCountSketch(int log_n, int rows, int buckets,
+                                     uint64_t seed)
+    : log_n_(log_n) {
+  LPS_CHECK(log_n >= 0 && log_n < 63);
+  levels_.reserve(static_cast<size_t>(log_n) + 1);
+  for (int l = 0; l <= log_n; ++l) {
+    levels_.emplace_back(
+        rows, buckets, Mix64(seed ^ (0xdc5ULL + static_cast<uint64_t>(l))));
+  }
+}
+
+void DyadicCountSketch::Update(uint64_t i, double delta) {
+  LPS_CHECK(i < (1ULL << log_n_));
+  for (int l = 0; l <= log_n_; ++l) {
+    levels_[static_cast<size_t>(l)].Update(i >> l, delta);
+  }
+}
+
+double DyadicCountSketch::Query(uint64_t i) const {
+  return levels_[0].Query(i);
+}
+
+int DyadicCountSketch::start_level() const { return std::max(0, log_n_ - 6); }
+
+std::vector<uint64_t> DyadicCountSketch::HeavyLeaves(double threshold) const {
+  std::vector<uint64_t> heavy;
+  // Scan every block of the starting level (at most 2^6 of them), then
+  // descend. Expansion uses the halved threshold (block estimates are
+  // noisy in both directions under general updates); leaves are verified.
+  const int start = start_level();
+  std::vector<uint64_t> frontier;
+  for (uint64_t block = 0; block < (1ULL << (log_n_ - start)); ++block) {
+    frontier.push_back(block);
+  }
+  const double expand = threshold / 2;
+  for (int l = start; l >= 1; --l) {
+    std::vector<uint64_t> next;
+    for (uint64_t block : frontier) {
+      if (std::abs(levels_[static_cast<size_t>(l)].Query(block)) >= expand) {
+        next.push_back(block << 1);
+        next.push_back((block << 1) | 1);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return heavy;
+  }
+  for (uint64_t leaf : frontier) {
+    if (std::abs(levels_[0].Query(leaf)) >= threshold) heavy.push_back(leaf);
+  }
+  return heavy;
+}
+
+size_t DyadicCountSketch::SpaceBits(int bits_per_counter) const {
+  size_t bits = 0;
+  for (const auto& level : levels_) bits += level.SpaceBits(bits_per_counter);
+  return bits;
+}
+
+}  // namespace lps::sketch

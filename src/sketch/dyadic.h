@@ -1,0 +1,78 @@
+// Dyadic count-min tree for sublinear heavy-hitter extraction in the strict
+// turnstile model.
+//
+// The flat count-sketch heavy hitter of Section 4.4 answers point queries
+// and extracts the heavy set by scanning [n] — the right cost model for the
+// paper's space bounds, but linear-time at query. Production systems use
+// the standard dyadic decomposition instead: level l aggregates x over
+// aligned blocks of size 2^l and keeps its own count-min sketch; the heavy
+// set is found by descending from the root, expanding only blocks whose
+// estimated mass clears the threshold. Query cost is O(#heavy * log n *
+// rows) instead of O(n * rows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+
+namespace lps::sketch {
+
+class DyadicCountMin {
+ public:
+  /// Universe [0, 2^log_n); each level gets a CountMin(rows, buckets).
+  DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// Point estimate at the leaf level (strict turnstile overestimate).
+  double Query(uint64_t i) const;
+
+  /// All leaves whose estimate is >= threshold. Correct in the strict
+  /// turnstile model because block masses upper-bound leaf masses.
+  std::vector<uint64_t> HeavyLeaves(double threshold) const;
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  int log_n_;
+  std::vector<CountMin> levels_;  // levels_[l] sketches blocks of size 2^l
+};
+
+/// Dyadic count-sketch: the general-update analogue of the tree above.
+///
+/// Under general updates the sum of a block can cancel even when it
+/// contains heavy leaves of opposite signs, so a descent from the root is
+/// unsound. This structure makes the engineering trade-off explicit: the
+/// descent starts from a wide level (>= 2^6 blocks), where co-location of
+/// cancelling heavy coordinates requires adversarial placement, expands
+/// blocks whose |estimated block sum| clears threshold / 2, and verifies
+/// candidates at the leaf level. For adversarial inputs that cancel inside
+/// a starting block, the flat CsHeavyHitters scan (heavy/heavy_hitters.h)
+/// is the sound tool — see the unit test documenting exactly this miss.
+class DyadicCountSketch {
+ public:
+  DyadicCountSketch(int log_n, int rows, int buckets, uint64_t seed);
+
+  void Update(uint64_t i, double delta);
+
+  /// Leaf-level point estimate (median over rows).
+  double Query(uint64_t i) const;
+
+  /// Leaves whose |leaf estimate| >= threshold, found by descending from
+  /// the starting level. Candidates are re-verified at level 0, so block
+  /// noise produces no false positives.
+  std::vector<uint64_t> HeavyLeaves(double threshold) const;
+
+  /// The level the descent starts from (all its blocks are scanned).
+  int start_level() const;
+
+  size_t SpaceBits(int bits_per_counter = 64) const;
+
+ private:
+  int log_n_;
+  std::vector<CountSketch> levels_;
+};
+
+}  // namespace lps::sketch

@@ -1,0 +1,152 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lps::stats {
+
+namespace {
+
+uint64_t Total(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+// ln Gamma(a) via the Lanczos approximation (g = 7, n = 9); |error| < 1e-13
+// over the positive reals, ample for p-values.
+double LogGamma(double a) {
+  static const double kCoeffs[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (a < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * a)) - LogGamma(1.0 - a);
+  }
+  a -= 1.0;
+  double x = kCoeffs[0];
+  for (int i = 1; i < 9; ++i) x += kCoeffs[i] / (a + i);
+  const double t = a + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (a + 0.5) * std::log(t) - t +
+         std::log(x);
+}
+
+// Series expansion of the regularized lower incomplete gamma P(a, x).
+double LowerGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int k = 1; k < 1000; ++k) {
+    term *= x / (a + k);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x), modified Lentz.
+double UpperGammaCf(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int k = 1; k < 1000; ++k) {
+    const double an = -static_cast<double>(k) * (k - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double UpperIncompleteGammaQ(double a, double x) {
+  LPS_CHECK(a > 0);
+  if (x <= 0) return 1.0;
+  if (x < a + 1.0) return 1.0 - LowerGammaSeries(a, x);
+  return UpperGammaCf(a, x);
+}
+
+double TotalVariation(const std::vector<uint64_t>& counts,
+                      const std::vector<double>& probs) {
+  LPS_CHECK(counts.size() == probs.size());
+  const double total = static_cast<double>(Total(counts));
+  LPS_CHECK(total > 0);
+  double tv = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    tv += std::abs(static_cast<double>(counts[i]) / total - probs[i]);
+  }
+  return tv / 2;
+}
+
+double MaxRelativeError(const std::vector<uint64_t>& counts,
+                        const std::vector<double>& probs, double min_prob) {
+  LPS_CHECK(counts.size() == probs.size());
+  const double total = static_cast<double>(Total(counts));
+  LPS_CHECK(total > 0);
+  double worst = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (probs[i] < min_prob) continue;
+    const double p_hat = static_cast<double>(counts[i]) / total;
+    worst = std::max(worst, std::abs(p_hat / probs[i] - 1.0));
+  }
+  return worst;
+}
+
+ChiSquareResult ChiSquareGof(const std::vector<uint64_t>& counts,
+                             const std::vector<double>& probs,
+                             double min_expected) {
+  LPS_CHECK(counts.size() == probs.size());
+  const double total = static_cast<double>(Total(counts));
+  LPS_CHECK(total > 0);
+  double stat = 0;
+  int cells = 0;
+  double pooled_observed = 0;
+  double pooled_expected = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double expected = probs[i] * total;
+    if (expected <= 0 && counts[i] == 0) continue;
+    if (expected < min_expected) {
+      pooled_observed += static_cast<double>(counts[i]);
+      pooled_expected += expected;
+      continue;
+    }
+    const double diff = static_cast<double>(counts[i]) - expected;
+    stat += diff * diff / expected;
+    ++cells;
+  }
+  if (pooled_expected >= min_expected) {
+    const double diff = pooled_observed - pooled_expected;
+    stat += diff * diff / pooled_expected;
+    ++cells;
+  }
+  ChiSquareResult result;
+  result.statistic = stat;
+  result.dof = std::max(1, cells - 1);
+  result.p_value = UpperIncompleteGammaQ(result.dof / 2.0, stat / 2.0);
+  return result;
+}
+
+Interval WilsonInterval(uint64_t successes, uint64_t trials, double z) {
+  LPS_CHECK(trials > 0);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+}  // namespace lps::stats

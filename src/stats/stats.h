@@ -1,0 +1,47 @@
+// Statistical validation utilities: the experiments compare empirical
+// sampler output distributions against exact Lp distributions, so the
+// library ships its own (dependency-free) goodness-of-fit machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::stats {
+
+/// Total variation distance between the empirical distribution of `counts`
+/// and the reference distribution `probs` (0.5 * L1 distance).
+double TotalVariation(const std::vector<uint64_t>& counts,
+                      const std::vector<double>& probs);
+
+/// Largest relative error |p_hat_i / p_i - 1| over indices with
+/// p_i >= min_prob (indices below the floor are ignored: their empirical
+/// frequencies are dominated by sampling noise).
+double MaxRelativeError(const std::vector<uint64_t>& counts,
+                        const std::vector<double>& probs, double min_prob);
+
+struct ChiSquareResult {
+  double statistic = 0;
+  int dof = 0;
+  double p_value = 1.0;  ///< upper tail
+};
+
+/// Pearson chi-square goodness-of-fit of counts against probs. Cells with
+/// expected count < min_expected are pooled into one cell, per standard
+/// practice.
+ChiSquareResult ChiSquareGof(const std::vector<uint64_t>& counts,
+                             const std::vector<double>& probs,
+                             double min_expected = 5.0);
+
+/// Regularized upper incomplete gamma Q(a, x) = Gamma(a, x) / Gamma(a),
+/// computed by series (x < a + 1) or Lentz continued fraction otherwise.
+double UpperIncompleteGammaQ(double a, double x);
+
+struct Interval {
+  double lo = 0;
+  double hi = 1;
+};
+
+/// Wilson score interval for a binomial proportion at z standard errors.
+Interval WilsonInterval(uint64_t successes, uint64_t trials, double z = 2.58);
+
+}  // namespace lps::stats

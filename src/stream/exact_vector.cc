@@ -1,0 +1,115 @@
+#include "src/stream/exact_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace lps::stream {
+
+void ExactVector::Apply(const Update& u) {
+  LPS_CHECK(u.index < x_.size());
+  x_[u.index] += u.delta;
+}
+
+void ExactVector::Apply(const UpdateStream& stream) {
+  for (const Update& u : stream) Apply(u);
+}
+
+double ExactVector::NormP(double p) const {
+  LPS_CHECK(p > 0);
+  return std::pow(NormPToP(p), 1.0 / p);
+}
+
+double ExactVector::NormPToP(double p) const {
+  LPS_CHECK(p > 0);
+  double sum = 0;
+  for (int64_t v : x_) {
+    if (v != 0) sum += std::pow(std::abs(static_cast<double>(v)), p);
+  }
+  return sum;
+}
+
+uint64_t ExactVector::L0() const {
+  uint64_t count = 0;
+  for (int64_t v : x_) count += (v != 0);
+  return count;
+}
+
+std::vector<uint64_t> ExactVector::Support() const {
+  std::vector<uint64_t> support;
+  for (uint64_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != 0) support.push_back(i);
+  }
+  return support;
+}
+
+int64_t ExactVector::PositiveMass() const {
+  int64_t mass = 0;
+  for (int64_t v : x_) {
+    if (v > 0) mass += v;
+  }
+  return mass;
+}
+
+int64_t ExactVector::NegativeMass() const {
+  int64_t mass = 0;
+  for (int64_t v : x_) {
+    if (v < 0) mass -= v;
+  }
+  return mass;
+}
+
+int64_t ExactVector::Total() const {
+  int64_t total = 0;
+  for (int64_t v : x_) total += v;
+  return total;
+}
+
+std::vector<double> ExactVector::LpDistribution(double p) const {
+  std::vector<double> dist(x_.size(), 0.0);
+  if (p == 0.0) {
+    const uint64_t k = L0();
+    if (k == 0) return dist;
+    for (uint64_t i = 0; i < x_.size(); ++i) {
+      if (x_[i] != 0) dist[i] = 1.0 / static_cast<double>(k);
+    }
+    return dist;
+  }
+  const double total = NormPToP(p);
+  if (total == 0) return dist;
+  for (uint64_t i = 0; i < x_.size(); ++i) {
+    if (x_[i] != 0) {
+      dist[i] = std::pow(std::abs(static_cast<double>(x_[i])), p) / total;
+    }
+  }
+  return dist;
+}
+
+double ExactVector::ErrM2(uint64_t m) const {
+  std::vector<double> magnitudes;
+  magnitudes.reserve(x_.size());
+  for (int64_t v : x_) {
+    if (v != 0) magnitudes.push_back(std::abs(static_cast<double>(v)));
+  }
+  if (magnitudes.size() <= m) return 0.0;
+  std::sort(magnitudes.begin(), magnitudes.end(), std::greater<>());
+  double sum_sq = 0;
+  for (size_t i = m; i < magnitudes.size(); ++i) {
+    sum_sq += magnitudes[i] * magnitudes[i];
+  }
+  return std::sqrt(sum_sq);
+}
+
+std::vector<uint64_t> ExactVector::HeavyHitters(double p, double phi) const {
+  const double threshold = phi * NormP(p);
+  std::vector<uint64_t> heavy;
+  for (uint64_t i = 0; i < x_.size(); ++i) {
+    if (std::abs(static_cast<double>(x_[i])) >= threshold && x_[i] != 0) {
+      heavy.push_back(i);
+    }
+  }
+  return heavy;
+}
+
+}  // namespace lps::stream

@@ -1,0 +1,59 @@
+// Exact reference vector: the ground truth every sketch is validated
+// against. Maintains x in Z^n explicitly and offers exact norms, supports,
+// Lp sampling distributions and heavy-hitter sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stream/update.h"
+
+namespace lps::stream {
+
+class ExactVector {
+ public:
+  explicit ExactVector(uint64_t n) : x_(n, 0) {}
+
+  void Apply(const Update& u);
+  void Apply(const UpdateStream& stream);
+
+  uint64_t n() const { return x_.size(); }
+  int64_t operator[](uint64_t i) const { return x_[i]; }
+  const std::vector<int64_t>& data() const { return x_; }
+
+  /// ||x||_p for p > 0.
+  double NormP(double p) const;
+
+  /// ||x||_p^p for p > 0.
+  double NormPToP(double p) const;
+
+  /// Number of non-zero coordinates (L0).
+  uint64_t L0() const;
+
+  /// Indices of non-zero coordinates, ascending.
+  std::vector<uint64_t> Support() const;
+
+  /// ||x||_1^+ = sum of positive coordinates; ||x||_1^- = -sum of negatives
+  /// (Section 3, Theorem 4).
+  int64_t PositiveMass() const;
+  int64_t NegativeMass() const;
+
+  /// Sum of all coordinates.
+  int64_t Total() const;
+
+  /// Exact Lp distribution: probability of index i, i.e. |x_i|^p / ||x||_p^p
+  /// (Definition 1). For p == 0, uniform over the support.
+  std::vector<double> LpDistribution(double p) const;
+
+  /// Err_2^m(x): L2 distance from x to its best m-sparse approximation,
+  /// i.e. the L2 norm of x with the m largest-magnitude entries removed.
+  double ErrM2(uint64_t m) const;
+
+  /// Exact phi-heavy-hitter candidates: indices with |x_i| >= phi*||x||_p.
+  std::vector<uint64_t> HeavyHitters(double p, double phi) const;
+
+ private:
+  std::vector<int64_t> x_;
+};
+
+}  // namespace lps::stream

@@ -1,0 +1,64 @@
+#include "src/stream/trace.h"
+
+#include <sstream>
+#include <string>
+
+namespace lps::stream {
+
+void WriteTrace(std::ostream& out, uint64_t n, const UpdateStream& updates) {
+  out << "n " << n << "\n";
+  for (const auto& u : updates) {
+    out << "u " << u.index << " " << u.delta << "\n";
+  }
+}
+
+void WriteLetterTrace(std::ostream& out, uint64_t n,
+                      const LetterStream& letters) {
+  out << "n " << n << "\n";
+  for (uint64_t letter : letters) {
+    out << "l " << letter << "\n";
+  }
+}
+
+Result<Trace> ReadTrace(std::istream& in) {
+  Trace trace;
+  bool have_header = false;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    auto fail = [&](const char* what) {
+      return Status::InvalidArgument(what + std::string(" at line ") +
+                                     std::to_string(line_number));
+    };
+    if (tag == "n") {
+      if (have_header) return fail("duplicate header");
+      if (!(fields >> trace.n) || trace.n == 0) return fail("bad header");
+      have_header = true;
+    } else if (tag == "u") {
+      if (!have_header) return fail("update before header");
+      Update u{};
+      if (!(fields >> u.index >> u.delta)) return fail("bad update");
+      if (u.index >= trace.n) return fail("index out of range");
+      trace.updates.push_back(u);
+    } else if (tag == "l") {
+      if (!have_header) return fail("letter before header");
+      uint64_t letter = 0;
+      if (!(fields >> letter)) return fail("bad letter");
+      if (letter >= trace.n) return fail("letter out of range");
+      trace.updates.push_back({letter, 1});
+    } else {
+      return fail("unknown record tag");
+    }
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("missing 'n <size>' header");
+  }
+  return trace;
+}
+
+}  // namespace lps::stream

@@ -1,0 +1,38 @@
+// Plain-text stream traces: a line-oriented interchange format so that
+// workloads can be generated once, shared, and replayed through any of the
+// library's sketches (and through the lps_cli tool).
+//
+// Format, one record per line:
+//   # comment
+//   n <universe-size>          (header, required first non-comment line)
+//   u <index> <delta>          (update record)
+//   l <letter>                 (letter record, for duplicates streams)
+// Update and letter records may be mixed; letters are syntactic sugar for
+// "u <letter> 1".
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "src/stream/generators.h"
+#include "src/stream/update.h"
+#include "src/util/status.h"
+
+namespace lps::stream {
+
+struct Trace {
+  uint64_t n = 0;
+  UpdateStream updates;
+};
+
+/// Writes a trace; letters (if any) are written as letter records.
+void WriteTrace(std::ostream& out, uint64_t n, const UpdateStream& updates);
+void WriteLetterTrace(std::ostream& out, uint64_t n,
+                      const LetterStream& letters);
+
+/// Parses a trace. Malformed input yields InvalidArgument with the line
+/// number; indices outside [0, n) are rejected.
+Result<Trace> ReadTrace(std::istream& in);
+
+}  // namespace lps::stream

@@ -1,0 +1,20 @@
+// The update-stream model of the paper (Section 1, Notation): a stream of
+// tuples (i, u) with i in [n] and integer u, implicitly defining x in Z^n
+// where each update adds u to x_i. In the strict turnstile model all
+// coordinates are non-negative at the end of the stream; in the general
+// model they may be arbitrary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lps::stream {
+
+struct Update {
+  uint64_t index;  ///< coordinate in [0, n)
+  int64_t delta;   ///< integer update value u
+};
+
+using UpdateStream = std::vector<Update>;
+
+}  // namespace lps::stream

@@ -1,0 +1,23 @@
+// Small bit-manipulation helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lps {
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+inline int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// Smallest power of two >= x.
+inline uint64_t NextPow2(uint64_t x) { return x <= 1 ? 1 : 1ULL << CeilLog2(x); }
+
+/// Number of bits needed to represent values in [0, n): ceil(log2(n)).
+inline int BitWidth(uint64_t n) { return n <= 1 ? 1 : CeilLog2(n); }
+
+}  // namespace lps

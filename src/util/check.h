@@ -1,0 +1,31 @@
+// Invariant-checking macros, modeled on the assertion style used in
+// production database engines: checks are active in all build types because
+// sketch code silently producing wrong answers is far worse than aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lps {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LPS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lps
+
+/// Aborts the process with a diagnostic if `cond` is false. Used for
+/// programmer errors (bad arguments, violated invariants), never for
+/// data-dependent conditions, which go through Status instead.
+#define LPS_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::lps::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                           \
+  } while (0)
+
+#define LPS_DCHECK(cond) LPS_CHECK(cond)

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation used as the "random oracle"
+// of the paper's model. Every randomized component in the library takes an
+// explicit 64-bit seed so that all tests and benchmarks are reproducible.
+//
+// splitmix64 is used for seed expansion (it is an excellent one-shot mixer)
+// and xoshiro256++ as the general-purpose stream generator.
+#pragma once
+
+#include <cstdint>
+
+namespace lps {
+
+/// One round of the splitmix64 mixer. Maps a counter to a well-mixed 64-bit
+/// value; also the standard way to seed xoshiro state from one word.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Stateless mix of a single value (finalizer of splitmix64).
+uint64_t Mix64(uint64_t x);
+
+/// xoshiro256++ generator (Blackman & Vigna). Passes BigCrush; small state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in (0, 1]: never returns 0, suitable for 1/t scalings.
+  double NextDoublePositive();
+
+  /// Standard normal via Box-Muller (no cached spare; both values derived
+  /// fresh each call for reproducibility under interleaving).
+  double NextGaussian();
+
+  /// Standard exponential, rate 1.
+  double NextExponential();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace lps

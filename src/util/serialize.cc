@@ -1,0 +1,61 @@
+#include "src/util/serialize.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/util/bits.h"
+
+namespace lps {
+
+void BitWriter::WriteBits(uint64_t value, int bits) {
+  LPS_CHECK(bits >= 0 && bits <= 64);
+  if (bits == 0) return;
+  if (bits < 64) value &= (1ULL << bits) - 1;
+  const size_t word_index = bit_count_ >> 6;
+  const int offset = static_cast<int>(bit_count_ & 63);
+  if (word_index >= words_.size()) words_.push_back(0);
+  words_[word_index] |= value << offset;
+  if (offset + bits > 64) {
+    words_.push_back(value >> (64 - offset));
+  }
+  bit_count_ += static_cast<size_t>(bits);
+}
+
+void BitWriter::WriteDouble(double value) {
+  uint64_t raw;
+  std::memcpy(&raw, &value, sizeof(raw));
+  WriteBits(raw, 64);
+}
+
+void BitWriter::WriteBounded(uint64_t value, uint64_t bound) {
+  LPS_CHECK(value < bound);
+  WriteBits(value, BitWidth(bound));
+}
+
+uint64_t BitReader::ReadBits(int bits) {
+  LPS_CHECK(bits >= 0 && bits <= 64);
+  if (bits == 0) return 0;
+  LPS_CHECK(position_ + static_cast<size_t>(bits) <= total_bits_);
+  const size_t word_index = position_ >> 6;
+  const int offset = static_cast<int>(position_ & 63);
+  uint64_t value = words_[word_index] >> offset;
+  if (offset + bits > 64) {
+    value |= words_[word_index + 1] << (64 - offset);
+  }
+  if (bits < 64) value &= (1ULL << bits) - 1;
+  position_ += static_cast<size_t>(bits);
+  return value;
+}
+
+double BitReader::ReadDouble() {
+  uint64_t raw = ReadBits(64);
+  double value;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+uint64_t BitReader::ReadBounded(uint64_t bound) {
+  return ReadBits(BitWidth(bound));
+}
+
+}  // namespace lps

@@ -1,0 +1,61 @@
+// Bit-exact serialization used by the communication-complexity harness.
+// Protocol messages are encoded through BitWriter so that the reported
+// message sizes are true bit counts — this is what the paper's lower bounds
+// constrain, so the accounting must be exact, not sizeof-based.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace lps {
+
+/// Append-only bit stream writer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Writes the low `bits` bits of `value` (LSB first). bits in [0, 64].
+  void WriteBits(uint64_t value, int bits);
+
+  /// Writes a full 64-bit word.
+  void WriteU64(uint64_t value) { WriteBits(value, 64); }
+
+  /// Writes a double bit-for-bit (64 bits).
+  void WriteDouble(double value);
+
+  /// Writes a non-negative integer known to be < bound using
+  /// ceil(log2(bound)) bits.
+  void WriteBounded(uint64_t value, uint64_t bound);
+
+  /// Total number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t bit_count_ = 0;
+};
+
+/// Reader over a BitWriter's buffer.
+class BitReader {
+ public:
+  explicit BitReader(const BitWriter& writer)
+      : words_(writer.words()), total_bits_(writer.bit_count()) {}
+
+  uint64_t ReadBits(int bits);
+  uint64_t ReadU64() { return ReadBits(64); }
+  double ReadDouble();
+  uint64_t ReadBounded(uint64_t bound);
+
+  size_t bits_remaining() const { return total_bits_ - position_; }
+
+ private:
+  const std::vector<uint64_t>& words_;
+  size_t total_bits_;
+  size_t position_ = 0;
+};
+
+}  // namespace lps

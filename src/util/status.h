@@ -1,0 +1,102 @@
+// Minimal Status / Result<T> error-handling types in the RocksDB/Arrow
+// idiom: library code on hot paths never throws; recoverable,
+// data-dependent outcomes (a sampler failing, a recovery reporting DENSE)
+// are values, not exceptions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/util/check.h"
+
+namespace lps {
+
+/// Status codes for recoverable outcomes of streaming primitives.
+enum class Code {
+  kOk = 0,
+  /// The randomized algorithm declared failure (paper: "output FAIL").
+  kFailed,
+  /// Sparse recovery determined the vector is not s-sparse ("DENSE").
+  kDense,
+  /// Caller error: bad argument.
+  kInvalidArgument,
+};
+
+/// A success/error outcome with an optional message. Cheap to copy on the
+/// success path (no allocation).
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status Failed(std::string msg = "") {
+    return Status(Code::kFailed, std::move(msg));
+  }
+  static Status Dense(std::string msg = "") {
+    return Status(Code::kDense, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsFailed() const { return code_ == Code::kFailed; }
+  bool IsDense() const { return code_ == Code::kDense; }
+
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kFailed:
+        return "FAILED: " + message_;
+      case Code::kDense:
+        return "DENSE: " + message_;
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    LPS_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const {
+    LPS_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  T& value() {
+    LPS_CHECK(ok());
+    return std::get<T>(v_);
+  }
+  const T& operator*() const { return value(); }
+  const T* operator->() const { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace lps

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/comm/augmented_indexing.h"
+#include "src/comm/reductions.h"
+#include "src/comm/universal_relation.h"
+
+namespace lps::comm {
+namespace {
+
+TEST(AugmentedIndexing, InstanceShape) {
+  const auto instance = MakeAugmentedIndexing(16, 8, 1);
+  EXPECT_EQ(instance.z.size(), 16u);
+  for (uint32_t symbol : instance.z) EXPECT_LT(symbol, 256u);
+  EXPECT_LT(instance.index, 16);
+}
+
+TEST(URInstanceTest, HasExactlyRequestedDiffs) {
+  const auto instance = MakeURInstance(500, 7, 0.3, 2);
+  uint64_t diffs = 0;
+  for (uint64_t i = 0; i < instance.n; ++i) {
+    diffs += instance.x[i] != instance.y[i];
+  }
+  EXPECT_EQ(diffs, 7u);
+}
+
+TEST(TrivialUR, AlwaysCorrectAtNBits) {
+  const auto instance = MakeURInstance(300, 3, 0.5, 3);
+  const auto result = RunTrivialUR(instance);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.correct);
+  EXPECT_EQ(result.stats.TotalBits(), 300u);
+  EXPECT_EQ(result.stats.rounds(), 1);
+}
+
+TEST(OneRoundUR, CorrectWithSingleDifference) {
+  int ok = 0, correct = 0;
+  const int trials = 30;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeURInstance(512, 1, 0.4, 100 + trial);
+    const auto result = RunOneRoundUR(instance, 0.1, 200 + trial);
+    ok += result.ok;
+    correct += result.correct;
+  }
+  EXPECT_GE(ok, trials - 3);
+  EXPECT_EQ(correct, ok);  // any produced index must be a real difference
+}
+
+TEST(OneRoundUR, CorrectWithManyDifferences) {
+  int correct = 0;
+  const int trials = 25;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeURInstance(512, 100, 0.5, 300 + trial);
+    const auto result = RunOneRoundUR(instance, 0.1, 400 + trial);
+    correct += result.ok && result.correct;
+  }
+  EXPECT_GE(correct, trials - 3);
+}
+
+TEST(OneRoundUR, MessageIsLog2Shape) {
+  const auto small = MakeURInstance(1 << 8, 4, 0.4, 5);
+  const auto large = MakeURInstance(1 << 16, 4, 0.4, 6);
+  const auto r_small = RunOneRoundUR(small, 0.25, 7);
+  const auto r_large = RunOneRoundUR(large, 0.25, 8);
+  EXPECT_EQ(r_small.stats.rounds(), 1);
+  // Levels scale with log n; measurement width is fixed 61-bit field
+  // elements, so the bit ratio tracks the level count ratio (~2).
+  const double ratio = static_cast<double>(r_large.stats.TotalBits()) /
+                       static_cast<double>(r_small.stats.TotalBits());
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 3.0);
+  // And the randomized protocol beats the trivial n-bit one at n = 2^16.
+  EXPECT_LT(r_large.stats.TotalBits(), large.n);
+}
+
+TEST(TwoRoundUR, CorrectAcrossDifferenceScales) {
+  for (uint64_t diffs : {1ULL, 5ULL, 60ULL, 700ULL}) {
+    int correct = 0;
+    const int trials = 25;
+    for (uint64_t trial = 0; trial < trials; ++trial) {
+      const auto instance = MakeURInstance(2048, diffs, 0.3, 500 + trial);
+      const auto result = RunTwoRoundUR(instance, 0.05, 600 + trial);
+      correct += result.ok && result.correct;
+    }
+    EXPECT_GE(correct, trials * 4 / 5) << "diffs " << diffs;
+  }
+}
+
+TEST(TwoRoundUR, RoundsAndMessageShape) {
+  const auto instance = MakeURInstance(1 << 14, 50, 0.3, 9);
+  const auto result = RunTwoRoundUR(instance, 0.1, 10);
+  ASSERT_EQ(result.stats.rounds(), 2);
+  // Round 1 is the cheap fingerprint pass; both rounds together are far
+  // below the one-round protocol's log^2 message.
+  const auto one_round = RunOneRoundUR(instance, 0.1, 11);
+  EXPECT_LT(result.stats.TotalBits(), one_round.stats.TotalBits() / 2);
+}
+
+TEST(Symmetrized, PreservesCorrectnessAndMapsIndexBack) {
+  int correct = 0;
+  const int trials = 20;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeURInstance(512, 3, 0.5, 700 + trial);
+    const auto result = RunSymmetrized(
+        instance, 800 + trial, [](const URInstance& inst, uint64_t seed) {
+          return RunOneRoundUR(inst, 0.1, seed);
+        });
+    correct += result.ok && result.correct;
+  }
+  EXPECT_GE(correct, trials - 3);
+}
+
+TEST(Symmetrized, OutputIsUniformOverDifferences) {
+  // Lemma 7: two differing indices must be reported (close to) equally
+  // often, even though the raw protocol may be biased.
+  URInstance instance;
+  instance.n = 256;
+  instance.x.assign(256, 0);
+  instance.y.assign(256, 0);
+  instance.y[3] = 1;
+  instance.y[200] = 1;
+  int first = 0, total = 0;
+  const int trials = 400;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto result = RunSymmetrized(
+        instance, 900 + trial, [](const URInstance& inst, uint64_t seed) {
+          return RunOneRoundUR(inst, 0.25, seed);
+        });
+    if (result.ok && result.correct) {
+      ++total;
+      first += result.index == 3;
+    }
+  }
+  ASSERT_GE(total, 300);
+  const double frac = static_cast<double>(first) / total;
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(Symmetrized, MakesEvenDeterministicProtocolsUniform) {
+  // Lemma 7's cleanest demonstration: the trivial protocol ALWAYS returns
+  // the first differing index; conjugated by a random permutation + mask it
+  // must return each of two differences about equally often.
+  URInstance instance;
+  instance.n = 128;
+  instance.x.assign(128, 0);
+  instance.y.assign(128, 0);
+  instance.y[10] = 1;
+  instance.y[90] = 1;
+  int first = 0;
+  const int trials = 600;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto result = RunSymmetrized(
+        instance, 5000 + trial,
+        [](const URInstance& inst, uint64_t) { return RunTrivialUR(inst); });
+    ASSERT_TRUE(result.ok && result.correct);
+    first += result.index == 10;
+  }
+  const double frac = static_cast<double>(first) / trials;
+  EXPECT_GT(frac, 0.42);
+  EXPECT_LT(frac, 0.58);
+}
+
+TEST(OneRoundUR, AllCoordinatesDiffer) {
+  // x and y complementary: every index is a valid answer.
+  URInstance instance;
+  instance.n = 256;
+  instance.x.assign(256, 0);
+  instance.y.assign(256, 1);
+  int ok = 0;
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    const auto result = RunOneRoundUR(instance, 0.1, 6000 + trial);
+    if (result.ok) {
+      EXPECT_TRUE(result.correct);
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(TwoRoundUR, TinyUniverse) {
+  const auto instance = MakeURInstance(16, 2, 0.5, 1);
+  int correct = 0;
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    const auto result = RunTwoRoundUR(instance, 0.1, 7000 + trial);
+    correct += result.ok && result.correct;
+  }
+  EXPECT_GE(correct, 15);
+}
+
+TEST(Reductions, AugmentedIndexingLengthOne) {
+  // s = 1: Bob has no prefix; the UR instance is a single block.
+  int correct = 0;
+  for (uint64_t trial = 0; trial < 15; ++trial) {
+    const auto instance = MakeAugmentedIndexing(1, 4, 8000 + trial);
+    const auto result = RunAiViaUr(instance, 0.1, 8100 + trial);
+    correct += result.ok && result.correct;
+  }
+  EXPECT_GE(correct, 12);  // single block: the sample always decodes z_1
+}
+
+TEST(Reductions, AiViaUrDecodesBeyondGuessing) {
+  // Theorem 6: success must be well above the 2^-t guessing floor.
+  int correct = 0;
+  const int trials = 30;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeAugmentedIndexing(6, 6, 1000 + trial);
+    const auto result = RunAiViaUr(instance, 0.1, 1100 + trial);
+    correct += result.ok && result.correct;
+  }
+  // Guessing would give ~trials/64; the reduction targets > 1/2.
+  EXPECT_GE(correct, trials / 2);
+}
+
+TEST(Reductions, UrViaDuplicatesFindsDifference) {
+  int ok = 0, correct = 0;
+  const int trials = 30;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeURInstance(128, 10, 0.5, 1200 + trial);
+    const auto result = RunUrViaDuplicates(instance, 0.2, 1300 + trial);
+    if (result.ok) {
+      ++ok;
+      correct += result.correct;
+    }
+  }
+  // |S cap P| + |T cap P| >= n+1 holds with probability > 1/8; combined
+  // with the finder's success this must fire a decent fraction of runs.
+  EXPECT_GE(ok, trials / 8);
+  EXPECT_EQ(correct, ok);  // produced answers are always real differences
+}
+
+TEST(Reductions, AiViaHeavyHittersDecodesSymbol) {
+  int correct = 0;
+  const int trials = 20;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto instance = MakeAugmentedIndexing(8, 6, 1400 + trial);
+    const auto result = RunAiViaHeavyHitters(instance, 1.0, 0.25, 1500 + trial);
+    correct += result.ok && result.correct;
+  }
+  EXPECT_GE(correct, trials * 4 / 5);
+}
+
+TEST(Reductions, HeavyHitterMessageGrowsWithPhiInverse) {
+  const auto instance = MakeAugmentedIndexing(8, 6, 1);
+  const auto coarse = RunAiViaHeavyHitters(instance, 1.0, 0.25, 2);
+  const auto fine = RunAiViaHeavyHitters(instance, 1.0, 0.05, 2);
+  EXPECT_GT(fine.stats.TotalBits(), 3 * coarse.stats.TotalBits());
+}
+
+}  // namespace
+}  // namespace lps::comm

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/duplicates/duplicates.h"
+#include "src/duplicates/positive_finder.h"
+#include "src/stream/generators.h"
+
+namespace lps::duplicates {
+namespace {
+
+bool IsDuplicate(const stream::LetterStream& letters, uint64_t letter) {
+  int count = 0;
+  for (uint64_t l : letters) count += (l == letter);
+  return count >= 2;
+}
+
+TEST(DuplicateFinder, FindsPlantedDuplicate) {
+  const uint64_t n = 256;
+  int found = 0, wrong = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto letters =
+        stream::DuplicateStream(n, 1, static_cast<uint64_t>(trial));
+    DuplicateFinder finder({n, 0.2, 0, 1000 + static_cast<uint64_t>(trial)});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    auto res = finder.Find();
+    if (res.ok()) {
+      ++found;
+      if (!IsDuplicate(letters, res.value())) ++wrong;
+    }
+  }
+  EXPECT_GE(found, trials * 3 / 4);
+  EXPECT_EQ(wrong, 0);  // wrong answers are low-probability events
+}
+
+TEST(DuplicateFinder, ManyDuplicatesEasier) {
+  const uint64_t n = 256;
+  int found = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto letters =
+        stream::DuplicateStream(n, 64, static_cast<uint64_t>(trial));
+    DuplicateFinder finder({n, 0.2, 0, 2000 + static_cast<uint64_t>(trial)});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    auto res = finder.Find();
+    if (res.ok() && IsDuplicate(letters, res.value())) ++found;
+  }
+  EXPECT_GE(found, trials - 3);
+}
+
+TEST(SparseDuplicateFinder, CertifiesNoDuplicate) {
+  // Duplicate-free streams of length n - s: NO-DUPLICATE with probability 1
+  // (the certificate comes from exact sparse recovery).
+  const uint64_t n = 512, s = 20;
+  for (uint64_t trial = 0; trial < 15; ++trial) {
+    const auto letters = stream::ShortStreamWithDuplicates(n, s, 0, trial);
+    SparseDuplicateFinder finder({n, s, 0.25, 0, 3000 + trial});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    const auto outcome = finder.Find();
+    EXPECT_EQ(outcome.kind, SparseDuplicateFinder::Kind::kNoDuplicate);
+    EXPECT_TRUE(outcome.exact);
+  }
+}
+
+TEST(SparseDuplicateFinder, FindsSparseDuplicatesExactly) {
+  // Few duplicates: x stays 5s-sparse, recovery answers exactly.
+  const uint64_t n = 512, s = 20;
+  for (uint64_t trial = 0; trial < 15; ++trial) {
+    const auto letters = stream::ShortStreamWithDuplicates(n, s, 3, trial);
+    SparseDuplicateFinder finder({n, s, 0.25, 0, 4000 + trial});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    const auto outcome = finder.Find();
+    ASSERT_EQ(outcome.kind, SparseDuplicateFinder::Kind::kDuplicate);
+    EXPECT_TRUE(outcome.exact);
+    EXPECT_TRUE(IsDuplicate(letters, outcome.duplicate));
+  }
+}
+
+TEST(SparseDuplicateFinder, DenseCaseFallsBackToSampler) {
+  // Many duplicates blow the 5s recovery budget; the sampler path must
+  // still find one with good probability and never report NO-DUPLICATE.
+  const uint64_t n = 512, s = 4;
+  int found = 0;
+  const int trials = 25;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto letters = stream::ShortStreamWithDuplicates(n, s, 120, trial);
+    SparseDuplicateFinder finder({n, s, 0.2, 0, 5000 + trial});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    const auto outcome = finder.Find();
+    ASSERT_NE(outcome.kind, SparseDuplicateFinder::Kind::kNoDuplicate);
+    if (outcome.kind == SparseDuplicateFinder::Kind::kDuplicate) {
+      EXPECT_FALSE(outcome.exact);
+      EXPECT_TRUE(IsDuplicate(letters, outcome.duplicate));
+      ++found;
+    }
+  }
+  EXPECT_GE(found, trials * 2 / 3);
+}
+
+TEST(OversampledDuplicateFinder, PicksStrategyByCrossover) {
+  // n/s < log2 n -> position sampling; n/s >= log2 n -> L1 sampler.
+  OversampledDuplicateFinder heavy_overlap({1024, 512, 0.25, 0, 1, 0});
+  EXPECT_EQ(heavy_overlap.strategy(),
+            OversampledDuplicateFinder::Strategy::kPositionSampling);
+  OversampledDuplicateFinder light_overlap({1024, 2, 0.25, 0, 1, 0});
+  EXPECT_EQ(light_overlap.strategy(),
+            OversampledDuplicateFinder::Strategy::kL1Sampler);
+}
+
+TEST(OversampledDuplicateFinder, PositionSamplingFindsDuplicates) {
+  const uint64_t n = 1024, s = 256;  // length n + s, many duplicates
+  int found = 0, wrong = 0;
+  const int trials = 40;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto letters = stream::DuplicateStream(n, s, trial);
+    OversampledDuplicateFinder finder({n, s, 0.25, 0, 6000 + trial, 1});
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    auto res = finder.Find();
+    if (res.ok()) {
+      ++found;
+      if (!IsDuplicate(letters, res.value())) ++wrong;
+    }
+  }
+  EXPECT_GE(found, trials * 3 / 5);  // >= 1 - (1 - s/(n+s))^{4 ceil(n/s)}
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(OversampledDuplicateFinder, L1StrategyHandlesSmallS) {
+  const uint64_t n = 256, s = 1;
+  int found = 0;
+  const int trials = 25;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto letters = stream::DuplicateStream(n, s, trial);
+    OversampledDuplicateFinder finder({n, s, 0.2, 0, 7000 + trial, 0});
+    EXPECT_EQ(finder.strategy(),
+              OversampledDuplicateFinder::Strategy::kL1Sampler);
+    for (uint64_t l : letters) finder.ProcessItem(l);
+    auto res = finder.Find();
+    if (res.ok() && IsDuplicate(letters, res.value())) ++found;
+  }
+  EXPECT_GE(found, trials * 3 / 5);
+}
+
+TEST(PositiveFinder, NegativeDeficitAlwaysHasPositive) {
+  // sum x_i = +3 (deficit -3): a positive coordinate exists and the finder
+  // locates one with good probability.
+  const uint64_t n = 256;
+  int found = 0;
+  const int trials = 30;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    PositiveFinder finder({n, 4, 0.2, 0, 8000 + trial});
+    for (uint64_t i = 0; i < 100; ++i) finder.Update(i, -1);
+    finder.Update(200, 60);
+    finder.Update(201, 43);
+    EXPECT_EQ(finder.Deficit(), -3);
+    const auto outcome = finder.Find();
+    if (outcome.kind == PositiveFinder::Kind::kFound) {
+      EXPECT_TRUE(outcome.index == 200 || outcome.index == 201);
+      ++found;
+    }
+  }
+  EXPECT_GE(found, trials * 3 / 4);
+}
+
+TEST(PositiveFinder, CertifiesAllNonPositive) {
+  const uint64_t n = 256;
+  PositiveFinder finder({n, 4, 0.25, 0, 11});
+  finder.Update(3, -5);
+  finder.Update(90, -1);
+  const auto outcome = finder.Find();
+  EXPECT_EQ(outcome.kind, PositiveFinder::Kind::kNone);
+}
+
+TEST(PositiveFinder, SparsePositiveFoundExactly) {
+  const uint64_t n = 256;
+  PositiveFinder finder({n, 4, 0.25, 0, 12});
+  finder.Update(3, -5);
+  finder.Update(17, 2);
+  const auto outcome = finder.Find();
+  ASSERT_EQ(outcome.kind, PositiveFinder::Kind::kFound);
+  EXPECT_EQ(outcome.index, 17u);
+}
+
+}  // namespace
+}  // namespace lps::duplicates

@@ -1,0 +1,191 @@
+// Boundary behaviors and failure injection across modules: empty streams,
+// extreme coordinates, truncated messages, invalid parameters (which must
+// abort loudly via LPS_CHECK rather than corrupt results silently).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/comm/universal_relation.h"
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/sketch/count_sketch.h"
+#include "src/stream/exact_vector.h"
+#include "src/util/serialize.h"
+
+namespace lps {
+namespace {
+
+using ::testing::KilledBySignal;
+
+TEST(EdgeCases, LpSamplerRejectsInvalidParameters) {
+  core::LpSamplerParams params;
+  params.n = 100;
+  params.p = 2.0;  // Figure 1 requires p in (0, 2): p = 2 needs an extra log
+  params.eps = 0.25;
+  params.seed = 1;
+  EXPECT_DEATH({ core::LpSampler sampler(params); }, "LPS_CHECK");
+
+  params.p = 1.0;
+  params.eps = 1.5;  // eps must be < 1
+  EXPECT_DEATH({ core::LpSampler sampler(params); }, "LPS_CHECK");
+
+  params.eps = 0.25;
+  params.n = 0;  // empty universe
+  EXPECT_DEATH({ core::LpSampler sampler(params); }, "LPS_CHECK");
+}
+
+TEST(EdgeCases, UpdatesOutsideUniverseAbort) {
+  core::LpSamplerParams params;
+  params.n = 16;
+  params.p = 1.0;
+  params.eps = 0.5;
+  params.repetitions = 1;
+  params.seed = 1;
+  core::LpSampler sampler(params);
+  EXPECT_DEATH(sampler.Update(16, 1.0), "LPS_CHECK");
+
+  recovery::SparseRecovery rec(16, 2, 1);
+  EXPECT_DEATH(rec.Update(99, 1), "LPS_CHECK");
+
+  core::L0Sampler l0({16, 0.25, 0, 1, false});
+  EXPECT_DEATH(l0.Update(16, 1), "LPS_CHECK");
+}
+
+TEST(EdgeCases, TruncatedMessageAborts) {
+  sketch::CountSketch a(5, 12, 1);
+  a.Update(3, 1.0);
+  BitWriter w;
+  a.SerializeCounters(&w);
+  // A reader over a shorter message cannot silently underflow.
+  BitWriter small;
+  small.WriteBits(0, 7);
+  sketch::CountSketch b(5, 12, 1);
+  BitReader r(small);
+  EXPECT_DEATH(b.DeserializeCounters(&r), "LPS_CHECK");
+}
+
+TEST(EdgeCases, UniverseOfSizeOne) {
+  // n = 1: the only possible sample is coordinate 0.
+  core::L0Sampler sampler({1, 0.25, 0, 3, false});
+  sampler.Update(0, 5);
+  auto res = sampler.Sample();
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().index, 0u);
+  EXPECT_DOUBLE_EQ(res.value().estimate, 5.0);
+}
+
+TEST(EdgeCases, MaximalMagnitudeValues) {
+  // Values near the poly(n) bound survive recovery exactly.
+  const int64_t big = (1LL << 40);
+  recovery::SparseRecovery rec(1024, 3, 4);
+  rec.Update(0, big);
+  rec.Update(1023, -big);
+  auto r = rec.Recover();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].value, big);
+  EXPECT_EQ(r.value()[1].value, -big);
+}
+
+TEST(EdgeCases, NonPowerOfTwoUniverses) {
+  // Nothing in the level logic assumes n is a power of two.
+  for (uint64_t n : {3ULL, 100ULL, 1000ULL, 12345ULL}) {
+    core::L0Sampler sampler({n, 0.25, 0, 5, false});
+    sampler.Update(n - 1, 7);
+    sampler.Update(0, -2);
+    auto res = sampler.Sample();
+    ASSERT_TRUE(res.ok()) << "n " << n;
+    EXPECT_TRUE(res.value().index == 0 || res.value().index == n - 1);
+  }
+}
+
+TEST(EdgeCases, URWithDifferenceAtBoundaries) {
+  // Differences at positions 0 and n-1 are found like any others.
+  comm::URInstance instance;
+  instance.n = 1000;
+  instance.x.assign(1000, 0);
+  instance.y.assign(1000, 0);
+  instance.y[0] = 1;
+  instance.y[999] = 1;
+  int correct = 0;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    const auto result = comm::RunOneRoundUR(instance, 0.1, 100 + seed);
+    if (result.ok) {
+      EXPECT_TRUE(result.index == 0 || result.index == 999);
+      correct += result.correct;
+    }
+  }
+  EXPECT_GE(correct, 10);
+}
+
+TEST(EdgeCases, HeavyHittersOnEmptyStream) {
+  heavy::CsHeavyHitters::Params params;
+  params.n = 64;
+  params.p = 1.0;
+  params.phi = 0.2;
+  params.strict_turnstile = true;
+  params.seed = 6;
+  heavy::CsHeavyHitters hh(params);
+  EXPECT_TRUE(hh.Query().empty());
+}
+
+TEST(EdgeCases, HeavyHittersSingleCoordinateIsWholeNorm) {
+  heavy::CsHeavyHitters::Params params;
+  params.n = 64;
+  params.p = 1.0;
+  params.phi = 0.5;
+  params.strict_turnstile = true;
+  params.seed = 7;
+  heavy::CsHeavyHitters hh(params);
+  hh.Update(13, 100);
+  const auto set = hh.Query();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 13u);
+}
+
+TEST(EdgeCases, ExactVectorZeroNorms) {
+  stream::ExactVector x(10);
+  EXPECT_EQ(x.L0(), 0u);
+  EXPECT_DOUBLE_EQ(x.NormP(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(x.ErrM2(0), 0.0);
+  EXPECT_TRUE(x.Support().empty());
+  const auto dist = x.LpDistribution(1.0);
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(EdgeCases, SamplerWithManyCancellingUpdatesStaysConsistent) {
+  // Long churn that nets out to one survivor: every sampler must agree.
+  const uint64_t n = 256;
+  core::L0Sampler l0({n, 0.1, 0, 8, false});
+  core::LpSamplerParams lp_params;
+  lp_params.n = n;
+  lp_params.p = 1.0;
+  lp_params.eps = 0.5;
+  lp_params.repetitions = 16;
+  lp_params.seed = 9;
+  core::LpSampler l1(lp_params);
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t i = 0; i < n; ++i) {
+      l0.Update(i, 1);
+      l1.Update(i, 1.0);
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i != 77) {
+        l0.Update(i, -1);
+        l1.Update(i, -1.0);
+      }
+    }
+  }
+  auto r0 = l0.Sample();
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.value().index, 77u);
+  EXPECT_DOUBLE_EQ(r0.value().estimate, 50.0);
+  auto r1 = l1.Sample();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().index, 77u);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/field/berlekamp_massey.h"
+#include "src/field/gf61.h"
+#include "src/field/poly.h"
+#include "src/field/roots.h"
+#include "src/field/vandermonde.h"
+#include "src/util/random.h"
+
+namespace lps {
+namespace {
+
+namespace gf = gf61;
+using poly::Poly;
+
+TEST(Gf61, AdditiveGroup) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Below(gf::kP);
+    const uint64_t b = rng.Below(gf::kP);
+    EXPECT_EQ(gf::Add(a, gf::Neg(a)), 0u);
+    EXPECT_EQ(gf::Sub(gf::Add(a, b), b), a);
+    EXPECT_EQ(gf::Add(a, b), gf::Add(b, a));
+  }
+}
+
+TEST(Gf61, MultiplicativeGroup) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t a = 1 + rng.Below(gf::kP - 1);
+    EXPECT_EQ(gf::Mul(a, gf::Inv(a)), 1u);
+    EXPECT_EQ(gf::Mul(a, 1), a);
+    EXPECT_EQ(gf::Mul(a, 0), 0u);
+  }
+}
+
+TEST(Gf61, MulMatchesBigIntOnLargeOperands) {
+  // Largest operands: (p-1)^2 mod p == 1.
+  EXPECT_EQ(gf::Mul(gf::kP - 1, gf::kP - 1), 1u);
+  // 2^60 * 2 = 2^61 = 1 mod p... 2^61 - 1 = p means 2^61 mod p = 1.
+  EXPECT_EQ(gf::Mul(1ULL << 60, 2), 1u);
+}
+
+TEST(Gf61, ReduceEdgeCases) {
+  EXPECT_EQ(gf::Reduce(0), 0u);
+  EXPECT_EQ(gf::Reduce(gf::kP), 0u);
+  EXPECT_EQ(gf::Reduce(gf::kP + 1), 1u);
+  EXPECT_EQ(gf::Reduce(~0ULL), gf::Reduce((~0ULL % gf::kP)));
+}
+
+TEST(Gf61, FermatLittleTheorem) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t a = 1 + rng.Below(gf::kP - 1);
+    EXPECT_EQ(gf::Pow(a, gf::kP - 1), 1u);
+    EXPECT_EQ(gf::Pow(a, gf::kP), a);
+  }
+}
+
+TEST(Gf61, SignedRoundTrip) {
+  for (int64_t v : {0LL, 1LL, -1LL, 123456789LL, -987654321LL,
+                    (1LL << 59), -(1LL << 59)}) {
+    EXPECT_EQ(gf::ToInt64(gf::FromInt64(v)), v);
+  }
+}
+
+TEST(PolyTest, DegreeAndTrim) {
+  Poly f = {1, 2, 0, 0};
+  poly::Trim(&f);
+  EXPECT_EQ(poly::Deg(f), 1);
+  Poly zero = {0, 0};
+  poly::Trim(&zero);
+  EXPECT_EQ(poly::Deg(zero), -1);
+}
+
+TEST(PolyTest, MulDivRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    Poly a(1 + rng.Below(8)), b(1 + rng.Below(8));
+    for (auto& c : a) c = rng.Below(gf::kP);
+    for (auto& c : b) c = rng.Below(gf::kP);
+    poly::Trim(&a);
+    poly::Trim(&b);
+    if (poly::Deg(b) < 0) b = {1};
+    const Poly prod = poly::Mul(a, b);
+    Poly q, r;
+    poly::DivMod(prod, b, &q, &r);
+    EXPECT_EQ(poly::Deg(r), -1);
+    EXPECT_EQ(q, a);
+  }
+}
+
+TEST(PolyTest, EvalHorner) {
+  // f(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38.
+  EXPECT_EQ(poly::Eval({3, 2, 1}, 5), 38u);
+  EXPECT_EQ(poly::Eval({}, 123), 0u);
+}
+
+TEST(PolyTest, GcdOfCommonFactor) {
+  // gcd((x-2)(x-3), (x-2)(x-5)) = (x-2), monic.
+  const Poly f = poly::Mul({gf::Neg(2), 1}, {gf::Neg(3), 1});
+  const Poly g = poly::Mul({gf::Neg(2), 1}, {gf::Neg(5), 1});
+  const Poly d = poly::Gcd(f, g);
+  ASSERT_EQ(poly::Deg(d), 1);
+  EXPECT_EQ(poly::Eval(d, 2), 0u);
+}
+
+TEST(PolyTest, PowModFermatOnLinearModulus) {
+  // x^p mod (x - a) == a^p == a (Fermat).
+  const uint64_t a = 123456789;
+  const Poly mod = {gf::Neg(a), 1};
+  const Poly xp = poly::PowMod({0, 1}, gf::kP, mod);
+  ASSERT_EQ(poly::Deg(xp), 0);
+  EXPECT_EQ(xp[0], a);
+}
+
+TEST(PolyTest, Derivative) {
+  // d/dx (1 + 2x + 3x^2) = 2 + 6x.
+  const Poly d = poly::Derivative({1, 2, 3});
+  ASSERT_EQ(poly::Deg(d), 1);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[1], 6u);
+}
+
+TEST(BerlekampMasseyTest, ZeroSequence) {
+  const Poly c = field::BerlekampMassey({0, 0, 0, 0});
+  EXPECT_EQ(c, Poly{1});
+}
+
+TEST(BerlekampMasseyTest, GeometricSequence) {
+  // S_r = 7 * 3^r satisfies S_r = 3 S_{r-1}: C(x) = 1 - 3x.
+  std::vector<uint64_t> seq;
+  uint64_t v = 7;
+  for (int r = 0; r < 8; ++r) {
+    seq.push_back(v);
+    v = gf::Mul(v, 3);
+  }
+  const Poly c = field::BerlekampMassey(seq);
+  ASSERT_EQ(poly::Deg(c), 1);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], gf::Neg(3));
+}
+
+TEST(BerlekampMasseyTest, RecoversSparseSyndromeRecurrence) {
+  // Syndromes of a 3-sparse vector: nodes {2, 5, 11}, values {4, 1, 9}.
+  const std::vector<uint64_t> nodes = {2, 5, 11};
+  const std::vector<uint64_t> values = {4, 1, 9};
+  std::vector<uint64_t> syndromes;
+  for (int r = 0; r < 6; ++r) {
+    uint64_t t = 0;
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      t = gf::Add(t, gf::Mul(values[j], gf::Pow(nodes[j], r)));
+    }
+    syndromes.push_back(t);
+  }
+  const Poly c = field::BerlekampMassey(syndromes);
+  ASSERT_EQ(poly::Deg(c), 3);
+  // The locator (reversal) must vanish at every node.
+  const Poly locator = poly::Reverse(c);
+  for (uint64_t node : nodes) {
+    EXPECT_EQ(poly::Eval(locator, node), 0u) << "node " << node;
+  }
+}
+
+TEST(RootsTest, FindsAllRootsOfSplitPolynomial) {
+  Rng rng(9);
+  std::vector<uint64_t> expected = {3, 17, 101, 4096, 99999};
+  Poly f = {1};
+  for (uint64_t r : expected) f = poly::Mul(f, {gf::Neg(r), 1});
+  std::vector<uint64_t> roots = field::FindRoots(f, &rng);
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(roots, expected);
+}
+
+TEST(RootsTest, IrreducibleQuadraticHasNoRoots) {
+  // x^2 + 1 is irreducible iff -1 is a non-residue; p = 2^61-1 = 3 mod 4,
+  // so it is.
+  Rng rng(10);
+  const std::vector<uint64_t> roots = field::FindRoots({1, 0, 1}, &rng);
+  EXPECT_TRUE(roots.empty());
+}
+
+TEST(RootsTest, MixedFactorsReturnsOnlyRoots) {
+  // f = (x - 5)(x^2 + 1): exactly one root.
+  Rng rng(11);
+  const Poly f = poly::Mul({gf::Neg(5), 1}, {1, 0, 1});
+  const std::vector<uint64_t> roots = field::FindRoots(f, &rng);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], 5u);
+}
+
+TEST(RootsTest, SplitsIntoDistinctLinearFactors) {
+  const Poly split = poly::Mul({gf::Neg(2), 1}, {gf::Neg(3), 1});
+  EXPECT_TRUE(field::SplitsIntoDistinctLinearFactors(split));
+  // Repeated root: (x-2)^2 does not split into *distinct* linear factors.
+  const Poly squared = poly::Mul({gf::Neg(2), 1}, {gf::Neg(2), 1});
+  EXPECT_FALSE(field::SplitsIntoDistinctLinearFactors(squared));
+  EXPECT_FALSE(field::SplitsIntoDistinctLinearFactors({1, 0, 1}));
+}
+
+TEST(RootsTest, RepeatedRootsReportedOnce) {
+  // f = (x-2)^2 (x-3): the distinct-linear-factor isolation collapses the
+  // square, so FindRoots returns {2, 3}.
+  Rng rng(13);
+  Poly f = poly::Mul(poly::Mul({gf::Neg(2), 1}, {gf::Neg(2), 1}),
+                     {gf::Neg(3), 1});
+  std::vector<uint64_t> roots = field::FindRoots(f, &rng);
+  std::sort(roots.begin(), roots.end());
+  EXPECT_EQ(roots, (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(BerlekampMasseyTest, TooFewSyndromesYieldShortRegister) {
+  // With only 2 syndromes of a 3-sparse signal, BM fits some LFSR of
+  // length <= 1 — downstream code must treat the result as untrusted,
+  // which is exactly why SparseRecovery verifies fingerprints.
+  const std::vector<uint64_t> nodes = {2, 5, 11};
+  std::vector<uint64_t> syndromes;
+  for (int r = 0; r < 2; ++r) {
+    uint64_t t = 0;
+    for (uint64_t node : nodes) {
+      t = gf::Add(t, gf::Mul(7, gf::Pow(node, r)));
+    }
+    syndromes.push_back(t);
+  }
+  const Poly c = field::BerlekampMassey(syndromes);
+  EXPECT_LE(poly::Deg(c), 1);
+}
+
+TEST(PolyTest, GcdWithZeroIsMonicOther) {
+  const Poly f = {gf::Neg(4), 2};  // 2x - 4
+  Poly d = poly::Gcd(f, {});
+  ASSERT_EQ(poly::Deg(d), 1);
+  EXPECT_EQ(d.back(), 1u);            // monic
+  EXPECT_EQ(poly::Eval(d, 2), 0u);    // same root
+  EXPECT_EQ(poly::Gcd({}, {}), Poly{});
+}
+
+TEST(PolyTest, DivModByHigherDegreeIsIdentityRemainder) {
+  Poly q, r;
+  poly::DivMod({1, 2}, {0, 0, 5}, &q, &r);
+  EXPECT_EQ(poly::Deg(q), -1);
+  EXPECT_EQ(r, (Poly{1, 2}));
+}
+
+TEST(VandermondeTest, SolvesRandomSystems) {
+  Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t k = 1 + rng.Below(12);
+    std::vector<uint64_t> nodes;
+    while (nodes.size() < k) {
+      const uint64_t node = 1 + rng.Below(1 << 20);
+      if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+        nodes.push_back(node);
+      }
+    }
+    std::vector<uint64_t> values(k);
+    for (auto& v : values) v = rng.Below(gf::kP);
+    std::vector<uint64_t> rhs(k, 0);
+    for (size_t r = 0; r < k; ++r) {
+      for (size_t j = 0; j < k; ++j) {
+        rhs[r] = gf::Add(rhs[r], gf::Mul(values[j], gf::Pow(nodes[j], r)));
+      }
+    }
+    EXPECT_EQ(field::SolveTransposedVandermonde(nodes, rhs), values);
+  }
+}
+
+class RoundTripSparsity : public ::testing::TestWithParam<int> {};
+
+// Property: syndromes -> BM -> roots -> Vandermonde recovers any sparse
+// signal exactly, across sparsity levels (the algebraic core of Lemma 5).
+TEST_P(RoundTripSparsity, FullAlgebraicPipeline) {
+  const int s = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(s));
+  std::vector<uint64_t> nodes;
+  while (nodes.size() < static_cast<size_t>(s)) {
+    const uint64_t node = 1 + rng.Below(1 << 16);
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+      nodes.push_back(node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<uint64_t> values(static_cast<size_t>(s));
+  for (auto& v : values) v = 1 + rng.Below(1000000);
+
+  std::vector<uint64_t> syndromes(2 * static_cast<size_t>(s), 0);
+  for (size_t r = 0; r < syndromes.size(); ++r) {
+    for (size_t j = 0; j < nodes.size(); ++j) {
+      syndromes[r] =
+          gf::Add(syndromes[r], gf::Mul(values[j], gf::Pow(nodes[j], r)));
+    }
+  }
+
+  const Poly c = field::BerlekampMassey(syndromes);
+  ASSERT_EQ(poly::Deg(c), s);
+  std::vector<uint64_t> roots = field::FindRoots(poly::Reverse(c), &rng);
+  std::sort(roots.begin(), roots.end());
+  ASSERT_EQ(roots, nodes);
+  EXPECT_EQ(field::SolveTransposedVandermonde(roots, syndromes), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, RoundTripSparsity,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/field/gf61.h"
+#include "src/hash/kwise.h"
+
+namespace lps::hash {
+namespace {
+
+TEST(KWiseHash, DeterministicPerSeed) {
+  KWiseHash a(4, 1), b(4, 1), c(4, 2);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(a.Eval(key), b.Eval(key));
+  }
+  int diffs = 0;
+  for (uint64_t key = 0; key < 100; ++key) {
+    diffs += a.Eval(key) != c.Eval(key);
+  }
+  EXPECT_GT(diffs, 95);
+}
+
+TEST(KWiseHash, RangeBounds) {
+  KWiseHash h(2, 3);
+  for (uint64_t m : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (uint64_t key = 0; key < 500; ++key) {
+      EXPECT_LT(h.Range(key, m), m);
+    }
+  }
+}
+
+TEST(KWiseHash, RangeIsRoughlyUniform) {
+  KWiseHash h(2, 5);
+  const uint64_t m = 16;
+  std::vector<int> counts(m, 0);
+  const int keys = 64000;
+  for (uint64_t key = 0; key < keys; ++key) ++counts[h.Range(key, m)];
+  const double expected = static_cast<double>(keys) / m;
+  for (uint64_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b], expected, 6 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(KWiseHash, SignIsBalanced) {
+  KWiseHash h(2, 7);
+  int sum = 0;
+  const int keys = 100000;
+  for (uint64_t key = 0; key < keys; ++key) sum += h.Sign(key);
+  EXPECT_LT(std::abs(sum), 6 * std::sqrt(keys));
+}
+
+TEST(KWiseHash, SignProductsUncorrelated) {
+  // Pairwise independence implies E[g(a) g(b)] = 0 for a != b. The
+  // expectation is over the *draw of the function*, so each product must
+  // come from an independent hash (within one pairwise function, products
+  // at many pairs are mutually correlated and do not concentrate).
+  int64_t sum = 0;
+  const int pairs = 4000;
+  for (uint64_t k = 0; k < pairs; ++k) {
+    KWiseHash h(2, 800000 + k);
+    sum += h.Sign(2 * k) * h.Sign(2 * k + 1);
+  }
+  EXPECT_LT(std::abs(sum), 6 * std::sqrt(pairs));
+}
+
+TEST(KWiseHash, Uniform01Range) {
+  KWiseHash h(3, 9);
+  double sum = 0;
+  const int keys = 100000;
+  for (uint64_t key = 0; key < keys; ++key) {
+    const double u = h.Uniform01(key);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+    EXPECT_GT(h.UniformPositive(key), 0.0);
+    EXPECT_LE(h.UniformPositive(key), 1.0);
+  }
+  EXPECT_NEAR(sum / keys, 0.5, 0.01);
+}
+
+TEST(KWiseHash, SeedBitsScaleWithK) {
+  EXPECT_EQ(KWiseHash(2, 1).SeedBits(), 2u * 61);
+  EXPECT_EQ(KWiseHash(8, 1).SeedBits(), 8u * 61);
+}
+
+// The scaling factors of Figure 1 are 1/t with t uniform: check the key
+// distributional fact Pr[1/t >= T] = 1/T used by precision sampling.
+TEST(KWiseHash, InverseScalingTail) {
+  KWiseHash h(20, 10);
+  const int keys = 200000;
+  for (double threshold : {2.0, 10.0, 100.0}) {
+    int count = 0;
+    for (uint64_t key = 0; key < keys; ++key) {
+      if (1.0 / h.UniformPositive(key) >= threshold) ++count;
+    }
+    const double expected = keys / threshold;
+    EXPECT_NEAR(count, expected, 6 * std::sqrt(expected) + 3)
+        << "threshold " << threshold;
+  }
+}
+
+// Empirical k-wise check on a small power: for a 4-wise family the product
+// of four distinct signs has mean zero (one product per independent draw).
+TEST(KWiseHash, FourWiseSignProducts) {
+  int64_t sum = 0;
+  const int groups = 4000;
+  for (uint64_t k = 0; k < groups; ++k) {
+    KWiseHash h(4, 900000 + k);
+    sum += h.Sign(4 * k) * h.Sign(4 * k + 1) * h.Sign(4 * k + 2) *
+           h.Sign(4 * k + 3);
+  }
+  EXPECT_LT(std::abs(sum), 6 * std::sqrt(groups));
+}
+
+}  // namespace
+}  // namespace lps::hash

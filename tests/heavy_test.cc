@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/heavy/heavy_hitters.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace lps::heavy {
+namespace {
+
+TEST(ValidateHeavySetTest, Definition) {
+  stream::ExactVector x(8);
+  x.Apply({0, 100});
+  x.Apply({1, 40});
+  x.Apply({2, 1});  // ||x||_1 = 141
+  // phi = 0.5: heavy = {0} (100 >= 70.5); light = anything <= 35.25.
+  EXPECT_TRUE(ValidateHeavySet(x, 1.0, 0.5, {0}).valid);
+  EXPECT_FALSE(ValidateHeavySet(x, 1.0, 0.5, {}).valid);          // misses 0
+  EXPECT_FALSE(ValidateHeavySet(x, 1.0, 0.5, {0, 2}).valid);      // includes light
+  // 40 is in the gray zone (between phi/2 and phi): either way is valid.
+  EXPECT_TRUE(ValidateHeavySet(x, 1.0, 0.5, {0, 1}).valid);
+}
+
+TEST(CmHeavyHitters, StrictTurnstileValidSets) {
+  const uint64_t n = 1024;
+  const double phi = 0.1;
+  int valid = 0;
+  const int trials = 20;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto stream =
+        stream::PlantedHeavyHitters(n, 4, 200, 300, false, trial);
+    stream::ExactVector x(n);
+    x.Apply(stream);
+    CmHeavyHitters hh({n, phi, 0, 100 + trial, false});
+    for (const auto& u : stream) {
+      hh.Update(u.index, static_cast<double>(u.delta));
+    }
+    valid += ValidateHeavySet(x, 1.0, phi, hh.Query()).valid;
+  }
+  EXPECT_GE(valid, trials - 1);
+}
+
+TEST(CmHeavyHitters, MedianVariantMatchesOnStrictStreams) {
+  const uint64_t n = 512;
+  const auto stream = stream::PlantedHeavyHitters(n, 3, 300, 200, false, 7);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  CmHeavyHitters hh({n, 0.15, 0, 9, true});
+  for (const auto& u : stream) {
+    hh.Update(u.index, static_cast<double>(u.delta));
+  }
+  EXPECT_TRUE(ValidateHeavySet(x, 1.0, 0.15, hh.Query()).valid);
+}
+
+class CsHeavyP : public ::testing::TestWithParam<double> {};
+
+// Section 4.4: count-sketch with m = Theta(phi^-p) yields valid heavy
+// hitter sets for every p in (0, 2].
+TEST_P(CsHeavyP, ValidSetsAcrossP) {
+  const double p = GetParam();
+  const uint64_t n = 1024;
+  const double phi = 0.25;
+  int valid = 0;
+  const int trials = 12;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const auto stream =
+        stream::PlantedHeavyHitters(n, 2, 400, 150, true, 50 + trial);
+    stream::ExactVector x(n);
+    x.Apply(stream);
+    CsHeavyHitters::Params params;
+    params.n = n;
+    params.p = p;
+    params.phi = phi;
+    params.seed = 200 + trial;
+    params.norm_rows = 1200;
+    CsHeavyHitters hh(params);
+    for (const auto& u : stream) {
+      hh.Update(u.index, static_cast<double>(u.delta));
+    }
+    valid += ValidateHeavySet(x, p, phi, hh.Query()).valid;
+  }
+  EXPECT_GE(valid, trials - 2) << "p = " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, CsHeavyP, ::testing::Values(0.5, 1.0, 2.0));
+
+TEST(CsHeavyHitters, GeneralUpdatesWithNegativeHeavyCoordinates) {
+  // Negative heavy coordinates must be reported too (|x_i| matters).
+  const uint64_t n = 512;
+  stream::ExactVector x(n);
+  CsHeavyHitters::Params params;
+  params.n = n;
+  params.p = 2.0;  // uses the count-sketch's own F2 estimate
+  params.phi = 0.3;
+  params.seed = 5;
+  CsHeavyHitters hh(params);
+  auto feed = [&](uint64_t i, int64_t v) {
+    x.Apply({i, v});
+    hh.Update(i, static_cast<double>(v));
+  };
+  feed(10, -500);
+  feed(400, 450);
+  for (uint64_t i = 100; i < 160; ++i) feed(i, (i % 2) ? 3 : -3);
+  const auto set = hh.Query();
+  EXPECT_TRUE(std::find(set.begin(), set.end(), 10u) != set.end());
+  EXPECT_TRUE(std::find(set.begin(), set.end(), 400u) != set.end());
+  EXPECT_TRUE(ValidateHeavySet(x, 2.0, 0.3, set).valid);
+}
+
+TEST(CsHeavyHitters, StrictTurnstileUsesExactL1) {
+  CsHeavyHitters::Params params;
+  params.n = 256;
+  params.p = 1.0;
+  params.phi = 0.2;
+  params.strict_turnstile = true;
+  params.seed = 6;
+  CsHeavyHitters hh(params);
+  hh.Update(1, 60);
+  hh.Update(2, 40);
+  EXPECT_DOUBLE_EQ(hh.NormEstimate(), 100.0);
+}
+
+TEST(CsHeavyHitters, SpaceScalesWithPhiToTheP) {
+  CsHeavyHitters::Params coarse;
+  coarse.n = 1024;
+  coarse.p = 1.0;
+  coarse.phi = 0.2;
+  coarse.strict_turnstile = true;
+  coarse.seed = 1;
+  auto fine = coarse;
+  fine.phi = 0.05;
+  CsHeavyHitters hh_coarse(coarse), hh_fine(fine);
+  const double ratio = static_cast<double>(hh_fine.SpaceBits()) /
+                       static_cast<double>(hh_coarse.SpaceBits());
+  EXPECT_GT(ratio, 3.0);  // ~ (0.2/0.05)^1 = 4 up to rounding
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(CsHeavyHitters, SerializeTransfersState) {
+  CsHeavyHitters::Params params;
+  params.n = 256;
+  params.p = 1.0;
+  params.phi = 0.2;
+  params.strict_turnstile = true;
+  params.seed = 7;
+  CsHeavyHitters alice(params);
+  alice.Update(42, 100);
+  alice.Update(7, 3);
+  BitWriter w;
+  alice.SerializeCounters(&w);
+  CsHeavyHitters bob(params);
+  BitReader r(w);
+  bob.DeserializeCounters(&r);
+  const auto set = bob.Query();
+  EXPECT_TRUE(std::find(set.begin(), set.end(), 42u) != set.end());
+}
+
+TEST(DyadicHeavyHitters, MatchesFlatQueryOnStrictStreams) {
+  const int log_n = 10;
+  const uint64_t n = 1ULL << log_n;
+  const auto stream = stream::PlantedHeavyHitters(n, 3, 500, 100, false, 9);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  DyadicHeavyHitters hh(log_n, 0.2, 11);
+  for (const auto& u : stream) {
+    hh.Update(u.index, static_cast<double>(u.delta));
+  }
+  const auto set = hh.Query();
+  EXPECT_TRUE(ValidateHeavySet(x, 1.0, 0.2, set).valid);
+}
+
+}  // namespace
+}  // namespace lps::heavy

@@ -1,0 +1,167 @@
+// End-to-end scenarios exercising several subsystems together, mirroring
+// how a downstream user would compose the library.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/lp_norm.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/stats/stats.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace lps {
+namespace {
+
+// A full pipeline on one shared stream: norm estimation, L1 sampling, heavy
+// hitters and exact ground truth must tell one consistent story.
+TEST(Integration, OneStreamManyConsumers) {
+  const uint64_t n = 1024;
+  const auto stream = stream::PlantedHeavyHitters(n, 3, 500, 200, true, 42);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+
+  core::LpSamplerParams sp;
+  sp.n = n;
+  sp.p = 1.0;
+  sp.eps = 0.5;
+  sp.repetitions = 24;
+  sp.seed = 1;
+  core::LpSampler sampler(sp);
+
+  heavy::CsHeavyHitters::Params hp;
+  hp.n = n;
+  hp.p = 2.0;
+  hp.phi = 0.3;
+  hp.seed = 2;
+  heavy::CsHeavyHitters hh(hp);
+
+  norm::LpNormEstimator norm1(1.0, 128, 3);
+
+  for (const auto& u : stream) {
+    const double d = static_cast<double>(u.delta);
+    sampler.Update(u.index, d);
+    hh.Update(u.index, d);
+    norm1.Update(u.index, d);
+  }
+
+  // Norm estimate brackets the truth.
+  const double r = norm1.Estimate2Approx();
+  EXPECT_GE(r, 0.9 * x.NormP(1.0));
+  EXPECT_LE(r, 2.2 * x.NormP(1.0));
+
+  // Heavy set is valid against ground truth.
+  EXPECT_TRUE(heavy::ValidateHeavySet(x, 2.0, 0.3, hh.Query()).valid);
+
+  // The sample lands on a non-zero coordinate.
+  auto res = sampler.Sample();
+  ASSERT_TRUE(res.ok());
+  EXPECT_NE(x[res.value().index], 0);
+}
+
+// The L0 sampler and sparse recovery agree on a churned stream: after heavy
+// insert/delete traffic, both see exactly the surviving support.
+TEST(Integration, ChurnedStreamL0AndRecoveryAgree) {
+  const uint64_t n = 4096;
+  const auto stream = stream::InsertDeleteChurn(n, 1000, 6, 99);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  ASSERT_EQ(x.L0(), 6u);
+
+  recovery::SparseRecovery recovery(n, 8, 5);
+  core::L0Sampler sampler({n, 0.1, 0, 6, false});
+  for (const auto& u : stream) {
+    recovery.Update(u.index, u.delta);
+    sampler.Update(u.index, u.delta);
+  }
+  auto recovered = recovery.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().size(), 6u);
+  auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.ok());
+  bool in_recovered = false;
+  for (const auto& e : recovered.value()) {
+    if (e.index == sample.value().index) in_recovered = true;
+  }
+  EXPECT_TRUE(in_recovered);
+}
+
+// Theorem 3 end-to-end through the reduction helper: letter stream ->
+// update stream -> sampler-based duplicate.
+TEST(Integration, DuplicatesViaReductionStream) {
+  const uint64_t n = 512;
+  const auto letters = stream::DuplicateStream(n, 8, 7);
+  const auto updates = stream::DuplicatesReduction(n, letters);
+  stream::ExactVector x(n);
+  x.Apply(updates);
+  EXPECT_EQ(x.Total(), static_cast<int64_t>(letters.size()) -
+                           static_cast<int64_t>(n));
+
+  duplicates::DuplicateFinder finder({n, 0.1, 0, 8});
+  for (uint64_t l : letters) finder.ProcessItem(l);
+  auto res = finder.Find();
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(x[res.value()], 1);  // letter occurs at least twice
+}
+
+// Samplers must stay well-behaved when the stream is fed twice (sketches
+// are linear: doubling the vector doubles estimates but fixes the support).
+TEST(Integration, LinearityUnderStreamRepetition) {
+  const uint64_t n = 256;
+  const auto stream = stream::SparseVector(n, 20, 100, 11);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+
+  core::L0Sampler once({n, 0.2, 0, 12, false});
+  core::L0Sampler twice({n, 0.2, 0, 12, false});
+  for (const auto& u : stream) once.Update(u.index, u.delta);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& u : stream) twice.Update(u.index, u.delta);
+  }
+  auto s1 = once.Sample();
+  auto s2 = twice.Sample();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // Same seed, same membership pattern: the same index fires, with doubled
+  // value.
+  EXPECT_EQ(s1.value().index, s2.value().index);
+  EXPECT_DOUBLE_EQ(2 * s1.value().estimate, s2.value().estimate);
+}
+
+// Cross-checking sampler families: on 0/±1 vectors (Theorem 8's hard
+// instances) the L1 sampler, L0 sampler and ground truth agree on support.
+TEST(Integration, SignVectorAllSamplersAgree) {
+  const uint64_t n = 512;
+  const auto stream = stream::SignVector(n, 50, 13);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+
+  core::LpSamplerParams sp;
+  sp.n = n;
+  sp.p = 1.0;
+  sp.eps = 0.5;
+  sp.repetitions = 24;
+  sp.seed = 14;
+  core::LpSampler l1(sp);
+  core::L0Sampler l0({n, 0.2, 0, 15, false});
+  for (const auto& u : stream) {
+    l1.Update(u.index, static_cast<double>(u.delta));
+    l0.Update(u.index, u.delta);
+  }
+  auto r1 = l1.Sample();
+  auto r0 = l0.Sample();
+  if (r1.ok()) {
+    EXPECT_NE(x[r1.value().index], 0);
+  }
+  ASSERT_TRUE(r0.ok());
+  EXPECT_NE(x[r0.value().index], 0);
+  EXPECT_EQ(static_cast<int64_t>(r0.value().estimate), x[r0.value().index]);
+}
+
+}  // namespace
+}  // namespace lps

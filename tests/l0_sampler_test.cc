@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/l0_sampler.h"
+#include "src/stats/stats.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace lps::core {
+namespace {
+
+L0SamplerParams Base(uint64_t n, uint64_t seed, double delta = 0.25) {
+  L0SamplerParams params;
+  params.n = n;
+  params.delta = delta;
+  params.seed = seed;
+  return params;
+}
+
+TEST(L0Sampler, ZeroVectorFails) {
+  L0Sampler sampler(Base(256, 1));
+  EXPECT_FALSE(sampler.Sample().ok());
+  L0Sampler sampler2(Base(256, 2));
+  sampler2.Update(10, 4);
+  sampler2.Update(10, -4);
+  EXPECT_FALSE(sampler2.Sample().ok());
+}
+
+TEST(L0Sampler, SparseSupportIsExact) {
+  // Support below s: level 0 recovers exactly; output value is exact.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    L0Sampler sampler(Base(1024, seed));
+    sampler.Update(100, 7);
+    sampler.Update(200, -9);
+    sampler.Update(300, 1);
+    auto res = sampler.Sample();
+    ASSERT_TRUE(res.ok()) << "seed " << seed;
+    const uint64_t i = res.value().index;
+    EXPECT_TRUE(i == 100 || i == 200 || i == 300);
+    if (i == 100) {
+      EXPECT_DOUBLE_EQ(res.value().estimate, 7);
+    } else if (i == 200) {
+      EXPECT_DOUBLE_EQ(res.value().estimate, -9);
+    } else {
+      EXPECT_DOUBLE_EQ(res.value().estimate, 1);
+    }
+  }
+}
+
+TEST(L0Sampler, UniformOverSmallSupport) {
+  // Zero relative error: the conditional law is exactly uniform. Support of
+  // 4 coordinates, chi-square over many independent samplers.
+  const std::vector<uint64_t> support = {3, 77, 500, 900};
+  std::vector<uint64_t> counts(support.size(), 0);
+  uint64_t samples = 0;
+  const int trials = 4000;
+  for (int trial = 0; trial < trials; ++trial) {
+    L0Sampler sampler(Base(1024, 100 + static_cast<uint64_t>(trial)));
+    for (uint64_t i : support) sampler.Update(i, 1 + static_cast<int64_t>(i % 5));
+    auto res = sampler.Sample();
+    ASSERT_TRUE(res.ok());
+    for (size_t j = 0; j < support.size(); ++j) {
+      if (res.value().index == support[j]) ++counts[j];
+    }
+    ++samples;
+  }
+  EXPECT_EQ(samples, static_cast<uint64_t>(trials));
+  const std::vector<double> uniform(support.size(), 1.0 / support.size());
+  const auto chi = stats::ChiSquareGof(counts, uniform);
+  EXPECT_GT(chi.p_value, 1e-4) << "stat " << chi.statistic;
+}
+
+TEST(L0Sampler, UniformOverLargeSupport) {
+  // Support far above s forces the subsampled levels to fire; the output
+  // must remain uniform over the support (values of wildly different
+  // magnitude must not bias it — that is the whole point of L0).
+  const uint64_t n = 512;
+  const auto stream = stream::SparseVector(n, 64, 100000, 5);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  const auto exact = x.LpDistribution(0.0);
+  ASSERT_EQ(x.L0(), 64u);
+
+  std::vector<uint64_t> counts(n, 0);
+  uint64_t samples = 0, fails = 0;
+  const int trials = 2500;
+  for (int trial = 0; trial < trials; ++trial) {
+    L0Sampler sampler(Base(n, 777 + static_cast<uint64_t>(trial)));
+    for (const auto& u : stream) sampler.Update(u.index, u.delta);
+    auto res = sampler.Sample();
+    if (!res.ok()) {
+      ++fails;
+      continue;
+    }
+    ++counts[res.value().index];
+    ++samples;
+    EXPECT_EQ(static_cast<int64_t>(res.value().estimate),
+              x[res.value().index]);
+  }
+  EXPECT_LT(static_cast<double>(fails) / trials, 0.25);
+  // Chi-square accounts for the sampling noise floor properly; TV is kept
+  // as a coarse sanity bound above the ~0.07 noise level at these counts.
+  const auto chi = stats::ChiSquareGof(counts, exact);
+  EXPECT_GT(chi.p_value, 1e-4) << "stat " << chi.statistic;
+  EXPECT_LT(stats::TotalVariation(counts, exact), 0.15);
+}
+
+TEST(L0Sampler, FailureRateDecreasesWithDelta) {
+  // An adversarial support size (just above s) maximizes the chance that
+  // no level lands in [1, s]; smaller delta (larger s) must fail less.
+  const uint64_t n = 4096;
+  const auto stream = stream::SparseVector(n, 60, 100, 9);
+  int fails_loose = 0, fails_tight = 0;
+  const int trials = 120;
+  for (int trial = 0; trial < trials; ++trial) {
+    L0Sampler loose(Base(n, 3000 + static_cast<uint64_t>(trial), 0.5));
+    L0Sampler tight(Base(n, 3000 + static_cast<uint64_t>(trial), 0.01));
+    for (const auto& u : stream) {
+      loose.Update(u.index, u.delta);
+      tight.Update(u.index, u.delta);
+    }
+    fails_loose += !loose.Sample().ok();
+    fails_tight += !tight.Sample().ok();
+  }
+  EXPECT_LE(fails_tight, fails_loose);
+  EXPECT_LE(static_cast<double>(fails_tight) / trials, 0.05);
+}
+
+TEST(L0Sampler, SurvivesInsertDeleteChurn) {
+  const uint64_t n = 2048;
+  const auto stream = stream::InsertDeleteChurn(n, 800, 5, 11);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  int ok = 0, correct = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    L0Sampler sampler(Base(n, 5000 + seed));
+    for (const auto& u : stream) sampler.Update(u.index, u.delta);
+    auto res = sampler.Sample();
+    if (res.ok()) {
+      ++ok;
+      if (x[res.value().index] != 0) ++correct;
+    }
+  }
+  EXPECT_GE(ok, 30);
+  EXPECT_EQ(correct, ok);  // never returns a deleted coordinate
+}
+
+TEST(L0Sampler, NisanModeSamplesCorrectly) {
+  // Theorem 2's derandomization: with the Nisan PRG as randomness source
+  // the sampler still returns only support coordinates with exact values.
+  const uint64_t n = 512;
+  const auto stream = stream::SparseVector(n, 40, 50, 13);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  int ok = 0, correct = 0;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    auto params = Base(n, 7000 + seed);
+    params.use_nisan = true;
+    L0Sampler sampler(params);
+    for (const auto& u : stream) sampler.Update(u.index, u.delta);
+    auto res = sampler.Sample();
+    if (res.ok()) {
+      ++ok;
+      if (x[res.value().index] ==
+          static_cast<int64_t>(res.value().estimate)) {
+        ++correct;
+      }
+    }
+  }
+  EXPECT_GE(ok, 18);
+  EXPECT_EQ(correct, ok);
+}
+
+TEST(L0Sampler, NisanSeedBitsAreLog2Squared) {
+  auto params = Base(1 << 12, 1);
+  params.use_nisan = true;
+  L0Sampler with_nisan(params);
+  L0Sampler with_oracle(Base(1 << 12, 1));
+  // The Nisan seed is O(log^2 n) bits, far above the oracle's 64 but far
+  // below the measurement bits.
+  EXPECT_GT(with_nisan.SpaceBits(), with_oracle.SpaceBits());
+  EXPECT_LT(with_nisan.SpaceBits(), 2 * with_oracle.SpaceBits());
+}
+
+TEST(L0Sampler, SampleWithLevelReportsFiringLevel) {
+  L0Sampler sampler(Base(1024, 3));
+  sampler.Update(10, 1);
+  int level = -1;
+  auto res = sampler.SampleWithLevel(&level);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(level, 0);  // 1-sparse: level 0 recovers immediately
+}
+
+}  // namespace
+}  // namespace lps::core

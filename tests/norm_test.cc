@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/util/serialize.h"
+
+namespace lps::norm {
+namespace {
+
+class LpNorm2Approx : public ::testing::TestWithParam<double> {};
+
+// Lemma 2: ||x||_p <= r <= 2 ||x||_p with high probability.
+TEST_P(LpNorm2Approx, CoversTwoApproxWindow) {
+  const double p = GetParam();
+  const uint64_t n = 1024;
+  const auto stream = stream::ZipfianVector(n, 1.1, 1000, true, 1);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  const double truth = x.NormP(p);
+
+  int within = 0;
+  const int trials = 40;
+  // p < 1 stable laws have a flatter density at the median, so the median
+  // estimator needs more rows for the same concentration (C10's bench
+  // sweeps this curve).
+  const int rows = p < 1.0 ? 400 : 128;
+  for (int trial = 0; trial < trials; ++trial) {
+    LpNormEstimator est(p, rows, 100 + static_cast<uint64_t>(trial));
+    for (const auto& u : stream) {
+      est.Update(u.index, static_cast<double>(u.delta));
+    }
+    const double r = est.Estimate2Approx();
+    if (r >= truth && r <= 2 * truth) ++within;
+  }
+  EXPECT_GE(within, trials - 5) << "p = " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, LpNorm2Approx,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+TEST(LpNormEstimator, ZeroVectorGivesZero) {
+  LpNormEstimator est(1.0, 64, 1);
+  EXPECT_DOUBLE_EQ(est.Estimate2Approx(), 0.0);
+}
+
+TEST(LpNormEstimator, DefaultRowsGrowWithN) {
+  EXPECT_GE(LpNormEstimator::DefaultRows(1 << 10), 96);
+  EXPECT_GT(LpNormEstimator::DefaultRows(1ULL << 40),
+            LpNormEstimator::DefaultRows(1 << 10));
+}
+
+TEST(L0Estimator, ZeroVector) {
+  L0Estimator est(1024, 15, 1);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+TEST(L0Estimator, DeletionsReduceCount) {
+  L0Estimator est(1024, 25, 2);
+  for (uint64_t i = 0; i < 600; ++i) est.Update(i, 1);
+  for (uint64_t i = 0; i < 595; ++i) est.Update(i, -1);  // 5 survivors
+  const double e = est.Estimate();
+  EXPECT_GT(e, 0.5);
+  EXPECT_LT(e, 40.0);
+}
+
+class L0EstimatorAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(L0EstimatorAccuracy, ConstantFactorAcrossSupportSizes) {
+  const uint64_t support = 1ULL << GetParam();
+  const uint64_t n = 1 << 14;
+  int good = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    L0Estimator est(n, 25, 50 + static_cast<uint64_t>(trial));
+    const auto stream = stream::SparseVector(n, support, 100, trial);
+    for (const auto& u : stream) est.Update(u.index, u.delta);
+    const double e = est.Estimate();
+    if (e >= support / 4.0 && e <= support * 4.0) ++good;
+  }
+  EXPECT_GE(good, trials - 3) << "support " << support;
+}
+
+INSTANTIATE_TEST_SUITE_P(Supports, L0EstimatorAccuracy,
+                         ::testing::Values(2, 4, 6, 8, 10, 12));
+
+TEST(L0Estimator, SerializeRoundTrip) {
+  L0Estimator a(512, 9, 3);
+  for (uint64_t i = 0; i < 100; ++i) a.Update(3 * i % 512, 1);
+  BitWriter w;
+  a.SerializeCounters(&w);
+  L0Estimator b(512, 9, 3);
+  BitReader r(w);
+  b.DeserializeCounters(&r);
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(L0Estimator, LinearityAcrossParties) {
+  // fp(x) - fp(y) = fp(x - y): equal vectors cancel to zero.
+  L0Estimator alice(512, 9, 4), bob(512, 9, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    alice.Update(i, 1);
+    bob.Update(i, 1);
+  }
+  alice.Update(300, 1);  // one extra coordinate
+  BitWriter w;
+  alice.SerializeCounters(&w);
+  L0Estimator diff(512, 9, 4);
+  BitReader r(w);
+  diff.DeserializeCounters(&r);
+  for (uint64_t i = 0; i < 200; ++i) diff.Update(i, -1);
+  const double e = diff.Estimate();
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 8.0);
+}
+
+}  // namespace
+}  // namespace lps::norm

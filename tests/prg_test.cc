@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/field/gf61.h"
+#include "src/prg/nisan.h"
+#include "src/prg/random_source.h"
+
+namespace lps::prg {
+namespace {
+
+TEST(NisanPrg, BlockCountAndDeterminism) {
+  NisanPrg g(10, 42);
+  EXPECT_EQ(g.num_blocks(), 1024u);
+  NisanPrg h(10, 42);
+  for (uint64_t i = 0; i < 1024; ++i) {
+    EXPECT_EQ(g.Block(i), h.Block(i));
+    EXPECT_LT(g.Block(i), gf61::kP);
+  }
+}
+
+TEST(NisanPrg, SeedBitsQuadraticInLevels) {
+  // Seed is (2*levels + 1) * 61 bits: O(log^2 n) once levels = O(log n).
+  EXPECT_EQ(NisanPrg(0, 1).SeedBits(), 61u);
+  EXPECT_EQ(NisanPrg(10, 1).SeedBits(), 21u * 61);
+  EXPECT_EQ(NisanPrg(20, 1).SeedBits(), 41u * 61);
+}
+
+TEST(NisanPrg, RecursiveStructure) {
+  // G_j(x) = G_{j-1}(x) . G_{j-1}(h_j(x)): the left half of the output at
+  // level j equals the full output at level j-1 with the same seed
+  // material. Verified indirectly: block 0 is the initial x at any level.
+  NisanPrg g1(3, 7), g2(8, 7);
+  EXPECT_EQ(g1.Block(0), g2.Block(0));
+}
+
+TEST(NisanPrg, OutputLooksUniform) {
+  // Crude equidistribution: fraction of blocks below p/2 approaches 1/2.
+  NisanPrg g(14, 99);
+  const uint64_t blocks = g.num_blocks();
+  uint64_t below = 0;
+  for (uint64_t i = 0; i < blocks; ++i) {
+    if (g.Block(i) < gf61::kP / 2) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / static_cast<double>(blocks), 0.5,
+              0.05);
+}
+
+TEST(NisanPrg, DistinctSeedsDisagree) {
+  NisanPrg a(10, 1), b(10, 2);
+  int diffs = 0;
+  for (uint64_t i = 0; i < 256; ++i) diffs += a.Block(i) != b.Block(i);
+  EXPECT_GT(diffs, 250);
+}
+
+TEST(OracleSource, WordsAreUniformish) {
+  OracleSource source(5);
+  double sum = 0;
+  const int words = 100000;
+  for (uint64_t i = 0; i < words; ++i) {
+    const double u = source.Uniform01(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / words, 0.5, 0.01);
+  EXPECT_EQ(source.SeedBits(), 64u);
+}
+
+TEST(NisanSource, WordsAreUniformish) {
+  NisanSource source(14, 6);
+  double sum = 0;
+  const int words = 16384;
+  for (uint64_t i = 0; i < words; ++i) {
+    sum += source.Uniform01(i);
+  }
+  EXPECT_NEAR(sum / words, 0.5, 0.02);
+  EXPECT_GT(source.SeedBits(), 64u);
+}
+
+TEST(NisanSource, PairwiseBlockAgreementIsRare) {
+  // Within one level-k half, blocks are pairwise distinct w.h.p.; sample a
+  // few hundred pairs.
+  NisanSource source(12, 8);
+  int collisions = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    if (source.Word(2 * i) == source.Word(2 * i + 1)) ++collisions;
+  }
+  EXPECT_LE(collisions, 1);
+}
+
+}  // namespace
+}  // namespace lps::prg

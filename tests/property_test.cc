@@ -1,0 +1,218 @@
+// Property-based sweeps over the library's core invariants, parameterized
+// across the (p, eps, n, s, ...) grids the paper's theorems quantify over.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/field/gf61.h"
+#include "src/field/poly.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/sketch/count_sketch.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/util/random.h"
+
+namespace lps {
+namespace {
+
+// ---------- Field / polynomial algebra properties ----------
+
+class PolyAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyAlgebra, RingAxiomsOnRandomPolynomials) {
+  const int degree = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(degree));
+  for (int trial = 0; trial < 20; ++trial) {
+    auto random_poly = [&](int d) {
+      poly::Poly f(static_cast<size_t>(d) + 1);
+      for (auto& c : f) c = rng.Below(gf61::kP);
+      poly::Trim(&f);
+      return f;
+    };
+    const poly::Poly a = random_poly(degree);
+    const poly::Poly b = random_poly(degree / 2 + 1);
+    const poly::Poly c = random_poly(degree / 3 + 1);
+    // Distributivity: a*(b + c) == a*b + a*c.
+    EXPECT_EQ(poly::Mul(a, poly::Add(b, c)),
+              poly::Add(poly::Mul(a, b), poly::Mul(a, c)));
+    // Commutativity.
+    EXPECT_EQ(poly::Mul(a, b), poly::Mul(b, a));
+    // Evaluation is a ring homomorphism: (a*b)(x) == a(x)*b(x).
+    const uint64_t x = rng.Below(gf61::kP);
+    EXPECT_EQ(poly::Eval(poly::Mul(a, b), x),
+              gf61::Mul(poly::Eval(a, x), poly::Eval(b, x)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyAlgebra, ::testing::Values(2, 5, 9, 16));
+
+// ---------- Count-sketch unbiasedness across shapes ----------
+
+class CountSketchShape
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CountSketchShape, RowEstimatesAreUnbiased) {
+  const auto [rows, buckets] = GetParam();
+  const uint64_t n = 512;
+  const auto stream = stream::UniformTurnstile(n, 1000, 10, 77);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  // Average the point estimate of one coordinate over many sketches: the
+  // mean must approach the true value (estimates are unbiased per row;
+  // the median keeps the sign and magnitude for well-separated values).
+  const uint64_t target = stream[0].index;
+  double sum = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    sketch::CountSketch cs(rows, buckets, 2000 + static_cast<uint64_t>(rep));
+    for (const auto& u : stream) {
+      cs.Update(u.index, static_cast<double>(u.delta));
+    }
+    sum += cs.Query(target);
+  }
+  const double mean = sum / reps;
+  const double truth = static_cast<double>(x[target]);
+  const double allowance =
+      5.0 * x.NormP(2.0) / std::sqrt(static_cast<double>(buckets) * reps) +
+      0.5;
+  EXPECT_NEAR(mean, truth, allowance + std::abs(truth) * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CountSketchShape,
+                         ::testing::Combine(::testing::Values(5, 9, 15),
+                                            ::testing::Values(24, 96)));
+
+// ---------- Lp sampler invariants across the (p, eps) grid ----------
+
+class LpGrid : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LpGrid, SamplesAlwaysLandOnSupport) {
+  const auto [p, eps] = GetParam();
+  const uint64_t n = 256;
+  const auto stream = stream::SparseVector(n, 64, 1000, 31);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    core::LpSamplerParams params;
+    params.n = n;
+    params.p = p;
+    params.eps = eps;
+    params.repetitions = 8;
+    params.seed = 3000 + seed;
+    core::LpSampler sampler(params);
+    for (const auto& u : stream) {
+      sampler.Update(u.index, static_cast<double>(u.delta));
+    }
+    auto res = sampler.Sample();
+    if (res.ok()) {
+      // A sampled index must be a genuine support coordinate, and the sign
+      // of the estimate must match the sign of x_i (sign errors are the
+      // "low probability" failure mode of Theorem 3's argument).
+      ASSERT_NE(x[res.value().index], 0)
+          << "p=" << p << " eps=" << eps << " seed=" << seed;
+      EXPECT_GT(res.value().estimate * static_cast<double>(x[res.value().index]),
+                0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LpGrid,
+    ::testing::Combine(::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5, 1.8),
+                       ::testing::Values(0.5, 0.25)));
+
+// ---------- Figure 1 parameter derivations across p ----------
+
+class ResolveGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResolveGrid, DerivedParametersMatchFigure1) {
+  const double p = GetParam();
+  core::LpSamplerParams params;
+  params.n = 1 << 12;
+  params.p = p;
+  params.eps = 0.125;
+  params.seed = 1;
+  const auto resolved = core::LpSampler::Resolve(params);
+  if (p != 1.0) {
+    EXPECT_EQ(resolved.k,
+              10 * static_cast<int>(std::ceil(1.0 / std::abs(p - 1.0))));
+  }
+  if (p > 1.0) {
+    // m = Theta(eps^{-(p-1)}).
+    EXPECT_GE(resolved.m,
+              static_cast<int>(std::pow(1 / params.eps, p - 1.0)));
+  }
+  EXPECT_GE(resolved.repetitions, 1);
+  EXPECT_GT(resolved.cs_rows, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, ResolveGrid,
+                         ::testing::Values(0.3, 0.5, 0.9, 1.0, 1.1, 1.5, 1.9));
+
+// ---------- Sparse recovery is exactly linear ----------
+
+class RecoveryLinearity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryLinearity, StreamOrderAndSplittingIrrelevant) {
+  const int s = GetParam();
+  const uint64_t n = 8192;
+  Rng rng(4000 + static_cast<uint64_t>(s));
+  // Build the same sparse vector via two differently-ordered, differently-
+  // split update sequences; the measurements must agree bit for bit.
+  std::vector<std::pair<uint64_t, int64_t>> entries;
+  for (int j = 0; j < s; ++j) {
+    entries.push_back({rng.Below(n), static_cast<int64_t>(1 + rng.Below(99))});
+  }
+  recovery::SparseRecovery direct(n, static_cast<uint64_t>(s) + 2, 99);
+  for (const auto& [i, v] : entries) direct.Update(i, v);
+
+  recovery::SparseRecovery split(n, static_cast<uint64_t>(s) + 2, 99);
+  for (const auto& [i, v] : entries) split.Update(i, v - 1);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    split.Update(it->first, 1);
+  }
+
+  BitWriter wa, wb;
+  direct.SerializeCounters(&wa);
+  split.SerializeCounters(&wb);
+  EXPECT_EQ(wa.words(), wb.words());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, RecoveryLinearity,
+                         ::testing::Values(1, 3, 7, 15, 31));
+
+// ---------- L0 sampler: failure implies an adversarial support ----------
+
+class L0SupportSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(L0SupportSweep, SampleCorrectAcrossSupportScales) {
+  const uint64_t support = 1ULL << GetParam();
+  const uint64_t n = 1 << 13;
+  const auto stream = stream::SparseVector(n, support, 100, 51);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  int ok = 0;
+  const int trials = 25;
+  for (uint64_t seed = 0; seed < trials; ++seed) {
+    core::L0Sampler sampler({n, 0.2, 0, 5000 + seed, false});
+    for (const auto& u : stream) sampler.Update(u.index, u.delta);
+    auto res = sampler.Sample();
+    if (res.ok()) {
+      ++ok;
+      ASSERT_EQ(static_cast<int64_t>(res.value().estimate),
+                x[res.value().index]);
+    }
+  }
+  EXPECT_GE(ok, trials * 3 / 4) << "support " << support;
+}
+
+INSTANTIATE_TEST_SUITE_P(Supports, L0SupportSweep,
+                         ::testing::Values(0, 2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,200 @@
+// Serialization round trips and cross-party linearity for every
+// serializable component — the communication reductions depend on the
+// invariant that (same seed) + (transferred counters) == (same state).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/l0_norm.h"
+#include "src/recovery/one_sparse.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/stable_sketch.h"
+#include "src/stream/generators.h"
+#include "src/util/serialize.h"
+
+namespace lps {
+namespace {
+
+// Every serializable sketch S must satisfy: deserialize(serialize(A)) into
+// a same-seed twin B, then updating A and B identically keeps them equal.
+template <typename Sketch, typename MakeFn, typename UpdateFn, typename EqFn>
+void CheckContinuation(MakeFn make, UpdateFn update, EqFn equal) {
+  Sketch a = make();
+  update(&a, 17, 5.0);
+  update(&a, 90, -2.0);
+  BitWriter w;
+  a.SerializeCounters(&w);
+  Sketch b = make();
+  BitReader r(w);
+  b.DeserializeCounters(&r);
+  // Continue both with identical updates.
+  update(&a, 300, 7.0);
+  update(&b, 300, 7.0);
+  equal(a, b);
+}
+
+TEST(Serialization, CountSketchContinuation) {
+  CheckContinuation<sketch::CountSketch>(
+      [] { return sketch::CountSketch(9, 48, 1); },
+      [](sketch::CountSketch* s, uint64_t i, double v) { s->Update(i, v); },
+      [](const sketch::CountSketch& a, const sketch::CountSketch& b) {
+        for (uint64_t i : {17ULL, 90ULL, 300ULL, 5ULL}) {
+          EXPECT_DOUBLE_EQ(a.Query(i), b.Query(i));
+        }
+      });
+}
+
+TEST(Serialization, CountMinContinuation) {
+  CheckContinuation<sketch::CountMin>(
+      [] { return sketch::CountMin(9, 48, 2); },
+      [](sketch::CountMin* s, uint64_t i, double v) { s->Update(i, v); },
+      [](const sketch::CountMin& a, const sketch::CountMin& b) {
+        for (uint64_t i : {17ULL, 90ULL, 300ULL}) {
+          EXPECT_DOUBLE_EQ(a.QueryMin(i), b.QueryMin(i));
+          EXPECT_DOUBLE_EQ(a.QueryMedian(i), b.QueryMedian(i));
+        }
+      });
+}
+
+TEST(Serialization, StableSketchContinuation) {
+  CheckContinuation<sketch::StableSketch>(
+      [] { return sketch::StableSketch(1.0, 32, 3); },
+      [](sketch::StableSketch* s, uint64_t i, double v) { s->Update(i, v); },
+      [](const sketch::StableSketch& a, const sketch::StableSketch& b) {
+        EXPECT_DOUBLE_EQ(a.EstimateNorm(), b.EstimateNorm());
+      });
+}
+
+TEST(Serialization, SparseRecoveryDifferenceAcrossThreeParties) {
+  // A -> B -> C chain: C ends up holding sketch(x_A + x_B + x_C).
+  const uint64_t n = 1000;
+  recovery::SparseRecovery a(n, 6, 4);
+  a.Update(1, 10);
+  BitWriter w1;
+  a.SerializeCounters(&w1);
+
+  recovery::SparseRecovery b(n, 6, 4);
+  BitReader r1(w1);
+  b.DeserializeCounters(&r1);
+  b.Update(2, 20);
+  BitWriter w2;
+  b.SerializeCounters(&w2);
+
+  recovery::SparseRecovery c(n, 6, 4);
+  BitReader r2(w2);
+  c.DeserializeCounters(&r2);
+  c.Update(3, 30);
+
+  auto rec = c.Recover();
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec.value().size(), 3u);
+  EXPECT_EQ(rec.value()[0].value, 10);
+  EXPECT_EQ(rec.value()[1].value, 20);
+  EXPECT_EQ(rec.value()[2].value, 30);
+}
+
+TEST(Serialization, OneSparseRoundTripPreservesRecovery) {
+  recovery::OneSparse a(500, 5);
+  a.Update(123, 9);
+  BitWriter w;
+  a.SerializeCounters(&w);
+  recovery::OneSparse b(500, 5);
+  BitReader r(w);
+  b.DeserializeCounters(&r);
+  b.Update(123, -9);  // cancel through the transferred state
+  EXPECT_TRUE(b.IsZero());
+}
+
+TEST(Serialization, L0EstimatorBitWidth) {
+  norm::L0Estimator est(1024, 9, 6);
+  BitWriter w;
+  est.SerializeCounters(&w);
+  // reps x levels fingerprints at 61 bits each, and nothing else.
+  EXPECT_EQ(w.bit_count(), 9u * est.levels() * 61);
+}
+
+TEST(Serialization, L0SamplerCrossPartySampleAgreement) {
+  const uint64_t n = 2048;
+  core::L0SamplerParams params{n, 0.25, 0, 7, false};
+  core::L0Sampler alice(params);
+  const auto stream = stream::SparseVector(n, 30, 100, 8);
+  for (const auto& u : stream) alice.Update(u.index, u.delta);
+  BitWriter w;
+  alice.SerializeCounters(&w);
+  core::L0Sampler bob(params);
+  BitReader r(w);
+  bob.DeserializeCounters(&r);
+  auto sa = alice.Sample();
+  auto sb = bob.Sample();
+  ASSERT_EQ(sa.ok(), sb.ok());
+  if (sa.ok()) {
+    EXPECT_EQ(sa.value().index, sb.value().index);
+    EXPECT_DOUBLE_EQ(sa.value().estimate, sb.value().estimate);
+  }
+}
+
+TEST(Serialization, DuplicateFinderHalfAndHalf) {
+  // Alice processes half the stream, ships her memory; Bob finishes. The
+  // result must match a single party processing everything.
+  const uint64_t n = 256;
+  const auto letters = stream::DuplicateStream(n, 4, 9);
+  duplicates::DuplicateFinder::Params params{n, 0.2, 8, 10};
+
+  duplicates::DuplicateFinder solo(params);
+  for (uint64_t l : letters) solo.ProcessItem(l);
+
+  duplicates::DuplicateFinder alice(params);
+  const size_t half = letters.size() / 2;
+  for (size_t j = 0; j < half; ++j) alice.ProcessItem(letters[j]);
+  BitWriter w;
+  alice.SerializeCounters(&w);
+  duplicates::DuplicateFinder bob(params);
+  BitReader r(w);
+  bob.DeserializeCounters(&r);
+  for (size_t j = half; j < letters.size(); ++j) bob.ProcessItem(letters[j]);
+
+  auto solo_result = solo.Find();
+  auto split_result = bob.Find();
+  ASSERT_EQ(solo_result.ok(), split_result.ok());
+  if (solo_result.ok()) {
+    EXPECT_EQ(solo_result.value(), split_result.value());
+  }
+}
+
+TEST(Serialization, HeavyHittersQueryEquivalence) {
+  heavy::CsHeavyHitters::Params params;
+  params.n = 512;
+  params.p = 1.0;
+  params.phi = 0.2;
+  params.strict_turnstile = true;
+  params.seed = 11;
+  heavy::CsHeavyHitters alice(params);
+  alice.Update(7, 100);
+  alice.Update(300, 60);
+  alice.Update(12, 1);
+  BitWriter w;
+  alice.SerializeCounters(&w);
+  heavy::CsHeavyHitters bob(params);
+  BitReader r(w);
+  bob.DeserializeCounters(&r);
+  EXPECT_EQ(alice.Query(), bob.Query());
+}
+
+TEST(Serialization, BitExactAccountingMatchesSpaceModel) {
+  // The serialized size of a sparse recovery sketch is exactly its
+  // measurement bits — the quantity Lemma 5 and the reductions charge.
+  recovery::SparseRecovery rec(4096, 10, 12);
+  BitWriter w;
+  rec.SerializeCounters(&w);
+  EXPECT_EQ(w.bit_count(), (2u * 10 + 2) * 61);
+  EXPECT_EQ(rec.SpaceBits(), w.bit_count() + 2 * 64);  // + the two seeds
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/sketch/ams_f2.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/dyadic.h"
+#include "src/sketch/stable_sketch.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+
+namespace lps::sketch {
+namespace {
+
+TEST(CountSketch, ExactOnVerySparseVectors) {
+  // With far more buckets than non-zeros, collisions are rare and the
+  // median recovers values exactly.
+  CountSketch cs(11, 256, 1);
+  cs.Update(10, 5.0);
+  cs.Update(200, -3.0);
+  EXPECT_DOUBLE_EQ(cs.Query(10), 5.0);
+  EXPECT_DOUBLE_EQ(cs.Query(200), -3.0);
+  EXPECT_DOUBLE_EQ(cs.Query(42), 0.0);
+}
+
+TEST(CountSketch, LinearityOfUpdates) {
+  CountSketch cs(9, 64, 2);
+  cs.Update(7, 2.0);
+  cs.Update(7, 3.0);
+  cs.Update(7, -1.0);
+  EXPECT_DOUBLE_EQ(cs.Query(7), 4.0);
+}
+
+// Lemma 1: |x_i - x*_i| <= Err_2^m(x) / sqrt(m) for all i w.h.p.
+TEST(CountSketch, Lemma1PointErrorBound) {
+  const uint64_t n = 2048;
+  const int m = 16;
+  const auto stream = stream::ZipfianVector(n, 1.0, 10000, true, 3);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  const double bound = x.ErrM2(m) / std::sqrt(static_cast<double>(m));
+
+  int violations = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    CountSketch cs(15, 6 * m, seed);
+    for (const auto& u : stream) {
+      cs.Update(u.index, static_cast<double>(u.delta));
+    }
+    double worst = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      worst = std::max(worst,
+                       std::abs(cs.Query(i) - static_cast<double>(x[i])));
+    }
+    if (worst > bound) ++violations;
+  }
+  EXPECT_LE(violations, 1) << "point error exceeded Err/sqrt(m) too often";
+}
+
+TEST(CountSketch, TopMFindsDominantCoordinates) {
+  const uint64_t n = 1024;
+  CountSketch cs(13, 96, 4);
+  cs.Update(17, 1000.0);
+  cs.Update(900, -800.0);
+  cs.Update(55, 600.0);
+  Rng rng(5);
+  for (int j = 0; j < 200; ++j) {
+    cs.Update(rng.Below(n), (rng.Next() & 1) ? 1.0 : -1.0);
+  }
+  const auto top = cs.TopM(n, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 17u);
+  EXPECT_EQ(top[1].first, 900u);
+  EXPECT_EQ(top[2].first, 55u);
+  EXPECT_NEAR(top[0].second, 1000.0, 100.0);
+}
+
+TEST(CountSketch, ResidualL2Estimate) {
+  const uint64_t n = 4096;
+  const auto stream = stream::UniformTurnstile(n, 8000, 20, 6);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  CountSketch cs(15, 240, 7);
+  for (const auto& u : stream) cs.Update(u.index, static_cast<double>(u.delta));
+  // Estimate ||x||_2 (empty sparse part) within a modest factor.
+  const double est = cs.EstimateResidualL2({});
+  const double truth = x.NormP(2.0);
+  EXPECT_GT(est, 0.6 * truth);
+  EXPECT_LT(est, 1.6 * truth);
+}
+
+TEST(CountSketch, ResidualSubtractsSparsePart) {
+  CountSketch cs(15, 96, 8);
+  cs.Update(3, 500.0);
+  cs.Update(77, -400.0);
+  // Subtracting the true values leaves (near) nothing.
+  const double res = cs.EstimateResidualL2({{3, 500.0}, {77, -400.0}});
+  EXPECT_NEAR(res, 0.0, 1e-9);
+  EXPECT_GT(cs.EstimateResidualL2({}), 400.0);
+}
+
+TEST(CountSketch, AddScaledIsLinear) {
+  CountSketch a(9, 48, 10), b(9, 48, 10);
+  a.Update(5, 2.0);
+  b.Update(5, 3.0);
+  a.AddScaled(b, -1.0);
+  EXPECT_DOUBLE_EQ(a.Query(5), -1.0);
+}
+
+TEST(CountSketch, SerializeRoundTrip) {
+  CountSketch a(9, 48, 11);
+  a.Update(1, 4.5);
+  a.Update(40, -2.25);
+  BitWriter writer;
+  a.SerializeCounters(&writer);
+  EXPECT_EQ(writer.bit_count(), 9u * 48 * 64);
+  CountSketch b(9, 48, 11);
+  BitReader reader(writer);
+  b.DeserializeCounters(&reader);
+  EXPECT_DOUBLE_EQ(b.Query(1), 4.5);
+  EXPECT_DOUBLE_EQ(b.Query(40), -2.25);
+}
+
+TEST(CountSketch, SpaceBitsAccounting) {
+  CountSketch cs(10, 60, 12);
+  // 600 counters * 32 bits + 20 pairwise hashes * 2 * 61 bits.
+  EXPECT_EQ(cs.SpaceBits(32), 600u * 32 + 20u * 2 * 61);
+}
+
+TEST(CountMin, StrictTurnstileOverestimates) {
+  const uint64_t n = 512;
+  CountMin cm(9, 64, 13);
+  stream::ExactVector x(n);
+  Rng rng(14);
+  for (int j = 0; j < 2000; ++j) {
+    const uint64_t i = rng.Below(n);
+    cm.Update(i, 1.0);
+    x.Apply({i, 1});
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_GE(cm.QueryMin(i) + 1e-9, static_cast<double>(x[i]));
+  }
+  // And the error is bounded by ||x||_1 / buckets per row w.h.p.
+  int bad = 0;
+  const double allowance = 3.0 * 2000.0 / 64.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (cm.QueryMin(i) - static_cast<double>(x[i]) > allowance) ++bad;
+  }
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(CountMin, MedianHandlesGeneralUpdates) {
+  const uint64_t n = 512;
+  CountMin cm(11, 64, 15);
+  stream::ExactVector x(n);
+  const auto stream = stream::UniformTurnstile(n, 3000, 5, 16);
+  for (const auto& u : stream) {
+    cm.Update(u.index, static_cast<double>(u.delta));
+    x.Apply(u);
+  }
+  const double allowance = 3.0 * x.NormP(1.0) / 64.0;
+  int bad = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (std::abs(cm.QueryMedian(i) - static_cast<double>(x[i])) > allowance) {
+      ++bad;
+    }
+  }
+  EXPECT_LE(bad, 2);
+}
+
+TEST(AmsF2, EstimatesSquaredNorm) {
+  const uint64_t n = 2048;
+  const auto stream = stream::UniformTurnstile(n, 5000, 10, 17);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  AmsF2 ams(9, 24, 18);
+  for (const auto& u : stream) {
+    ams.Update(u.index, static_cast<double>(u.delta));
+  }
+  const double truth = x.NormPToP(2.0);
+  EXPECT_GT(ams.EstimateF2(), 0.5 * truth);
+  EXPECT_LT(ams.EstimateF2(), 2.0 * truth);
+  EXPECT_NEAR(ams.EstimateL2(), std::sqrt(ams.EstimateF2()), 1e-9);
+}
+
+TEST(AmsF2, ResidualRemovesSparseComponent) {
+  AmsF2 ams(9, 24, 19);
+  ams.Update(5, 300.0);
+  ams.Update(700, 40.0);
+  const double with_all = ams.EstimateL2();
+  EXPECT_GT(with_all, 250.0);
+  const double res = ams.EstimateResidualL2({{5, 300.0}});
+  EXPECT_LT(res, 100.0);
+  EXPECT_NEAR(ams.EstimateResidualL2({{5, 300.0}, {700, 40.0}}), 0.0, 1e-9);
+}
+
+TEST(StableSketch, CauchyAndGaussianClosedForms) {
+  EXPECT_DOUBLE_EQ(StableMedianAbs(1.0), 1.0);
+  EXPECT_NEAR(StableMedianAbs(2.0), 0.6744897501960817, 1e-12);
+  // General p: calibrated constant is positive and stable across calls.
+  const double m05 = StableMedianAbs(0.5);
+  EXPECT_GT(m05, 0.0);
+  EXPECT_DOUBLE_EQ(StableMedianAbs(0.5), m05);
+}
+
+class StableSketchNorm : public ::testing::TestWithParam<double> {};
+
+TEST_P(StableSketchNorm, MedianEstimatesLpNorm) {
+  const double p = GetParam();
+  const uint64_t n = 512;
+  const auto stream = stream::ZipfianVector(n, 0.8, 100, true, 20);
+  stream::ExactVector x(n);
+  x.Apply(stream);
+  const double truth = x.NormP(p);
+  // Average the success indicator over independent sketches.
+  int within = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    StableSketch sketch(p, 150, 21 + static_cast<uint64_t>(trial));
+    for (const auto& u : stream) {
+      sketch.Update(u.index, static_cast<double>(u.delta));
+    }
+    const double est = sketch.EstimateNorm();
+    if (est > 0.7 * truth && est < 1.4 * truth) ++within;
+  }
+  EXPECT_GE(within, trials - 4) << "p = " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, StableSketchNorm,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+TEST(DyadicCountSketch, FindsSignedHeavyLeaves) {
+  // General updates: a heavy negative coordinate and cancelling noise.
+  DyadicCountSketch tree(10, 11, 96, 31);
+  tree.Update(100, -600.0);
+  tree.Update(850, 500.0);
+  Rng rng(32);
+  for (int j = 0; j < 400; ++j) {
+    const uint64_t i = rng.Below(1024);
+    tree.Update(i, 1.0);
+    tree.Update(i, -1.0);  // perfectly cancelling churn
+  }
+  const auto heavy = tree.HeavyLeaves(250.0);
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), 100u) != heavy.end());
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), 850u) != heavy.end());
+  EXPECT_LE(heavy.size(), 4u);
+  EXPECT_NEAR(tree.Query(100), -600.0, 60.0);
+}
+
+TEST(DyadicCountSketch, OppositeSignsInDistinctStartBlocks) {
+  DyadicCountSketch tree(8, 11, 96, 33);
+  // Universe 256, start level 2 (64 blocks of width 4): coordinates 3 and
+  // 200 live in different starting blocks, so no cancellation en route.
+  ASSERT_EQ(tree.start_level(), 2);
+  tree.Update(3, 400.0);
+  tree.Update(200, -400.0);
+  const auto heavy = tree.HeavyLeaves(200.0);
+  EXPECT_EQ(heavy.size(), 2u);
+}
+
+TEST(DyadicCountSketch, DocumentedMissOnAdversarialCancellation) {
+  // +v and -v inside the SAME starting block cancel at every maintained
+  // level above the leaves: the dyadic descent misses them BY DESIGN (this
+  // is the documented trade-off; the flat CsHeavyHitters scan is the sound
+  // tool for adversarial general-update extraction).
+  DyadicCountSketch tree(8, 11, 96, 35);
+  tree.Update(4, 400.0);
+  tree.Update(5, -400.0);  // same width-4 starting block as coordinate 4
+  EXPECT_TRUE(tree.HeavyLeaves(200.0).empty());
+  // The leaf estimates themselves are intact — only the descent is blind.
+  EXPECT_NEAR(tree.Query(4), 400.0, 1e-6);
+  EXPECT_NEAR(tree.Query(5), -400.0, 1e-6);
+}
+
+TEST(DyadicCountSketch, EmptyTreeReportsNothing) {
+  DyadicCountSketch tree(6, 7, 24, 34);
+  EXPECT_TRUE(tree.HeavyLeaves(1.0).empty());
+  EXPECT_DOUBLE_EQ(tree.Query(5), 0.0);
+}
+
+TEST(DyadicCountMin, PointQueriesAndHeavyLeaves) {
+  DyadicCountMin tree(10, 9, 64, 22);  // universe 1024
+  tree.Update(100, 500.0);
+  tree.Update(700, 300.0);
+  Rng rng(23);
+  for (int j = 0; j < 500; ++j) tree.Update(rng.Below(1024), 1.0);
+  EXPECT_GE(tree.Query(100), 500.0);
+  const auto heavy = tree.HeavyLeaves(250.0);
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), 100u) != heavy.end());
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), 700u) != heavy.end());
+  EXPECT_LE(heavy.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lps::sketch

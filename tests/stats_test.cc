@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/stats.h"
+#include "src/util/random.h"
+
+namespace lps::stats {
+namespace {
+
+TEST(TotalVariationTest, IdenticalDistributionsAreZero) {
+  EXPECT_DOUBLE_EQ(TotalVariation({25, 25, 50}, {0.25, 0.25, 0.5}), 0.0);
+}
+
+TEST(TotalVariationTest, DisjointSupportIsOne) {
+  EXPECT_DOUBLE_EQ(TotalVariation({100, 0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(TotalVariationTest, KnownValue) {
+  // Empirical (0.5, 0.5) vs (0.75, 0.25): TV = 0.25.
+  EXPECT_DOUBLE_EQ(TotalVariation({50, 50}, {0.75, 0.25}), 0.25);
+}
+
+TEST(MaxRelativeErrorTest, IgnoresTinyCells) {
+  // Second cell is below the floor and would otherwise dominate.
+  const double err =
+      MaxRelativeError({90, 1, 9}, {0.9, 1e-6, 0.1}, 1e-3);
+  EXPECT_NEAR(err, 0.1, 1e-9);
+}
+
+TEST(GammaQ, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(UpperIncompleteGammaQ(1.0, 2.0), std::exp(-2.0), 1e-10);
+  // Chi-square with 2 dof: P(X > 5.991) = 0.05.
+  EXPECT_NEAR(UpperIncompleteGammaQ(1.0, 5.991 / 2), 0.05, 1e-3);
+  // Chi-square with 10 dof: P(X > 18.307) = 0.05.
+  EXPECT_NEAR(UpperIncompleteGammaQ(5.0, 18.307 / 2), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(UpperIncompleteGammaQ(3.0, 0.0), 1.0);
+}
+
+TEST(ChiSquare, UniformSamplesPass) {
+  Rng rng(1);
+  const int cells = 20;
+  std::vector<uint64_t> counts(cells, 0);
+  std::vector<double> probs(cells, 1.0 / cells);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Below(cells)];
+  const auto result = ChiSquareGof(counts, probs);
+  EXPECT_GT(result.p_value, 1e-4);
+  EXPECT_EQ(result.dof, cells - 1);
+}
+
+TEST(ChiSquare, BiasedSamplesFail) {
+  const int cells = 10;
+  std::vector<uint64_t> counts(cells, 1000);
+  counts[0] = 3000;  // heavy bias
+  std::vector<double> probs(cells, 1.0 / cells);
+  const auto result = ChiSquareGof(counts, probs);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquare, PoolsSmallCells) {
+  // Many near-zero-probability cells must be pooled, not divided by ~0.
+  std::vector<uint64_t> counts = {500, 500, 1, 0, 0};
+  std::vector<double> probs = {0.5, 0.499, 0.0005, 0.00025, 0.00025};
+  const auto result = ChiSquareGof(counts, probs);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+  EXPECT_LE(result.dof, 3);
+}
+
+TEST(Wilson, CoversTrueProportion) {
+  Rng rng(2);
+  int covered = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    const int trials = 500;
+    uint64_t successes = 0;
+    for (int t = 0; t < trials; ++t) successes += rng.NextDouble() < 0.3;
+    const auto ci = WilsonInterval(successes, trials, 2.58);
+    if (ci.lo <= 0.3 && 0.3 <= ci.hi) ++covered;
+  }
+  // 99% nominal coverage; allow slack.
+  EXPECT_GE(covered, experiments - 8);
+}
+
+TEST(Wilson, DegenerateCounts) {
+  const auto zero = WilsonInterval(0, 100);
+  EXPECT_NEAR(zero.lo, 0.0, 1e-12);
+  EXPECT_GT(zero.hi, 0.0);
+  const auto all = WilsonInterval(100, 100);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+}  // namespace
+}  // namespace lps::stats

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+
+namespace lps::stream {
+namespace {
+
+TEST(ExactVector, ApplyAndNorms) {
+  ExactVector x(8);
+  x.Apply({0, 3});
+  x.Apply({1, -4});
+  x.Apply({0, 1});  // x = (4, -4, 0, ...)
+  EXPECT_EQ(x[0], 4);
+  EXPECT_EQ(x[1], -4);
+  EXPECT_EQ(x.L0(), 2u);
+  EXPECT_DOUBLE_EQ(x.NormP(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(x.NormP(2.0), std::sqrt(32.0));
+  EXPECT_DOUBLE_EQ(x.NormPToP(0.5), 2 * std::sqrt(4.0));
+  EXPECT_EQ(x.PositiveMass(), 4);
+  EXPECT_EQ(x.NegativeMass(), 4);
+  EXPECT_EQ(x.Total(), 0);
+}
+
+TEST(ExactVector, LpDistribution) {
+  ExactVector x(4);
+  x.Apply({0, 1});
+  x.Apply({1, -2});
+  x.Apply({2, 3});
+  const auto d1 = x.LpDistribution(1.0);
+  EXPECT_DOUBLE_EQ(d1[0], 1.0 / 6);
+  EXPECT_DOUBLE_EQ(d1[1], 2.0 / 6);
+  EXPECT_DOUBLE_EQ(d1[2], 3.0 / 6);
+  EXPECT_DOUBLE_EQ(d1[3], 0.0);
+  const auto d0 = x.LpDistribution(0.0);
+  EXPECT_DOUBLE_EQ(d0[0], 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d0[3], 0.0);
+  const auto d2 = x.LpDistribution(2.0);
+  EXPECT_DOUBLE_EQ(d2[2], 9.0 / 14);
+}
+
+TEST(ExactVector, ErrM2DropsLargestEntries) {
+  ExactVector x(6);
+  x.Apply({0, 10});
+  x.Apply({1, -5});
+  x.Apply({2, 2});
+  x.Apply({3, 1});
+  EXPECT_DOUBLE_EQ(x.ErrM2(0), std::sqrt(100.0 + 25 + 4 + 1));
+  EXPECT_DOUBLE_EQ(x.ErrM2(1), std::sqrt(25.0 + 4 + 1));
+  EXPECT_DOUBLE_EQ(x.ErrM2(2), std::sqrt(4.0 + 1));
+  EXPECT_DOUBLE_EQ(x.ErrM2(4), 0.0);
+  EXPECT_DOUBLE_EQ(x.ErrM2(100), 0.0);
+}
+
+TEST(ExactVector, HeavyHitters) {
+  ExactVector x(8);
+  x.Apply({0, 100});
+  x.Apply({1, -100});
+  x.Apply({2, 1});
+  const auto heavy = x.HeavyHitters(1.0, 0.4);
+  EXPECT_EQ(heavy, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(Generators, UniformTurnstileShape) {
+  const auto stream = UniformTurnstile(100, 5000, 10, 1);
+  ASSERT_EQ(stream.size(), 5000u);
+  for (const auto& u : stream) {
+    EXPECT_LT(u.index, 100u);
+    EXPECT_NE(u.delta, 0);
+    EXPECT_LE(std::abs(u.delta), 10);
+  }
+}
+
+TEST(Generators, ZipfianVectorIsZipfian) {
+  const auto stream = ZipfianVector(64, 1.0, 1000, false, 2);
+  ExactVector x(64);
+  x.Apply(stream);
+  std::vector<int64_t> magnitudes;
+  for (uint64_t i = 0; i < 64; ++i) magnitudes.push_back(std::abs(x[i]));
+  std::sort(magnitudes.begin(), magnitudes.end(), std::greater<>());
+  EXPECT_EQ(magnitudes[0], 1000);
+  EXPECT_NEAR(magnitudes[1], 500, 1);
+  EXPECT_NEAR(magnitudes[3], 250, 1);
+}
+
+TEST(Generators, SignVectorExactlyK) {
+  const auto stream = SignVector(256, 40, 3);
+  ExactVector x(256);
+  x.Apply(stream);
+  EXPECT_EQ(x.L0(), 40u);
+  for (uint64_t i = 0; i < 256; ++i) {
+    EXPECT_LE(std::abs(x[i]), 1);
+  }
+}
+
+TEST(Generators, SparseVectorExactlyK) {
+  const auto stream = SparseVector(512, 25, 1000, 4);
+  ExactVector x(512);
+  x.Apply(stream);
+  EXPECT_EQ(x.L0(), 25u);
+}
+
+TEST(Generators, InsertDeleteChurnLeavesSurvivors) {
+  const auto stream = InsertDeleteChurn(1024, 400, 7, 5);
+  ExactVector x(1024);
+  x.Apply(stream);
+  EXPECT_EQ(x.L0(), 7u);
+  for (uint64_t i = 0; i < 1024; ++i) {
+    EXPECT_TRUE(x[i] == 0 || x[i] == 1);
+  }
+}
+
+TEST(Generators, PlantedHeavyHittersAreHeavy) {
+  const auto stream = PlantedHeavyHitters(1024, 3, 500, 200, false, 6);
+  ExactVector x(1024);
+  x.Apply(stream);
+  EXPECT_EQ(x.HeavyHitters(1.0, 0.2).size(), 3u);
+  EXPECT_EQ(x.L0(), 203u);
+}
+
+TEST(Generators, DuplicateStreamPigeonhole) {
+  const auto letters = DuplicateStream(100, 1, 7);
+  EXPECT_EQ(letters.size(), 101u);
+  std::map<uint64_t, int> counts;
+  for (uint64_t l : letters) ++counts[l];
+  int dups = 0;
+  for (const auto& [letter, c] : counts) {
+    if (c >= 2) ++dups;
+  }
+  EXPECT_GE(dups, 1);
+}
+
+TEST(Generators, DuplicateStreamZeroExtrasIsPermutation) {
+  const auto letters = DuplicateStream(50, 0, 8);
+  EXPECT_EQ(letters.size(), 50u);
+  std::vector<uint64_t> sorted = letters;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Generators, ShortStreamWithDuplicatesCounts) {
+  const uint64_t n = 200, s = 30, dups = 5;
+  const auto letters = ShortStreamWithDuplicates(n, s, dups, 9);
+  EXPECT_EQ(letters.size(), n - s);
+  std::map<uint64_t, int> counts;
+  for (uint64_t l : letters) ++counts[l];
+  uint64_t twice = 0;
+  for (const auto& [letter, c] : counts) {
+    EXPECT_LE(c, 2);
+    if (c == 2) ++twice;
+  }
+  EXPECT_EQ(twice, dups);
+}
+
+TEST(Generators, DuplicatesReductionVector) {
+  // Theorem 3's reduction: x_i = occurrences - 1.
+  const LetterStream letters = {3, 3, 5};
+  const auto stream = DuplicatesReduction(8, letters);
+  ExactVector x(8);
+  x.Apply(stream);
+  EXPECT_EQ(x[3], 1);   // appears twice
+  EXPECT_EQ(x[5], 0);   // appears once
+  EXPECT_EQ(x[0], -1);  // missing
+  EXPECT_EQ(x.Total(), static_cast<int64_t>(letters.size()) - 8);
+}
+
+}  // namespace
+}  // namespace lps::stream

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/stream/trace.h"
+
+namespace lps::stream {
+namespace {
+
+TEST(Trace, UpdateRoundTrip) {
+  const auto original = UniformTurnstile(100, 500, 20, 1);
+  std::stringstream buffer;
+  WriteTrace(buffer, 100, original);
+  auto trace = ReadTrace(buffer);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->n, 100u);
+  ASSERT_EQ(trace->updates.size(), original.size());
+  for (size_t j = 0; j < original.size(); ++j) {
+    EXPECT_EQ(trace->updates[j].index, original[j].index);
+    EXPECT_EQ(trace->updates[j].delta, original[j].delta);
+  }
+}
+
+TEST(Trace, LetterTraceBecomesUnitUpdates) {
+  const LetterStream letters = {5, 5, 9};
+  std::stringstream buffer;
+  WriteLetterTrace(buffer, 16, letters);
+  auto trace = ReadTrace(buffer);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->updates.size(), 3u);
+  EXPECT_EQ(trace->updates[0].index, 5u);
+  EXPECT_EQ(trace->updates[0].delta, 1);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer("# hello\n\nn 8\n# mid\nu 3 -4\n");
+  auto trace = ReadTrace(buffer);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->updates.size(), 1u);
+  EXPECT_EQ(trace->updates[0].delta, -4);
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  for (const char* bad :
+       {"u 1 1\n",                 // update before header
+        "n 0\n",                   // zero universe
+        "n 8\nu 8 1\n",            // index out of range
+        "n 8\nl 9\n",              // letter out of range
+        "n 8\nx 1 2\n",            // unknown tag
+        "n 8\nn 8\n",              // duplicate header
+        "n 8\nu 1\n",              // missing delta
+        ""}) {                     // empty input
+    std::stringstream buffer(bad);
+    EXPECT_FALSE(ReadTrace(buffer).ok()) << "input: " << bad;
+  }
+}
+
+TEST(Trace, ErrorsNameTheLine) {
+  std::stringstream buffer("n 8\nu 1 1\nu 99 1\n");
+  auto trace = ReadTrace(buffer);
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(Trace, RoundTripPreservesVector) {
+  const auto stream = SparseVector(256, 30, 100, 7);
+  ExactVector direct(256);
+  direct.Apply(stream);
+  std::stringstream buffer;
+  WriteTrace(buffer, 256, stream);
+  auto trace = ReadTrace(buffer);
+  ASSERT_TRUE(trace.ok());
+  ExactVector replayed(256);
+  replayed.Apply(trace->updates);
+  EXPECT_EQ(direct.data(), replayed.data());
+}
+
+}  // namespace
+}  // namespace lps::stream

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bits.h"
+#include "src/util/random.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace lps {
+namespace {
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+  EXPECT_EQ(CeilLog2(1ULL << 62), 62);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1ULL << 63), 63);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(4), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 1);
+  EXPECT_EQ(BitWidth(3), 2);
+  EXPECT_EQ(BitWidth(256), 8);
+  EXPECT_EQ(BitWidth(257), 9);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000000007ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.Below(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], trials / 10.0, 5 * std::sqrt(trials / 10.0));
+  }
+}
+
+TEST(Rng, DoubleRanges) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.NextDoublePositive();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential();
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+  // Sanity: no collisions in a small range (splitmix is a bijection).
+  std::vector<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.push_back(Mix64(i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(BitWriter, RoundTripAssortedWidths) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0xDEADBEEF, 32);
+  writer.WriteBits(1, 1);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteBits(0x3FF, 10);
+  EXPECT_EQ(writer.bit_count(), 3u + 32 + 1 + 64 + 10);
+
+  BitReader reader(writer);
+  EXPECT_EQ(reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(reader.ReadBits(32), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadBits(1), 1u);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.ReadBits(10), 0x3FFu);
+  EXPECT_EQ(reader.bits_remaining(), 0u);
+}
+
+TEST(BitWriter, CrossWordBoundary) {
+  BitWriter writer;
+  writer.WriteBits(0x7F, 7);           // 7 bits
+  writer.WriteU64(~0ULL);              // spans words
+  writer.WriteBits(0x1, 1);
+  BitReader reader(writer);
+  EXPECT_EQ(reader.ReadBits(7), 0x7Fu);
+  EXPECT_EQ(reader.ReadU64(), ~0ULL);
+  EXPECT_EQ(reader.ReadBits(1), 0x1u);
+}
+
+TEST(BitWriter, DoubleRoundTrip) {
+  BitWriter writer;
+  const double values[] = {0.0, -1.5, 3.14159, 1e300, -1e-300};
+  for (double v : values) writer.WriteDouble(v);
+  BitReader reader(writer);
+  for (double v : values) EXPECT_EQ(reader.ReadDouble(), v);
+}
+
+TEST(BitWriter, BoundedUsesMinimalBits) {
+  BitWriter writer;
+  writer.WriteBounded(5, 10);  // 4 bits
+  writer.WriteBounded(0, 2);   // 1 bit
+  EXPECT_EQ(writer.bit_count(), 5u);
+  BitReader reader(writer);
+  EXPECT_EQ(reader.ReadBounded(10), 5u);
+  EXPECT_EQ(reader.ReadBounded(2), 0u);
+}
+
+TEST(Status, Basics) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(Status::Failed("x").IsFailed());
+  EXPECT_TRUE(Status::Dense("y").IsDense());
+  EXPECT_FALSE(Status::Dense("y").ok());
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), Code::kInvalidArgument);
+  EXPECT_NE(Status::Failed("msg").ToString().find("msg"), std::string::npos);
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> failed(Status::Failed("nope"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsFailed());
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,210 @@
+// lps_cli — command-line driver for the library: generate workload traces,
+// replay them through any sampler or sketch, and print results. The tool a
+// downstream user reaches for before writing code.
+//
+// Usage:
+//   lps_cli gen <kind> <n> <arg> <seed>        write a trace to stdout
+//       kinds: turnstile <#updates> | sparse <#nonzero> |
+//              zipf <scale> | duplicates <extras>
+//   lps_cli sample <p|L0> <eps> <delta> <seed> < trace    draw one sample
+//   lps_cli duplicates <delta> <seed>          < trace    find a duplicate
+//   lps_cli heavy <p> <phi> <seed>             < trace    heavy hitter set
+//   lps_cli norm <p> <seed>                    < trace    2-approx of ||x||_p
+//   lps_cli stats                              < trace    exact summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/lp_norm.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/stream/trace.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> "
+               "<seed>\n"
+               "  lps_cli sample {<p>|L0} <eps> <delta> <seed>  < trace\n"
+               "  lps_cli duplicates <delta> <seed>             < trace\n"
+               "  lps_cli heavy <p> <phi> <seed>                < trace\n"
+               "  lps_cli norm <p> <seed>                       < trace\n"
+               "  lps_cli stats                                 < trace\n");
+  return 2;
+}
+
+lps::Result<lps::stream::Trace> LoadTrace() {
+  auto trace = lps::stream::ReadTrace(std::cin);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "bad trace: %s\n",
+                 trace.status().ToString().c_str());
+  }
+  return trace;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  const std::string kind = argv[2];
+  const uint64_t n = std::strtoull(argv[3], nullptr, 10);
+  const uint64_t arg = std::strtoull(argv[4], nullptr, 10);
+  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+  if (n == 0) return Usage();
+  if (kind == "turnstile") {
+    lps::stream::WriteTrace(std::cout, n,
+                            lps::stream::UniformTurnstile(n, arg, 100, seed));
+  } else if (kind == "sparse") {
+    lps::stream::WriteTrace(std::cout, n,
+                            lps::stream::SparseVector(n, arg, 1000, seed));
+  } else if (kind == "zipf") {
+    lps::stream::WriteTrace(
+        std::cout, n,
+        lps::stream::ZipfianVector(n, 1.0, static_cast<int64_t>(arg), true,
+                                   seed));
+  } else if (kind == "duplicates") {
+    lps::stream::WriteLetterTrace(std::cout, n,
+                                  lps::stream::DuplicateStream(n, arg, seed));
+  } else {
+    return Usage();
+  }
+  return 0;
+}
+
+int CmdSample(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  const double eps = std::strtod(argv[3], nullptr);
+  const double delta = std::strtod(argv[4], nullptr);
+  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+  if (std::strcmp(argv[2], "L0") == 0) {
+    lps::core::L0Sampler sampler({trace->n, delta, 0, seed, false});
+    for (const auto& u : trace->updates) sampler.Update(u.index, u.delta);
+    auto res = sampler.Sample();
+    if (!res.ok()) {
+      std::printf("FAIL %s\n", res.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("index %llu value %.0f\n",
+                static_cast<unsigned long long>(res.value().index),
+                res.value().estimate);
+    return 0;
+  }
+  lps::core::LpSamplerParams params;
+  params.n = trace->n;
+  params.p = std::strtod(argv[2], nullptr);
+  params.eps = eps;
+  params.delta = delta;
+  params.seed = seed;
+  lps::core::LpSampler sampler(params);
+  for (const auto& u : trace->updates) {
+    sampler.Update(u.index, static_cast<double>(u.delta));
+  }
+  auto res = sampler.Sample();
+  if (!res.ok()) {
+    std::printf("FAIL %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index %llu estimate %.3f\n",
+              static_cast<unsigned long long>(res.value().index),
+              res.value().estimate);
+  return 0;
+}
+
+int CmdDuplicates(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  const double delta = std::strtod(argv[2], nullptr);
+  const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
+  lps::duplicates::DuplicateFinder finder({trace->n, delta, 0, seed});
+  // The trace's letter records arrive as (letter, +1) updates; the finder
+  // already seeded the -1 initialization internally.
+  for (const auto& u : trace->updates) {
+    if (u.delta != 1) {
+      std::fprintf(stderr, "duplicates mode expects a letter trace\n");
+      return 2;
+    }
+    finder.ProcessItem(u.index);
+  }
+  auto res = finder.Find();
+  if (!res.ok()) {
+    std::printf("FAIL %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("duplicate %llu\n",
+              static_cast<unsigned long long>(res.value()));
+  return 0;
+}
+
+int CmdHeavy(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  lps::heavy::CsHeavyHitters::Params params;
+  params.n = trace->n;
+  params.p = std::strtod(argv[2], nullptr);
+  params.phi = std::strtod(argv[3], nullptr);
+  params.seed = std::strtoull(argv[4], nullptr, 10);
+  lps::heavy::CsHeavyHitters hh(params);
+  for (const auto& u : trace->updates) {
+    hh.Update(u.index, static_cast<double>(u.delta));
+  }
+  const auto set = hh.Query();
+  std::printf("%zu heavy hitters:", set.size());
+  for (uint64_t i : set) std::printf(" %llu", static_cast<unsigned long long>(i));
+  std::printf("\n");
+  return 0;
+}
+
+int CmdNorm(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  const double p = std::strtod(argv[2], nullptr);
+  const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
+  lps::norm::LpNormEstimator est(
+      p, lps::norm::LpNormEstimator::DefaultRows(trace->n), seed);
+  for (const auto& u : trace->updates) {
+    est.Update(u.index, static_cast<double>(u.delta));
+  }
+  std::printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n",
+              est.Estimate2Approx());
+  return 0;
+}
+
+int CmdStats(int argc, char**) {
+  if (argc != 2) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  lps::stream::ExactVector x(trace->n);
+  x.Apply(trace->updates);
+  std::printf("n %llu  updates %zu  L0 %llu  ||x||_1 %.6g  ||x||_2 %.6g  "
+              "total %lld\n",
+              static_cast<unsigned long long>(trace->n),
+              trace->updates.size(),
+              static_cast<unsigned long long>(x.L0()), x.NormP(1.0),
+              x.NormP(2.0), static_cast<long long>(x.Total()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc, argv);
+  if (command == "sample") return CmdSample(argc, argv);
+  if (command == "duplicates") return CmdDuplicates(argc, argv);
+  if (command == "heavy") return CmdHeavy(argc, argv);
+  if (command == "norm") return CmdNorm(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  return Usage();
+}
