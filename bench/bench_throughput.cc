@@ -1,11 +1,25 @@
 // Claim C17 (engineering table): update throughput and query latency of
-// every sketch and sampler, so downstream users can size deployments.
-// google-benchmark binary; pass --benchmark_filter=... as usual.
-#include <benchmark/benchmark.h>
+// every sketch and sampler, so downstream users can size deployments and
+// the perf trajectory of the hot path is tracked from PR to PR. Ingestion
+// is measured scalar (one Update call per stream element) versus batched
+// (StreamDriver chunks through the UpdateBatch fast paths); the recovery
+// table tracks the query-side costs (Sample, Recover, HeavyLeaves).
+//
+// Emits the human tables to stdout and machine-readable results to
+// BENCH_throughput.json. --quick shrinks stream lengths and pass counts
+// for CI smoke runs.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "src/core/l0_sampler.h"
 #include "src/core/lp_sampler.h"
+#include "src/heavy/heavy_hitters.h"
 #include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
 #include "src/recovery/sparse_recovery.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/count_min.h"
@@ -13,187 +27,267 @@
 #include "src/sketch/dyadic.h"
 #include "src/sketch/stable_sketch.h"
 #include "src/stream/generators.h"
+#include "src/stream/stream_driver.h"
 
 namespace {
 
+using lps::bench::Table;
+using lps::stream::StreamDriver;
+using lps::stream::UpdateStream;
+
 constexpr uint64_t kN = 1 << 16;
 
-const lps::stream::UpdateStream& SharedStream() {
-  static const auto* stream = new lps::stream::UpdateStream(
-      lps::stream::UniformTurnstile(kN, 1 << 16, 100, 7));
-  return *stream;
+struct ResultRow {
+  std::string name;
+  size_t updates = 0;
+  double scalar_ips = 0;   // items/sec, per-update Update() loop
+  double batched_ips = 0;  // items/sec, StreamDriver + UpdateBatch
+  double speedup() const {
+    return scalar_ips > 0 ? batched_ips / scalar_ips : 0;
+  }
+};
+
+/// Runs `fn` over the stream `passes` times and returns items/sec of the
+/// fastest pass (min-time, the standard noise-robust estimator).
+template <typename Fn>
+double ItemsPerSec(const UpdateStream& stream, int passes, Fn&& fn) {
+  double best_seconds = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    const auto start = std::chrono::steady_clock::now();
+    fn(stream);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds < best_seconds) best_seconds = seconds;
+  }
+  return static_cast<double>(stream.size()) / best_seconds;
 }
 
-void BM_CountSketchUpdate(benchmark::State& state) {
-  lps::sketch::CountSketch cs(static_cast<int>(state.range(0)), 96, 1);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    cs.Update(u.index, static_cast<double>(u.delta));
-  }
-  state.SetItemsProcessed(state.iterations());
+/// Measures one structure: `scalar` ingests the stream with per-update
+/// calls, `batched` through a StreamDriver chunked fast path. Both sinks
+/// are fed identical streams; linearity makes repeated passes harmless.
+template <typename Sink>
+ResultRow Measure(const std::string& name, const UpdateStream& stream,
+                  int passes, Sink* scalar_sink, Sink* batched_sink) {
+  ResultRow row;
+  row.name = name;
+  row.updates = stream.size();
+  row.scalar_ips = ItemsPerSec(stream, passes, [&](const UpdateStream& s) {
+    for (const auto& u : s) {
+      scalar_sink->Update(u.index, static_cast<double>(u.delta));
+    }
+  });
+  StreamDriver driver;
+  driver.Add(name, batched_sink);
+  row.batched_ips = ItemsPerSec(
+      stream, passes, [&](const UpdateStream& s) { driver.Drive(s); });
+  return row;
 }
-BENCHMARK(BM_CountSketchUpdate)->Arg(9)->Arg(17)->Arg(33);
 
-void BM_CountMinUpdate(benchmark::State& state) {
-  lps::sketch::CountMin cm(17, 96, 2);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    cm.Update(u.index, static_cast<double>(u.delta));
-  }
-  state.SetItemsProcessed(state.iterations());
+// L0 structures take int64 deltas; same shape, different scalar call.
+template <typename Sink>
+ResultRow MeasureInt(const std::string& name, const UpdateStream& stream,
+                     int passes, Sink* scalar_sink, Sink* batched_sink) {
+  ResultRow row;
+  row.name = name;
+  row.updates = stream.size();
+  row.scalar_ips = ItemsPerSec(stream, passes, [&](const UpdateStream& s) {
+    for (const auto& u : s) scalar_sink->Update(u.index, u.delta);
+  });
+  StreamDriver driver;
+  driver.Add(name, batched_sink);
+  row.batched_ips = ItemsPerSec(
+      stream, passes, [&](const UpdateStream& s) { driver.Drive(s); });
+  return row;
 }
-BENCHMARK(BM_CountMinUpdate);
 
-void BM_AmsF2Update(benchmark::State& state) {
-  lps::sketch::AmsF2 ams(9, 16, 3);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    ams.Update(u.index, static_cast<double>(u.delta));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_AmsF2Update);
+struct LatencyRow {
+  std::string name;
+  double micros = 0;  // per query call, best-of-passes
+};
 
-void BM_StableSketchUpdate(benchmark::State& state) {
-  lps::sketch::StableSketch sketch(
-      static_cast<double>(state.range(0)) / 10.0, 96, 4);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    sketch.Update(u.index, static_cast<double>(u.delta));
+/// Per-call latency of `fn`, best of `passes` timed runs of `calls` calls.
+template <typename Fn>
+double MicrosPerCall(int passes, int calls, Fn&& fn) {
+  double best_seconds = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < calls; ++c) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds < best_seconds) best_seconds = seconds;
   }
-  state.SetItemsProcessed(state.iterations());
+  return best_seconds / calls * 1e6;
 }
-BENCHMARK(BM_StableSketchUpdate)->Arg(5)->Arg(10)->Arg(20);
 
-void BM_SparseRecoveryUpdate(benchmark::State& state) {
-  lps::recovery::SparseRecovery rec(kN, static_cast<uint64_t>(state.range(0)),
-                                    5);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    rec.Update(u.index, u.delta);
+void WriteJson(const char* path, const std::vector<ResultRow>& rows,
+               const std::vector<LatencyRow>& latencies, bool quick) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
   }
-  state.SetItemsProcessed(state.iterations());
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const ResultRow& row = rows[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"updates\": %zu, "
+                 "\"scalar_items_per_sec\": %.0f, "
+                 "\"batched_items_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                 row.name.c_str(), row.updates, row.scalar_ips,
+                 row.batched_ips, row.speedup(),
+                 r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"query_latency\": [\n");
+  for (size_t r = 0; r < latencies.size(); ++r) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"micros_per_call\": %.3f}%s\n",
+                 latencies[r].name.c_str(), latencies[r].micros,
+                 r + 1 < latencies.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
-BENCHMARK(BM_SparseRecoveryUpdate)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_SparseRecoveryRecover(benchmark::State& state) {
-  const uint64_t s = static_cast<uint64_t>(state.range(0));
-  lps::recovery::SparseRecovery rec(kN, s, 6);
-  const auto stream = lps::stream::SparseVector(kN, s, 1000, 7);
-  for (const auto& u : stream) rec.Update(u.index, u.delta);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rec.Recover());
-  }
-}
-BENCHMARK(BM_SparseRecoveryRecover)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_L0SamplerUpdate(benchmark::State& state) {
-  lps::core::L0Sampler sampler({kN, 0.25, 0, 8, false});
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    sampler.Update(u.index, u.delta);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_L0SamplerUpdate);
-
-void BM_L0SamplerNisanUpdate(benchmark::State& state) {
-  lps::core::L0Sampler sampler({kN, 0.25, 0, 9, true});
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    sampler.Update(u.index, u.delta);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_L0SamplerNisanUpdate);
-
-void BM_LpSamplerUpdate(benchmark::State& state) {
-  lps::core::LpSamplerParams params;
-  params.n = kN;
-  params.p = 1.0;
-  params.eps = 0.25;
-  params.repetitions = static_cast<int>(state.range(0));
-  params.seed = 10;
-  lps::core::LpSampler sampler(params);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    sampler.Update(u.index, static_cast<double>(u.delta));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_LpSamplerUpdate)->Arg(1)->Arg(8);
-
-void BM_LpSamplerRecovery(benchmark::State& state) {
-  lps::core::LpSamplerParams params;
-  params.n = 1 << 12;  // recovery scans [n]
-  params.p = 1.0;
-  params.eps = 0.25;
-  params.repetitions = 1;
-  params.seed = 11;
-  lps::core::LpSampler sampler(params);
-  const auto stream = lps::stream::UniformTurnstile(1 << 12, 4096, 100, 12);
-  for (const auto& u : stream) {
-    sampler.Update(u.index, static_cast<double>(u.delta));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.Sample());
-  }
-}
-BENCHMARK(BM_LpSamplerRecovery);
-
-void BM_DyadicCountMinUpdate(benchmark::State& state) {
-  lps::sketch::DyadicCountMin tree(16, 9, 64, 14);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    tree.Update(u.index, static_cast<double>(u.delta));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_DyadicCountMinUpdate);
-
-void BM_DyadicHeavyQuery(benchmark::State& state) {
-  lps::sketch::DyadicCountMin tree(16, 9, 64, 15);
-  const auto stream = lps::stream::PlantedHeavyHitters(kN, 5, 1000, 500,
-                                                       false, 16);
-  for (const auto& u : stream) {
-    tree.Update(u.index, static_cast<double>(u.delta));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.HeavyLeaves(500.0));
-  }
-}
-BENCHMARK(BM_DyadicHeavyQuery);
-
-void BM_L0EstimatorUpdate(benchmark::State& state) {
-  lps::norm::L0Estimator est(kN, 25, 13);
-  const auto& stream = SharedStream();
-  size_t pos = 0;
-  for (auto _ : state) {
-    const auto& u = stream[pos++ & (stream.size() - 1)];
-    est.Update(u.index, u.delta);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_L0EstimatorUpdate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int passes = lps::bench::Scaled(quick, 7, 3);
+  const uint64_t long_len = quick ? (1 << 16) : (1 << 20);
+  const uint64_t short_len = quick ? (1 << 13) : (1 << 17);
+
+  const auto long_stream =
+      lps::stream::UniformTurnstile(kN, long_len, 100, 7);
+  const auto short_stream =
+      lps::stream::UniformTurnstile(kN, short_len, 100, 8);
+
+  std::vector<ResultRow> rows;
+
+  {
+    lps::sketch::CountSketch a(17, 96, 1), b(17, 96, 1);
+    rows.push_back(Measure("count_sketch[17x96]", long_stream, passes, &a, &b));
+  }
+  {
+    lps::sketch::CountMin a(17, 96, 2), b(17, 96, 2);
+    rows.push_back(Measure("count_min[17x96]", long_stream, passes, &a, &b));
+  }
+  {
+    lps::sketch::AmsF2 a(9, 16, 3), b(9, 16, 3);
+    rows.push_back(Measure("ams_f2[9x16]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::sketch::StableSketch a(1.0, 96, 4), b(1.0, 96, 4);
+    rows.push_back(
+        Measure("stable_sketch[p=1,96]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::sketch::DyadicCountMin a(16, 9, 64, 14), b(16, 9, 64, 14);
+    rows.push_back(
+        Measure("dyadic_count_min[16 lvl]", long_stream, passes, &a, &b));
+  }
+  {
+    lps::norm::L0Estimator a(kN, 25, 13), b(kN, 25, 13);
+    rows.push_back(
+        MeasureInt("l0_estimator[25 reps]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::recovery::SparseRecovery a(kN, 32, 5), b(kN, 32, 5);
+    rows.push_back(
+        MeasureInt("sparse_recovery[s=32]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::core::LpSamplerParams params;
+    params.n = kN;
+    params.p = 1.0;
+    params.eps = 0.25;
+    params.repetitions = 8;
+    params.seed = 10;
+    lps::core::LpSampler a(params), b(params);
+    rows.push_back(
+        Measure("lp_sampler[v=8]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::core::L0Sampler a({kN, 0.25, 0, 8, false}),
+        b({kN, 0.25, 0, 8, false});
+    rows.push_back(
+        MeasureInt("l0_sampler[oracle]", short_stream, passes, &a, &b));
+  }
+  {
+    lps::heavy::CsHeavyHitters::Params params;
+    params.n = kN;
+    params.p = 1.0;
+    params.phi = 0.05;
+    params.strict_turnstile = true;
+    params.seed = 21;
+    lps::heavy::CsHeavyHitters a(params), b(params);
+    rows.push_back(
+        Measure("cs_heavy_hitters[phi=.05]", long_stream, passes, &a, &b));
+  }
+
+  // Query-side latencies: the recovery-stage costs the old C17 table
+  // tracked, kept so a Recover/Sample/HeavyLeaves regression is visible.
+  std::vector<LatencyRow> latencies;
+  {
+    lps::recovery::SparseRecovery rec(kN, 32, 6);
+    const auto sparse = lps::stream::SparseVector(kN, 32, 1000, 7);
+    for (const auto& u : sparse) rec.Update(u.index, u.delta);
+    latencies.push_back(
+        {"sparse_recovery.Recover[s=32]",
+         MicrosPerCall(passes, quick ? 20 : 100,
+                       [&] { return rec.Recover().ok(); })});
+  }
+  {
+    lps::core::LpSamplerParams params;
+    params.n = 1 << 12;  // recovery scans [n]
+    params.p = 1.0;
+    params.eps = 0.25;
+    params.repetitions = 1;
+    params.seed = 11;
+    lps::core::LpSampler sampler(params);
+    const auto stream =
+        lps::stream::UniformTurnstile(1 << 12, 4096, 100, 12);
+    StreamDriver driver;
+    driver.Add("lp", &sampler).Drive(stream);
+    latencies.push_back({"lp_sampler.Sample[n=4096,v=1]",
+                         MicrosPerCall(passes, quick ? 3 : 10, [&] {
+                           return sampler.Sample().ok();
+                         })});
+  }
+  {
+    lps::sketch::DyadicCountMin tree(16, 9, 64, 15);
+    const auto stream =
+        lps::stream::PlantedHeavyHitters(kN, 5, 1000, 500, false, 16);
+    StreamDriver driver;
+    driver.Add("dyadic", &tree).Drive(stream);
+    latencies.push_back({"dyadic_count_min.HeavyLeaves",
+                         MicrosPerCall(passes, quick ? 50 : 200, [&] {
+                           return tree.HeavyLeaves(500.0).size();
+                         })});
+  }
+
+  lps::bench::Section(
+      "C17: ingestion throughput, scalar Update() vs StreamDriver batches");
+  Table table({"structure", "updates", "scalar Mitem/s", "batched Mitem/s",
+               "speedup"});
+  for (const ResultRow& row : rows) {
+    table.AddRow({row.name, Table::Fmt("%zu", row.updates),
+                  Table::Fmt("%.2f", row.scalar_ips / 1e6),
+                  Table::Fmt("%.2f", row.batched_ips / 1e6),
+                  Table::Fmt("%.2fx", row.speedup())});
+  }
+  table.Print();
+
+  lps::bench::Section("C17: query / recovery latency");
+  Table lat_table({"query", "us/call"});
+  for (const LatencyRow& row : latencies) {
+    lat_table.AddRow({row.name, Table::Fmt("%.1f", row.micros)});
+  }
+  lat_table.Print();
+
+  WriteJson("BENCH_throughput.json", rows, latencies, quick);
+  std::printf("machine-readable results written to BENCH_throughput.json\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "src/apps/moment_estimation.h"
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
+#include "src/stream/stream_driver.h"
 
 int main() {
   const uint64_t n = 512;
@@ -31,7 +32,8 @@ int main() {
 
   for (int samples : {16, 64, 256}) {
     lps::apps::MomentEstimator est({n, p, samples, 1.9, 77});
-    for (const auto& u : stream) est.Update(u.index, u.delta);
+    lps::stream::StreamDriver driver;
+    driver.Add("moments", &est).Drive(stream);
     auto r = est.Estimate();
     if (r.ok()) {
       std::printf("samples=%3d : F_3 ~ %.3e   (ratio %.2f, %zu bits)\n",

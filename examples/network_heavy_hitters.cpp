@@ -15,6 +15,7 @@
 #include "src/heavy/heavy_hitters.h"
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
+#include "src/stream/stream_driver.h"
 #include "src/util/bits.h"
 #include "src/util/random.h"
 
@@ -44,12 +45,16 @@ int main() {
   lps::heavy::CmHeavyHitters cm({num_flows, phi, 0, 1001, false});
   lps::heavy::DyadicHeavyHitters dyadic(log_n, phi, 1002);
 
+  // Updates arrive one flow record at a time; the driver buffers them and
+  // flushes full batches through both sketches' fast paths.
+  lps::stream::StreamDriver driver;
+  driver.Add("count_min", &cm).Add("dyadic", &dyadic);
   for (const auto& u : traffic) {
     if (u.delta == 0) continue;
     exact.Apply(u);
-    cm.Update(u.index, static_cast<double>(u.delta));
-    dyadic.Update(u.index, static_cast<double>(u.delta));
+    driver.Push(u);
   }
+  driver.Flush();
 
   const auto truth = exact.HeavyHitters(1.0, phi);
   std::printf("ground truth: %zu flows above %.0f%% of %0.f total bytes\n",

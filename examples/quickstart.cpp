@@ -11,6 +11,7 @@
 #include "src/core/l0_sampler.h"
 #include "src/core/lp_sampler.h"
 #include "src/stream/exact_vector.h"
+#include "src/stream/stream_driver.h"
 #include "src/stream/update.h"
 
 int main() {
@@ -40,10 +41,9 @@ int main() {
   // --- L0 sampler (Theorem 2): uniform over the surviving support ---
   lps::core::L0Sampler l0({n, /*delta=*/0.05, /*s=*/0, /*seed=*/7, false});
 
-  for (const auto& u : stream) {
-    l1.Update(u.index, static_cast<double>(u.delta));
-    l0.Update(u.index, u.delta);
-  }
+  // One pass of the stream through both samplers, in cache-sized batches.
+  lps::stream::StreamDriver driver;
+  driver.Add("l1", &l1).Add("l0", &l0).Drive(stream);
 
   std::printf("stream applied; exact vector: x[42]=%ld x[7]=%ld x[999]=%ld "
               "x[500]=%ld, ||x||_1=%.0f, support=%zu\n",

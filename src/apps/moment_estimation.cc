@@ -28,9 +28,14 @@ MomentEstimator::MomentEstimator(Params params)
 }
 
 void MomentEstimator::Update(uint64_t i, int64_t delta) {
-  const double d = static_cast<double>(delta);
-  q_norm_.Update(i, d);
-  for (auto& sampler : samplers_) sampler.Update(i, d);
+  const stream::Update u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void MomentEstimator::UpdateBatch(const stream::Update* updates,
+                                  size_t count) {
+  q_norm_.UpdateBatch(updates, count);
+  for (auto& sampler : samplers_) sampler.UpdateBatch(updates, count);
 }
 
 Result<double> MomentEstimator::Estimate() const {

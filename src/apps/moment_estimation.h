@@ -43,7 +43,12 @@ class MomentEstimator {
 
   explicit MomentEstimator(Params params);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, int64_t delta);
+
+  /// Batched ingestion: the norm sketch and every sampler consume the
+  /// batch through their own fast paths.
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Estimate of F_p = ||x||_p^p, or Failed if no sampler produced output.
   Result<double> Estimate() const;

@@ -43,9 +43,26 @@ bool L0Sampler::InLevel(int k, uint64_t i) const {
 }
 
 void L0Sampler::Update(uint64_t i, int64_t delta) {
-  LPS_CHECK(i < n_);
+  const stream::Update u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void L0Sampler::UpdateBatch(const stream::Update* updates, size_t count) {
   for (int k = 0; k < static_cast<int>(levels_.size()); ++k) {
-    if (InLevel(k, i)) levels_[static_cast<size_t>(k)].Update(i, delta);
+    auto& level = levels_[static_cast<size_t>(k)];
+    if (k == 0) {
+      // I_0 = [n]: every update survives; validate indices on this pass.
+      for (size_t t = 0; t < count; ++t) {
+        LPS_CHECK(updates[t].index < n_);
+        level.Update(updates[t].index, updates[t].delta);
+      }
+      continue;
+    }
+    for (size_t t = 0; t < count; ++t) {
+      if (InLevel(k, updates[t].index)) {
+        level.Update(updates[t].index, updates[t].delta);
+      }
+    }
   }
 }
 

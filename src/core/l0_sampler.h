@@ -28,6 +28,7 @@
 #include "src/core/sampler.h"
 #include "src/prg/random_source.h"
 #include "src/recovery/sparse_recovery.h"
+#include "src/stream/update.h"
 #include "src/util/status.h"
 
 namespace lps::core {
@@ -44,7 +45,14 @@ class L0Sampler {
  public:
   explicit L0Sampler(L0SamplerParams params);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, int64_t delta);
+
+  /// Batched ingestion, level-major: each level filters the batch through
+  /// its membership test and feeds the survivors to its sparse recovery
+  /// while that level's measurements are hot. State is identical to
+  /// per-update processing (field arithmetic is exact).
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// A uniform non-zero coordinate and its exact value, or Status::Failed.
   Result<SampleResult> Sample() const;

@@ -84,8 +84,20 @@ double LpSamplerRound::ScalingFactor(uint64_t i) const {
 }
 
 void LpSamplerRound::Update(uint64_t i, double delta) {
-  const double t = ScalingFactor(i);
-  cs_.Update(i, delta / std::pow(t, 1.0 / p_));
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void LpSamplerRound::UpdateBatch(const stream::ScaledUpdate* updates,
+                                 size_t count) {
+  scaled_.resize(count);
+  const double inv_p = 1.0 / p_;
+  for (size_t t = 0; t < count; ++t) {
+    const double scale = ScalingFactor(updates[t].index);
+    scaled_[t] = {updates[t].index,
+                  updates[t].delta / std::pow(scale, inv_p)};
+  }
+  cs_.UpdateBatch(scaled_.data(), count);
 }
 
 bool LpSamplerRound::WouldAbortOnTail(double r) const {
@@ -130,9 +142,25 @@ LpSampler::LpSampler(LpSamplerParams params)
 }
 
 void LpSampler::Update(uint64_t i, double delta) {
-  LPS_CHECK(i < params_.n);
-  norm_.Update(i, delta);
-  for (auto& round : rounds_) round.Update(i, delta);
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void LpSampler::UpdateBatch(const stream::ScaledUpdate* updates,
+                            size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    LPS_CHECK(updates[t].index < params_.n);
+  }
+  norm_.UpdateBatch(updates, count);
+  for (auto& round : rounds_) round.UpdateBatch(updates, count);
+}
+
+void LpSampler::UpdateBatch(const stream::Update* updates, size_t count) {
+  scaled_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    scaled_[t] = {updates[t].index, static_cast<double>(updates[t].delta)};
+  }
+  UpdateBatch(scaled_.data(), count);
 }
 
 double LpSampler::NormEstimate() const { return norm_.Estimate2Approx(); }

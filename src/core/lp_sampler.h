@@ -36,6 +36,7 @@
 #include "src/hash/kwise.h"
 #include "src/norm/lp_norm.h"
 #include "src/sketch/count_sketch.h"
+#include "src/stream/update.h"
 #include "src/util/status.h"
 
 namespace lps::core {
@@ -69,7 +70,13 @@ class LpSamplerRound {
  public:
   LpSamplerRound(const LpSamplerParams& params, int round_index);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion: scaling factors t_i are drawn and applied for the
+  /// whole batch, then the count-sketch ingests the scaled batch through
+  /// its own fast path. Bit-identical to per-update processing.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
 
   /// Runs the recovery stage of Figure 1 against a norm estimate r
   /// (Lemma 2 output, supplied by the owning sampler).
@@ -106,14 +113,21 @@ class LpSamplerRound {
   double override_t_;
   hash::KWiseHash t_hash_;
   sketch::CountSketch cs_;
+  std::vector<stream::ScaledUpdate> scaled_;  // batch scratch
 };
 
 class LpSampler {
  public:
   explicit LpSampler(LpSamplerParams params);
 
-  /// Processes one stream update (i, u).
+  /// Processes one stream update (i, u); delegates to the batch path.
   void Update(uint64_t i, double delta);
+
+  /// Processes a batch of updates in one pass: the shared norm sketch and
+  /// every round consume the batch through their own fast paths.
+  /// Bit-identical to calling Update once per element in stream order.
+  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
 
   /// Theorem 1: the first non-failing round's output, or Status::Failed.
   Result<SampleResult> Sample() const;
@@ -143,6 +157,7 @@ class LpSampler {
   LpSamplerParams params_;  // resolved
   norm::LpNormEstimator norm_;
   std::vector<LpSamplerRound> rounds_;
+  std::vector<stream::ScaledUpdate> scaled_;  // batch scratch
 };
 
 }  // namespace lps::core

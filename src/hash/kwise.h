@@ -20,6 +20,41 @@
 
 namespace lps::hash {
 
+/// floor(value * range / p) for a field element `value` in [0, p) — the
+/// multiply-shift reduction of KWiseHash::Range — computed without a
+/// 128-bit division: because p = 2^61 - 1, splitting the product at bit 61
+/// gives quotient q = x >> 61 and remainder (x & p-mask) + q, off by at
+/// most one correction step. Exact, and cheap enough to inline into the
+/// batch kernels' inner loops.
+inline uint64_t ScaleToRange(uint64_t value, uint64_t range) {
+  const __uint128_t x = static_cast<__uint128_t>(value) * range;
+  uint64_t q = static_cast<uint64_t>(x >> 61);
+  const uint64_t r = (static_cast<uint64_t>(x) & gf61::kP) + q;
+  q += static_cast<uint64_t>(r >= gf61::kP);  // branchless single correction
+  return q;
+}
+
+/// Horner evaluation of a degree-(k-1) polynomial over GF(2^61 - 1) at an
+/// already-reduced point x: the body of KWiseHash::Eval, exposed so batch
+/// kernels can hoist the coefficient array out of their inner loops and
+/// share one Reduce(key) across many hash functions.
+inline uint64_t PolyEval(const uint64_t* coeffs, size_t k, uint64_t x) {
+  // Starting from the leading coefficient skips Horner's first multiply by
+  // zero: k-1 field multiplies instead of k. Identical result.
+  uint64_t acc = coeffs[k - 1];
+  for (size_t i = k - 1; i-- > 0;) {
+    acc = gf61::Add(gf61::Mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+/// Degree-1 (pairwise) evaluation c0 + c1 * x with both coefficients
+/// already in registers — the innermost operation of the count-sketch and
+/// count-min batch kernels.
+inline uint64_t PolyEval2(uint64_t c0, uint64_t c1, uint64_t x) {
+  return gf61::Add(gf61::Mul(c1, x), c0);
+}
+
 /// A single hash function drawn from a k-wise independent family mapping
 /// uint64 keys to uniform field elements in [0, 2^61 - 1).
 class KWiseHash {
@@ -45,6 +80,10 @@ class KWiseHash {
   int Sign(uint64_t key) const;
 
   int k() const { return static_cast<int>(coeffs_.size()); }
+
+  /// The polynomial coefficients (constant term first), for batch kernels
+  /// that inline the evaluation via PolyEval.
+  const std::vector<uint64_t>& coefficients() const { return coeffs_; }
 
   /// Random bits consumed by this function in the paper's accounting:
   /// k field elements of 61 bits each.

@@ -41,9 +41,23 @@ CsHeavyHitters::CsHeavyHitters(Params params)
 }
 
 void CsHeavyHitters::Update(uint64_t i, double delta) {
-  cs_.Update(i, delta);
-  running_sum_ += delta;
-  if (norm_) norm_->Update(i, delta);
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void CsHeavyHitters::UpdateBatch(const stream::ScaledUpdate* updates,
+                                 size_t count) {
+  cs_.UpdateBatch(updates, count);
+  for (size_t t = 0; t < count; ++t) running_sum_ += updates[t].delta;
+  if (norm_) norm_->UpdateBatch(updates, count);
+}
+
+void CsHeavyHitters::UpdateBatch(const stream::Update* updates, size_t count) {
+  scaled_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    scaled_[t] = {updates[t].index, static_cast<double>(updates[t].delta)};
+  }
+  UpdateBatch(scaled_.data(), count);
 }
 
 double CsHeavyHitters::NormEstimate() const {
@@ -99,8 +113,21 @@ CmHeavyHitters::CmHeavyHitters(Params params)
 }
 
 void CmHeavyHitters::Update(uint64_t i, double delta) {
-  cm_.Update(i, delta);
-  running_sum_ += delta;
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void CmHeavyHitters::UpdateBatch(const stream::ScaledUpdate* updates,
+                                 size_t count) {
+  cm_.UpdateBatch(updates, count);
+  for (size_t t = 0; t < count; ++t) running_sum_ += updates[t].delta;
+}
+
+void CmHeavyHitters::UpdateBatch(const stream::Update* updates, size_t count) {
+  cm_.UpdateBatch(updates, count);
+  for (size_t t = 0; t < count; ++t) {
+    running_sum_ += static_cast<double>(updates[t].delta);
+  }
 }
 
 std::vector<uint64_t> CmHeavyHitters::Query() const {
@@ -128,8 +155,22 @@ DyadicHeavyHitters::DyadicHeavyHitters(int log_n, double phi, uint64_t seed)
             Mix64(seed ^ 0xdadULL)) {}
 
 void DyadicHeavyHitters::Update(uint64_t i, double delta) {
-  tree_.Update(i, delta);
-  running_sum_ += delta;
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void DyadicHeavyHitters::UpdateBatch(const stream::ScaledUpdate* updates,
+                                     size_t count) {
+  tree_.UpdateBatch(updates, count);
+  for (size_t t = 0; t < count; ++t) running_sum_ += updates[t].delta;
+}
+
+void DyadicHeavyHitters::UpdateBatch(const stream::Update* updates,
+                                     size_t count) {
+  tree_.UpdateBatch(updates, count);
+  for (size_t t = 0; t < count; ++t) {
+    running_sum_ += static_cast<double>(updates[t].delta);
+  }
 }
 
 std::vector<uint64_t> DyadicHeavyHitters::Query() const {

@@ -50,7 +50,12 @@ class CsHeavyHitters {
 
   explicit CsHeavyHitters(Params params);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion through the count-sketch and norm fast paths.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// A valid heavy hitter set w.h.p., sorted ascending.
   std::vector<uint64_t> Query() const;
@@ -72,6 +77,7 @@ class CsHeavyHitters {
   sketch::CountSketch cs_;
   std::unique_ptr<norm::LpNormEstimator> norm_;  // null if exact L1 is used
   double running_sum_ = 0;                       // strict turnstile L1
+  std::vector<stream::ScaledUpdate> scaled_;     // batch scratch
 };
 
 class CmHeavyHitters {
@@ -87,6 +93,8 @@ class CmHeavyHitters {
   explicit CmHeavyHitters(Params params);
 
   void Update(uint64_t i, double delta);
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
   std::vector<uint64_t> Query() const;
   size_t SpaceBits(int bits_per_counter = 64) const;
 
@@ -101,6 +109,8 @@ class DyadicHeavyHitters {
   DyadicHeavyHitters(int log_n, double phi, uint64_t seed);
 
   void Update(uint64_t i, double delta);
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
   std::vector<uint64_t> Query() const;
   size_t SpaceBits(int bits_per_counter = 64) const;
 

@@ -31,19 +31,37 @@ L0Estimator::L0Estimator(uint64_t n, int reps, uint64_t seed)
 }
 
 void L0Estimator::Update(uint64_t i, int64_t delta) {
-  LPS_CHECK(i < n_);
-  const uint64_t fe = gf::FromInt64(delta);
+  const stream::Update u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+void L0Estimator::UpdateBatch(const stream::Update* updates, size_t count) {
+  reduced_keys_.resize(count);
+  field_deltas_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    LPS_CHECK(updates[t].index < n_);
+    reduced_keys_[t] = gf::Reduce(updates[t].index);
+    field_deltas_[t] = gf::FromInt64(updates[t].delta);
+  }
   for (int r = 0; r < reps_; ++r) {
     const size_t rr = static_cast<size_t>(r);
-    const double u = level_hash_[rr].UniformPositive(i);
-    // Nested membership: i survives to levels 0 .. deepest.
-    int deepest = std::min(
-        levels_ - 1, static_cast<int>(std::floor(-std::log2(u))));
-    const uint64_t weighted = gf::Mul(fe, fp_hash_[rr].Eval(i));
-    for (int l = 0; l <= deepest; ++l) {
-      uint64_t& fp = fingerprints_[rr * static_cast<size_t>(levels_) +
-                                   static_cast<size_t>(l)];
-      fp = gf::Add(fp, weighted);
+    const auto& lc = level_hash_[rr].coefficients();
+    const auto& fc = fp_hash_[rr].coefficients();
+    uint64_t* fps = fingerprints_.data() + rr * static_cast<size_t>(levels_);
+    for (size_t t = 0; t < count; ++t) {
+      const uint64_t x = reduced_keys_[t];
+      const double u =
+          (static_cast<double>(hash::PolyEval(lc.data(), lc.size(), x)) +
+           1.0) /
+          static_cast<double>(gf::kP);
+      // Nested membership: i survives to levels 0 .. deepest.
+      const int deepest = std::min(
+          levels_ - 1, static_cast<int>(std::floor(-std::log2(u))));
+      const uint64_t weighted =
+          gf::Mul(field_deltas_[t], hash::PolyEval(fc.data(), fc.size(), x));
+      for (int l = 0; l <= deepest; ++l) {
+        fps[l] = gf::Add(fps[l], weighted);
+      }
     }
   }
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::norm {
@@ -29,7 +30,13 @@ class L0Estimator {
   /// median over them).
   L0Estimator(uint64_t n, int reps, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, int64_t delta);
+
+  /// Batched ingestion, repetition-major: per repetition, the subsampling
+  /// and fingerprint polynomials are hoisted and the batch is applied in
+  /// one pass. Bit-identical to per-update processing.
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Constant-factor estimate of the number of non-zero coordinates;
   /// 0 iff the vector is (whp) zero.
@@ -55,6 +62,8 @@ class L0Estimator {
   std::vector<uint64_t> fingerprints_;   // reps_ x levels_, field elements
   std::vector<hash::KWiseHash> level_hash_;  // per rep: subsampling hash
   std::vector<hash::KWiseHash> fp_hash_;     // per rep: fingerprint weights
+  std::vector<uint64_t> reduced_keys_;       // batch scratch
+  std::vector<uint64_t> field_deltas_;       // batch scratch
 };
 
 }  // namespace lps::norm

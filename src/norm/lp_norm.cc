@@ -14,6 +14,16 @@ void LpNormEstimator::Update(uint64_t i, double delta) {
   sketch_.Update(i, delta);
 }
 
+void LpNormEstimator::UpdateBatch(const stream::ScaledUpdate* updates,
+                                  size_t count) {
+  sketch_.UpdateBatch(updates, count);
+}
+
+void LpNormEstimator::UpdateBatch(const stream::Update* updates,
+                                  size_t count) {
+  sketch_.UpdateBatch(updates, count);
+}
+
 double LpNormEstimator::Estimate2Approx() const {
   return std::sqrt(2.0) * sketch_.EstimateNorm();
 }

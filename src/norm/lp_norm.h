@@ -22,6 +22,10 @@ class LpNormEstimator {
 
   void Update(uint64_t i, double delta);
 
+  /// Batched ingestion (delegates to the underlying stable sketch).
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
+
   /// r with ||x||_p <= r <= 2 ||x||_p w.h.p.
   double Estimate2Approx() const;
 

@@ -35,6 +35,12 @@ void SparseRecovery::Update(uint64_t i, int64_t delta) {
   fingerprints_[1] = gf::Add(fingerprints_[1], gf::Mul(v, gf::Pow(rho_[1], a)));
 }
 
+void SparseRecovery::UpdateBatch(const stream::Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    Update(updates[t].index, updates[t].delta);
+  }
+}
+
 bool SparseRecovery::IsZero() const {
   if (fingerprints_[0] != 0 || fingerprints_[1] != 0) return false;
   for (uint64_t t : syndromes_) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/stream/update.h"
 #include "src/util/random.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
@@ -43,6 +44,13 @@ class SparseRecovery {
   SparseRecovery(uint64_t n, uint64_t s, uint64_t seed);
 
   void Update(uint64_t i, int64_t delta);
+
+  /// Batched ingestion for API uniformity with the sketches. Each update's
+  /// syndrome contribution is a serial geometric chain in its own base
+  /// a = i + 1, so there is nothing to hoist across items — this is a
+  /// plain loop over Update, provided so StreamDriver and the samplers can
+  /// feed recoveries through one interface.
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// The exact sparse vector (possibly empty, for x == 0), or
   /// Status::Dense when x is not s-sparse (w.h.p.). Entries are sorted by

@@ -20,9 +20,35 @@ AmsF2::AmsF2(int groups, int per_group, uint64_t seed)
 }
 
 void AmsF2::Update(uint64_t i, double delta) {
-  for (size_t c = 0; c < counters_.size(); ++c) {
-    counters_[c] += static_cast<double>(signs_[c].Sign(i)) * delta;
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void AmsF2::ApplyBatch(const U* updates, size_t count) {
+  reduced_keys_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    reduced_keys_[t] = gf61::Reduce(updates[t].index);
   }
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    const auto& coeffs = signs_[c].coefficients();
+    double acc = counters_[c];
+    for (size_t t = 0; t < count; ++t) {
+      const int64_t bit = static_cast<int64_t>(
+          hash::PolyEval(coeffs.data(), coeffs.size(), reduced_keys_[t]) & 1);
+      acc += static_cast<double>(2 * bit - 1) *
+             static_cast<double>(updates[t].delta);
+    }
+    counters_[c] = acc;
+  }
+}
+
+void AmsF2::UpdateBatch(const stream::ScaledUpdate* updates, size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void AmsF2::UpdateBatch(const stream::Update* updates, size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double AmsF2::EstimateF2From(const std::vector<double>& counters) const {

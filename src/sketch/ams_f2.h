@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/update.h"
 
 namespace lps::sketch {
 
@@ -23,7 +24,14 @@ class AmsF2 {
  public:
   AmsF2(int groups, int per_group, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion, counter-major: each counter's 4-wise sign
+  /// polynomial is hoisted out of the inner loop and the counter accumulates
+  /// in a register. Bit-identical to per-update processing.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Median-of-means estimate of F2 = ||x||_2^2.
   double EstimateF2() const;
@@ -41,10 +49,14 @@ class AmsF2 {
  private:
   double EstimateF2From(const std::vector<double>& counters) const;
 
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
+
   int groups_;
   int per_group_;
   std::vector<double> counters_;        // groups_ x per_group_
   std::vector<hash::KWiseHash> signs_;  // one 4-wise sign hash per counter
+  std::vector<uint64_t> reduced_keys_;  // batch scratch
 };
 
 }  // namespace lps::sketch

@@ -18,11 +18,44 @@ CountMin::CountMin(int rows, int buckets, uint64_t seed)
 }
 
 void CountMin::Update(uint64_t i, double delta) {
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void CountMin::ApplyBatch(const U* updates, size_t count) {
+  reduced_keys_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    reduced_keys_[t] = gf61::Reduce(updates[t].index);
+  }
+  const uint64_t range = static_cast<uint64_t>(buckets_);
   for (int j = 0; j < rows_; ++j) {
     const size_t jj = static_cast<size_t>(j);
-    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
-    table_[jj * static_cast<size_t>(buckets_) + k] += delta;
+    const auto& bc = bucket_[jj].coefficients();
+    double* row = table_.data() + jj * static_cast<size_t>(buckets_);
+    if (bc.size() == 2) {
+      const uint64_t b0 = bc[0], b1 = bc[1];
+      for (size_t t = 0; t < count; ++t) {
+        const uint64_t k =
+            hash::ScaleToRange(hash::PolyEval2(b0, b1, reduced_keys_[t]), range);
+        row[k] += static_cast<double>(updates[t].delta);
+      }
+    } else {
+      for (size_t t = 0; t < count; ++t) {
+        const uint64_t k = hash::ScaleToRange(
+            hash::PolyEval(bc.data(), bc.size(), reduced_keys_[t]), range);
+        row[k] += static_cast<double>(updates[t].delta);
+      }
+    }
   }
+}
+
+void CountMin::UpdateBatch(const stream::ScaledUpdate* updates, size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void CountMin::UpdateBatch(const stream::Update* updates, size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double CountMin::QueryMin(uint64_t i) const {

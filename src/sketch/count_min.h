@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::sketch {
@@ -20,7 +21,12 @@ class CountMin {
  public:
   CountMin(int rows, int buckets, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion, row-major; bit-identical to per-update processing.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Strict-turnstile estimate (upper bound on x_i w.h.p. of construction).
   double QueryMin(uint64_t i) const;
@@ -37,10 +43,14 @@ class CountMin {
   size_t SpaceBits(int bits_per_counter = 64) const;
 
  private:
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
+
   int rows_;
   int buckets_;
   std::vector<double> table_;
   std::vector<hash::KWiseHash> bucket_;
+  std::vector<uint64_t> reduced_keys_;  // batch scratch
 };
 
 }  // namespace lps::sketch

@@ -39,12 +39,56 @@ CountSketch::CountSketch(int rows, int buckets, uint64_t seed)
 }
 
 void CountSketch::Update(uint64_t i, double delta) {
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void CountSketch::ApplyBatch(const U* updates, size_t count) {
+  reduced_keys_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    reduced_keys_[t] = gf61::Reduce(updates[t].index);
+  }
+  const uint64_t range = static_cast<uint64_t>(buckets_);
   for (int j = 0; j < rows_; ++j) {
     const size_t jj = static_cast<size_t>(j);
-    const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
-    table_[jj * static_cast<size_t>(buckets_) + k] +=
-        static_cast<double>(sign_[jj].Sign(i)) * delta;
+    const auto& bc = bucket_[jj].coefficients();
+    const auto& sc = sign_[jj].coefficients();
+    double* row = table_.data() + jj * static_cast<size_t>(buckets_);
+    if (bc.size() == 2 && sc.size() == 2) {
+      // Pairwise rows (the count-sketch default): both polynomials live in
+      // four registers and the loop body is branchless — the sign bit is
+      // turned into +-1.0 arithmetically instead of through an
+      // unpredictable branch.
+      const uint64_t b0 = bc[0], b1 = bc[1], s0 = sc[0], s1 = sc[1];
+      for (size_t t = 0; t < count; ++t) {
+        const uint64_t x = reduced_keys_[t];
+        const uint64_t k = hash::ScaleToRange(hash::PolyEval2(b0, b1, x), range);
+        const int64_t bit = static_cast<int64_t>(hash::PolyEval2(s0, s1, x) & 1);
+        row[k] += static_cast<double>(2 * bit - 1) *
+                  static_cast<double>(updates[t].delta);
+      }
+    } else {
+      for (size_t t = 0; t < count; ++t) {
+        const uint64_t x = reduced_keys_[t];
+        const uint64_t k =
+            hash::ScaleToRange(hash::PolyEval(bc.data(), bc.size(), x), range);
+        const int64_t bit =
+            static_cast<int64_t>(hash::PolyEval(sc.data(), sc.size(), x) & 1);
+        row[k] += static_cast<double>(2 * bit - 1) *
+                  static_cast<double>(updates[t].delta);
+      }
+    }
   }
+}
+
+void CountSketch::UpdateBatch(const stream::ScaledUpdate* updates,
+                              size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void CountSketch::UpdateBatch(const stream::Update* updates, size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double CountSketch::Query(uint64_t i) const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::sketch {
@@ -26,7 +27,15 @@ class CountSketch {
   /// `rows` is l = O(log n); `buckets` is the row width (the paper uses 6m).
   CountSketch(int rows, int buckets, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion: the key is reduced into the field once per update,
+  /// then each row applies the whole batch in one tight loop with its hash
+  /// coefficients held in registers. State is bit-identical to calling
+  /// Update once per element in stream order.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Point estimate x*_i (median over rows).
   double Query(uint64_t i) const;
@@ -68,12 +77,16 @@ class CountSketch {
   size_t SpaceBits(int bits_per_counter = 64) const;
 
  private:
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
+
   int rows_;
   int buckets_;
   uint64_t seed_;
   std::vector<double> table_;            // rows_ x buckets_
   std::vector<hash::KWiseHash> bucket_;  // one pairwise hash per row
   std::vector<hash::KWiseHash> sign_;    // one pairwise sign hash per row
+  std::vector<uint64_t> reduced_keys_;   // batch scratch: keys mod 2^61 - 1
 };
 
 }  // namespace lps::sketch

@@ -19,10 +19,32 @@ DyadicCountMin::DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed)
 }
 
 void DyadicCountMin::Update(uint64_t i, double delta) {
-  LPS_CHECK(i < (1ULL << log_n_));
-  for (int l = 0; l <= log_n_; ++l) {
-    levels_[static_cast<size_t>(l)].Update(i >> l, delta);
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void DyadicCountMin::ApplyBatch(const U* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    LPS_CHECK(updates[t].index < (1ULL << log_n_));
   }
+  shifted_.resize(count);
+  for (int l = 0; l <= log_n_; ++l) {
+    for (size_t t = 0; t < count; ++t) {
+      shifted_[t] = {updates[t].index >> l,
+                     static_cast<double>(updates[t].delta)};
+    }
+    levels_[static_cast<size_t>(l)].UpdateBatch(shifted_.data(), count);
+  }
+}
+
+void DyadicCountMin::UpdateBatch(const stream::ScaledUpdate* updates,
+                                 size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void DyadicCountMin::UpdateBatch(const stream::Update* updates, size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double DyadicCountMin::Query(uint64_t i) const {

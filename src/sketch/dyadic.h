@@ -24,7 +24,13 @@ class DyadicCountMin {
   /// Universe [0, 2^log_n); each level gets a CountMin(rows, buckets).
   DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion: indices are shifted to each level's block ids once
+  /// per level, then the level's count-min ingests the whole batch.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Point estimate at the leaf level (strict turnstile overestimate).
   double Query(uint64_t i) const;
@@ -36,8 +42,12 @@ class DyadicCountMin {
   size_t SpaceBits(int bits_per_counter = 64) const;
 
  private:
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
+
   int log_n_;
   std::vector<CountMin> levels_;  // levels_[l] sketches blocks of size 2^l
+  std::vector<stream::ScaledUpdate> shifted_;  // batch scratch
 };
 
 /// Dyadic count-sketch: the general-update analogue of the tree above.

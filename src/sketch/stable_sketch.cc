@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <numbers>
 
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -12,7 +11,7 @@ namespace lps::sketch {
 
 double StableFromUniforms(double p, double u1, double u2) {
   LPS_CHECK(p > 0 && p <= 2);
-  const double pi = std::numbers::pi;
+  constexpr double pi = 3.141592653589793238462643383279502884;
   if (p == 2.0) {
     // Gaussian by Box-Muller; N(0,1) is 2-stable under the Euclidean norm.
     return std::sqrt(-2.0 * std::log(u2)) * std::cos(2.0 * pi * u1);
@@ -74,9 +73,29 @@ double StableSketch::StableAt(int row, uint64_t i) const {
 }
 
 void StableSketch::Update(uint64_t i, double delta) {
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void StableSketch::ApplyBatch(const U* updates, size_t count) {
   for (int j = 0; j < rows_; ++j) {
-    y_[static_cast<size_t>(j)] += StableAt(j, i) * delta;
+    double acc = y_[static_cast<size_t>(j)];
+    for (size_t t = 0; t < count; ++t) {
+      acc += StableAt(j, updates[t].index) *
+             static_cast<double>(updates[t].delta);
+    }
+    y_[static_cast<size_t>(j)] = acc;
   }
+}
+
+void StableSketch::UpdateBatch(const stream::ScaledUpdate* updates,
+                               size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void StableSketch::UpdateBatch(const stream::Update* updates, size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double StableSketch::EstimateNorm() const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::sketch {
@@ -38,7 +39,13 @@ class StableSketch {
  public:
   StableSketch(double p, int rows, uint64_t seed);
 
+  /// Single-update path; delegates to UpdateBatch with a batch of one.
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion, row-major: each row's counter accumulates the whole
+  /// batch in a register. Bit-identical to per-update processing.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count);
 
   /// Constant-factor estimate of ||x||_p (median / normalizer).
   double EstimateNorm() const;
@@ -53,6 +60,9 @@ class StableSketch {
 
  private:
   double StableAt(int row, uint64_t i) const;
+
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
 
   double p_;
   int rows_;

@@ -1,0 +1,46 @@
+#include "src/stream/stream_driver.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace lps::stream {
+
+StreamDriver::StreamDriver(size_t batch_size) : batch_size_(batch_size) {
+  LPS_CHECK(batch_size >= 1);
+  buffer_.reserve(batch_size);
+}
+
+StreamDriver& StreamDriver::AddSink(std::string name, BatchFn fn) {
+  sinks_.emplace_back(std::move(name), std::move(fn));
+  return *this;
+}
+
+size_t StreamDriver::Drive(const Update* updates, size_t count) {
+  for (size_t offset = 0; offset < count; offset += batch_size_) {
+    const size_t chunk = std::min(batch_size_, count - offset);
+    for (auto& [name, fn] : sinks_) {
+      fn(updates + offset, chunk);
+    }
+    ++batches_driven_;
+  }
+  updates_driven_ += count;
+  return count;
+}
+
+size_t StreamDriver::Drive(const UpdateStream& stream) {
+  return Drive(stream.data(), stream.size());
+}
+
+void StreamDriver::Push(Update u) {
+  buffer_.push_back(u);
+  if (buffer_.size() >= batch_size_) Flush();
+}
+
+void StreamDriver::Flush() {
+  if (buffer_.empty()) return;
+  Drive(buffer_.data(), buffer_.size());
+  buffer_.clear();
+}
+
+}  // namespace lps::stream

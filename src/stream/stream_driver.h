@@ -1,0 +1,79 @@
+// StreamDriver — the batched ingestion layer between a raw update stream
+// and any number of sketches/samplers ("sinks").
+//
+// The paper's structures are all linear, so the only thing that matters
+// about ingestion order is that each structure sees the updates in stream
+// order; the driver exploits this by cutting the stream into cache-sized
+// chunks and handing each chunk to every registered sink's UpdateBatch
+// fast path. One chunk of updates stays resident in L1/L2 while every
+// sink's rows sweep over it, instead of every update taking a round trip
+// through every structure.
+//
+// Sinks are registered either as a raw callback or, via Add(), as any
+// object exposing UpdateBatch(const Update*, size_t) — which all samplers,
+// sketches, and norm estimators in this library do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/stream/update.h"
+
+namespace lps::stream {
+
+class StreamDriver {
+ public:
+  using BatchFn = std::function<void(const Update*, size_t)>;
+
+  /// 4096 updates x 16 bytes = 64 KiB per chunk: fits L2 alongside the
+  /// sinks' tables without thrashing L1.
+  static constexpr size_t kDefaultBatchSize = 4096;
+
+  explicit StreamDriver(size_t batch_size = kDefaultBatchSize);
+
+  /// Registers a named sink fed by callback. Returns *this for chaining.
+  StreamDriver& AddSink(std::string name, BatchFn fn);
+
+  /// Registers any object with an UpdateBatch(const Update*, size_t)
+  /// member — every sampler/sketch/norm estimator in this library.
+  /// The sink must outlive the driver's last Drive/Flush call.
+  template <typename Sink>
+  StreamDriver& Add(std::string name, Sink* sink) {
+    return AddSink(std::move(name), [sink](const Update* updates,
+                                           size_t count) {
+      sink->UpdateBatch(updates, count);
+    });
+  }
+
+  /// Feeds `count` updates to every sink in batch_size() chunks. Returns
+  /// the number of updates driven.
+  size_t Drive(const Update* updates, size_t count);
+  size_t Drive(const UpdateStream& stream);
+
+  /// Buffered single-update ingestion for callers that produce updates one
+  /// at a time: Push collects updates and flushes whenever a full batch
+  /// accumulates; Flush drains the remainder. A stream fed through Push +
+  /// final Flush produces exactly the same sink state as Drive.
+  void Push(Update u);
+  void Flush();
+
+  size_t batch_size() const { return batch_size_; }
+  size_t sink_count() const { return sinks_.size(); }
+  const std::string& sink_name(size_t s) const { return sinks_[s].first; }
+
+  /// Ingestion counters, for tools and benchmarks.
+  size_t updates_driven() const { return updates_driven_; }
+  size_t batches_driven() const { return batches_driven_; }
+
+ private:
+  size_t batch_size_;
+  std::vector<std::pair<std::string, BatchFn>> sinks_;
+  std::vector<Update> buffer_;  // Push staging area
+  size_t updates_driven_ = 0;
+  size_t batches_driven_ = 0;
+};
+
+}  // namespace lps::stream

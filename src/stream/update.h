@@ -17,4 +17,12 @@ struct Update {
 
 using UpdateStream = std::vector<Update>;
 
+/// An update with a real-valued delta: what the sketches below the sampler
+/// layer actually ingest, because the Lp sampler feeds them the *scaled*
+/// vector z_i = x_i / t_i^{1/p}. Batch entry points accept either flavor.
+struct ScaledUpdate {
+  uint64_t index;
+  double delta;
+};
+
 }  // namespace lps::stream

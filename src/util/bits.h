@@ -1,18 +1,21 @@
 // Small bit-manipulation helpers shared across modules.
 #pragma once
 
-#include <bit>
 #include <cstdint>
 
 namespace lps {
 
+/// Leading zero count; defined for x != 0 (C++17 stand-in for
+/// std::countl_zero).
+inline int CountLeadingZeros(uint64_t x) { return __builtin_clzll(x); }
+
 /// ceil(log2(x)) for x >= 1; 0 for x == 1.
 inline int CeilLog2(uint64_t x) {
-  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+  return x <= 1 ? 0 : 64 - CountLeadingZeros(x - 1);
 }
 
 /// floor(log2(x)) for x >= 1.
-inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+inline int FloorLog2(uint64_t x) { return 63 - CountLeadingZeros(x); }
 
 /// Smallest power of two >= x.
 inline uint64_t NextPow2(uint64_t x) { return x <= 1 ? 1 : 1ULL << CeilLog2(x); }

@@ -1,7 +1,6 @@
 #include "src/util/random.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "src/util/check.h"
 
@@ -74,7 +73,7 @@ double Rng::NextGaussian() {
   const double u = NextDoublePositive();
   const double v = NextDouble();
   return std::sqrt(-2.0 * std::log(u)) *
-         std::cos(2.0 * std::numbers::pi * v);
+         std::cos(2.0 * 3.141592653589793238462643383279502884 * v);
 }
 
 double Rng::NextExponential() { return -std::log(NextDoublePositive()); }

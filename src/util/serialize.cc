@@ -1,6 +1,5 @@
 #include "src/util/serialize.h"
 
-#include <bit>
 #include <cstring>
 
 #include "src/util/bits.h"

@@ -282,6 +282,119 @@ TEST(DyadicCountSketch, EmptyTreeReportsNothing) {
   EXPECT_DOUBLE_EQ(tree.Query(5), 0.0);
 }
 
+// ---- Batched-update fast path: UpdateBatch must produce bit-identical
+// ---- state to the per-update loop, for any batch partition of the stream.
+
+// Feeds `stream` per-update to `scalar` and to `batched` via UpdateBatch
+// with a chunk pattern covering empty, single-element, and large batches.
+template <typename Sink>
+void FeedBothPaths(const stream::UpdateStream& stream, Sink* scalar,
+                   Sink* batched) {
+  for (const auto& u : stream) {
+    scalar->Update(u.index, static_cast<double>(u.delta));
+  }
+  const size_t chunks[] = {0, 1, 3, 0, 17, 64, 1, 1024};
+  size_t pos = 0, c = 0;
+  while (pos < stream.size()) {
+    const size_t len =
+        std::min(chunks[c % (sizeof(chunks) / sizeof(chunks[0]))],
+                 stream.size() - pos);
+    batched->UpdateBatch(stream.data() + pos, len);
+    pos += len;
+    ++c;
+  }
+  batched->UpdateBatch(stream.data(), 0);  // trailing empty batch is a no-op
+}
+
+template <typename Sink>
+std::vector<uint64_t> CounterWords(const Sink& sink) {
+  lps::BitWriter writer;
+  sink.SerializeCounters(&writer);
+  return writer.words();
+}
+
+// A general (signed deltas) and a strict-turnstile (non-negative final
+// coordinates) stream, as the paper's two update models.
+stream::UpdateStream GeneralStream() {
+  return stream::UniformTurnstile(512, 4000, 100, 91);
+}
+stream::UpdateStream StrictTurnstileStream() {
+  return stream::PlantedHeavyHitters(512, 6, 250, 300, false, 92);
+}
+
+TEST(CountSketch, BatchMatchesScalarBitExact) {
+  for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
+    CountSketch scalar(11, 96, 7), batched(11, 96, 7);
+    FeedBothPaths(stream, &scalar, &batched);
+    EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+    for (uint64_t i = 0; i < 512; i += 37) {
+      EXPECT_EQ(scalar.Query(i), batched.Query(i));
+    }
+  }
+}
+
+TEST(CountSketch, ScaledUpdateBatchMatchesScalar) {
+  // The double-delta overload, as fed by the Lp sampler rounds.
+  const auto stream = GeneralStream();
+  CountSketch scalar(9, 64, 8), batched(9, 64, 8);
+  std::vector<stream::ScaledUpdate> scaled;
+  for (const auto& u : stream) {
+    const double d = static_cast<double>(u.delta) * 0.5;
+    scalar.Update(u.index, d);
+    scaled.push_back({u.index, d});
+  }
+  batched.UpdateBatch(scaled.data(), scaled.size());
+  EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+}
+
+TEST(CountSketch, EmptyAndSingleElementBatches) {
+  CountSketch scalar(9, 64, 9), batched(9, 64, 9);
+  batched.UpdateBatch(static_cast<const stream::Update*>(nullptr), 0);
+  EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+  const stream::Update one{5, -3};
+  scalar.Update(5, -3.0);
+  batched.UpdateBatch(&one, 1);
+  EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+}
+
+TEST(CountMin, BatchMatchesScalarBitExact) {
+  for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
+    CountMin scalar(11, 64, 17), batched(11, 64, 17);
+    FeedBothPaths(stream, &scalar, &batched);
+    EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+  }
+}
+
+TEST(AmsF2, BatchMatchesScalarBitExact) {
+  for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
+    AmsF2 scalar(7, 12, 21), batched(7, 12, 21);
+    FeedBothPaths(stream, &scalar, &batched);
+    // No counter serialization on AmsF2; the estimators are deterministic
+    // functions of the counters, so exact equality certifies state.
+    EXPECT_EQ(scalar.EstimateF2(), batched.EstimateF2());
+    EXPECT_EQ(scalar.EstimateResidualL2({{3, 5.0}}),
+              batched.EstimateResidualL2({{3, 5.0}}));
+  }
+}
+
+TEST(StableSketch, BatchMatchesScalarBitExact) {
+  for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
+    StableSketch scalar(1.0, 32, 33), batched(1.0, 32, 33);
+    FeedBothPaths(stream, &scalar, &batched);
+    EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+  }
+}
+
+TEST(DyadicCountMin, BatchMatchesScalarBitExact) {
+  const auto stream = stream::PlantedHeavyHitters(256, 4, 100, 64, false, 93);
+  DyadicCountMin scalar(8, 7, 32, 44), batched(8, 7, 32, 44);
+  FeedBothPaths(stream, &scalar, &batched);
+  for (uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(scalar.Query(i), batched.Query(i));
+  }
+  EXPECT_EQ(scalar.HeavyLeaves(50.0), batched.HeavyLeaves(50.0));
+}
+
 TEST(DyadicCountMin, PointQueriesAndHeavyLeaves) {
   DyadicCountMin tree(10, 9, 64, 22);  // universe 1024
   tree.Update(100, 500.0);

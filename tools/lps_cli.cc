@@ -24,6 +24,7 @@
 #include "src/norm/lp_norm.h"
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
+#include "src/stream/stream_driver.h"
 #include "src/stream/trace.h"
 
 namespace {
@@ -86,7 +87,8 @@ int CmdSample(int argc, char** argv) {
   const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
   if (std::strcmp(argv[2], "L0") == 0) {
     lps::core::L0Sampler sampler({trace->n, delta, 0, seed, false});
-    for (const auto& u : trace->updates) sampler.Update(u.index, u.delta);
+    lps::stream::StreamDriver driver;
+    driver.Add("l0_sampler", &sampler).Drive(trace->updates);
     auto res = sampler.Sample();
     if (!res.ok()) {
       std::printf("FAIL %s\n", res.status().ToString().c_str());
@@ -104,9 +106,8 @@ int CmdSample(int argc, char** argv) {
   params.delta = delta;
   params.seed = seed;
   lps::core::LpSampler sampler(params);
-  for (const auto& u : trace->updates) {
-    sampler.Update(u.index, static_cast<double>(u.delta));
-  }
+  lps::stream::StreamDriver driver;
+  driver.Add("lp_sampler", &sampler).Drive(trace->updates);
   auto res = sampler.Sample();
   if (!res.ok()) {
     std::printf("FAIL %s\n", res.status().ToString().c_str());
@@ -154,9 +155,8 @@ int CmdHeavy(int argc, char** argv) {
   params.phi = std::strtod(argv[3], nullptr);
   params.seed = std::strtoull(argv[4], nullptr, 10);
   lps::heavy::CsHeavyHitters hh(params);
-  for (const auto& u : trace->updates) {
-    hh.Update(u.index, static_cast<double>(u.delta));
-  }
+  lps::stream::StreamDriver driver;
+  driver.Add("heavy_hitters", &hh).Drive(trace->updates);
   const auto set = hh.Query();
   std::printf("%zu heavy hitters:", set.size());
   for (uint64_t i : set) std::printf(" %llu", static_cast<unsigned long long>(i));
@@ -172,9 +172,8 @@ int CmdNorm(int argc, char** argv) {
   const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
   lps::norm::LpNormEstimator est(
       p, lps::norm::LpNormEstimator::DefaultRows(trace->n), seed);
-  for (const auto& u : trace->updates) {
-    est.Update(u.index, static_cast<double>(u.delta));
-  }
+  lps::stream::StreamDriver driver;
+  driver.Add("lp_norm", &est).Drive(trace->updates);
   std::printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n",
               est.Estimate2Approx());
   return 0;
