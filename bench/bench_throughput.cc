@@ -2,8 +2,15 @@
 // every sketch and sampler, so downstream users can size deployments and
 // the perf trajectory of the hot path is tracked from PR to PR. Ingestion
 // is measured scalar (one Update call per stream element) versus batched
-// (StreamDriver chunks through the UpdateBatch fast paths); the recovery
-// table tracks the query-side costs (Sample, Recover, HeavyLeaves).
+// (StreamDriver chunks through the UpdateBatch fast paths); a sharded
+// section measures the mergeable-summaries deployment mode (k per-shard
+// replicas ingesting hash-partitioned sub-streams on k threads, then
+// Merge), and the recovery table tracks the query-side costs (Sample,
+// Recover, HeavyLeaves).
+//
+// Between timed passes every sink is Reset() — counters zeroed, seeds and
+// allocations kept — so repeated trials measure ingestion, not
+// reconstruction.
 //
 // Emits the human tables to stdout and machine-readable results to
 // BENCH_throughput.json. --quick shrinks stream lengths and pass counts
@@ -12,6 +19,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -27,7 +35,10 @@
 #include "src/sketch/dyadic.h"
 #include "src/sketch/stable_sketch.h"
 #include "src/stream/generators.h"
+#include "src/stream/linear_sketch.h"
+#include "src/stream/sharded_driver.h"
 #include "src/stream/stream_driver.h"
+#include "src/util/random.h"
 
 namespace {
 
@@ -48,11 +59,15 @@ struct ResultRow {
 };
 
 /// Runs `fn` over the stream `passes` times and returns items/sec of the
-/// fastest pass (min-time, the standard noise-robust estimator).
-template <typename Fn>
-double ItemsPerSec(const UpdateStream& stream, int passes, Fn&& fn) {
+/// fastest pass (min-time, the standard noise-robust estimator). `reset`
+/// runs before every pass, outside the timed region — the Reset() warm-up
+/// that keeps repeated trials from paying reconstruction.
+template <typename ResetFn, typename Fn>
+double ItemsPerSec(const UpdateStream& stream, int passes, ResetFn&& reset,
+                   Fn&& fn) {
   double best_seconds = 1e300;
   for (int p = 0; p < passes; ++p) {
+    reset();
     const auto start = std::chrono::steady_clock::now();
     fn(stream);
     const auto stop = std::chrono::steady_clock::now();
@@ -64,23 +79,26 @@ double ItemsPerSec(const UpdateStream& stream, int passes, Fn&& fn) {
 }
 
 /// Measures one structure: `scalar` ingests the stream with per-update
-/// calls, `batched` through a StreamDriver chunked fast path. Both sinks
-/// are fed identical streams; linearity makes repeated passes harmless.
+/// calls, `batched` through a StreamDriver chunked fast path. Sinks are
+/// Reset() between passes.
 template <typename Sink>
 ResultRow Measure(const std::string& name, const UpdateStream& stream,
                   int passes, Sink* scalar_sink, Sink* batched_sink) {
   ResultRow row;
   row.name = name;
   row.updates = stream.size();
-  row.scalar_ips = ItemsPerSec(stream, passes, [&](const UpdateStream& s) {
-    for (const auto& u : s) {
-      scalar_sink->Update(u.index, static_cast<double>(u.delta));
-    }
-  });
+  row.scalar_ips = ItemsPerSec(
+      stream, passes, [&] { scalar_sink->Reset(); },
+      [&](const UpdateStream& s) {
+        for (const auto& u : s) {
+          scalar_sink->Update(u.index, static_cast<double>(u.delta));
+        }
+      });
   StreamDriver driver;
   driver.Add(name, batched_sink);
   row.batched_ips = ItemsPerSec(
-      stream, passes, [&](const UpdateStream& s) { driver.Drive(s); });
+      stream, passes, [&] { batched_sink->Reset(); },
+      [&](const UpdateStream& s) { driver.Drive(s); });
   return row;
 }
 
@@ -91,13 +109,78 @@ ResultRow MeasureInt(const std::string& name, const UpdateStream& stream,
   ResultRow row;
   row.name = name;
   row.updates = stream.size();
-  row.scalar_ips = ItemsPerSec(stream, passes, [&](const UpdateStream& s) {
-    for (const auto& u : s) scalar_sink->Update(u.index, u.delta);
-  });
+  row.scalar_ips = ItemsPerSec(
+      stream, passes, [&] { scalar_sink->Reset(); },
+      [&](const UpdateStream& s) {
+        for (const auto& u : s) scalar_sink->Update(u.index, u.delta);
+      });
   StreamDriver driver;
   driver.Add(name, batched_sink);
   row.batched_ips = ItemsPerSec(
-      stream, passes, [&](const UpdateStream& s) { driver.Drive(s); });
+      stream, passes, [&] { batched_sink->Reset(); },
+      [&](const UpdateStream& s) { driver.Drive(s); });
+  return row;
+}
+
+struct ShardRow {
+  std::string name;
+  int shards = 0;
+  size_t updates = 0;
+  double ips = 0;           // items/sec, ingest (k threads) + merge
+  double merge_micros = 0;  // merge cost alone, best pass
+};
+
+/// The mergeable-summaries deployment: the stream is hash-partitioned by
+/// coordinate into k sub-streams (same policy as ShardedDriver::kByIndex),
+/// each ingested into its own replica on its own thread through the
+/// batched path, then replicas merge into replica 0. Reported items/sec
+/// covers ingest + merge; k = 1 is the unsharded baseline.
+template <typename Sink, typename MakeFn>
+ShardRow MeasureSharded(const std::string& name, const UpdateStream& stream,
+                        int passes, int shards, MakeFn make) {
+  std::vector<UpdateStream> parts(static_cast<size_t>(shards));
+  for (const auto& u : stream) {
+    parts[lps::Mix64(u.index) % static_cast<uint64_t>(shards)].push_back(u);
+  }
+  std::vector<Sink> replicas;
+  replicas.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) replicas.push_back(make());
+
+  ShardRow row;
+  row.name = name;
+  row.shards = shards;
+  row.updates = stream.size();
+  double best_seconds = 1e300;
+  double best_merge = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    for (auto& replica : replicas) replica.Reset();
+    const auto start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<size_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        workers.emplace_back([&, s] {
+          StreamDriver driver;
+          driver.Add(name, &replicas[static_cast<size_t>(s)]);
+          driver.Drive(parts[static_cast<size_t>(s)]);
+        });
+      }
+      for (auto& worker : workers) worker.join();
+    }
+    const auto ingested = std::chrono::steady_clock::now();
+    for (int s = 1; s < shards; ++s) {
+      replicas[0].Merge(replicas[static_cast<size_t>(s)]);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    const double merge_seconds =
+        std::chrono::duration<double>(stop - ingested).count();
+    if (seconds < best_seconds) best_seconds = seconds;
+    if (merge_seconds < best_merge) best_merge = merge_seconds;
+  }
+  row.ips = static_cast<double>(stream.size()) / best_seconds;
+  row.merge_micros = best_merge * 1e6;
   return row;
 }
 
@@ -122,6 +205,7 @@ double MicrosPerCall(int passes, int calls, Fn&& fn) {
 }
 
 void WriteJson(const char* path, const std::vector<ResultRow>& rows,
+               const std::vector<ShardRow>& sharded,
                const std::vector<LatencyRow>& latencies, bool quick) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -140,6 +224,15 @@ void WriteJson(const char* path, const std::vector<ResultRow>& rows,
                  row.name.c_str(), row.updates, row.scalar_ips,
                  row.batched_ips, row.speedup(),
                  r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"sharded_ingest\": [\n");
+  for (size_t r = 0; r < sharded.size(); ++r) {
+    const ShardRow& row = sharded[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shards\": %d, \"updates\": %zu, "
+                 "\"items_per_sec\": %.0f, \"merge_micros\": %.1f}%s\n",
+                 row.name.c_str(), row.shards, row.updates, row.ips,
+                 row.merge_micros, r + 1 < sharded.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"query_latency\": [\n");
   for (size_t r = 0; r < latencies.size(); ++r) {
@@ -227,6 +320,28 @@ int main(int argc, char** argv) {
         Measure("cs_heavy_hitters[phi=.05]", long_stream, passes, &a, &b));
   }
 
+  // Sharded ingest: the mergeable-summaries deployment, k threads each
+  // feeding a replica, then Merge. The k-way scaling curve lands in the
+  // JSON so the deployment mode's trajectory is tracked from PR to PR.
+  std::vector<ShardRow> sharded;
+  for (int k : {1, 2, 4, 8}) {
+    sharded.push_back(MeasureSharded<lps::sketch::CountSketch>(
+        "count_sketch[17x96]", long_stream, passes, k,
+        [] { return lps::sketch::CountSketch(17, 96, 1); }));
+  }
+  for (int k : {1, 2, 4, 8}) {
+    sharded.push_back(MeasureSharded<lps::core::LpSampler>(
+        "lp_sampler[v=8]", short_stream, passes, k, [] {
+          lps::core::LpSamplerParams params;
+          params.n = kN;
+          params.p = 1.0;
+          params.eps = 0.25;
+          params.repetitions = 8;
+          params.seed = 10;
+          return lps::core::LpSampler(params);
+        }));
+  }
+
   // Query-side latencies: the recovery-stage costs the old C17 table
   // tracked, kept so a Recover/Sample/HeavyLeaves regression is visible.
   std::vector<LatencyRow> latencies;
@@ -280,6 +395,16 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  lps::bench::Section(
+      "C17: sharded ingest (k threads, hash-partitioned, then Merge)");
+  Table shard_table({"structure", "shards", "Mitem/s", "merge us"});
+  for (const ShardRow& row : sharded) {
+    shard_table.AddRow({row.name, Table::Fmt("%d", row.shards),
+                        Table::Fmt("%.2f", row.ips / 1e6),
+                        Table::Fmt("%.1f", row.merge_micros)});
+  }
+  shard_table.Print();
+
   lps::bench::Section("C17: query / recovery latency");
   Table lat_table({"query", "us/call"});
   for (const LatencyRow& row : latencies) {
@@ -287,7 +412,7 @@ int main(int argc, char** argv) {
   }
   lat_table.Print();
 
-  WriteJson("BENCH_throughput.json", rows, latencies, quick);
+  WriteJson("BENCH_throughput.json", rows, sharded, latencies, quick);
   std::printf("machine-readable results written to BENCH_throughput.json\n");
   return 0;
 }

@@ -60,6 +60,48 @@ Result<double> MomentEstimator::Estimate() const {
   return sum / static_cast<double>(estimates.size());
 }
 
+void MomentEstimator::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const MomentEstimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.samples == b.samples &&
+            a.q == b.q && a.seed == b.seed);
+  q_norm_.Merge(o->q_norm_);
+  for (size_t j = 0; j < samplers_.size(); ++j) {
+    samplers_[j].Merge(o->samplers_[j]);
+  }
+}
+
+void MomentEstimator::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.p);
+  writer->WriteBits(static_cast<uint64_t>(params_.samples), 32);
+  writer->WriteDouble(params_.q);
+  writer->WriteU64(params_.seed);
+  q_norm_.sketch().SerializeCounters(writer);
+  for (const auto& sampler : samplers_) sampler.SerializeCounters(writer);
+}
+
+void MomentEstimator::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.p = reader->ReadDouble();
+  params.samples = static_cast<int>(reader->ReadBits(32));
+  params.q = reader->ReadDouble();
+  params.seed = reader->ReadU64();
+  *this = MomentEstimator(params);
+  q_norm_.mutable_sketch()->DeserializeCounters(reader);
+  for (auto& sampler : samplers_) sampler.DeserializeCounters(reader);
+}
+
+void MomentEstimator::Reset() {
+  q_norm_.Reset();
+  for (auto& sampler : samplers_) sampler.Reset();
+}
+
 size_t MomentEstimator::SpaceBits(int bits_per_counter) const {
   size_t bits = q_norm_.SpaceBits(bits_per_counter);
   for (const auto& sampler : samplers_) bits += sampler.SpaceBits(bits_per_counter);

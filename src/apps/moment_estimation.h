@@ -25,13 +25,14 @@
 
 #include "src/core/lp_sampler.h"
 #include "src/norm/lp_norm.h"
+#include "src/stream/linear_sketch.h"
 #include "src/util/status.h"
 
 namespace lps::apps {
 
 /// One-shot F_p estimator for p > 2 built from `samples` independent
 /// Lq samplers (q just below 2) plus one Lq norm estimator.
-class MomentEstimator {
+class MomentEstimator : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -48,12 +49,20 @@ class MomentEstimator {
 
   /// Batched ingestion: the norm sketch and every sampler consume the
   /// batch through their own fast paths.
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Estimate of F_p = ||x||_p^p, or Failed if no sampler produced output.
   Result<double> Estimate() const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kMomentEstimator; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   Params params_;

@@ -97,7 +97,14 @@ ReductionResult RunUrViaDuplicates(const URInstance& instance, double delta,
     for (uint64_t r = 0; r < n; ++r) rank[p[r]] = static_cast<int64_t>(r);
   }
 
-  // Alice feeds S cap P into the duplicates finder and ships its memory.
+  // Alice feeds S cap P into the duplicates finder and ships its memory —
+  // the full LinearSketch state (versioned header, params, counters), so
+  // Bob needs nothing but the message and the shared randomness. The
+  // measured message size therefore exceeds the paper's counters-only
+  // quantity by a known constant (32-bit header + params + 64-bit seed);
+  // every consumer compares ratios or scaling shapes, which a constant
+  // additive term does not disturb. SerializeCounters remains the tool
+  // when the exact counters-only bit count is the object of study.
   duplicates::DuplicateFinder::Params params{n, delta, 0,
                                              Mix64(shared_seed ^ 0x7e08ULL)};
   duplicates::DuplicateFinder alice(params);
@@ -110,16 +117,16 @@ ReductionResult RunUrViaDuplicates(const URInstance& instance, double delta,
     }
   }
   BitWriter message;
-  alice.SerializeCounters(&message);
+  alice.Serialize(&message);
   // The count |S cap P| rides along (log(n+1) bits).
   message.WriteBounded(alice_count, n + 1);
   result.stats.message_bits.push_back(message.bit_count());
 
-  // Bob reconstructs, checks the mass condition, feeds n+1-|S cap P| of his
-  // own items, and queries.
+  // Bob restores Alice's state, checks the mass condition, feeds
+  // n+1-|S cap P| of his own items, and queries.
   duplicates::DuplicateFinder bob(params);
   BitReader reader(message);
-  bob.DeserializeCounters(&reader);
+  bob.Deserialize(&reader);
   std::vector<uint64_t> bob_items;
   for (uint64_t i = 0; i < n; ++i) {
     const uint64_t item = 2 * i + 1 - instance.y[i];
@@ -172,7 +179,7 @@ ReductionResult RunAiViaHeavyHitters(const AugmentedIndexingInstance& instance,
                  value);
   }
   BitWriter message;
-  alice.SerializeCounters(&message);
+  alice.Serialize(&message);
   ReductionResult result;
   result.stats.message_bits.push_back(message.bit_count());
 
@@ -180,7 +187,7 @@ ReductionResult RunAiViaHeavyHitters(const AugmentedIndexingInstance& instance,
   // (strict turnstile) whose smallest non-zero coordinate is the heavy one.
   heavy::CsHeavyHitters bob(params);
   BitReader reader(message);
-  bob.DeserializeCounters(&reader);
+  bob.Deserialize(&reader);
   for (int j = 1; j <= instance.index; ++j) {
     const double value = std::ceil(std::pow(b, s - j));
     bob.Update(static_cast<uint64_t>(j - 1) * block_width +

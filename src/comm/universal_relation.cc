@@ -137,13 +137,13 @@ URResult RunOneRoundUR(const URInstance& instance, double delta,
     if (instance.x[i]) alice.Update(i, +1);
   }
   BitWriter message;
-  alice.SerializeCounters(&message);
+  alice.Serialize(&message);
   result.stats.message_bits.push_back(message.bit_count());
 
-  // Bob: same-seed sketch, install Alice's counters, subtract y, sample.
+  // Bob: same-seed sketch, install Alice's full state, subtract y, sample.
   core::L0Sampler bob(params);
   BitReader reader(message);
-  bob.DeserializeCounters(&reader);
+  bob.Deserialize(&reader);
   for (uint64_t i = 0; i < n; ++i) {
     if (instance.y[i]) bob.Update(i, -1);
   }
@@ -200,14 +200,14 @@ URResult RunTwoRoundUR(const URInstance& instance, double delta,
   }
   BitWriter round2;
   round2.WriteBits(static_cast<uint64_t>(k), 8);
-  bob_sketch.SerializeCounters(&round2);
+  bob_sketch.Serialize(&round2);
   result.stats.message_bits.push_back(round2.bit_count());
 
   // Alice: subtract her restriction of x, recover the surviving differences.
   recovery::SparseRecovery alice_sketch(n, s, Mix64(shared_seed ^ 0x2f1ULL));
   BitReader r2(round2);
   const int k_received = static_cast<int>(r2.ReadBits(8));
-  alice_sketch.DeserializeCounters(&r2);
+  alice_sketch.Deserialize(&r2);
   const double rate_received = std::pow(2.0, -k_received);
   for (uint64_t i = 0; i < n; ++i) {
     if (instance.x[i] && member.Uniform01(i) < rate_received) {

@@ -21,4 +21,20 @@ LpSamplerParams AkoSampler::AkoResolve(LpSamplerParams params) {
 AkoSampler::AkoSampler(LpSamplerParams params)
     : inner_(AkoResolve(std::move(params))) {}
 
+void AkoSampler::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const AkoSampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  inner_.Merge(o->inner_);
+}
+
+void AkoSampler::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  inner_.Serialize(writer);
+}
+
+void AkoSampler::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  inner_.Deserialize(reader);
+}
+
 }  // namespace lps::core

@@ -17,15 +17,31 @@
 
 namespace lps::core {
 
-class AkoSampler {
+class AkoSampler : public LinearSketch {
  public:
   /// Accepts the same parameters as LpSampler; k and m are overridden with
   /// AKO's choices (pairwise independence, m = Theta(eps^{-p} log n)).
   explicit AkoSampler(LpSamplerParams params);
 
   void Update(uint64_t i, double delta) { inner_.Update(i, delta); }
+  void UpdateBatch(const stream::Update* updates, size_t count) override {
+    inner_.UpdateBatch(updates, count);
+  }
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count) {
+    inner_.UpdateBatch(updates, count);
+  }
   Result<SampleResult> Sample() const { return inner_.Sample(); }
-  size_t SpaceBits(int bits_per_counter = 64) const {
+
+  // LinearSketch contract: delegates to the inner sampler under this
+  // baseline's own kind tag.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override { inner_.Reset(); }
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kAkoSampler; }
+
+  size_t SpaceBits(int bits_per_counter) const {
     return inner_.SpaceBits(bits_per_counter);
   }
   const LpSamplerParams& params() const { return inner_.params(); }

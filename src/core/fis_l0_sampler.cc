@@ -44,6 +44,50 @@ void FisL0Sampler::Update(uint64_t i, int64_t delta) {
   }
 }
 
+void FisL0Sampler::UpdateBatch(const stream::Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    Update(updates[t].index, updates[t].delta);
+  }
+}
+
+void FisL0Sampler::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const FisL0Sampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < table_.size(); ++l) {
+    for (size_t b = 0; b < table_[l].size(); ++b) {
+      table_[l][b].Merge(o->table_[l][b]);
+    }
+  }
+}
+
+void FisL0Sampler::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(n_);
+  writer->WriteU64(seed_);
+  writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
+  for (const auto& row : table_) {
+    for (const auto& bucket : row) bucket.SerializeCounters(writer);
+  }
+}
+
+void FisL0Sampler::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const uint64_t n = reader->ReadU64();
+  const uint64_t seed = reader->ReadU64();
+  const int buckets = static_cast<int>(reader->ReadBits(32));
+  *this = FisL0Sampler(n, seed, buckets);
+  for (auto& row : table_) {
+    for (auto& bucket : row) bucket.DeserializeCounters(reader);
+  }
+}
+
+void FisL0Sampler::Reset() {
+  for (auto& row : table_) {
+    for (auto& bucket : row) bucket.Reset();
+  }
+}
+
 Result<SampleResult> FisL0Sampler::Sample() const {
   // Scan from the sparsest level down: the first level with any valid
   // 1-sparse bucket has few survivors, so the choice is near-uniform over

@@ -14,22 +14,34 @@
 
 #include "src/core/sampler.h"
 #include "src/hash/kwise.h"
+#include "src/stream/linear_sketch.h"
 #include "src/util/status.h"
 
 #include "src/recovery/one_sparse.h"
 
 namespace lps::core {
 
-class FisL0Sampler {
+class FisL0Sampler : public LinearSketch {
  public:
   /// Universe [0, n); `buckets` = 0 picks Theta(log n).
   FisL0Sampler(uint64_t n, uint64_t seed, int buckets = 0);
 
   void Update(uint64_t i, int64_t delta);
 
+  /// Batched ingestion (plain per-update loop: each update touches a
+  /// different bucket chain, so there is nothing to hoist).
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
+
   Result<SampleResult> Sample() const;
 
-  size_t SpaceBits() const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  SketchKind kind() const override { return SketchKind::kFisL0Sampler; }
+
+  size_t SpaceBits() const override;
 
  private:
   int DeepestLevel(uint64_t i) const;

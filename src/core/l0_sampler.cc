@@ -9,13 +9,14 @@
 
 namespace lps::core {
 
-L0Sampler::L0Sampler(L0SamplerParams params) : n_(params.n) {
+L0Sampler::L0Sampler(L0SamplerParams params) : params_(params), n_(params.n) {
   LPS_CHECK(params.n >= 1);
   LPS_CHECK(params.delta > 0 && params.delta < 1);
   s_ = params.s != 0
            ? params.s
            : static_cast<uint64_t>(
                  std::max(4.0, std::ceil(4 * std::log2(1 / params.delta))));
+  params_.s = s_;
   const int max_level = FloorLog2(std::max<uint64_t>(n_, 1));
   // Words consumed: one membership word per (level, coordinate) pair plus
   // one choice word per level.
@@ -95,6 +96,41 @@ void L0Sampler::SerializeCounters(BitWriter* writer) const {
 
 void L0Sampler::DeserializeCounters(BitReader* reader) {
   for (auto& level : levels_) level.DeserializeCounters(reader);
+}
+
+void L0Sampler::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const L0Sampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.delta == params_.delta &&
+            o->params_.s == params_.s && o->params_.seed == params_.seed &&
+            o->params_.use_nisan == params_.use_nisan);
+  for (size_t k = 0; k < levels_.size(); ++k) levels_[k].Merge(o->levels_[k]);
+}
+
+void L0Sampler::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.delta);
+  writer->WriteU64(params_.s);
+  writer->WriteU64(params_.seed);
+  writer->WriteBits(params_.use_nisan ? 1 : 0, 1);
+  SerializeCounters(writer);
+}
+
+void L0Sampler::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  L0SamplerParams params;
+  params.n = reader->ReadU64();
+  params.delta = reader->ReadDouble();
+  params.s = reader->ReadU64();
+  params.seed = reader->ReadU64();
+  params.use_nisan = reader->ReadBits(1) != 0;
+  *this = L0Sampler(params);
+  DeserializeCounters(reader);
+}
+
+void L0Sampler::Reset() {
+  for (auto& level : levels_) level.Reset();
 }
 
 size_t L0Sampler::SpaceBits() const {

@@ -28,6 +28,7 @@
 #include "src/core/sampler.h"
 #include "src/prg/random_source.h"
 #include "src/recovery/sparse_recovery.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/status.h"
 
@@ -41,7 +42,7 @@ struct L0SamplerParams {
   bool use_nisan = false;  ///< Theorem 2's PRG derandomization
 };
 
-class L0Sampler {
+class L0Sampler : public LinearSketch {
  public:
   explicit L0Sampler(L0SamplerParams params);
 
@@ -52,7 +53,7 @@ class L0Sampler {
   /// its membership test and feeds the survivors to its sparse recovery
   /// while that level's measurements are hot. State is identical to
   /// per-update processing (field arithmetic is exact).
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// A uniform non-zero coordinate and its exact value, or Status::Failed.
   Result<SampleResult> Sample() const;
@@ -65,7 +66,7 @@ class L0Sampler {
 
   /// Paper-model space: recovery measurements plus the randomness-source
   /// seed (64 bits for the oracle model, O(log^2 n) for Nisan mode).
-  size_t SpaceBits() const;
+  size_t SpaceBits() const override;
 
   /// Counter-state serialization (levels' measurements); seeds are shared
   /// randomness. Used by the one-round universal relation protocol
@@ -73,9 +74,17 @@ class L0Sampler {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  SketchKind kind() const override { return SketchKind::kL0Sampler; }
+
  private:
   bool InLevel(int k, uint64_t i) const;
 
+  L0SamplerParams params_;  // with s resolved into params_.s
   uint64_t n_;
   uint64_t s_;
   std::unique_ptr<prg::RandomSource> source_;

@@ -185,6 +185,63 @@ void LpSampler::DeserializeCounters(BitReader* reader) {
   for (auto& round : rounds_) round.DeserializeCounters(reader);
 }
 
+void LpSampler::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const LpSampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  const LpSamplerParams& a = params_;
+  const LpSamplerParams& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.eps == b.eps && a.delta == b.delta &&
+            a.repetitions == b.repetitions && a.cs_rows == b.cs_rows &&
+            a.m == b.m && a.k == b.k && a.norm_rows == b.norm_rows &&
+            a.seed == b.seed && a.override_index == b.override_index &&
+            a.override_t == b.override_t);
+  norm_.Merge(o->norm_);
+  for (size_t v = 0; v < rounds_.size(); ++v) {
+    rounds_[v].MergeFrom(o->rounds_[v]);
+  }
+}
+
+void LpSampler::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.p);
+  writer->WriteDouble(params_.eps);
+  writer->WriteDouble(params_.delta);
+  writer->WriteBits(static_cast<uint64_t>(params_.repetitions), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.cs_rows), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.m), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.k), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.norm_rows), 32);
+  writer->WriteU64(params_.seed);
+  writer->WriteU64(static_cast<uint64_t>(params_.override_index));
+  writer->WriteDouble(params_.override_t);
+  SerializeCounters(writer);
+}
+
+void LpSampler::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  LpSamplerParams params;
+  params.n = reader->ReadU64();
+  params.p = reader->ReadDouble();
+  params.eps = reader->ReadDouble();
+  params.delta = reader->ReadDouble();
+  params.repetitions = static_cast<int>(reader->ReadBits(32));
+  params.cs_rows = static_cast<int>(reader->ReadBits(32));
+  params.m = static_cast<int>(reader->ReadBits(32));
+  params.k = static_cast<int>(reader->ReadBits(32));
+  params.norm_rows = static_cast<int>(reader->ReadBits(32));
+  params.seed = reader->ReadU64();
+  params.override_index = static_cast<int64_t>(reader->ReadU64());
+  params.override_t = reader->ReadDouble();
+  *this = LpSampler(params);  // serialized params are already resolved
+  DeserializeCounters(reader);
+}
+
+void LpSampler::Reset() {
+  norm_.Reset();
+  for (auto& round : rounds_) round.ResetCounters();
+}
+
 size_t LpSampler::SpaceBits(int bits_per_counter) const {
   size_t bits = norm_.SpaceBits(bits_per_counter);
   for (const auto& round : rounds_) bits += round.SpaceBits(bits_per_counter);

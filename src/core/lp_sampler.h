@@ -36,6 +36,7 @@
 #include "src/hash/kwise.h"
 #include "src/norm/lp_norm.h"
 #include "src/sketch/count_sketch.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/status.h"
 
@@ -100,6 +101,13 @@ class LpSamplerRound {
     cs_.DeserializeCounters(reader);
   }
 
+  /// Coordinate-wise addition of a same-params round replica (used by
+  /// LpSampler::Merge; the count-sketch CHECKs shape and seed).
+  void MergeFrom(const LpSamplerRound& other) { cs_.Merge(other.cs_); }
+
+  /// Zeroes the round's counters, keeping hashes and allocations.
+  void ResetCounters() { cs_.Reset(); }
+
   int m() const { return m_; }
   double beta() const { return beta_; }
 
@@ -116,7 +124,7 @@ class LpSamplerRound {
   std::vector<stream::ScaledUpdate> scaled_;  // batch scratch
 };
 
-class LpSampler {
+class LpSampler : public LinearSketch {
  public:
   explicit LpSampler(LpSamplerParams params);
 
@@ -126,7 +134,7 @@ class LpSampler {
   /// Processes a batch of updates in one pass: the shared norm sketch and
   /// every round consume the batch through their own fast paths.
   /// Bit-identical to calling Update once per element in stream order.
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
 
   /// Theorem 1: the first non-failing round's output, or Status::Failed.
@@ -142,13 +150,21 @@ class LpSampler {
   const LpSamplerParams& params() const { return params_; }
 
   /// Total space under the paper's counter model.
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
 
   /// Serializes every counter (all rounds + norm sketch) so another party
   /// holding the same seeds can continue the stream — the "send the memory
   /// contents" step of the reductions in Section 4.
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kLpSampler; }
 
   /// The derived parameters actually in use (after 0 -> auto resolution).
   static LpSamplerParams Resolve(LpSamplerParams params);

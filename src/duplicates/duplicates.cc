@@ -27,18 +27,70 @@ core::LpSamplerParams L1Params(uint64_t n, double delta, int repetitions,
   return params;
 }
 
-// Feeds the initial (i, -1) updates of the reduction.
+// The reduction's initialization / its cancellation as one batch, so the
+// constructor, Reset, and Merge all go through the vectorized fast path.
+stream::UpdateStream ConstantStream(uint64_t n, int64_t delta) {
+  stream::UpdateStream updates(n);
+  for (uint64_t i = 0; i < n; ++i) updates[i] = {i, delta};
+  return updates;
+}
+
 template <typename Sink>
 void FeedInitialMinusOnes(uint64_t n, Sink* sink) {
-  for (uint64_t i = 0; i < n; ++i) sink->Update(i, -1);
+  const stream::UpdateStream init = ConstantStream(n, -1);
+  sink->UpdateBatch(init.data(), init.size());
 }
 
 }  // namespace
 
 DuplicateFinder::DuplicateFinder(Params params)
-    : sampler_(L1Params(params.n, params.delta, params.repetitions,
+    : params_(params),
+      sampler_(L1Params(params.n, params.delta, params.repetitions,
                         params.seed)) {
   FeedInitialMinusOnes(params.n, &sampler_);
+}
+
+void DuplicateFinder::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DuplicateFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  sampler_.Merge(o->sampler_);
+  // Both replicas fed the (i, -1) initialization at construction; cancel
+  // the second copy so the merged vector is init + lettersA + lettersB.
+  const stream::UpdateStream cancel = ConstantStream(params_.n, +1);
+  sampler_.UpdateBatch(cancel.data(), cancel.size());
+}
+
+void DuplicateFinder::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.delta);
+  writer->WriteBits(static_cast<uint64_t>(params_.repetitions), 32);
+  writer->WriteU64(params_.seed);
+  SerializeCounters(writer);
+}
+
+void DuplicateFinder::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.delta = reader->ReadDouble();
+  params.repetitions = static_cast<int>(reader->ReadBits(32));
+  params.seed = reader->ReadU64();
+  // Rebuild the sampler directly instead of through the constructor: the
+  // (i, -1) initialization it would feed is overwritten by the restored
+  // counters anyway, and skipping it keeps load O(state), not O(n).
+  params_ = params;
+  sampler_ = core::LpSampler(
+      L1Params(params.n, params.delta, params.repetitions, params.seed));
+  DeserializeCounters(reader);
+}
+
+void DuplicateFinder::Reset() {
+  sampler_.Reset();
+  FeedInitialMinusOnes(params_.n, &sampler_);
 }
 
 Result<uint64_t> DuplicateFinder::Find() const {
@@ -56,7 +108,8 @@ Result<uint64_t> DuplicateFinder::Find() const {
 }
 
 SparseDuplicateFinder::SparseDuplicateFinder(Params params)
-    : recovery_(params.n, std::max<uint64_t>(2, 5 * params.s),
+    : params_(params),
+      recovery_(params.n, std::max<uint64_t>(2, 5 * params.s),
                 Mix64(params.seed ^ 0xdead5ULL)),
       // The DENSE fallback only guarantees a 2/5 positive fraction (vs
       // Theorem 3's > 1/2), so the sampler gets a halved delta budget —
@@ -70,6 +123,67 @@ SparseDuplicateFinder::SparseDuplicateFinder(Params params)
 void SparseDuplicateFinder::ProcessItem(uint64_t letter) {
   recovery_.Update(letter, +1);
   sampler_.Update(letter, +1);
+}
+
+void SparseDuplicateFinder::UpdateBatch(const stream::Update* updates,
+                                        size_t count) {
+  recovery_.UpdateBatch(updates, count);
+  sampler_.UpdateBatch(updates, count);
+}
+
+void SparseDuplicateFinder::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const SparseDuplicateFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.s == params_.s &&
+            o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  recovery_.Merge(o->recovery_);
+  sampler_.Merge(o->sampler_);
+  // Cancel the duplicated (i, -1) initialization (see DuplicateFinder).
+  const stream::UpdateStream cancel = ConstantStream(params_.n, +1);
+  recovery_.UpdateBatch(cancel.data(), cancel.size());
+  sampler_.UpdateBatch(cancel.data(), cancel.size());
+}
+
+void SparseDuplicateFinder::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteU64(params_.s);
+  writer->WriteDouble(params_.delta);
+  writer->WriteBits(static_cast<uint64_t>(params_.repetitions), 32);
+  writer->WriteU64(params_.seed);
+  recovery_.SerializeCounters(writer);
+  sampler_.SerializeCounters(writer);
+}
+
+void SparseDuplicateFinder::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.s = reader->ReadU64();
+  params.delta = reader->ReadDouble();
+  params.repetitions = static_cast<int>(reader->ReadBits(32));
+  params.seed = reader->ReadU64();
+  // As in DuplicateFinder::Deserialize: skip the constructor's O(n)
+  // initialization feed, which the restored counters would overwrite.
+  // Member construction mirrors the constructor's seed derivation.
+  params_ = params;
+  recovery_ = recovery::SparseRecovery(params.n,
+                                       std::max<uint64_t>(2, 5 * params.s),
+                                       Mix64(params.seed ^ 0xdead5ULL));
+  sampler_ = core::LpSampler(L1Params(params.n, params.delta / 2,
+                                      params.repetitions,
+                                      Mix64(params.seed ^ 0xdead6ULL)));
+  recovery_.DeserializeCounters(reader);
+  sampler_.DeserializeCounters(reader);
+}
+
+void SparseDuplicateFinder::Reset() {
+  recovery_.Reset();
+  sampler_.Reset();
+  FeedInitialMinusOnes(params_.n, &recovery_);
+  FeedInitialMinusOnes(params_.n, &sampler_);
 }
 
 SparseDuplicateFinder::Outcome SparseDuplicateFinder::Find() const {

@@ -26,6 +26,7 @@
 
 #include "src/core/lp_sampler.h"
 #include "src/recovery/sparse_recovery.h"
+#include "src/stream/linear_sketch.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
 
@@ -34,7 +35,7 @@ namespace lps::duplicates {
 /// Theorem 3. The alphabet is [0, n); the stream should have length >= n+1
 /// (more precisely: any length making sum_i x_i > 0 biases the sampler
 /// toward duplicates; see also PositiveFinder for the general form).
-class DuplicateFinder {
+class DuplicateFinder : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -48,11 +49,17 @@ class DuplicateFinder {
   /// Processes one stream letter.
   void ProcessItem(uint64_t letter) { sampler_.Update(letter, +1); }
 
+  /// Raw vector-level ingestion (the reduction's x view); letters are
+  /// (letter, +1) updates on top of the built-in (i, -1) initialization.
+  void UpdateBatch(const stream::Update* updates, size_t count) override {
+    sampler_.UpdateBatch(updates, count);
+  }
+
   /// A letter that appears at least twice, or Status::Failed. Wrong answers
   /// have low probability (the sampled estimate would need the wrong sign).
   Result<uint64_t> Find() const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const {
+  size_t SpaceBits(int bits_per_counter) const {
     return sampler_.SpaceBits(bits_per_counter);
   }
 
@@ -66,12 +73,25 @@ class DuplicateFinder {
     sampler_.DeserializeCounters(reader);
   }
 
+  // LinearSketch contract. Merge accounts for the (i, -1) initialization
+  // both replicas fed at construction: after adding the replica's state it
+  // cancels the duplicated initialization, so the merged sketch holds
+  // exactly init + lettersA + lettersB (up to floating-point
+  // reassociation in the scaled counters).
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kDuplicateFinder; }
+
  private:
+  Params params_;
   core::LpSampler sampler_;
 };
 
 /// Theorem 4: stream of length n - s.
-class SparseDuplicateFinder {
+class SparseDuplicateFinder : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -92,11 +112,27 @@ class SparseDuplicateFinder {
 
   void ProcessItem(uint64_t letter);
 
+  /// Raw vector-level ingestion (both the recovery and the sampler).
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
+
   Outcome Find() const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
+
+  // LinearSketch contract; Merge cancels the duplicated (i, -1)
+  // initialization exactly as in DuplicateFinder (field-exact on the
+  // recovery side).
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override {
+    return SketchKind::kSparseDuplicateFinder;
+  }
 
  private:
+  Params params_;
   recovery::SparseRecovery recovery_;
   core::LpSampler sampler_;
 };

@@ -25,7 +25,8 @@ core::LpSamplerParams SamplerParams(const PositiveFinder::Params& p) {
 }  // namespace
 
 PositiveFinder::PositiveFinder(Params params)
-    : recovery_(params.n, std::max<uint64_t>(2, 5 * params.s_budget),
+    : params_(params),
+      recovery_(params.n, std::max<uint64_t>(2, 5 * params.s_budget),
                 Mix64(params.seed ^ 0x90f0ULL)),
       sampler_(SamplerParams(params)) {}
 
@@ -33,6 +34,57 @@ void PositiveFinder::Update(uint64_t i, int64_t delta) {
   total_ += delta;
   recovery_.Update(i, delta);
   sampler_.Update(i, delta);
+}
+
+void PositiveFinder::UpdateBatch(const stream::Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) total_ += updates[t].delta;
+  recovery_.UpdateBatch(updates, count);
+  sampler_.UpdateBatch(updates, count);
+}
+
+void PositiveFinder::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const PositiveFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n &&
+            o->params_.s_budget == params_.s_budget &&
+            o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  total_ += o->total_;
+  recovery_.Merge(o->recovery_);
+  sampler_.Merge(o->sampler_);
+}
+
+void PositiveFinder::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteU64(params_.s_budget);
+  writer->WriteDouble(params_.delta);
+  writer->WriteBits(static_cast<uint64_t>(params_.repetitions), 32);
+  writer->WriteU64(params_.seed);
+  writer->WriteU64(static_cast<uint64_t>(total_));
+  recovery_.SerializeCounters(writer);
+  sampler_.SerializeCounters(writer);
+}
+
+void PositiveFinder::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.s_budget = reader->ReadU64();
+  params.delta = reader->ReadDouble();
+  params.repetitions = static_cast<int>(reader->ReadBits(32));
+  params.seed = reader->ReadU64();
+  *this = PositiveFinder(params);
+  total_ = static_cast<int64_t>(reader->ReadU64());
+  recovery_.DeserializeCounters(reader);
+  sampler_.DeserializeCounters(reader);
+}
+
+void PositiveFinder::Reset() {
+  total_ = 0;
+  recovery_.Reset();
+  sampler_.Reset();
 }
 
 PositiveFinder::Outcome PositiveFinder::Find() const {

@@ -13,10 +13,11 @@
 
 #include "src/core/lp_sampler.h"
 #include "src/recovery/sparse_recovery.h"
+#include "src/stream/linear_sketch.h"
 
 namespace lps::duplicates {
 
-class PositiveFinder {
+class PositiveFinder : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -36,14 +37,26 @@ class PositiveFinder {
 
   void Update(uint64_t i, int64_t delta);
 
+  /// Batched ingestion (exact total plus both sub-sketches' fast paths).
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
+
   Outcome Find() const;
 
   /// s = -sum_i x_i, known exactly.
   int64_t Deficit() const { return -total_; }
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kPositiveFinder; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
+  Params params_;
   int64_t total_ = 0;
   recovery::SparseRecovery recovery_;
   core::LpSampler sampler_;

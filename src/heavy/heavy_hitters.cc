@@ -104,6 +104,51 @@ void CsHeavyHitters::DeserializeCounters(BitReader* reader) {
   if (norm_) norm_->mutable_sketch()->DeserializeCounters(reader);
 }
 
+void CsHeavyHitters::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CsHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.phi == b.phi && a.rows == b.rows &&
+            a.norm_rows == b.norm_rows &&
+            a.strict_turnstile == b.strict_turnstile && a.seed == b.seed);
+  cs_.Merge(o->cs_);
+  running_sum_ += o->running_sum_;
+  if (norm_) norm_->Merge(*o->norm_);
+}
+
+void CsHeavyHitters::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.p);
+  writer->WriteDouble(params_.phi);
+  writer->WriteBits(static_cast<uint64_t>(params_.rows), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.norm_rows), 32);
+  writer->WriteBits(params_.strict_turnstile ? 1 : 0, 1);
+  writer->WriteU64(params_.seed);
+  SerializeCounters(writer);
+}
+
+void CsHeavyHitters::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.p = reader->ReadDouble();
+  params.phi = reader->ReadDouble();
+  params.rows = static_cast<int>(reader->ReadBits(32));
+  params.norm_rows = static_cast<int>(reader->ReadBits(32));
+  params.strict_turnstile = reader->ReadBits(1) != 0;
+  params.seed = reader->ReadU64();
+  *this = CsHeavyHitters(params);
+  DeserializeCounters(reader);
+}
+
+void CsHeavyHitters::Reset() {
+  cs_.Reset();
+  running_sum_ = 0;
+  if (norm_) norm_->Reset();
+}
+
 CmHeavyHitters::CmHeavyHitters(Params params)
     : params_(params),
       cm_(params.rows > 0 ? params.rows : DefaultRows(params.n),
@@ -148,8 +193,48 @@ size_t CmHeavyHitters::SpaceBits(int bits_per_counter) const {
          static_cast<size_t>(bits_per_counter);
 }
 
+void CmHeavyHitters::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CmHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.phi == b.phi && a.rows == b.rows &&
+            a.seed == b.seed && a.use_median == b.use_median);
+  cm_.Merge(o->cm_);
+  running_sum_ += o->running_sum_;
+}
+
+void CmHeavyHitters::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(params_.n);
+  writer->WriteDouble(params_.phi);
+  writer->WriteBits(static_cast<uint64_t>(params_.rows), 32);
+  writer->WriteU64(params_.seed);
+  writer->WriteBits(params_.use_median ? 1 : 0, 1);
+  cm_.SerializeCounters(writer);
+  writer->WriteDouble(running_sum_);
+}
+
+void CmHeavyHitters::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  Params params;
+  params.n = reader->ReadU64();
+  params.phi = reader->ReadDouble();
+  params.rows = static_cast<int>(reader->ReadBits(32));
+  params.seed = reader->ReadU64();
+  params.use_median = reader->ReadBits(1) != 0;
+  *this = CmHeavyHitters(params);
+  cm_.DeserializeCounters(reader);
+  running_sum_ = reader->ReadDouble();
+}
+
+void CmHeavyHitters::Reset() {
+  cm_.Reset();
+  running_sum_ = 0;
+}
+
 DyadicHeavyHitters::DyadicHeavyHitters(int log_n, double phi, uint64_t seed)
-    : phi_(phi),
+    : log_n_(log_n), phi_(phi), seed_(seed),
       tree_(log_n, DefaultRows(1ULL << log_n),
             std::max(4, static_cast<int>(std::ceil(8.0 / phi))),
             Mix64(seed ^ 0xdadULL)) {}
@@ -182,6 +267,40 @@ std::vector<uint64_t> DyadicHeavyHitters::Query() const {
 size_t DyadicHeavyHitters::SpaceBits(int bits_per_counter) const {
   return tree_.SpaceBits(bits_per_counter) +
          static_cast<size_t>(bits_per_counter);
+}
+
+void DyadicHeavyHitters::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->phi_ == phi_ && o->seed_ == seed_);
+  tree_.Merge(o->tree_);
+  running_sum_ += o->running_sum_;
+}
+
+void DyadicHeavyHitters::Serialize(BitWriter* writer) const {
+  // The tree's shape derives from (log_n, phi, seed), so only its counters
+  // travel — the params + SerializeCounters style of every composite.
+  WriteSketchHeader(writer, kind());
+  writer->WriteBits(static_cast<uint64_t>(log_n_), 32);
+  writer->WriteDouble(phi_);
+  writer->WriteU64(seed_);
+  tree_.SerializeCounters(writer);
+  writer->WriteDouble(running_sum_);
+}
+
+void DyadicHeavyHitters::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const int log_n = static_cast<int>(reader->ReadBits(32));
+  const double phi = reader->ReadDouble();
+  const uint64_t seed = reader->ReadU64();
+  *this = DyadicHeavyHitters(log_n, phi, seed);
+  tree_.DeserializeCounters(reader);
+  running_sum_ = reader->ReadDouble();
+}
+
+void DyadicHeavyHitters::Reset() {
+  tree_.Reset();
+  running_sum_ = 0;
 }
 
 HeavyValidation ValidateHeavySet(const stream::ExactVector& x, double p,

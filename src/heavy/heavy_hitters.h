@@ -27,11 +27,12 @@
 #include "src/sketch/count_sketch.h"
 #include "src/sketch/dyadic.h"
 #include "src/stream/exact_vector.h"
+#include "src/stream/linear_sketch.h"
 #include "src/util/serialize.h"
 
 namespace lps::heavy {
 
-class CsHeavyHitters {
+class CsHeavyHitters : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -55,7 +56,7 @@ class CsHeavyHitters {
 
   /// Batched ingestion through the count-sketch and norm fast paths.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// A valid heavy hitter set w.h.p., sorted ascending.
   std::vector<uint64_t> Query() const;
@@ -63,11 +64,19 @@ class CsHeavyHitters {
   /// The norm estimate used by Query (exposed for tests).
   double NormEstimate() const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
 
   /// Memory-content transfer for the Theorem 9 reduction.
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kCsHeavyHitters; }
 
   int m() const { return m_; }
 
@@ -80,7 +89,7 @@ class CsHeavyHitters {
   std::vector<stream::ScaledUpdate> scaled_;     // batch scratch
 };
 
-class CmHeavyHitters {
+class CmHeavyHitters : public LinearSketch {
  public:
   struct Params {
     uint64_t n = 0;
@@ -94,9 +103,18 @@ class CmHeavyHitters {
 
   void Update(uint64_t i, double delta);
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
   std::vector<uint64_t> Query() const;
-  size_t SpaceBits(int bits_per_counter = 64) const;
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kCmHeavyHitters; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   Params params_;
@@ -104,18 +122,29 @@ class CmHeavyHitters {
   double running_sum_ = 0;
 };
 
-class DyadicHeavyHitters {
+class DyadicHeavyHitters : public LinearSketch {
  public:
   DyadicHeavyHitters(int log_n, double phi, uint64_t seed);
 
   void Update(uint64_t i, double delta);
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
   std::vector<uint64_t> Query() const;
-  size_t SpaceBits(int bits_per_counter = 64) const;
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kDyadicHeavyHitters; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
+  int log_n_;
   double phi_;
+  uint64_t seed_;
   sketch::DyadicCountMin tree_;
   double running_sum_ = 0;
 };

@@ -13,7 +13,8 @@ namespace lps::norm {
 namespace gf = ::lps::gf61;
 
 L0Estimator::L0Estimator(uint64_t n, int reps, uint64_t seed)
-    : n_(n), reps_(reps), levels_(CeilLog2(std::max<uint64_t>(n, 2)) + 1),
+    : n_(n), seed_(seed), reps_(reps),
+      levels_(CeilLog2(std::max<uint64_t>(n, 2)) + 1),
       fingerprints_(static_cast<size_t>(reps) * static_cast<size_t>(levels_),
                     0) {
   LPS_CHECK(reps >= 1);
@@ -96,6 +97,36 @@ void L0Estimator::SerializeCounters(BitWriter* writer) const {
 
 void L0Estimator::DeserializeCounters(BitReader* reader) {
   for (uint64_t& fp : fingerprints_) fp = reader->ReadBits(61);
+}
+
+void L0Estimator::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const L0Estimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->reps_ == reps_ && o->seed_ == seed_);
+  for (size_t c = 0; c < fingerprints_.size(); ++c) {
+    fingerprints_[c] = gf::Add(fingerprints_[c], o->fingerprints_[c]);
+  }
+}
+
+void L0Estimator::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(n_);
+  writer->WriteBits(static_cast<uint64_t>(reps_), 32);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void L0Estimator::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const uint64_t n = reader->ReadU64();
+  const int reps = static_cast<int>(reader->ReadBits(32));
+  const uint64_t seed = reader->ReadU64();
+  *this = L0Estimator(n, reps, seed);
+  DeserializeCounters(reader);
+}
+
+void L0Estimator::Reset() {
+  std::fill(fingerprints_.begin(), fingerprints_.end(), 0);
 }
 
 size_t L0Estimator::SpaceBits() const {

@@ -19,12 +19,13 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::norm {
 
-class L0Estimator {
+class L0Estimator : public LinearSketch {
  public:
   /// Universe [0, n); `reps` independent repetitions (the estimate is a
   /// median over them).
@@ -36,7 +37,7 @@ class L0Estimator {
   /// Batched ingestion, repetition-major: per repetition, the subsampling
   /// and fingerprint polynomials are hoisted and the batch is applied in
   /// one pass. Bit-identical to per-update processing.
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Constant-factor estimate of the number of non-zero coordinates;
   /// 0 iff the vector is (whp) zero.
@@ -53,10 +54,18 @@ class L0Estimator {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
-  size_t SpaceBits() const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  SketchKind kind() const override { return SketchKind::kL0Estimator; }
+
+  size_t SpaceBits() const override;
 
  private:
   uint64_t n_;
+  uint64_t seed_;
   int reps_;
   int levels_;  // levels 0 .. levels_-1; level 0 keeps everything
   std::vector<uint64_t> fingerprints_;   // reps_ x levels_, field elements

@@ -24,6 +24,22 @@ void LpNormEstimator::UpdateBatch(const stream::Update* updates,
   sketch_.UpdateBatch(updates, count);
 }
 
+void LpNormEstimator::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const LpNormEstimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  sketch_.Merge(o->sketch_);
+}
+
+void LpNormEstimator::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  sketch_.Serialize(writer);
+}
+
+void LpNormEstimator::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  sketch_.Deserialize(reader);
+}
+
 double LpNormEstimator::Estimate2Approx() const {
   return std::sqrt(2.0) * sketch_.EstimateNorm();
 }

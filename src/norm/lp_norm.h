@@ -12,10 +12,11 @@
 #include <cstdint>
 
 #include "src/sketch/stable_sketch.h"
+#include "src/stream/linear_sketch.h"
 
 namespace lps::norm {
 
-class LpNormEstimator {
+class LpNormEstimator : public LinearSketch {
  public:
   /// rows = Theta(log n); see DefaultRows.
   LpNormEstimator(double p, int rows, uint64_t seed);
@@ -24,7 +25,7 @@ class LpNormEstimator {
 
   /// Batched ingestion (delegates to the underlying stable sketch).
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// r with ||x||_p <= r <= 2 ||x||_p w.h.p.
   double Estimate2Approx() const;
@@ -36,7 +37,16 @@ class LpNormEstimator {
   /// grows logarithmically as the paper requires.
   static int DefaultRows(uint64_t n);
 
-  size_t SpaceBits(int bits_per_counter = 64) const {
+  // LinearSketch contract: delegates to the underlying stable sketch, with
+  // this estimator's own kind tag in the header.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override { sketch_.Reset(); }
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kLpNormEstimator; }
+
+  size_t SpaceBits(int bits_per_counter) const {
     return sketch_.SpaceBits(bits_per_counter);
   }
   int rows() const { return sketch_.rows(); }

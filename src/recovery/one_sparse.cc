@@ -8,9 +8,15 @@ namespace lps::recovery {
 
 namespace gf = ::lps::gf61;
 
-OneSparse::OneSparse(uint64_t n, uint64_t seed) : n_(n) {
+OneSparse::OneSparse(uint64_t n, uint64_t seed) : n_(n), seed_(seed) {
   Rng rng(seed);
   rho_ = 1 + rng.Below(gf::kP - 1);  // non-zero base
+}
+
+void OneSparse::UpdateBatch(const stream::Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    Update(updates[t].index, updates[t].delta);
+  }
 }
 
 void OneSparse::Update(uint64_t i, int64_t delta) {
@@ -32,6 +38,30 @@ Result<OneSparse::Entry> OneSparse::Recover() const {
     return Status::Dense("fingerprint mismatch");
   }
   return Entry{a - 1, gf::ToInt64(s0_)};
+}
+
+void OneSparse::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const OneSparse*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->seed_ == seed_);
+  s0_ = gf::Add(s0_, o->s0_);
+  s1_ = gf::Add(s1_, o->s1_);
+  f_ = gf::Add(f_, o->f_);
+}
+
+void OneSparse::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(n_);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void OneSparse::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const uint64_t n = reader->ReadU64();
+  const uint64_t seed = reader->ReadU64();
+  *this = OneSparse(n, seed);
+  DeserializeCounters(reader);
 }
 
 void OneSparse::SerializeCounters(BitWriter* writer) const {

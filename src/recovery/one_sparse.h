@@ -15,12 +15,13 @@
 
 #include <cstdint>
 
+#include "src/stream/linear_sketch.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
 
 namespace lps::recovery {
 
-class OneSparse {
+class OneSparse : public LinearSketch {
  public:
   struct Entry {
     uint64_t index;
@@ -31,6 +32,9 @@ class OneSparse {
   OneSparse(uint64_t n, uint64_t seed);
 
   void Update(uint64_t i, int64_t delta);
+
+  /// Batched ingestion (plain loop — three counters, nothing to hoist).
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// True iff every counter is zero (x == 0 w.h.p.).
   bool IsZero() const;
@@ -43,10 +47,18 @@ class OneSparse {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
-  size_t SpaceBits() const { return 3 * 61 + 64; }
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override { s0_ = s1_ = f_ = 0; }
+  SketchKind kind() const override { return SketchKind::kOneSparse; }
+
+  size_t SpaceBits() const override { return 3 * 61 + 64; }
 
  private:
   uint64_t n_;
+  uint64_t seed_;
   uint64_t rho_;
   uint64_t s0_ = 0;  // field elements
   uint64_t s1_ = 0;

@@ -41,6 +41,40 @@ void SparseRecovery::UpdateBatch(const stream::Update* updates, size_t count) {
   }
 }
 
+void SparseRecovery::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const SparseRecovery*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->s_ == s_ && o->seed_ == seed_);
+  for (size_t r = 0; r < syndromes_.size(); ++r) {
+    syndromes_[r] = gf::Add(syndromes_[r], o->syndromes_[r]);
+  }
+  fingerprints_[0] = gf::Add(fingerprints_[0], o->fingerprints_[0]);
+  fingerprints_[1] = gf::Add(fingerprints_[1], o->fingerprints_[1]);
+}
+
+void SparseRecovery::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteU64(n_);
+  writer->WriteU64(s_);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void SparseRecovery::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const uint64_t n = reader->ReadU64();
+  const uint64_t s = reader->ReadU64();
+  const uint64_t seed = reader->ReadU64();
+  *this = SparseRecovery(n, s, seed);
+  DeserializeCounters(reader);
+}
+
+void SparseRecovery::Reset() {
+  std::fill(syndromes_.begin(), syndromes_.end(), 0);
+  fingerprints_[0] = 0;
+  fingerprints_[1] = 0;
+}
+
 bool SparseRecovery::IsZero() const {
   if (fingerprints_[0] != 0 || fingerprints_[1] != 0) return false;
   for (uint64_t t : syndromes_) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/random.h"
 #include "src/util/serialize.h"
@@ -31,7 +32,7 @@
 
 namespace lps::recovery {
 
-class SparseRecovery {
+class SparseRecovery : public LinearSketch {
  public:
   struct Entry {
     uint64_t index;
@@ -50,7 +51,7 @@ class SparseRecovery {
   /// a = i + 1, so there is nothing to hoist across items — this is a
   /// plain loop over Update, provided so StreamDriver and the samplers can
   /// feed recoveries through one interface.
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// The exact sparse vector (possibly empty, for x == 0), or
   /// Status::Dense when x is not s-sparse (w.h.p.). Entries are sorted by
@@ -66,8 +67,17 @@ class SparseRecovery {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  SketchKind kind() const override { return SketchKind::kSparseRecovery; }
+
   /// Paper-model space: (2s + 2) * 61 measurement bits + seed bits.
-  size_t SpaceBits() const { return syndromes_.size() * 61 + 2 * 61 + 2 * 64; }
+  size_t SpaceBits() const override {
+    return syndromes_.size() * 61 + 2 * 61 + 2 * 64;
+  }
 
  private:
   uint64_t n_;

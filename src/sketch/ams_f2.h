@@ -16,11 +16,12 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 
 namespace lps::sketch {
 
-class AmsF2 {
+class AmsF2 : public LinearSketch {
  public:
   AmsF2(int groups, int per_group, uint64_t seed);
 
@@ -31,7 +32,7 @@ class AmsF2 {
   /// polynomial is hoisted out of the inner loop and the counter accumulates
   /// in a register. Bit-identical to per-update processing.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Median-of-means estimate of F2 = ||x||_2^2.
   double EstimateF2() const;
@@ -44,7 +45,18 @@ class AmsF2 {
   double EstimateResidualL2(
       const std::vector<std::pair<uint64_t, double>>& v) const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kAmsF2; }
+
+  int groups() const { return groups_; }
+  int per_group() const { return per_group_; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   double EstimateF2From(const std::vector<double>& counters) const;
@@ -54,6 +66,7 @@ class AmsF2 {
 
   int groups_;
   int per_group_;
+  uint64_t seed_;
   std::vector<double> counters_;        // groups_ x per_group_
   std::vector<hash::KWiseHash> signs_;  // one 4-wise sign hash per counter
   std::vector<uint64_t> reduced_keys_;  // batch scratch

@@ -8,7 +8,7 @@
 namespace lps::sketch {
 
 CountMin::CountMin(int rows, int buckets, uint64_t seed)
-    : rows_(rows), buckets_(buckets),
+    : rows_(rows), buckets_(buckets), seed_(seed),
       table_(static_cast<size_t>(rows) * static_cast<size_t>(buckets), 0.0) {
   LPS_CHECK(rows >= 1 && buckets >= 1);
   bucket_.reserve(static_cast<size_t>(rows));
@@ -95,6 +95,35 @@ void CountMin::SerializeCounters(BitWriter* writer) const {
 
 void CountMin::DeserializeCounters(BitReader* reader) {
   for (double& counter : table_) counter = reader->ReadDouble();
+}
+
+void CountMin::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CountMin*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->rows_ == rows_ && o->buckets_ == buckets_ &&
+            o->seed_ == seed_);
+  for (size_t c = 0; c < table_.size(); ++c) table_[c] += o->table_[c];
+}
+
+void CountMin::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteBits(static_cast<uint64_t>(rows_), 32);
+  writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void CountMin::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const int rows = static_cast<int>(reader->ReadBits(32));
+  const int buckets = static_cast<int>(reader->ReadBits(32));
+  const uint64_t seed = reader->ReadU64();
+  *this = CountMin(rows, buckets, seed);
+  DeserializeCounters(reader);
+}
+
+void CountMin::Reset() {
+  std::fill(table_.begin(), table_.end(), 0.0);
 }
 
 size_t CountMin::SpaceBits(int bits_per_counter) const {

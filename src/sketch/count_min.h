@@ -12,12 +12,13 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::sketch {
 
-class CountMin {
+class CountMin : public LinearSketch {
  public:
   CountMin(int rows, int buckets, uint64_t seed);
 
@@ -26,7 +27,7 @@ class CountMin {
 
   /// Batched ingestion, row-major; bit-identical to per-update processing.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Strict-turnstile estimate (upper bound on x_i w.h.p. of construction).
   double QueryMin(uint64_t i) const;
@@ -37,10 +38,19 @@ class CountMin {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kCountMin; }
+
   int rows() const { return rows_; }
   int buckets() const { return buckets_; }
+  uint64_t seed() const { return seed_; }
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   template <typename U>
@@ -48,6 +58,7 @@ class CountMin {
 
   int rows_;
   int buckets_;
+  uint64_t seed_;
   std::vector<double> table_;
   std::vector<hash::KWiseHash> bucket_;
   std::vector<uint64_t> reduced_keys_;  // batch scratch

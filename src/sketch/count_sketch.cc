@@ -177,6 +177,35 @@ void CountSketch::DeserializeCounters(BitReader* reader) {
   for (double& counter : table_) counter = reader->ReadDouble();
 }
 
+void CountSketch::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CountSketch*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->rows_ == rows_ && o->buckets_ == buckets_ &&
+            o->seed_ == seed_);
+  for (size_t c = 0; c < table_.size(); ++c) table_[c] += o->table_[c];
+}
+
+void CountSketch::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteBits(static_cast<uint64_t>(rows_), 32);
+  writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void CountSketch::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const int rows = static_cast<int>(reader->ReadBits(32));
+  const int buckets = static_cast<int>(reader->ReadBits(32));
+  const uint64_t seed = reader->ReadU64();
+  *this = CountSketch(rows, buckets, seed);
+  DeserializeCounters(reader);
+}
+
+void CountSketch::Reset() {
+  std::fill(table_.begin(), table_.end(), 0.0);
+}
+
 size_t CountSketch::SpaceBits(int bits_per_counter) const {
   size_t bits = table_.size() * static_cast<size_t>(bits_per_counter);
   for (const auto& h : bucket_) bits += h.SeedBits();

@@ -17,12 +17,13 @@
 #include <vector>
 
 #include "src/hash/kwise.h"
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/serialize.h"
 
 namespace lps::sketch {
 
-class CountSketch {
+class CountSketch : public LinearSketch {
  public:
   /// `rows` is l = O(log n); `buckets` is the row width (the paper uses 6m).
   CountSketch(int rows, int buckets, uint64_t seed);
@@ -35,7 +36,7 @@ class CountSketch {
   /// coefficients held in registers. State is bit-identical to calling
   /// Update once per element in stream order.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Point estimate x*_i (median over rows).
   double Query(uint64_t i) const;
@@ -64,9 +65,18 @@ class CountSketch {
   double EstimateResidualL2(
       const std::vector<std::pair<uint64_t, double>>& v) const;
 
-  /// Serializes the counter state (not the seed) for protocol messages.
+  /// Serializes the counter state (not the seed) for protocol messages
+  /// whose bit count must be exactly the paper's message size.
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kCountSketch; }
 
   int rows() const { return rows_; }
   int buckets() const { return buckets_; }
@@ -74,7 +84,7 @@ class CountSketch {
 
   /// Paper-model space: counters * bits_per_counter plus the pairwise hash
   /// seeds (O(log n) bits each).
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   template <typename U>

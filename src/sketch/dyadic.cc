@@ -9,7 +9,7 @@
 namespace lps::sketch {
 
 DyadicCountMin::DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed)
-    : log_n_(log_n) {
+    : log_n_(log_n), rows_(rows), buckets_(buckets), seed_(seed) {
   LPS_CHECK(log_n >= 0 && log_n < 63);
   levels_.reserve(static_cast<size_t>(log_n) + 1);
   for (int l = 0; l <= log_n; ++l) {
@@ -74,6 +74,45 @@ std::vector<uint64_t> DyadicCountMin::HeavyLeaves(double threshold) const {
   return heavy;
 }
 
+void DyadicCountMin::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicCountMin*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->rows_ == rows_ &&
+            o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < levels_.size(); ++l) levels_[l].Merge(o->levels_[l]);
+}
+
+void DyadicCountMin::SerializeCounters(BitWriter* writer) const {
+  for (const auto& level : levels_) level.SerializeCounters(writer);
+}
+
+void DyadicCountMin::DeserializeCounters(BitReader* reader) {
+  for (auto& level : levels_) level.DeserializeCounters(reader);
+}
+
+void DyadicCountMin::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteBits(static_cast<uint64_t>(log_n_), 32);
+  writer->WriteBits(static_cast<uint64_t>(rows_), 32);
+  writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
+  writer->WriteU64(seed_);
+  SerializeCounters(writer);
+}
+
+void DyadicCountMin::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const int log_n = static_cast<int>(reader->ReadBits(32));
+  const int rows = static_cast<int>(reader->ReadBits(32));
+  const int buckets = static_cast<int>(reader->ReadBits(32));
+  const uint64_t seed = reader->ReadU64();
+  *this = DyadicCountMin(log_n, rows, buckets, seed);
+  DeserializeCounters(reader);
+}
+
+void DyadicCountMin::Reset() {
+  for (auto& level : levels_) level.Reset();
+}
+
 size_t DyadicCountMin::SpaceBits(int bits_per_counter) const {
   size_t bits = 0;
   for (const auto& level : levels_) bits += level.SpaceBits(bits_per_counter);
@@ -82,7 +121,7 @@ size_t DyadicCountMin::SpaceBits(int bits_per_counter) const {
 
 DyadicCountSketch::DyadicCountSketch(int log_n, int rows, int buckets,
                                      uint64_t seed)
-    : log_n_(log_n) {
+    : log_n_(log_n), rows_(rows), buckets_(buckets), seed_(seed) {
   LPS_CHECK(log_n >= 0 && log_n < 63);
   levels_.reserve(static_cast<size_t>(log_n) + 1);
   for (int l = 0; l <= log_n; ++l) {
@@ -92,10 +131,33 @@ DyadicCountSketch::DyadicCountSketch(int log_n, int rows, int buckets,
 }
 
 void DyadicCountSketch::Update(uint64_t i, double delta) {
-  LPS_CHECK(i < (1ULL << log_n_));
-  for (int l = 0; l <= log_n_; ++l) {
-    levels_[static_cast<size_t>(l)].Update(i >> l, delta);
+  const stream::ScaledUpdate u{i, delta};
+  UpdateBatch(&u, 1);
+}
+
+template <typename U>
+void DyadicCountSketch::ApplyBatch(const U* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) {
+    LPS_CHECK(updates[t].index < (1ULL << log_n_));
   }
+  shifted_.resize(count);
+  for (int l = 0; l <= log_n_; ++l) {
+    for (size_t t = 0; t < count; ++t) {
+      shifted_[t] = {updates[t].index >> l,
+                     static_cast<double>(updates[t].delta)};
+    }
+    levels_[static_cast<size_t>(l)].UpdateBatch(shifted_.data(), count);
+  }
+}
+
+void DyadicCountSketch::UpdateBatch(const stream::ScaledUpdate* updates,
+                                    size_t count) {
+  ApplyBatch(updates, count);
+}
+
+void DyadicCountSketch::UpdateBatch(const stream::Update* updates,
+                                    size_t count) {
+  ApplyBatch(updates, count);
 }
 
 double DyadicCountSketch::Query(uint64_t i) const {
@@ -130,6 +192,37 @@ std::vector<uint64_t> DyadicCountSketch::HeavyLeaves(double threshold) const {
     if (std::abs(levels_[0].Query(leaf)) >= threshold) heavy.push_back(leaf);
   }
   return heavy;
+}
+
+void DyadicCountSketch::Merge(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicCountSketch*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->rows_ == rows_ &&
+            o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < levels_.size(); ++l) levels_[l].Merge(o->levels_[l]);
+}
+
+void DyadicCountSketch::Serialize(BitWriter* writer) const {
+  WriteSketchHeader(writer, kind());
+  writer->WriteBits(static_cast<uint64_t>(log_n_), 32);
+  writer->WriteBits(static_cast<uint64_t>(rows_), 32);
+  writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
+  writer->WriteU64(seed_);
+  for (const auto& level : levels_) level.SerializeCounters(writer);
+}
+
+void DyadicCountSketch::Deserialize(BitReader* reader) {
+  ReadSketchHeader(reader, kind());
+  const int log_n = static_cast<int>(reader->ReadBits(32));
+  const int rows = static_cast<int>(reader->ReadBits(32));
+  const int buckets = static_cast<int>(reader->ReadBits(32));
+  const uint64_t seed = reader->ReadU64();
+  *this = DyadicCountSketch(log_n, rows, buckets, seed);
+  for (auto& level : levels_) level.DeserializeCounters(reader);
+}
+
+void DyadicCountSketch::Reset() {
+  for (auto& level : levels_) level.Reset();
 }
 
 size_t DyadicCountSketch::SpaceBits(int bits_per_counter) const {

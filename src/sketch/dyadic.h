@@ -16,10 +16,11 @@
 
 #include "src/sketch/count_min.h"
 #include "src/sketch/count_sketch.h"
+#include "src/stream/linear_sketch.h"
 
 namespace lps::sketch {
 
-class DyadicCountMin {
+class DyadicCountMin : public LinearSketch {
  public:
   /// Universe [0, 2^log_n); each level gets a CountMin(rows, buckets).
   DyadicCountMin(int log_n, int rows, int buckets, uint64_t seed);
@@ -30,7 +31,7 @@ class DyadicCountMin {
   /// Batched ingestion: indices are shifted to each level's block ids once
   /// per level, then the level's count-min ingests the whole batch.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Point estimate at the leaf level (strict turnstile overestimate).
   double Query(uint64_t i) const;
@@ -39,13 +40,31 @@ class DyadicCountMin {
   /// turnstile model because block masses upper-bound leaf masses.
   std::vector<uint64_t> HeavyLeaves(double threshold) const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  /// Counters-only serialization (all levels, in order) for composites
+  /// that carry the tree's parameters themselves.
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
+
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kDyadicCountMin; }
+
+  int log_n() const { return log_n_; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   template <typename U>
   void ApplyBatch(const U* updates, size_t count);
 
   int log_n_;
+  int rows_;
+  int buckets_;
+  uint64_t seed_;
   std::vector<CountMin> levels_;  // levels_[l] sketches blocks of size 2^l
   std::vector<stream::ScaledUpdate> shifted_;  // batch scratch
 };
@@ -61,11 +80,16 @@ class DyadicCountMin {
 /// candidates at the leaf level. For adversarial inputs that cancel inside
 /// a starting block, the flat CsHeavyHitters scan (heavy/heavy_hitters.h)
 /// is the sound tool — see the unit test documenting exactly this miss.
-class DyadicCountSketch {
+class DyadicCountSketch : public LinearSketch {
  public:
   DyadicCountSketch(int log_n, int rows, int buckets, uint64_t seed);
 
   void Update(uint64_t i, double delta);
+
+  /// Batched ingestion: indices are shifted to each level's block ids, then
+  /// the level's count-sketch ingests the whole batch.
+  void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Leaf-level point estimate (median over rows).
   double Query(uint64_t i) const;
@@ -78,11 +102,26 @@ class DyadicCountSketch {
   /// The level the descent starts from (all its blocks are scanned).
   int start_level() const;
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kDyadicCountSketch; }
+
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
+  template <typename U>
+  void ApplyBatch(const U* updates, size_t count);
+
   int log_n_;
+  int rows_;
+  int buckets_;
+  uint64_t seed_;
   std::vector<CountSketch> levels_;
+  std::vector<stream::ScaledUpdate> shifted_;  // batch scratch
 };
 
 }  // namespace lps::sketch

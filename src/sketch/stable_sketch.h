@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/serialize.h"
 
@@ -35,7 +36,7 @@ double StableMedianAbs(double p);
 /// u1, u2 in (0,1); deterministic in its inputs.
 double StableFromUniforms(double p, double u1, double u2);
 
-class StableSketch {
+class StableSketch : public LinearSketch {
  public:
   StableSketch(double p, int rows, uint64_t seed);
 
@@ -45,7 +46,7 @@ class StableSketch {
   /// Batched ingestion, row-major: each row's counter accumulates the whole
   /// batch in a register. Bit-identical to per-update processing.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
-  void UpdateBatch(const stream::Update* updates, size_t count);
+  void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// Constant-factor estimate of ||x||_p (median / normalizer).
   double EstimateNorm() const;
@@ -53,10 +54,19 @@ class StableSketch {
   void SerializeCounters(BitWriter* writer) const;
   void DeserializeCounters(BitReader* reader);
 
+  // LinearSketch contract: full-state serialization, merge, reset.
+  void Merge(const LinearSketch& other) override;
+  void Serialize(BitWriter* writer) const override;
+  void Deserialize(BitReader* reader) override;
+  void Reset() override;
+  size_t SpaceBits() const override { return SpaceBits(64); }
+  SketchKind kind() const override { return SketchKind::kStableSketch; }
+
   double p() const { return p_; }
   int rows() const { return rows_; }
+  uint64_t seed() const { return seed_; }
 
-  size_t SpaceBits(int bits_per_counter = 64) const;
+  size_t SpaceBits(int bits_per_counter) const;
 
  private:
   double StableAt(int row, uint64_t i) const;

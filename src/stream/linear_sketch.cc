@@ -1,0 +1,60 @@
+#include "src/stream/linear_sketch.h"
+
+#include "src/util/check.h"
+
+namespace lps {
+
+namespace {
+
+// "LS" in ASCII; 16 bits at the front of every serialized sketch.
+constexpr uint64_t kMagic = 0x4C53;
+
+}  // namespace
+
+const char* SketchKindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kCountSketch: return "count_sketch";
+    case SketchKind::kCountMin: return "count_min";
+    case SketchKind::kAmsF2: return "ams_f2";
+    case SketchKind::kStableSketch: return "stable_sketch";
+    case SketchKind::kDyadicCountMin: return "dyadic_count_min";
+    case SketchKind::kDyadicCountSketch: return "dyadic_count_sketch";
+    case SketchKind::kL0Estimator: return "l0_estimator";
+    case SketchKind::kLpNormEstimator: return "lp_norm_estimator";
+    case SketchKind::kOneSparse: return "one_sparse";
+    case SketchKind::kSparseRecovery: return "sparse_recovery";
+    case SketchKind::kLpSampler: return "lp_sampler";
+    case SketchKind::kL0Sampler: return "l0_sampler";
+    case SketchKind::kFisL0Sampler: return "fis_l0_sampler";
+    case SketchKind::kAkoSampler: return "ako_sampler";
+    case SketchKind::kCsHeavyHitters: return "cs_heavy_hitters";
+    case SketchKind::kCmHeavyHitters: return "cm_heavy_hitters";
+    case SketchKind::kDyadicHeavyHitters: return "dyadic_heavy_hitters";
+    case SketchKind::kDuplicateFinder: return "duplicate_finder";
+    case SketchKind::kSparseDuplicateFinder: return "sparse_duplicate_finder";
+    case SketchKind::kPositiveFinder: return "positive_finder";
+    case SketchKind::kMomentEstimator: return "moment_estimator";
+  }
+  return "unknown";
+}
+
+void WriteSketchHeader(BitWriter* writer, SketchKind kind) {
+  writer->WriteBits(kMagic, 16);
+  writer->WriteBits(static_cast<uint64_t>(kind), 8);
+  writer->WriteBits(kSketchFormatVersion, 8);
+}
+
+uint32_t ReadSketchHeader(BitReader* reader, SketchKind expected) {
+  LPS_CHECK(reader->ReadBits(16) == kMagic);
+  LPS_CHECK(reader->ReadBits(8) == static_cast<uint64_t>(expected));
+  const uint32_t version = static_cast<uint32_t>(reader->ReadBits(8));
+  LPS_CHECK(version >= 1 && version <= kSketchFormatVersion);
+  return version;
+}
+
+SketchKind PeekSketchKind(BitReader* reader) {
+  LPS_CHECK(reader->ReadBits(16) == kMagic);
+  return static_cast<SketchKind>(reader->ReadBits(8));
+}
+
+}  // namespace lps

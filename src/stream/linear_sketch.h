@@ -1,0 +1,130 @@
+// The uniform contract every linear structure in this library implements.
+//
+// All of the paper's machinery — count-sketch, the AMS and stable norm
+// sketches, dyadic trees, sparse recovery, the Lp/L0 samplers, heavy
+// hitters, and the duplicates finders built on them — maintains a linear
+// function of the stream vector x. Linearity is what the Section 4
+// reductions exploit ("send the memory contents" to a second party who
+// keeps streaming), and it is what makes the structures production-scale:
+// shards can ingest disjoint sub-streams independently and their sketches
+// add coordinate-wise. The LinearSketch interface makes that deployment
+// mode a first-class API:
+//
+//   - Update / UpdateBatch   ingest stream updates (batch path is the
+//                            fast path; Update delegates to a batch of 1);
+//   - Merge                  coordinate-wise addition of a replica built
+//                            with identical parameters and seeds —
+//                            CHECK-fails on any mismatch;
+//   - Serialize/Deserialize  *full* reconstructible state: a versioned
+//                            header, the construction parameters and seed,
+//                            then the counters. Deserialize reconfigures
+//                            the target object to the serialized
+//                            parameters, so a fresh instance (any params
+//                            of the right type) restores exactly;
+//   - Reset                  zero the counters, keep seeds and
+//                            allocations (cheap reuse across trials);
+//   - SpaceBits              the paper-model space accounting.
+//
+// Structures that are not linear maps of x do not implement the interface:
+// reservoir samplers (insertion-order dependent), the position-sampling
+// strategy of OversampledDuplicateFinder, and the two-pass L0 sampler
+// (state is split across passes).
+#pragma once
+
+#include <cstdint>
+
+#include "src/stream/update.h"
+#include "src/util/serialize.h"
+
+namespace lps {
+
+/// Type tag stored in every serialized sketch header. Values are part of
+/// the wire format: never renumber, only append.
+enum class SketchKind : uint32_t {
+  kCountSketch = 1,
+  kCountMin = 2,
+  kAmsF2 = 3,
+  kStableSketch = 4,
+  kDyadicCountMin = 5,
+  kDyadicCountSketch = 6,
+  kL0Estimator = 7,
+  kLpNormEstimator = 8,
+  kOneSparse = 9,
+  kSparseRecovery = 10,
+  kLpSampler = 11,
+  kL0Sampler = 12,
+  kFisL0Sampler = 13,
+  kAkoSampler = 14,
+  kCsHeavyHitters = 15,
+  kCmHeavyHitters = 16,
+  kDyadicHeavyHitters = 17,
+  kDuplicateFinder = 18,
+  kSparseDuplicateFinder = 19,
+  kPositiveFinder = 20,
+  kMomentEstimator = 21,
+};
+
+/// Human-readable name of a kind (for tools and error messages).
+const char* SketchKindName(SketchKind kind);
+
+/// Current version of the serialized wire format. Bump when a structure's
+/// layout changes; Deserialize accepts versions <= current and CHECK-fails
+/// on newer ones (state written by a future library revision).
+inline constexpr uint32_t kSketchFormatVersion = 1;
+
+class LinearSketch {
+ public:
+  virtual ~LinearSketch() = default;
+
+  /// Uniform single-update entry point; concrete classes keep their own
+  /// typed Update fast paths alongside (which shadow this one — same
+  /// semantics, both funnel into UpdateBatch).
+  void Update(uint64_t i, int64_t delta) {
+    const stream::Update u{i, delta};
+    UpdateBatch(&u, 1);
+  }
+
+  /// Batched ingestion in stream order — the hot path.
+  virtual void UpdateBatch(const stream::Update* updates, size_t count) = 0;
+
+  /// Coordinate-wise addition of `other`'s state into this one. `other`
+  /// must be the same concrete type, constructed with identical parameters
+  /// and seeds (a shard replica); any mismatch CHECK-fails.
+  virtual void Merge(const LinearSketch& other) = 0;
+
+  /// Full reconstructible state: versioned header, parameters, seed,
+  /// counters.
+  virtual void Serialize(BitWriter* writer) const = 0;
+
+  /// Restores serialized state, reconfiguring this object to the
+  /// serialized parameters. CHECK-fails on a kind mismatch or a version
+  /// newer than this library writes.
+  virtual void Deserialize(BitReader* reader) = 0;
+
+  /// Zeroes the counters while keeping seeds, parameters, and
+  /// allocations — after Reset the object is indistinguishable from a
+  /// freshly constructed one, without paying reconstruction.
+  virtual void Reset() = 0;
+
+  /// Paper-model space at 64 bits per counter.
+  virtual size_t SpaceBits() const = 0;
+
+  /// The type tag this object serializes under.
+  virtual SketchKind kind() const = 0;
+};
+
+/// Writes the standard header: 16-bit magic, 8-bit kind, 8-bit version.
+void WriteSketchHeader(BitWriter* writer, SketchKind kind);
+
+/// Reads and validates a header written by WriteSketchHeader. CHECK-fails
+/// on bad magic, a kind other than `expected`, or a version >
+/// kSketchFormatVersion. Returns the version for layout dispatch.
+uint32_t ReadSketchHeader(BitReader* reader, SketchKind expected);
+
+/// Reads just the magic and kind tag (advancing `reader` by 24 bits) —
+/// used by tools to dispatch on the type of a saved sketch before
+/// constructing one; pass a throwaway reader and Deserialize through a
+/// fresh one. CHECK-fails on bad magic.
+SketchKind PeekSketchKind(BitReader* reader);
+
+}  // namespace lps

@@ -1,0 +1,76 @@
+#include "src/stream/sharded_driver.h"
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace lps::stream {
+
+ShardedDriver::ShardedDriver(int shards, Partition partition,
+                             size_t batch_size)
+    : partition_(partition), batch_size_(batch_size),
+      buffers_(static_cast<size_t>(shards)) {
+  LPS_CHECK(shards >= 1);
+  LPS_CHECK(batch_size >= 1);
+  for (auto& buffer : buffers_) buffer.reserve(batch_size);
+}
+
+ShardedDriver& ShardedDriver::Add(std::string name,
+                                  std::vector<LinearSketch*> replicas) {
+  LPS_CHECK(replicas.size() == buffers_.size());
+  for (const LinearSketch* replica : replicas) LPS_CHECK(replica != nullptr);
+  sinks_.push_back(Sink{std::move(name), std::move(replicas)});
+  return *this;
+}
+
+int ShardedDriver::ShardOf(const Update& u) {
+  const uint64_t k = buffers_.size();
+  if (partition_ == Partition::kByIndex) {
+    return static_cast<int>(Mix64(u.index) % k);
+  }
+  return static_cast<int>(round_robin_next_++ % k);
+}
+
+void ShardedDriver::FlushShard(int s) {
+  auto& buffer = buffers_[static_cast<size_t>(s)];
+  if (buffer.empty()) return;
+  for (auto& sink : sinks_) {
+    sink.replicas[static_cast<size_t>(s)]->UpdateBatch(buffer.data(),
+                                                       buffer.size());
+  }
+  buffer.clear();
+}
+
+size_t ShardedDriver::Drive(const Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) Push(updates[t]);
+  Flush();
+  return count;
+}
+
+size_t ShardedDriver::Drive(const UpdateStream& stream) {
+  return Drive(stream.data(), stream.size());
+}
+
+void ShardedDriver::Push(Update u) {
+  const int s = ShardOf(u);
+  auto& buffer = buffers_[static_cast<size_t>(s)];
+  buffer.push_back(u);
+  ++updates_driven_;
+  if (buffer.size() >= batch_size_) FlushShard(s);
+}
+
+void ShardedDriver::Flush() {
+  for (int s = 0; s < shards(); ++s) FlushShard(s);
+}
+
+void ShardedDriver::MergeShards() {
+  Flush();
+  for (auto& sink : sinks_) {
+    LinearSketch* target = sink.replicas[0];
+    for (size_t s = 1; s < sink.replicas.size(); ++s) {
+      target->Merge(*sink.replicas[s]);
+      sink.replicas[s]->Reset();
+    }
+  }
+}
+
+}  // namespace lps::stream

@@ -1,10 +1,18 @@
 #include "src/util/serialize.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "src/util/bits.h"
 
 namespace lps {
+
+namespace {
+
+// Container magic for on-disk bit streams ("LPSB" little-endian).
+constexpr uint64_t kFileMagic = 0x4250534CULL;
+
+}  // namespace
 
 void BitWriter::WriteBits(uint64_t value, int bits) {
   LPS_CHECK(bits >= 0 && bits <= 64);
@@ -31,15 +39,37 @@ void BitWriter::WriteBounded(uint64_t value, uint64_t bound) {
   WriteBits(value, BitWidth(bound));
 }
 
+BitReader::BitReader(std::vector<uint64_t> words, size_t bit_count)
+    : owned_(std::move(words)), words_(&owned_), total_bits_(bit_count) {
+  LPS_CHECK(bit_count <= owned_.size() * 64);
+}
+
+BitReader::BitReader(BitReader&& other) noexcept
+    : owned_(std::move(other.owned_)),
+      words_(other.words_ == &other.owned_ ? &owned_ : other.words_),
+      total_bits_(other.total_bits_), position_(other.position_) {}
+
+BitReader& BitReader::operator=(BitReader&& other) noexcept {
+  if (this != &other) {
+    const bool owning = other.words_ == &other.owned_;
+    owned_ = std::move(other.owned_);
+    words_ = owning ? &owned_ : other.words_;
+    total_bits_ = other.total_bits_;
+    position_ = other.position_;
+  }
+  return *this;
+}
+
 uint64_t BitReader::ReadBits(int bits) {
   LPS_CHECK(bits >= 0 && bits <= 64);
   if (bits == 0) return 0;
   LPS_CHECK(position_ + static_cast<size_t>(bits) <= total_bits_);
+  const std::vector<uint64_t>& words = *words_;
   const size_t word_index = position_ >> 6;
   const int offset = static_cast<int>(position_ & 63);
-  uint64_t value = words_[word_index] >> offset;
+  uint64_t value = words[word_index] >> offset;
   if (offset + bits > 64) {
-    value |= words_[word_index + 1] << (64 - offset);
+    value |= words[word_index + 1] << (64 - offset);
   }
   if (bits < 64) value &= (1ULL << bits) - 1;
   position_ += static_cast<size_t>(bits);
@@ -55,6 +85,54 @@ double BitReader::ReadDouble() {
 
 uint64_t BitReader::ReadBounded(uint64_t bound) {
   return ReadBits(BitWidth(bound));
+}
+
+Status WriteBitsToFile(const BitWriter& writer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  const uint64_t header[2] = {kFileMagic, writer.bit_count()};
+  bool ok = std::fwrite(header, sizeof(uint64_t), 2, f) == 2;
+  const auto& words = writer.words();
+  ok = ok && (words.empty() ||
+              std::fwrite(words.data(), sizeof(uint64_t), words.size(), f) ==
+                  words.size());
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::InvalidArgument("short write: " + path);
+  return Status::OK();
+}
+
+Result<BitReader> ReadBitsFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  uint64_t header[2];
+  if (std::fread(header, sizeof(uint64_t), 2, f) != 2 ||
+      header[0] != kFileMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("not an lps bit-stream file: " + path);
+  }
+  const uint64_t bit_count = header[1];
+  const size_t num_words = static_cast<size_t>((bit_count + 63) / 64);
+  // Validate the declared length against the actual file size before
+  // allocating, so a corrupt header yields a clean error, not an
+  // arbitrarily large allocation.
+  if (std::fseek(f, 0, SEEK_END) != 0 ||
+      static_cast<uint64_t>(std::ftell(f)) !=
+          (2 + static_cast<uint64_t>(num_words)) * sizeof(uint64_t) ||
+      std::fseek(f, 2 * sizeof(uint64_t), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("truncated bit-stream file: " + path);
+  }
+  std::vector<uint64_t> words(num_words);
+  const bool ok =
+      num_words == 0 ||
+      std::fread(words.data(), sizeof(uint64_t), num_words, f) == num_words;
+  std::fclose(f);
+  if (!ok) return Status::InvalidArgument("truncated bit-stream file: " + path);
+  return BitReader(std::move(words), static_cast<size_t>(bit_count));
 }
 
 }  // namespace lps

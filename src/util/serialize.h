@@ -1,13 +1,16 @@
-// Bit-exact serialization used by the communication-complexity harness.
-// Protocol messages are encoded through BitWriter so that the reported
-// message sizes are true bit counts — this is what the paper's lower bounds
+// Bit-exact serialization used by the communication-complexity harness and
+// by the sketches' full-state wire format. Protocol messages and saved
+// sketch state are encoded through BitWriter so that the reported message
+// sizes are true bit counts — this is what the paper's lower bounds
 // constrain, so the accounting must be exact, not sizeof-based.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/status.h"
 
 namespace lps {
 
@@ -39,23 +42,49 @@ class BitWriter {
   size_t bit_count_ = 0;
 };
 
-/// Reader over a BitWriter's buffer.
+/// Reader over a bit stream: either a non-owning view of a live BitWriter
+/// (the in-process protocol path) or an owning buffer (state loaded from a
+/// file, which must outlive no one).
 class BitReader {
  public:
+  /// Non-owning view; `writer` must outlive this reader.
   explicit BitReader(const BitWriter& writer)
-      : words_(writer.words()), total_bits_(writer.bit_count()) {}
+      : words_(&writer.words()), total_bits_(writer.bit_count()) {}
+
+  /// Owning buffer: the reader keeps the words alive itself. `bit_count`
+  /// must fit in words.size() * 64 bits.
+  BitReader(std::vector<uint64_t> words, size_t bit_count);
+
+  // Owning readers hold an internal pointer into owned_; moves repoint it.
+  BitReader(BitReader&& other) noexcept;
+  BitReader& operator=(BitReader&& other) noexcept;
+  BitReader(const BitReader&) = delete;
+  BitReader& operator=(const BitReader&) = delete;
 
   uint64_t ReadBits(int bits);
   uint64_t ReadU64() { return ReadBits(64); }
   double ReadDouble();
   uint64_t ReadBounded(uint64_t bound);
 
+  /// Returns the read position to the start of the stream (e.g. after
+  /// peeking a serialized sketch's kind tag).
+  void Rewind() { position_ = 0; }
+
   size_t bits_remaining() const { return total_bits_ - position_; }
 
  private:
-  const std::vector<uint64_t>& words_;
+  std::vector<uint64_t> owned_;  // empty for the non-owning view
+  const std::vector<uint64_t>* words_;
   size_t total_bits_;
   size_t position_ = 0;
 };
+
+/// Writes a BitWriter's contents to `path` in a self-describing binary
+/// container (magic, bit count, packed words), so serialized sketch state
+/// round-trips through disk for the CLI save/load/merge commands.
+Status WriteBitsToFile(const BitWriter& writer, const std::string& path);
+
+/// Reads a file written by WriteBitsToFile into an owning BitReader.
+Result<BitReader> ReadBitsFromFile(const std::string& path);
 
 }  // namespace lps

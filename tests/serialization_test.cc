@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "src/core/l0_sampler.h"
 #include "src/core/lp_sampler.h"
@@ -16,6 +18,7 @@
 #include "src/sketch/count_sketch.h"
 #include "src/sketch/stable_sketch.h"
 #include "src/stream/generators.h"
+#include "src/stream/linear_sketch.h"
 #include "src/util/serialize.h"
 
 namespace lps {
@@ -184,6 +187,136 @@ TEST(Serialization, HeavyHittersQueryEquivalence) {
   BitReader r(w);
   bob.DeserializeCounters(&r);
   EXPECT_EQ(alice.Query(), bob.Query());
+}
+
+// ----------------------- full-state (LinearSketch) wire-format coverage --
+
+TEST(Serialization, FullStateRoundTripNeedsNoOutOfBandParams) {
+  // Serialize a configured sampler; Deserialize into an instance built with
+  // throwaway params. The wire format carries params + seeds, so the
+  // restored object must answer identically and re-serialize bit-for-bit.
+  core::LpSamplerParams params;
+  params.n = 4096;
+  params.p = 1.0;
+  params.eps = 0.25;
+  params.repetitions = 6;
+  params.seed = 77;
+  core::LpSampler original(params);
+  const auto stream = stream::UniformTurnstile(4096, 20000, 100, 78);
+  original.UpdateBatch(stream.data(), stream.size());
+  BitWriter w;
+  original.Serialize(&w);
+
+  core::LpSamplerParams dummy;
+  dummy.n = 1;
+  dummy.repetitions = 1;
+  core::LpSampler restored(dummy);
+  BitReader r(w);
+  restored.Deserialize(&r);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+
+  const auto a = original.Sample();
+  const auto b = restored.Sample();
+  ASSERT_EQ(a.ok(), b.ok());
+  if (a.ok()) {
+    EXPECT_EQ(a.value().index, b.value().index);
+    EXPECT_DOUBLE_EQ(a.value().estimate, b.value().estimate);
+  }
+  BitWriter w2;
+  restored.Serialize(&w2);
+  EXPECT_EQ(w.bit_count(), w2.bit_count());
+  EXPECT_EQ(w.words(), w2.words());
+}
+
+TEST(Serialization, FullStateFileRoundTrip) {
+  const uint64_t n = 2048;
+  core::L0Sampler original({n, 0.25, 0, 81, false});
+  const auto stream = stream::SparseVector(n, 40, 100, 82);
+  original.UpdateBatch(stream.data(), stream.size());
+  BitWriter w;
+  original.Serialize(&w);
+  const std::string path = ::testing::TempDir() + "/l0_state.lps";
+  ASSERT_TRUE(WriteBitsToFile(w, path).ok());
+
+  auto reader = ReadBitsFromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(PeekSketchKind(&reader.value()), SketchKind::kL0Sampler);
+
+  auto reader2 = ReadBitsFromFile(path);
+  ASSERT_TRUE(reader2.ok());
+  core::L0Sampler restored({1, 0.25, 0, 0, false});
+  restored.Deserialize(&reader2.value());
+  const auto a = original.Sample();
+  const auto b = restored.Sample();
+  ASSERT_EQ(a.ok(), b.ok());
+  if (a.ok()) {
+    EXPECT_EQ(a.value().index, b.value().index);
+  }
+}
+
+TEST(Serialization, ReadBitsFromFileRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/not_a_sketch.lps";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a bit stream", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadBitsFromFile(path).ok());
+  EXPECT_FALSE(ReadBitsFromFile(::testing::TempDir() + "/missing.lps").ok());
+}
+
+TEST(Serialization, OwningBitReaderOutlivesItsSource) {
+  std::vector<uint64_t> words;
+  size_t bits = 0;
+  {
+    BitWriter w;
+    w.WriteU64(0x123456789abcdef0ULL);
+    w.WriteBits(0x2a, 7);
+    words = w.words();
+    bits = w.bit_count();
+  }  // writer destroyed; the owning reader must not dangle
+  BitReader r(std::move(words), bits);
+  EXPECT_EQ(r.ReadU64(), 0x123456789abcdef0ULL);
+  EXPECT_EQ(r.ReadBits(7), 0x2aULL);
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
+TEST(SerializationDeathTest, KindMismatchChecks) {
+  sketch::CountSketch cs(5, 16, 1);
+  BitWriter w;
+  cs.Serialize(&w);
+  sketch::CountMin cm(5, 16, 1);
+  BitReader r(w);
+  EXPECT_DEATH(cm.Deserialize(&r), "LPS_CHECK");
+}
+
+TEST(SerializationDeathTest, BadMagicChecks) {
+  BitWriter w;
+  w.WriteU64(0xdeadbeefdeadbeefULL);
+  BitReader r(w);
+  sketch::CountSketch cs(5, 16, 1);
+  EXPECT_DEATH(cs.Deserialize(&r), "LPS_CHECK");
+}
+
+TEST(Serialization, HeavyHittersFullStateRoundTrip) {
+  heavy::CsHeavyHitters::Params params;
+  params.n = 512;
+  params.p = 1.0;
+  params.phi = 0.2;
+  params.strict_turnstile = true;
+  params.seed = 11;
+  heavy::CsHeavyHitters original(params);
+  original.Update(7, 100);
+  original.Update(300, 60);
+  BitWriter w;
+  original.Serialize(&w);
+
+  heavy::CsHeavyHitters::Params dummy;
+  dummy.n = 1;
+  heavy::CsHeavyHitters restored(dummy);
+  BitReader r(w);
+  restored.Deserialize(&r);
+  EXPECT_EQ(original.Query(), restored.Query());
+  EXPECT_DOUBLE_EQ(original.NormEstimate(), restored.NormEstimate());
 }
 
 TEST(Serialization, BitExactAccountingMatchesSpaceModel) {

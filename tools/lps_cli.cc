@@ -1,21 +1,37 @@
 // lps_cli — command-line driver for the library: generate workload traces,
-// replay them through any sampler or sketch, and print results. The tool a
-// downstream user reaches for before writing code.
+// replay them through any sampler or sketch, persist and merge sketch
+// state, and print results. The tool a downstream user reaches for before
+// writing code.
 //
 // Usage:
 //   lps_cli gen <kind> <n> <arg> <seed>        write a trace to stdout
 //       kinds: turnstile <#updates> | sparse <#nonzero> |
 //              zipf <scale> | duplicates <extras>
-//   lps_cli sample <p|L0> <eps> <delta> <seed> < trace    draw one sample
+//   lps_cli sample <p|L0> <eps> <delta> <seed> [--shards k] < trace
 //   lps_cli duplicates <delta> <seed>          < trace    find a duplicate
-//   lps_cli heavy <p> <phi> <seed>             < trace    heavy hitter set
-//   lps_cli norm <p> <seed>                    < trace    2-approx of ||x||_p
+//   lps_cli heavy <p> <phi> <seed> [--shards k]           < trace
+//   lps_cli norm <p> <seed> [--shards k]                  < trace
 //   lps_cli stats                              < trace    exact summary
+//   lps_cli save sample <p|L0> <eps> <delta> <seed> <file>  < trace
+//   lps_cli save heavy <p> <phi> <seed> <file>              < trace
+//   lps_cli save norm <p> <seed> <file>                     < trace
+//   lps_cli save duplicates <delta> <seed> <file>           < trace
+//   lps_cli load <file>                        restore state and query it
+//   lps_cli merge <out> <in1> <in2> [in...]    add saved states (linearity)
+//
+// save writes the full LinearSketch state (versioned header, params,
+// seeds, counters); load reconstructs without any out-of-band information;
+// merge requires all inputs to come from identically-parameterized
+// structures (shard replicas) and writes their coordinate-wise sum.
+// --shards k ingests through a k-way ShardedDriver and merges the replicas
+// before querying — same answers as single-stream ingestion, by linearity.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/l0_sampler.h"
 #include "src/core/lp_sampler.h"
@@ -24,22 +40,45 @@
 #include "src/norm/lp_norm.h"
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
+#include "src/stream/linear_sketch.h"
+#include "src/stream/sharded_driver.h"
 #include "src/stream/stream_driver.h"
 #include "src/stream/trace.h"
+#include "src/util/serialize.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> "
-               "<seed>\n"
-               "  lps_cli sample {<p>|L0} <eps> <delta> <seed>  < trace\n"
-               "  lps_cli duplicates <delta> <seed>             < trace\n"
-               "  lps_cli heavy <p> <phi> <seed>                < trace\n"
-               "  lps_cli norm <p> <seed>                       < trace\n"
-               "  lps_cli stats                                 < trace\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> <seed>\n"
+      "  lps_cli sample {<p>|L0} <eps> <delta> <seed> [--shards k] < trace\n"
+      "  lps_cli duplicates <delta> <seed>                         < trace\n"
+      "  lps_cli heavy <p> <phi> <seed> [--shards k]               < trace\n"
+      "  lps_cli norm <p> <seed> [--shards k]                      < trace\n"
+      "  lps_cli stats                                             < trace\n"
+      "  lps_cli save sample {<p>|L0} <eps> <delta> <seed> <file>  < trace\n"
+      "  lps_cli save heavy <p> <phi> <seed> <file>                < trace\n"
+      "  lps_cli save norm <p> <seed> <file>                       < trace\n"
+      "  lps_cli save duplicates <delta> <seed> <file>             < trace\n"
+      "  lps_cli load <file>\n"
+      "  lps_cli merge <out> <in1> <in2> [in...]\n");
   return 2;
+}
+
+/// Strips a trailing/embedded "--shards k" from argv, returning k (1 if
+/// absent). argc is updated in place.
+int TakeShardsFlag(int* argc, char** argv) {
+  for (int a = 2; a + 1 < *argc; ++a) {
+    if (std::strcmp(argv[a], "--shards") == 0) {
+      const int k = std::atoi(argv[a + 1]);
+      for (int b = a + 2; b < *argc; ++b) argv[b - 2] = argv[b];
+      *argc -= 2;
+      return k >= 1 ? k : 1;
+    }
+  }
+  return 1;
 }
 
 lps::Result<lps::stream::Trace> LoadTrace() {
@@ -49,6 +88,25 @@ lps::Result<lps::stream::Trace> LoadTrace() {
                  trace.status().ToString().c_str());
   }
   return trace;
+}
+
+/// Drives the trace into `sink`, either directly or through a k-way
+/// ShardedDriver over `replicas` (replica 0 == sink), merging afterwards.
+void Ingest(const lps::stream::Trace& trace,
+            const std::vector<lps::LinearSketch*>& replicas) {
+  if (replicas.size() == 1) {
+    lps::stream::StreamDriver driver;
+    driver.AddSink("sink", [&replicas](const lps::stream::Update* u,
+                                       size_t c) {
+      replicas[0]->UpdateBatch(u, c);
+    });
+    driver.Drive(trace.updates);
+    return;
+  }
+  lps::stream::ShardedDriver driver(static_cast<int>(replicas.size()));
+  driver.Add("sink", replicas);
+  driver.Drive(trace.updates);
+  driver.MergeShards();
 }
 
 int CmdGen(int argc, char** argv) {
@@ -78,18 +136,129 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
-int CmdSample(int argc, char** argv) {
-  if (argc != 6) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
-  const double eps = std::strtod(argv[3], nullptr);
-  const double delta = std::strtod(argv[4], nullptr);
-  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
-  if (std::strcmp(argv[2], "L0") == 0) {
-    lps::core::L0Sampler sampler({trace->n, delta, 0, seed, false});
-    lps::stream::StreamDriver driver;
-    driver.Add("l0_sampler", &sampler).Drive(trace->updates);
-    auto res = sampler.Sample();
+// ------------------------------------------------------------ structures --
+// Builders shared by the direct commands and `save`: construct the
+// structure for a command spec, ingest (optionally sharded), and hand the
+// merged structure to the caller.
+
+/// Builds `shards` identical replicas with `make`, ingests the trace
+/// (sharded when shards > 1), and returns the merged structure.
+template <typename MakeFn>
+std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
+                                                int shards, MakeFn make) {
+  std::vector<std::unique_ptr<lps::LinearSketch>> replicas;
+  for (int s = 0; s < shards; ++s) replicas.push_back(make());
+  std::vector<lps::LinearSketch*> raw;
+  for (auto& r : replicas) raw.push_back(r.get());
+  Ingest(t, raw);
+  return std::move(replicas[0]);
+}
+
+std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
+                                                const char* p_arg, double eps,
+                                                double delta, uint64_t seed,
+                                                int shards) {
+  if (std::strcmp(p_arg, "L0") == 0) {
+    return BuildSharded(t, shards, [&] {
+      return std::make_unique<lps::core::L0Sampler>(
+          lps::core::L0SamplerParams{t.n, delta, 0, seed, false});
+    });
+  }
+  lps::core::LpSamplerParams params;
+  params.n = t.n;
+  params.p = std::strtod(p_arg, nullptr);
+  params.eps = eps;
+  params.delta = delta;
+  params.seed = seed;
+  return BuildSharded(t, shards, [&] {
+    return std::make_unique<lps::core::LpSampler>(params);
+  });
+}
+
+std::unique_ptr<lps::LinearSketch> BuildHeavy(const lps::stream::Trace& t,
+                                              double p, double phi,
+                                              uint64_t seed, int shards) {
+  lps::heavy::CsHeavyHitters::Params params;
+  params.n = t.n;
+  params.p = p;
+  params.phi = phi;
+  params.seed = seed;
+  return BuildSharded(t, shards, [&] {
+    return std::make_unique<lps::heavy::CsHeavyHitters>(params);
+  });
+}
+
+std::unique_ptr<lps::LinearSketch> BuildNorm(const lps::stream::Trace& t,
+                                             double p, uint64_t seed,
+                                             int shards) {
+  const int rows = lps::norm::LpNormEstimator::DefaultRows(t.n);
+  return BuildSharded(t, shards, [&] {
+    return std::make_unique<lps::norm::LpNormEstimator>(p, rows, seed);
+  });
+}
+
+std::unique_ptr<lps::LinearSketch> BuildDuplicates(const lps::stream::Trace& t,
+                                                   double delta,
+                                                   uint64_t seed) {
+  auto finder = std::make_unique<lps::duplicates::DuplicateFinder>(
+      lps::duplicates::DuplicateFinder::Params{t.n, delta, 0, seed});
+  for (const auto& u : t.updates) {
+    if (u.delta != 1) {
+      std::fprintf(stderr, "duplicates mode expects a letter trace\n");
+      return nullptr;
+    }
+    finder->ProcessItem(u.index);
+  }
+  return finder;
+}
+
+/// Constructs an empty structure of the given kind (throwaway params; the
+/// following Deserialize reconfigures it from the serialized state).
+std::unique_ptr<lps::LinearSketch> MakeEmpty(lps::SketchKind kind) {
+  using lps::SketchKind;
+  switch (kind) {
+    case SketchKind::kLpSampler: {
+      lps::core::LpSamplerParams params;
+      params.n = 1;
+      params.repetitions = 1;
+      return std::make_unique<lps::core::LpSampler>(params);
+    }
+    case SketchKind::kL0Sampler:
+      return std::make_unique<lps::core::L0Sampler>(
+          lps::core::L0SamplerParams{1, 0.25, 0, 0, false});
+    case SketchKind::kCsHeavyHitters: {
+      lps::heavy::CsHeavyHitters::Params params;
+      params.n = 1;
+      return std::make_unique<lps::heavy::CsHeavyHitters>(params);
+    }
+    case SketchKind::kLpNormEstimator:
+      return std::make_unique<lps::norm::LpNormEstimator>(1.0, 1, 0);
+    case SketchKind::kDuplicateFinder:
+      return std::make_unique<lps::duplicates::DuplicateFinder>(
+          lps::duplicates::DuplicateFinder::Params{1, 0.25, 1, 0});
+    default:
+      std::fprintf(stderr, "load/merge does not support kind '%s'\n",
+                   lps::SketchKindName(kind));
+      return nullptr;
+  }
+}
+
+/// Runs the kind-appropriate query and prints the result. Returns the
+/// process exit code.
+int ReportQuery(const lps::LinearSketch& sketch) {
+  if (const auto* lp = dynamic_cast<const lps::core::LpSampler*>(&sketch)) {
+    auto res = lp->Sample();
+    if (!res.ok()) {
+      std::printf("FAIL %s\n", res.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("index %llu estimate %.3f\n",
+                static_cast<unsigned long long>(res.value().index),
+                res.value().estimate);
+    return 0;
+  }
+  if (const auto* l0 = dynamic_cast<const lps::core::L0Sampler*>(&sketch)) {
+    auto res = l0->Sample();
     if (!res.ok()) {
       std::printf("FAIL %s\n", res.status().ToString().c_str());
       return 1;
@@ -99,24 +268,78 @@ int CmdSample(int argc, char** argv) {
                 res.value().estimate);
     return 0;
   }
-  lps::core::LpSamplerParams params;
-  params.n = trace->n;
-  params.p = std::strtod(argv[2], nullptr);
-  params.eps = eps;
-  params.delta = delta;
-  params.seed = seed;
-  lps::core::LpSampler sampler(params);
-  lps::stream::StreamDriver driver;
-  driver.Add("lp_sampler", &sampler).Drive(trace->updates);
-  auto res = sampler.Sample();
-  if (!res.ok()) {
-    std::printf("FAIL %s\n", res.status().ToString().c_str());
+  if (const auto* hh =
+          dynamic_cast<const lps::heavy::CsHeavyHitters*>(&sketch)) {
+    const auto set = hh->Query();
+    std::printf("%zu heavy hitters:", set.size());
+    for (uint64_t i : set) {
+      std::printf(" %llu", static_cast<unsigned long long>(i));
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (const auto* est =
+          dynamic_cast<const lps::norm::LpNormEstimator*>(&sketch)) {
+    std::printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n",
+                est->Estimate2Approx());
+    return 0;
+  }
+  if (const auto* dup =
+          dynamic_cast<const lps::duplicates::DuplicateFinder*>(&sketch)) {
+    auto res = dup->Find();
+    if (!res.ok()) {
+      std::printf("FAIL %s\n", res.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("duplicate %llu\n",
+                static_cast<unsigned long long>(res.value()));
+    return 0;
+  }
+  std::fprintf(stderr, "no query for kind '%s'\n",
+               lps::SketchKindName(sketch.kind()));
+  return 2;
+}
+
+int SaveSketch(const lps::LinearSketch& sketch, const char* path) {
+  lps::BitWriter writer;
+  sketch.Serialize(&writer);
+  auto status = lps::WriteBitsToFile(writer, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("index %llu estimate %.3f\n",
-              static_cast<unsigned long long>(res.value().index),
-              res.value().estimate);
+  std::printf("saved %s state to %s (%zu bits)\n",
+              lps::SketchKindName(sketch.kind()), path, writer.bit_count());
   return 0;
+}
+
+std::unique_ptr<lps::LinearSketch> LoadSketch(const char* path) {
+  auto reader = lps::ReadBitsFromFile(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reader.status().ToString().c_str());
+    return nullptr;
+  }
+  const lps::SketchKind kind = lps::PeekSketchKind(&reader.value());
+  auto sketch = MakeEmpty(kind);
+  if (sketch == nullptr) return nullptr;
+  reader.value().Rewind();
+  sketch->Deserialize(&reader.value());
+  return sketch;
+}
+
+// ------------------------------------------------------------- commands --
+
+int CmdSample(int argc, char** argv) {
+  const int shards = TakeShardsFlag(&argc, argv);
+  if (argc != 6) return Usage();
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  const double eps = std::strtod(argv[3], nullptr);
+  const double delta = std::strtod(argv[4], nullptr);
+  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+  auto sampler = BuildSampler(*trace, argv[2], eps, delta, seed, shards);
+  return ReportQuery(*sampler);
 }
 
 int CmdDuplicates(int argc, char** argv) {
@@ -125,58 +348,30 @@ int CmdDuplicates(int argc, char** argv) {
   if (!trace.ok()) return 1;
   const double delta = std::strtod(argv[2], nullptr);
   const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
-  lps::duplicates::DuplicateFinder finder({trace->n, delta, 0, seed});
-  // The trace's letter records arrive as (letter, +1) updates; the finder
-  // already seeded the -1 initialization internally.
-  for (const auto& u : trace->updates) {
-    if (u.delta != 1) {
-      std::fprintf(stderr, "duplicates mode expects a letter trace\n");
-      return 2;
-    }
-    finder.ProcessItem(u.index);
-  }
-  auto res = finder.Find();
-  if (!res.ok()) {
-    std::printf("FAIL %s\n", res.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("duplicate %llu\n",
-              static_cast<unsigned long long>(res.value()));
-  return 0;
+  auto finder = BuildDuplicates(*trace, delta, seed);
+  if (finder == nullptr) return 2;
+  return ReportQuery(*finder);
 }
 
 int CmdHeavy(int argc, char** argv) {
+  const int shards = TakeShardsFlag(&argc, argv);
   if (argc != 5) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
-  lps::heavy::CsHeavyHitters::Params params;
-  params.n = trace->n;
-  params.p = std::strtod(argv[2], nullptr);
-  params.phi = std::strtod(argv[3], nullptr);
-  params.seed = std::strtoull(argv[4], nullptr, 10);
-  lps::heavy::CsHeavyHitters hh(params);
-  lps::stream::StreamDriver driver;
-  driver.Add("heavy_hitters", &hh).Drive(trace->updates);
-  const auto set = hh.Query();
-  std::printf("%zu heavy hitters:", set.size());
-  for (uint64_t i : set) std::printf(" %llu", static_cast<unsigned long long>(i));
-  std::printf("\n");
-  return 0;
+  auto hh = BuildHeavy(*trace, std::strtod(argv[2], nullptr),
+                       std::strtod(argv[3], nullptr),
+                       std::strtoull(argv[4], nullptr, 10), shards);
+  return ReportQuery(*hh);
 }
 
 int CmdNorm(int argc, char** argv) {
+  const int shards = TakeShardsFlag(&argc, argv);
   if (argc != 4) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
-  const double p = std::strtod(argv[2], nullptr);
-  const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
-  lps::norm::LpNormEstimator est(
-      p, lps::norm::LpNormEstimator::DefaultRows(trace->n), seed);
-  lps::stream::StreamDriver driver;
-  driver.Add("lp_norm", &est).Drive(trace->updates);
-  std::printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n",
-              est.Estimate2Approx());
-  return 0;
+  auto est = BuildNorm(*trace, std::strtod(argv[2], nullptr),
+                       std::strtoull(argv[3], nullptr, 10), shards);
+  return ReportQuery(*est);
 }
 
 int CmdStats(int argc, char**) {
@@ -194,6 +389,63 @@ int CmdStats(int argc, char**) {
   return 0;
 }
 
+int CmdSave(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string what = argv[2];
+  const char* path = argv[argc - 1];
+  auto trace = LoadTrace();
+  if (!trace.ok()) return 1;
+  std::unique_ptr<lps::LinearSketch> sketch;
+  if (what == "sample" && argc == 8) {
+    sketch = BuildSampler(*trace, argv[3], std::strtod(argv[4], nullptr),
+                          std::strtod(argv[5], nullptr),
+                          std::strtoull(argv[6], nullptr, 10), 1);
+  } else if (what == "heavy" && argc == 7) {
+    sketch = BuildHeavy(*trace, std::strtod(argv[3], nullptr),
+                        std::strtod(argv[4], nullptr),
+                        std::strtoull(argv[5], nullptr, 10), 1);
+  } else if (what == "norm" && argc == 6) {
+    sketch = BuildNorm(*trace, std::strtod(argv[3], nullptr),
+                       std::strtoull(argv[4], nullptr, 10), 1);
+  } else if (what == "duplicates" && argc == 6) {
+    sketch = BuildDuplicates(*trace, std::strtod(argv[3], nullptr),
+                             std::strtoull(argv[4], nullptr, 10));
+  } else {
+    return Usage();
+  }
+  if (sketch == nullptr) return 2;
+  return SaveSketch(*sketch, path);
+}
+
+int CmdLoad(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  auto sketch = LoadSketch(argv[2]);
+  if (sketch == nullptr) return 1;
+  std::printf("loaded %s state from %s\n", lps::SketchKindName(sketch->kind()),
+              argv[2]);
+  return ReportQuery(*sketch);
+}
+
+int CmdMerge(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const char* out = argv[2];
+  auto merged = LoadSketch(argv[3]);
+  if (merged == nullptr) return 1;
+  for (int a = 4; a < argc; ++a) {
+    auto next = LoadSketch(argv[a]);
+    if (next == nullptr) return 1;
+    if (next->kind() != merged->kind()) {
+      std::fprintf(stderr, "cannot merge %s into %s\n",
+                   lps::SketchKindName(next->kind()),
+                   lps::SketchKindName(merged->kind()));
+      return 2;
+    }
+    merged->Merge(*next);  // CHECK-fails on parameter/seed mismatch
+  }
+  std::printf("merged %d shards\n", argc - 3);
+  return SaveSketch(*merged, out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,5 +457,8 @@ int main(int argc, char** argv) {
   if (command == "heavy") return CmdHeavy(argc, argv);
   if (command == "norm") return CmdNorm(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
+  if (command == "save") return CmdSave(argc, argv);
+  if (command == "load") return CmdLoad(argc, argv);
+  if (command == "merge") return CmdMerge(argc, argv);
   return Usage();
 }
