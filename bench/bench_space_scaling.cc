@@ -17,7 +17,17 @@ namespace {
 
 using lps::bench::Table;
 
-size_t OursBits(uint64_t n, double p, double eps) {
+// The paper-exact Figure 1 space (flat sketches + hashes), with the query
+// engine's dyadic candidate overhead reported in a separate column — C2 is
+// a claim about the paper's structures, the dyadic trees are an
+// engineering add-on (also O(log^2 n) per round, so the growth shape is
+// unchanged).
+struct OursSpace {
+  size_t core;    // SpaceBits minus the dyadic share
+  size_t dyadic;  // the candidate generators
+};
+
+OursSpace OursBits(uint64_t n, double p, double eps) {
   lps::core::LpSamplerParams params;
   params.n = n;
   params.p = p;
@@ -25,7 +35,9 @@ size_t OursBits(uint64_t n, double p, double eps) {
   params.repetitions = 1;  // per-round space; repetitions multiply both sides
   params.seed = 1;
   lps::core::LpSampler sampler(params);
-  return sampler.SpaceBits(2 * lps::CeilLog2(n));
+  const int bits = 2 * lps::CeilLog2(n);
+  const size_t dyadic = sampler.DyadicSpaceBits(bits);
+  return {sampler.SpaceBits(bits) - dyadic, dyadic};
 }
 
 size_t AkoBits(uint64_t n, double p, double eps) {
@@ -36,7 +48,8 @@ size_t AkoBits(uint64_t n, double p, double eps) {
   params.repetitions = 1;
   params.seed = 1;
   lps::core::AkoSampler sampler(params);
-  return sampler.SpaceBits(2 * lps::CeilLog2(n));
+  const int bits = 2 * lps::CeilLog2(n);
+  return sampler.SpaceBits(bits) - sampler.DyadicSpaceBits(bits);
 }
 
 }  // namespace
@@ -47,22 +60,23 @@ int main(int argc, char** argv) {
   lps::bench::Section("C2: space vs n (eps = 0.25, per sampler round)");
   for (double p : {1.0, 1.5}) {
     std::printf("p = %.1f\n", p);
-    Table table({"log2 n", "ours (bits)", "AKO (bits)", "AKO/ours",
-                 "ours growth", "AKO growth"});
+    Table table({"log2 n", "ours (bits)", "+dyadic", "AKO (bits)",
+                 "AKO/ours", "ours growth", "AKO growth"});
     size_t prev_ours = 0, prev_ako = 0;
     for (int log_n = 10; log_n <= 22; log_n += 2) {
       const uint64_t n = 1ULL << log_n;
-      const size_t ours = OursBits(n, p, 0.25);
+      const OursSpace ours = OursBits(n, p, 0.25);
       const size_t ako = AkoBits(n, p, 0.25);
       table.AddRow(
-          {Table::Fmt("%d", log_n), Table::Fmt("%zu", ours),
-           Table::Fmt("%zu", ako),
-           Table::Fmt("%.2f", static_cast<double>(ako) / ours),
-           prev_ours ? Table::Fmt("%.2fx", static_cast<double>(ours) / prev_ours)
+          {Table::Fmt("%d", log_n), Table::Fmt("%zu", ours.core),
+           Table::Fmt("%zu", ours.dyadic), Table::Fmt("%zu", ako),
+           Table::Fmt("%.2f", static_cast<double>(ako) / ours.core),
+           prev_ours ? Table::Fmt("%.2fx",
+                                  static_cast<double>(ours.core) / prev_ours)
                      : "-",
            prev_ako ? Table::Fmt("%.2fx", static_cast<double>(ako) / prev_ako)
                     : "-"});
-      prev_ours = ours;
+      prev_ours = ours.core;
       prev_ako = ako;
     }
     table.Print();
@@ -76,20 +90,21 @@ int main(int argc, char** argv) {
     std::printf("p = %.1f   (ours ~ eps^-%s, AKO ~ eps^-%.1f)\n", p,
                 p < 1.0 ? "0 .. log(1/eps)" : Table::Fmt("%.1f", std::max(1.0, p)).c_str(),
                 p);
-    Table table({"eps", "ours (bits)", "AKO (bits)", "ours growth",
-                 "AKO growth"});
+    Table table({"eps", "ours (bits)", "+dyadic", "AKO (bits)",
+                 "ours growth", "AKO growth"});
     size_t prev_ours = 0, prev_ako = 0;
     for (double eps : {0.5, 0.25, 0.125, 0.0625, 0.03125}) {
-      const size_t ours = OursBits(1 << 16, p, eps);
+      const OursSpace ours = OursBits(1 << 16, p, eps);
       const size_t ako = AkoBits(1 << 16, p, eps);
       table.AddRow(
-          {Table::Fmt("%.5f", eps), Table::Fmt("%zu", ours),
-           Table::Fmt("%zu", ako),
-           prev_ours ? Table::Fmt("%.2fx", static_cast<double>(ours) / prev_ours)
+          {Table::Fmt("%.5f", eps), Table::Fmt("%zu", ours.core),
+           Table::Fmt("%zu", ours.dyadic), Table::Fmt("%zu", ako),
+           prev_ours ? Table::Fmt("%.2fx",
+                                  static_cast<double>(ours.core) / prev_ours)
                      : "-",
            prev_ako ? Table::Fmt("%.2fx", static_cast<double>(ako) / prev_ako)
                     : "-"});
-      prev_ours = ours;
+      prev_ours = ours.core;
       prev_ako = ako;
     }
     table.Print();

@@ -189,6 +189,45 @@ struct LatencyRow {
   double micros = 0;  // per query call, best-of-passes
 };
 
+// Query latency at n = 2^20 must stay within this factor of n = 2^12.
+// Sub-linear queries grow only with log n (< 2x across the sweep); an
+// accidental universe scan is ~256x. The slack absorbs timer noise on
+// shared CI runners.
+constexpr double kMaxQueryScalingRatio = 4.0;
+
+double LatencyOf(const std::vector<LatencyRow>& rows,
+                 const std::string& name) {
+  for (const auto& row : rows) {
+    if (row.name == name) return row.micros;
+  }
+  return -1;
+}
+
+/// Returns false (and complains on stderr) if a query family's latency at
+/// n = 2^20 regressed to more than kMaxQueryScalingRatio times n = 2^12.
+bool CheckQueryScaling(const std::vector<LatencyRow>& rows,
+                       const std::string& family,
+                       const std::string& small_suffix,
+                       const std::string& large_suffix) {
+  const double at_small = LatencyOf(rows, family + small_suffix);
+  const double at_large = LatencyOf(rows, family + large_suffix);
+  if (at_small <= 0 || at_large <= 0) {
+    std::fprintf(stderr, "query scaling check: missing rows for %s\n",
+                 family.c_str());
+    return false;
+  }
+  if (at_large > kMaxQueryScalingRatio * at_small) {
+    std::fprintf(stderr,
+                 "QUERY SCALING REGRESSION: %s costs %.1f us at n=2^20 vs "
+                 "%.1f us at n=2^12 (ratio %.2f > %.2f) — an O(n) scan is "
+                 "back in the query path\n",
+                 family.c_str(), at_large, at_small, at_large / at_small,
+                 kMaxQueryScalingRatio);
+    return false;
+  }
+  return true;
+}
+
 /// Per-call latency of `fn`, best of `passes` timed runs of `calls` calls.
 template <typename Fn>
 double MicrosPerCall(int passes, int calls, Fn&& fn) {
@@ -342,8 +381,14 @@ int main(int argc, char** argv) {
         }));
   }
 
-  // Query-side latencies: the recovery-stage costs the old C17 table
-  // tracked, kept so a Recover/Sample/HeavyLeaves regression is visible.
+  // Query-side latencies. The headline section sweeps the universe size
+  // n = 2^12 .. 2^22 for the candidate-driven query engine behind
+  // LpSampler::Sample and CsHeavyHitters::Query: sub-linear recovery means
+  // micros/call must stay flat in n, and the run FAILS (non-zero exit, so
+  // the CI smoke gates on it) if n = 2^20 costs more than
+  // kMaxQueryScalingRatio times n = 2^12 — the signature of an O(n) scan
+  // sneaking back into a query path. One reference-oracle row per family
+  // records the retired full-universe scan at n = 2^20 for comparison.
   std::vector<LatencyRow> latencies;
   {
     lps::recovery::SparseRecovery rec(kN, 32, 6);
@@ -354,22 +399,63 @@ int main(int argc, char** argv) {
          MicrosPerCall(passes, quick ? 20 : 100,
                        [&] { return rec.Recover().ok(); })});
   }
-  {
+  const std::vector<int> sweep =
+      quick ? std::vector<int>{12, 16, 20} : std::vector<int>{12, 14, 16,
+                                                              18, 20, 22};
+  for (int log_n : sweep) {
+    const uint64_t n = 1ULL << log_n;
     lps::core::LpSamplerParams params;
-    params.n = 1 << 12;  // recovery scans [n]
+    params.n = n;
     params.p = 1.0;
     params.eps = 0.25;
     params.repetitions = 1;
     params.seed = 11;
     lps::core::LpSampler sampler(params);
-    const auto stream =
-        lps::stream::UniformTurnstile(1 << 12, 4096, 100, 12);
+    const auto stream = lps::stream::UniformTurnstile(n, 4096, 100, 12);
     StreamDriver driver;
     driver.Add("lp", &sampler).Drive(stream);
-    latencies.push_back({"lp_sampler.Sample[n=4096,v=1]",
-                         MicrosPerCall(passes, quick ? 3 : 10, [&] {
-                           return sampler.Sample().ok();
-                         })});
+    // One tiny update per call invalidates the rounds' recovery cache, so
+    // this measures the full candidate descent + TopM + residual every
+    // time, not cached snapshot reuse.
+    latencies.push_back(
+        {"lp_sampler.Sample[n=2^" + std::to_string(log_n) + ",v=1]",
+         MicrosPerCall(passes, quick ? 10 : 50, [&] {
+           sampler.Update(0, 1.0);
+           return sampler.Sample().ok();
+         })});
+    if (log_n == 20) {
+      // The retired O(n * rows) scan, one call (it costs milliseconds —
+      // exactly the point).
+      const double r = sampler.NormEstimate();
+      latencies.push_back(
+          {"lp_sampler.RecoverReference_oracle[n=2^20]",
+           MicrosPerCall(1, 1, [&] {
+             return sampler.round(0).RecoverReference(r).ok();
+           })});
+    }
+  }
+  for (int log_n : sweep) {
+    const uint64_t n = 1ULL << log_n;
+    lps::heavy::CsHeavyHitters::Params params;
+    params.n = n;
+    params.p = 1.0;
+    params.phi = 0.05;
+    params.strict_turnstile = true;
+    params.seed = 21;
+    lps::heavy::CsHeavyHitters hh(params);
+    const auto stream =
+        lps::stream::PlantedHeavyHitters(n, 5, 1000, 500, false, 16);
+    StreamDriver driver;
+    driver.Add("hh", &hh).Drive(stream);
+    latencies.push_back(
+        {"cs_heavy_hitters.Query[n=2^" + std::to_string(log_n) + "]",
+         MicrosPerCall(passes, quick ? 10 : 50,
+                       [&] { return hh.Query().size(); })});
+    if (log_n == 20) {
+      latencies.push_back(
+          {"cs_heavy_hitters.QueryOracle[n=2^20]",
+           MicrosPerCall(1, 1, [&] { return hh.QueryOracle().size(); })});
+    }
   }
   {
     lps::sketch::DyadicCountMin tree(16, 9, 64, 15);
@@ -414,5 +500,17 @@ int main(int argc, char** argv) {
 
   WriteJson("BENCH_throughput.json", rows, sharded, latencies, quick);
   std::printf("machine-readable results written to BENCH_throughput.json\n");
+
+  // Gate: fail the run (and the CI smoke) if any query path regressed to
+  // universe-scan scaling.
+  bool flat = true;
+  flat &= CheckQueryScaling(latencies, "lp_sampler.Sample", "[n=2^12,v=1]",
+                            "[n=2^20,v=1]");
+  flat &= CheckQueryScaling(latencies, "cs_heavy_hitters.Query", "[n=2^12]",
+                            "[n=2^20]");
+  if (!flat) return 1;
+  std::printf("query scaling check: n=2^20 within %.1fx of n=2^12 for all "
+              "query paths\n",
+              kMaxQueryScalingRatio);
   return 0;
 }

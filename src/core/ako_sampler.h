@@ -44,6 +44,11 @@ class AkoSampler : public LinearSketch {
   size_t SpaceBits(int bits_per_counter) const {
     return inner_.SpaceBits(bits_per_counter);
   }
+  /// The query engine's dyadic share of SpaceBits (see LpSampler) — the C2
+  /// space-shape comparison subtracts it from both sides.
+  size_t DyadicSpaceBits(int bits_per_counter = 64) const {
+    return inner_.DyadicSpaceBits(bits_per_counter);
+  }
   const LpSamplerParams& params() const { return inner_.params(); }
 
  private:

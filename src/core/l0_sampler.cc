@@ -52,17 +52,19 @@ void L0Sampler::UpdateBatch(const stream::Update* updates, size_t count) {
   for (int k = 0; k < static_cast<int>(levels_.size()); ++k) {
     auto& level = levels_[static_cast<size_t>(k)];
     if (k == 0) {
-      // I_0 = [n]: every update survives; validate indices on this pass.
-      for (size_t t = 0; t < count; ++t) {
-        LPS_CHECK(updates[t].index < n_);
-        level.Update(updates[t].index, updates[t].delta);
-      }
+      // I_0 = [n]: every update survives, so the whole batch goes straight
+      // to the recovery's interleaved kernel (which validates indices).
+      level.UpdateBatch(updates, count);
       continue;
     }
+    // Filter the batch through this level's membership test, then hand the
+    // survivors to the batch kernel in one go.
+    survivors_.clear();
     for (size_t t = 0; t < count; ++t) {
-      if (InLevel(k, updates[t].index)) {
-        level.Update(updates[t].index, updates[t].delta);
-      }
+      if (InLevel(k, updates[t].index)) survivors_.push_back(updates[t]);
+    }
+    if (!survivors_.empty()) {
+      level.UpdateBatch(survivors_.data(), survivors_.size());
     }
   }
 }

@@ -50,9 +50,10 @@ class L0Sampler : public LinearSketch {
   void Update(uint64_t i, int64_t delta);
 
   /// Batched ingestion, level-major: each level filters the batch through
-  /// its membership test and feeds the survivors to its sparse recovery
-  /// while that level's measurements are hot. State is identical to
-  /// per-update processing (field arithmetic is exact).
+  /// its membership test into a survivor buffer, then feeds the whole
+  /// buffer to its sparse recovery's interleaved batch kernel while that
+  /// level's measurements are hot. State is identical to per-update
+  /// processing (field arithmetic is exact).
   void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// A uniform non-zero coordinate and its exact value, or Status::Failed.
@@ -89,6 +90,7 @@ class L0Sampler : public LinearSketch {
   uint64_t s_;
   std::unique_ptr<prg::RandomSource> source_;
   std::vector<recovery::SparseRecovery> levels_;  // levels_[k] sketches I_k
+  std::vector<stream::Update> survivors_;         // batch scratch
 };
 
 }  // namespace lps::core

@@ -24,6 +24,13 @@ constexpr double kMConstant = 8.0;
 // s in [||z - zhat||_2, 2||z - zhat||_2] w.h.p. (recovery stage, step 3).
 constexpr double kResidualInflation = 1.35;
 
+// Default rows of the per-round dyadic candidate generator. Small on
+// purpose: a candidate only needs to *survive the beam*, the flat
+// count-sketch (with its full O(log n) rows) does the accurate ranking,
+// so a per-block median of 5 is ample and keeps the ingest overhead of
+// the log n dyadic levels bounded.
+constexpr int kDefaultDyadicRows = 5;
+
 }  // namespace
 
 LpSamplerParams LpSampler::Resolve(LpSamplerParams params) {
@@ -55,6 +62,9 @@ LpSamplerParams LpSampler::Resolve(LpSamplerParams params) {
   if (params.norm_rows == 0) {
     params.norm_rows = norm::LpNormEstimator::DefaultRows(params.n);
   }
+  if (params.dyadic_rows == 0) {
+    params.dyadic_rows = kDefaultDyadicRows;
+  }
   if (params.repetitions == 0) {
     // Per-round success is >= eps / 2^p (Theorem 1 proof); the 1.5 safety
     // factor is calibrated against the measured rates in
@@ -74,7 +84,12 @@ LpSamplerRound::LpSamplerRound(const LpSamplerParams& params, int round_index)
       t_hash_(params.k,
               Mix64(params.seed ^ (0x70f0ULL + static_cast<uint64_t>(round_index)))),
       cs_(params.cs_rows, 6 * params.m,
-          Mix64(params.seed ^ (0xc500ULL + static_cast<uint64_t>(round_index)))) {}
+          Mix64(params.seed ^ (0xc500ULL + static_cast<uint64_t>(round_index)))),
+      dyadic_(CeilLog2(std::max<uint64_t>(params.n, 1)),
+              params.dyadic_rows > 0 ? params.dyadic_rows : kDefaultDyadicRows,
+              6 * params.m,
+              Mix64(params.seed ^
+                    (0xd7a0ULL + static_cast<uint64_t>(round_index)))) {}
 
 double LpSamplerRound::ScalingFactor(uint64_t i) const {
   if (override_index_ >= 0 && static_cast<uint64_t>(override_index_) == i) {
@@ -90,35 +105,62 @@ void LpSamplerRound::Update(uint64_t i, double delta) {
 
 void LpSamplerRound::UpdateBatch(const stream::ScaledUpdate* updates,
                                  size_t count) {
+  snapshot_.reset();
   scaled_.resize(count);
-  const double inv_p = 1.0 / p_;
-  for (size_t t = 0; t < count; ++t) {
-    const double scale = ScalingFactor(updates[t].index);
-    scaled_[t] = {updates[t].index,
-                  updates[t].delta / std::pow(scale, inv_p)};
+  if (p_ == 1.0) {
+    // t^{1/p} = t at p = 1: the per-item std::pow is the identity, so the
+    // hot loop is a single divide (std::pow(x, 1.0) returns x exactly, so
+    // this is bit-identical to the general path).
+    for (size_t t = 0; t < count; ++t) {
+      scaled_[t] = {updates[t].index,
+                    updates[t].delta / ScalingFactor(updates[t].index)};
+    }
+  } else {
+    const double inv_p = 1.0 / p_;
+    for (size_t t = 0; t < count; ++t) {
+      const double scale = ScalingFactor(updates[t].index);
+      scaled_[t] = {updates[t].index,
+                    updates[t].delta / std::pow(scale, inv_p)};
+    }
   }
   cs_.UpdateBatch(scaled_.data(), count);
+  dyadic_.UpdateBatch(scaled_.data(), count);
+}
+
+const LpSamplerRound::RecoverySnapshot& LpSamplerRound::Snapshot() const {
+  if (!snapshot_.has_value()) {
+    // Candidate generation: O(m log n) dyadic beam descent over z instead
+    // of the O(n * rows) universe scan. Leaves >= n_ (padding of the
+    // power-of-two dyadic universe) never carry mass; drop them so the
+    // flat estimates match the [0, n) oracle exactly.
+    std::vector<uint64_t> candidates =
+        dyadic_.TopCandidates(static_cast<uint64_t>(m_));
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [this](uint64_t i) { return i >= n_; }),
+        candidates.end());
+    RecoverySnapshot snap;
+    snap.zhat = cs_.TopM(candidates, static_cast<uint64_t>(m_));
+    snap.s = kResidualInflation * cs_.EstimateResidualL2(snap.zhat);
+    snapshot_ = std::move(snap);
+  }
+  return *snapshot_;
 }
 
 bool LpSamplerRound::WouldAbortOnTail(double r) const {
-  const auto zhat = cs_.TopM(n_, static_cast<uint64_t>(m_));
-  const double s = kResidualInflation * cs_.EstimateResidualL2(zhat);
-  return s > beta_ * std::sqrt(static_cast<double>(m_)) * r;
+  return Snapshot().s > beta_ * std::sqrt(static_cast<double>(m_)) * r;
 }
 
-Result<SampleResult> LpSamplerRound::Recover(double r) const {
-  // Step 1: count-sketch output z* and its best m-sparse approximation.
-  const auto zhat = cs_.TopM(n_, static_cast<uint64_t>(m_));
-  if (zhat.empty()) return Status::Failed("empty sketch");
+Result<SampleResult> LpSamplerRound::Decide(const RecoverySnapshot& snap,
+                                            double r) const {
+  // Step 1 happened in the caller: z* restricted to zhat's support.
+  if (snap.zhat.empty()) return Status::Failed("empty sketch");
 
-  // Step 3: s in [||z - zhat||_2, 2||z - zhat||_2].
-  const double s = kResidualInflation * cs_.EstimateResidualL2(zhat);
-
-  // Step 5: the two abort tests.
-  if (s > beta_ * std::sqrt(static_cast<double>(m_)) * r) {
+  // Step 5: the two abort tests (step 3 produced s).
+  if (snap.s > beta_ * std::sqrt(static_cast<double>(m_)) * r) {
     return Status::Failed("tail too heavy: s > beta m^1/2 r");
   }
-  const auto& [index, z_star] = zhat[0];  // step 4: argmax |z*_i|
+  const auto& [index, z_star] = snap.zhat[0];  // step 4: argmax |z*_i|
   if (std::abs(z_star) < std::pow(eps_, -1.0 / p_) * r) {
     return Status::Failed("no sufficiently heavy coordinate");
   }
@@ -128,8 +170,24 @@ Result<SampleResult> LpSamplerRound::Recover(double r) const {
   return SampleResult{index, z_star * std::pow(t, 1.0 / p_)};
 }
 
+Result<SampleResult> LpSamplerRound::Recover(double r) const {
+  return Decide(Snapshot(), r);
+}
+
+Result<SampleResult> LpSamplerRound::RecoverReference(double r) const {
+  RecoverySnapshot snap;
+  snap.zhat = cs_.TopM(n_, static_cast<uint64_t>(m_));
+  snap.s = kResidualInflation * cs_.EstimateResidualL2(snap.zhat);
+  return Decide(snap, r);
+}
+
 size_t LpSamplerRound::SpaceBits(int bits_per_counter) const {
-  return cs_.SpaceBits(bits_per_counter) + t_hash_.SeedBits();
+  return cs_.SpaceBits(bits_per_counter) + t_hash_.SeedBits() +
+         DyadicSpaceBits(bits_per_counter);
+}
+
+size_t LpSamplerRound::DyadicSpaceBits(int bits_per_counter) const {
+  return dyadic_.SpaceBits(bits_per_counter);
 }
 
 LpSampler::LpSampler(LpSamplerParams params)
@@ -193,7 +251,8 @@ void LpSampler::Merge(const LinearSketch& other) {
   LPS_CHECK(a.n == b.n && a.p == b.p && a.eps == b.eps && a.delta == b.delta &&
             a.repetitions == b.repetitions && a.cs_rows == b.cs_rows &&
             a.m == b.m && a.k == b.k && a.norm_rows == b.norm_rows &&
-            a.seed == b.seed && a.override_index == b.override_index &&
+            a.dyadic_rows == b.dyadic_rows && a.seed == b.seed &&
+            a.override_index == b.override_index &&
             a.override_t == b.override_t);
   norm_.Merge(o->norm_);
   for (size_t v = 0; v < rounds_.size(); ++v) {
@@ -212,6 +271,7 @@ void LpSampler::Serialize(BitWriter* writer) const {
   writer->WriteBits(static_cast<uint64_t>(params_.m), 32);
   writer->WriteBits(static_cast<uint64_t>(params_.k), 32);
   writer->WriteBits(static_cast<uint64_t>(params_.norm_rows), 32);
+  writer->WriteBits(static_cast<uint64_t>(params_.dyadic_rows), 32);
   writer->WriteU64(params_.seed);
   writer->WriteU64(static_cast<uint64_t>(params_.override_index));
   writer->WriteDouble(params_.override_t);
@@ -219,7 +279,10 @@ void LpSampler::Serialize(BitWriter* writer) const {
 }
 
 void LpSampler::Deserialize(BitReader* reader) {
-  ReadSketchHeader(reader, kind());
+  // Version 2 added the dyadic candidate generators (dyadic_rows param +
+  // per-round counters); the v1 layout cannot be reconstructed.
+  const uint32_t version = ReadSketchHeader(reader, kind());
+  LPS_CHECK(version >= 2);
   LpSamplerParams params;
   params.n = reader->ReadU64();
   params.p = reader->ReadDouble();
@@ -230,6 +293,7 @@ void LpSampler::Deserialize(BitReader* reader) {
   params.m = static_cast<int>(reader->ReadBits(32));
   params.k = static_cast<int>(reader->ReadBits(32));
   params.norm_rows = static_cast<int>(reader->ReadBits(32));
+  params.dyadic_rows = static_cast<int>(reader->ReadBits(32));
   params.seed = reader->ReadU64();
   params.override_index = static_cast<int64_t>(reader->ReadU64());
   params.override_t = reader->ReadDouble();
@@ -245,6 +309,14 @@ void LpSampler::Reset() {
 size_t LpSampler::SpaceBits(int bits_per_counter) const {
   size_t bits = norm_.SpaceBits(bits_per_counter);
   for (const auto& round : rounds_) bits += round.SpaceBits(bits_per_counter);
+  return bits;
+}
+
+size_t LpSampler::DyadicSpaceBits(int bits_per_counter) const {
+  size_t bits = 0;
+  for (const auto& round : rounds_) {
+    bits += round.DyadicSpaceBits(bits_per_counter);
+  }
   return bits;
 }
 

@@ -36,6 +36,7 @@
 #include "src/hash/kwise.h"
 #include "src/norm/lp_norm.h"
 #include "src/sketch/count_sketch.h"
+#include "src/sketch/dyadic.h"
 #include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 #include "src/util/status.h"
@@ -54,6 +55,11 @@ struct LpSamplerParams {
   int m = 0;            ///< count-sketch parameter (Figure 1 step 1/2)
   int k = 0;            ///< independence of the scaling factors
   int norm_rows = 0;    ///< rows of the Lemma 2 estimator
+  /// Rows of the per-round dyadic candidate generator (the query engine's
+  /// O(m log n) replacement for the full-universe recovery scan); 0 picks
+  /// a small constant — candidates only need to *contain* the heavy
+  /// coordinates, the flat count-sketch does the accurate ranking.
+  int dyadic_rows = 0;
 
   uint64_t seed = 0;
 
@@ -80,38 +86,80 @@ class LpSamplerRound {
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
 
   /// Runs the recovery stage of Figure 1 against a norm estimate r
-  /// (Lemma 2 output, supplied by the owning sampler).
+  /// (Lemma 2 output, supplied by the owning sampler). Sub-linear: the
+  /// co-updated dyadic tree yields O(m log n) candidates, the flat
+  /// count-sketch point-estimates only those — no universe scan.
+  /// NOTE: logically const but NOT safe to call concurrently on the same
+  /// round — it fills the cached recovery snapshot and the residual
+  /// estimate temporarily subtracts from the count-sketch table in place
+  /// (exactly restored before returning). Same caveat for
+  /// WouldAbortOnTail, RecoverReference, and the owning Sample().
   Result<SampleResult> Recover(double r) const;
+
+  /// Reference-oracle recovery: identical decision logic driven by the
+  /// O(n * rows) full-universe TopM scan. Kept ONLY so tests and benches
+  /// can assert/measure the candidate engine against the exhaustive
+  /// answer; no production path calls it.
+  Result<SampleResult> RecoverReference(double r) const;
 
   /// The scaling factor t_i used by this round.
   double ScalingFactor(uint64_t i) const;
 
   /// Abort diagnostics for the Lemma 3 experiment: returns true iff the
-  /// round would abort with s > beta m^{1/2} r.
+  /// round would abort with s > beta m^{1/2} r. Shares the cached
+  /// candidate computation with Recover — calling both costs one TopM +
+  /// one residual estimate, not two.
   bool WouldAbortOnTail(double r) const;
 
   size_t SpaceBits(int bits_per_counter = 64) const;
 
+  /// The candidate generator's share of SpaceBits, reported separately so
+  /// the paper-exact accounting of the Figure 1 structures stays visible.
+  size_t DyadicSpaceBits(int bits_per_counter = 64) const;
+
   /// Counter-state serialization for protocol messages (seeds are shared
-  /// randomness and travel out of band).
+  /// randomness and travel out of band). The dyadic candidate counters
+  /// are part of the round's memory — the receiving party needs them to
+  /// keep streaming and to recover sub-linearly.
   void SerializeCounters(BitWriter* writer) const {
     cs_.SerializeCounters(writer);
+    dyadic_.SerializeCounters(writer);
   }
   void DeserializeCounters(BitReader* reader) {
     cs_.DeserializeCounters(reader);
+    dyadic_.DeserializeCounters(reader);
+    snapshot_.reset();
   }
 
   /// Coordinate-wise addition of a same-params round replica (used by
-  /// LpSampler::Merge; the count-sketch CHECKs shape and seed).
-  void MergeFrom(const LpSamplerRound& other) { cs_.Merge(other.cs_); }
+  /// LpSampler::Merge; the sketches CHECK shape and seed).
+  void MergeFrom(const LpSamplerRound& other) {
+    cs_.Merge(other.cs_);
+    dyadic_.Merge(other.dyadic_);
+    snapshot_.reset();
+  }
 
   /// Zeroes the round's counters, keeping hashes and allocations.
-  void ResetCounters() { cs_.Reset(); }
+  void ResetCounters() {
+    cs_.Reset();
+    dyadic_.Reset();
+    snapshot_.reset();
+  }
 
   int m() const { return m_; }
   double beta() const { return beta_; }
 
  private:
+  /// One recovery's shared intermediates: the m-sparse approximation and
+  /// the (inflated) residual estimate s. Computed once per sketch state
+  /// and cached; every ingest/merge/reset invalidates.
+  struct RecoverySnapshot {
+    std::vector<std::pair<uint64_t, double>> zhat;
+    double s = 0;
+  };
+  const RecoverySnapshot& Snapshot() const;
+  Result<SampleResult> Decide(const RecoverySnapshot& snap, double r) const;
+
   uint64_t n_;
   double p_;
   double eps_;
@@ -121,7 +169,9 @@ class LpSamplerRound {
   double override_t_;
   hash::KWiseHash t_hash_;
   sketch::CountSketch cs_;
+  sketch::DyadicCountSketch dyadic_;          // candidate generator
   std::vector<stream::ScaledUpdate> scaled_;  // batch scratch
+  mutable std::optional<RecoverySnapshot> snapshot_;  // query cache
 };
 
 class LpSampler : public LinearSketch {
@@ -138,6 +188,10 @@ class LpSampler : public LinearSketch {
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
 
   /// Theorem 1: the first non-failing round's output, or Status::Failed.
+  /// Logically const but NOT safe to call concurrently on the same object
+  /// (per-round snapshot caching + in-place residual estimation; see
+  /// LpSamplerRound::Recover). Concurrent deployments query disjoint
+  /// replicas — the ShardedDriver topology — or serialize queries.
   Result<SampleResult> Sample() const;
 
   /// The shared Lemma 2 estimate r (exposed for experiments).
@@ -149,8 +203,13 @@ class LpSampler : public LinearSketch {
   }
   const LpSamplerParams& params() const { return params_; }
 
-  /// Total space under the paper's counter model.
+  /// Total space under the paper's counter model, including the dyadic
+  /// candidate generators.
   size_t SpaceBits(int bits_per_counter) const;
+
+  /// The dyadic candidate generators' share of SpaceBits — the query
+  /// engine's overhead on top of the paper-exact Figure 1 accounting.
+  size_t DyadicSpaceBits(int bits_per_counter = 64) const;
 
   /// Serializes every counter (all rounds + norm sketch) so another party
   /// holding the same seeds can continue the stream — the "send the memory

@@ -20,6 +20,12 @@ int DefaultRows(uint64_t n) {
 // (|x*| >= 0.875 phi N) from light (|x*| <= 0.625 phi N); see header.
 constexpr double kThresholdFraction = 0.75;
 
+// Default rows of the dyadic candidate generators. Small on purpose:
+// candidates are verified in the flat sketch, so the tree only has to
+// find them (and for the count-min tree, min-over-rows stays a sound
+// strict-turnstile overestimate at any row count).
+constexpr int kDefaultDyadicRows = 5;
+
 }  // namespace
 
 CsHeavyHitters::CsHeavyHitters(Params params)
@@ -27,7 +33,10 @@ CsHeavyHitters::CsHeavyHitters(Params params)
       m_(std::max(4, static_cast<int>(
                          std::ceil(std::pow(8.0 / params.phi, params.p))))),
       cs_(params.rows > 0 ? params.rows : DefaultRows(params.n), 6 * m_,
-          Mix64(params.seed ^ 0xbeefULL)) {
+          Mix64(params.seed ^ 0xbeefULL)),
+      dyadic_(CeilLog2(std::max<uint64_t>(params.n, 1)),
+              params.dyadic_rows > 0 ? params.dyadic_rows : kDefaultDyadicRows,
+              6 * m_, Mix64(params.seed ^ 0xd7adULL)) {
   LPS_CHECK(params.n >= 1);
   LPS_CHECK(params.p > 0 && params.p <= 2);
   LPS_CHECK(params.phi > 0 && params.phi < 1);
@@ -48,6 +57,7 @@ void CsHeavyHitters::Update(uint64_t i, double delta) {
 void CsHeavyHitters::UpdateBatch(const stream::ScaledUpdate* updates,
                                  size_t count) {
   cs_.UpdateBatch(updates, count);
+  dyadic_.UpdateBatch(updates, count);
   for (size_t t = 0; t < count; ++t) running_sum_ += updates[t].delta;
   if (norm_) norm_->UpdateBatch(updates, count);
 }
@@ -78,6 +88,22 @@ std::vector<uint64_t> CsHeavyHitters::Query() const {
   const double tau = kThresholdFraction * params_.phi * norm;
   std::vector<uint64_t> heavy;
   if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
+  // Dyadic descent to O(#heavy log n) candidate leaves, each verified by
+  // the same flat point estimate the universe scan used — so a candidate
+  // passes iff the oracle would report it.
+  for (uint64_t i : dyadic_.Candidates(tau)) {
+    if (i >= params_.n) continue;  // power-of-two padding never carries mass
+    if (std::abs(cs_.Query(i)) >= tau) heavy.push_back(i);
+  }
+  std::sort(heavy.begin(), heavy.end());
+  return heavy;
+}
+
+std::vector<uint64_t> CsHeavyHitters::QueryOracle() const {
+  const double norm = NormEstimate();
+  const double tau = kThresholdFraction * params_.phi * norm;
+  std::vector<uint64_t> heavy;
+  if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
   const std::vector<double> est = cs_.EstimateAll(params_.n);
   for (uint64_t i = 0; i < params_.n; ++i) {
     if (std::abs(est[i]) >= tau) heavy.push_back(i);
@@ -87,19 +113,26 @@ std::vector<uint64_t> CsHeavyHitters::Query() const {
 
 size_t CsHeavyHitters::SpaceBits(int bits_per_counter) const {
   size_t bits = cs_.SpaceBits(bits_per_counter) +
+                DyadicSpaceBits(bits_per_counter) +
                 static_cast<size_t>(bits_per_counter);  // running sum
   if (norm_) bits += norm_->SpaceBits(bits_per_counter);
   return bits;
 }
 
+size_t CsHeavyHitters::DyadicSpaceBits(int bits_per_counter) const {
+  return dyadic_.SpaceBits(bits_per_counter);
+}
+
 void CsHeavyHitters::SerializeCounters(BitWriter* writer) const {
   cs_.SerializeCounters(writer);
+  dyadic_.SerializeCounters(writer);
   writer->WriteDouble(running_sum_);
   if (norm_) norm_->sketch().SerializeCounters(writer);
 }
 
 void CsHeavyHitters::DeserializeCounters(BitReader* reader) {
   cs_.DeserializeCounters(reader);
+  dyadic_.DeserializeCounters(reader);
   running_sum_ = reader->ReadDouble();
   if (norm_) norm_->mutable_sketch()->DeserializeCounters(reader);
 }
@@ -111,8 +144,10 @@ void CsHeavyHitters::Merge(const LinearSketch& other) {
   const Params& b = o->params_;
   LPS_CHECK(a.n == b.n && a.p == b.p && a.phi == b.phi && a.rows == b.rows &&
             a.norm_rows == b.norm_rows &&
-            a.strict_turnstile == b.strict_turnstile && a.seed == b.seed);
+            a.strict_turnstile == b.strict_turnstile &&
+            a.dyadic_rows == b.dyadic_rows && a.seed == b.seed);
   cs_.Merge(o->cs_);
+  dyadic_.Merge(o->dyadic_);
   running_sum_ += o->running_sum_;
   if (norm_) norm_->Merge(*o->norm_);
 }
@@ -125,12 +160,16 @@ void CsHeavyHitters::Serialize(BitWriter* writer) const {
   writer->WriteBits(static_cast<uint64_t>(params_.rows), 32);
   writer->WriteBits(static_cast<uint64_t>(params_.norm_rows), 32);
   writer->WriteBits(params_.strict_turnstile ? 1 : 0, 1);
+  writer->WriteBits(static_cast<uint64_t>(params_.dyadic_rows), 32);
   writer->WriteU64(params_.seed);
   SerializeCounters(writer);
 }
 
 void CsHeavyHitters::Deserialize(BitReader* reader) {
-  ReadSketchHeader(reader, kind());
+  // Version 2 added the dyadic candidate generator (dyadic_rows param +
+  // counters); the v1 layout cannot be reconstructed.
+  const uint32_t version = ReadSketchHeader(reader, kind());
+  LPS_CHECK(version >= 2);
   Params params;
   params.n = reader->ReadU64();
   params.p = reader->ReadDouble();
@@ -138,6 +177,7 @@ void CsHeavyHitters::Deserialize(BitReader* reader) {
   params.rows = static_cast<int>(reader->ReadBits(32));
   params.norm_rows = static_cast<int>(reader->ReadBits(32));
   params.strict_turnstile = reader->ReadBits(1) != 0;
+  params.dyadic_rows = static_cast<int>(reader->ReadBits(32));
   params.seed = reader->ReadU64();
   *this = CsHeavyHitters(params);
   DeserializeCounters(reader);
@@ -145,6 +185,7 @@ void CsHeavyHitters::Deserialize(BitReader* reader) {
 
 void CsHeavyHitters::Reset() {
   cs_.Reset();
+  dyadic_.Reset();
   running_sum_ = 0;
   if (norm_) norm_->Reset();
 }
@@ -153,7 +194,10 @@ CmHeavyHitters::CmHeavyHitters(Params params)
     : params_(params),
       cm_(params.rows > 0 ? params.rows : DefaultRows(params.n),
           std::max(4, static_cast<int>(std::ceil(8.0 / params.phi))),
-          Mix64(params.seed ^ 0xc0deULL)) {
+          Mix64(params.seed ^ 0xc0deULL)),
+      tree_(CeilLog2(std::max<uint64_t>(params.n, 1)), kDefaultDyadicRows,
+            std::max(4, static_cast<int>(std::ceil(8.0 / params.phi))),
+            Mix64(params.seed ^ 0xd7aeULL)) {
   LPS_CHECK(params.phi > 0 && params.phi < 1);
 }
 
@@ -165,11 +209,13 @@ void CmHeavyHitters::Update(uint64_t i, double delta) {
 void CmHeavyHitters::UpdateBatch(const stream::ScaledUpdate* updates,
                                  size_t count) {
   cm_.UpdateBatch(updates, count);
+  tree_.UpdateBatch(updates, count);
   for (size_t t = 0; t < count; ++t) running_sum_ += updates[t].delta;
 }
 
 void CmHeavyHitters::UpdateBatch(const stream::Update* updates, size_t count) {
   cm_.UpdateBatch(updates, count);
+  tree_.UpdateBatch(updates, count);
   for (size_t t = 0; t < count; ++t) {
     running_sum_ += static_cast<double>(updates[t].delta);
   }
@@ -177,6 +223,24 @@ void CmHeavyHitters::UpdateBatch(const stream::Update* updates, size_t count) {
 
 std::vector<uint64_t> CmHeavyHitters::Query() const {
   // Strict turnstile: ||x||_1 equals the running sum exactly.
+  const double tau = kThresholdFraction * params_.phi * running_sum_;
+  std::vector<uint64_t> heavy;
+  if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
+  // Candidates from the count-min tree descent (block min-estimates
+  // upper-bound leaf mass, so no heavy leaf is missed in the strict
+  // turnstile model), verified against the flat count-min — the exact
+  // estimate the old universe scan thresholded.
+  for (uint64_t i : tree_.Candidates(tau)) {
+    if (i >= params_.n) continue;  // power-of-two padding never carries mass
+    const double est =
+        params_.use_median ? cm_.QueryMedian(i) : cm_.QueryMin(i);
+    if (est >= tau) heavy.push_back(i);
+  }
+  std::sort(heavy.begin(), heavy.end());
+  return heavy;
+}
+
+std::vector<uint64_t> CmHeavyHitters::QueryOracle() const {
   const double tau = kThresholdFraction * params_.phi * running_sum_;
   std::vector<uint64_t> heavy;
   if (tau <= 0) return heavy;  // zero vector: nothing can be heavy
@@ -189,8 +253,12 @@ std::vector<uint64_t> CmHeavyHitters::Query() const {
 }
 
 size_t CmHeavyHitters::SpaceBits(int bits_per_counter) const {
-  return cm_.SpaceBits(bits_per_counter) +
+  return cm_.SpaceBits(bits_per_counter) + DyadicSpaceBits(bits_per_counter) +
          static_cast<size_t>(bits_per_counter);
+}
+
+size_t CmHeavyHitters::DyadicSpaceBits(int bits_per_counter) const {
+  return tree_.SpaceBits(bits_per_counter);
 }
 
 void CmHeavyHitters::Merge(const LinearSketch& other) {
@@ -201,6 +269,7 @@ void CmHeavyHitters::Merge(const LinearSketch& other) {
   LPS_CHECK(a.n == b.n && a.phi == b.phi && a.rows == b.rows &&
             a.seed == b.seed && a.use_median == b.use_median);
   cm_.Merge(o->cm_);
+  tree_.Merge(o->tree_);
   running_sum_ += o->running_sum_;
 }
 
@@ -212,11 +281,14 @@ void CmHeavyHitters::Serialize(BitWriter* writer) const {
   writer->WriteU64(params_.seed);
   writer->WriteBits(params_.use_median ? 1 : 0, 1);
   cm_.SerializeCounters(writer);
+  tree_.SerializeCounters(writer);
   writer->WriteDouble(running_sum_);
 }
 
 void CmHeavyHitters::Deserialize(BitReader* reader) {
-  ReadSketchHeader(reader, kind());
+  // Version 2 added the candidate tree's counters to the layout.
+  const uint32_t version = ReadSketchHeader(reader, kind());
+  LPS_CHECK(version >= 2);
   Params params;
   params.n = reader->ReadU64();
   params.phi = reader->ReadDouble();
@@ -225,11 +297,13 @@ void CmHeavyHitters::Deserialize(BitReader* reader) {
   params.use_median = reader->ReadBits(1) != 0;
   *this = CmHeavyHitters(params);
   cm_.DeserializeCounters(reader);
+  tree_.DeserializeCounters(reader);
   running_sum_ = reader->ReadDouble();
 }
 
 void CmHeavyHitters::Reset() {
   cm_.Reset();
+  tree_.Reset();
   running_sum_ = 0;
 }
 

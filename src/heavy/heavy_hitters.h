@@ -46,6 +46,10 @@ class CsHeavyHitters : public LinearSketch {
     /// Strict turnstile promise: for p == 1 the norm is then the exact
     /// running sum instead of a sketch.
     bool strict_turnstile = false;
+    /// Rows of the co-updated dyadic candidate generator behind the
+    /// sub-linear Query; 0 picks a small constant (candidates are verified
+    /// in the flat count-sketch, so the tree only has to *find* them).
+    int dyadic_rows = 0;
     uint64_t seed = 0;
   };
 
@@ -58,13 +62,27 @@ class CsHeavyHitters : public LinearSketch {
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
   void UpdateBatch(const stream::Update* updates, size_t count) override;
 
-  /// A valid heavy hitter set w.h.p., sorted ascending.
+  /// A valid heavy hitter set w.h.p., sorted ascending. Sub-linear: the
+  /// dyadic tree descends to O(#heavy log n) candidate leaves and only
+  /// those are point-estimated in the count-sketch — no universe scan.
+  /// NOTE: for p == 2 the norm estimate runs through the count-sketch's
+  /// in-place residual estimator (exactly restored), so Query is
+  /// logically const but not safe to call concurrently on one object.
   std::vector<uint64_t> Query() const;
+
+  /// Reference oracle: the full-universe O(n * rows) scan Query replaced.
+  /// Kept ONLY so tests and benches can check/measure the candidate
+  /// engine against the exhaustive answer.
+  std::vector<uint64_t> QueryOracle() const;
 
   /// The norm estimate used by Query (exposed for tests).
   double NormEstimate() const;
 
+  /// Total space including the candidate generator; DyadicSpaceBits is
+  /// the generator's share, reported separately so the Section 4.4
+  /// paper-exact accounting stays visible.
   size_t SpaceBits(int bits_per_counter) const;
+  size_t DyadicSpaceBits(int bits_per_counter = 64) const;
 
   /// Memory-content transfer for the Theorem 9 reduction.
   void SerializeCounters(BitWriter* writer) const;
@@ -84,6 +102,7 @@ class CsHeavyHitters : public LinearSketch {
   Params params_;
   int m_;
   sketch::CountSketch cs_;
+  sketch::DyadicCountSketch dyadic_;             // candidate generator
   std::unique_ptr<norm::LpNormEstimator> norm_;  // null if exact L1 is used
   double running_sum_ = 0;                       // strict turnstile L1
   std::vector<stream::ScaledUpdate> scaled_;     // batch scratch
@@ -104,7 +123,16 @@ class CmHeavyHitters : public LinearSketch {
   void Update(uint64_t i, double delta);
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
   void UpdateBatch(const stream::Update* updates, size_t count) override;
+
+  /// Sub-linear: candidates come from a co-updated DyadicCountMin descent
+  /// and are verified against the flat count-min, so the answer matches
+  /// the old universe scan in the strict turnstile model (block sums
+  /// upper-bound leaf sums; the median variant inherits the same
+  /// strict-turnstile assumption for its candidate descent).
   std::vector<uint64_t> Query() const;
+
+  /// Reference oracle: the old full-universe scan, kept for tests/benches.
+  std::vector<uint64_t> QueryOracle() const;
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
@@ -115,10 +143,12 @@ class CmHeavyHitters : public LinearSketch {
   SketchKind kind() const override { return SketchKind::kCmHeavyHitters; }
 
   size_t SpaceBits(int bits_per_counter) const;
+  size_t DyadicSpaceBits(int bits_per_counter = 64) const;
 
  private:
   Params params_;
   sketch::CountMin cm_;
+  sketch::DyadicCountMin tree_;  // candidate generator
   double running_sum_ = 0;
 };
 

@@ -46,11 +46,13 @@ class SparseRecovery : public LinearSketch {
 
   void Update(uint64_t i, int64_t delta);
 
-  /// Batched ingestion for API uniformity with the sketches. Each update's
-  /// syndrome contribution is a serial geometric chain in its own base
-  /// a = i + 1, so there is nothing to hoist across items — this is a
-  /// plain loop over Update, provided so StreamDriver and the samplers can
-  /// feed recoveries through one interface.
+  /// Batched ingestion. Each update's syndrome contribution is a serial
+  /// geometric chain in its own base a = i + 1 (a multiply-add per
+  /// syndrome, 2s deep) — there is nothing to hoist across items, but the
+  /// chains of different items are independent, so the batch kernel
+  /// interleaves four of them and hides the field-multiply latency the
+  /// scalar path is stuck serializing. GF(2^61 - 1) addition is exact and
+  /// commutative, so the state is bit-identical to per-update processing.
   void UpdateBatch(const stream::Update* updates, size_t count) override;
 
   /// The exact sparse vector (possibly empty, for x == 0), or

@@ -125,7 +125,8 @@ std::vector<std::pair<uint64_t, double>> CountSketch::TopM(uint64_t n,
   const uint64_t keep = std::min(m, n);
   std::partial_sort(order.begin(), order.begin() + static_cast<int64_t>(keep),
                     order.end(), [&est](uint64_t a, uint64_t b) {
-                      return std::abs(est[a]) > std::abs(est[b]);
+                      const double fa = std::abs(est[a]), fb = std::abs(est[b]);
+                      return fa != fb ? fa > fb : a < b;
                     });
   std::vector<std::pair<uint64_t, double>> top;
   top.reserve(keep);
@@ -133,6 +134,39 @@ std::vector<std::pair<uint64_t, double>> CountSketch::TopM(uint64_t n,
     top.emplace_back(order[r], est[order[r]]);
   }
   return top;
+}
+
+std::vector<std::pair<uint64_t, double>> CountSketch::TopM(
+    const std::vector<uint64_t>& candidates, uint64_t m) const {
+  std::vector<std::pair<uint64_t, double>> scored;
+  scored.reserve(candidates.size());
+  std::vector<double> estimates(static_cast<size_t>(rows_));
+  for (uint64_t i : candidates) {
+    for (int j = 0; j < rows_; ++j) {
+      const size_t jj = static_cast<size_t>(j);
+      const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
+      estimates[jj] = static_cast<double>(sign_[jj].Sign(i)) *
+                      table_[jj * static_cast<size_t>(buckets_) + k];
+    }
+    scored.emplace_back(i, MedianInPlace(&estimates));
+  }
+  // Drop duplicate candidates (callers may merge several generators), then
+  // rank exactly like the oracle overload: |estimate| desc, index asc.
+  std::sort(scored.begin(), scored.end());
+  scored.erase(std::unique(scored.begin(), scored.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               scored.end());
+  const uint64_t keep = std::min<uint64_t>(m, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(keep),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      const double fa = std::abs(a.second),
+                                   fb = std::abs(b.second);
+                      return fa != fb ? fa > fb : a.first < b.first;
+                    });
+  scored.resize(keep);
+  return scored;
 }
 
 void CountSketch::AddScaled(const CountSketch& other, double scale) {
@@ -145,25 +179,37 @@ void CountSketch::AddScaled(const CountSketch& other, double scale) {
 
 double CountSketch::EstimateResidualL2(
     const std::vector<std::pair<uint64_t, double>>& v) const {
-  std::vector<double> shadow = table_;
+  // Subtract the sparse vector in place — touching only the |v| * rows
+  // affected buckets — instead of cloning the whole O(rows * buckets)
+  // table. The originals are saved and restored bit-exactly afterwards
+  // ((y - d) + d is not y in IEEE arithmetic, so re-adding would corrupt
+  // the sketch; restoring the saved doubles is exact).
+  std::vector<std::pair<size_t, double>> saved;
+  saved.reserve(v.size() * static_cast<size_t>(rows_));
   for (const auto& [i, value] : v) {
     for (int j = 0; j < rows_; ++j) {
       const size_t jj = static_cast<size_t>(j);
       const uint64_t k = bucket_[jj].Range(i, static_cast<uint64_t>(buckets_));
-      shadow[jj * static_cast<size_t>(buckets_) + k] -=
-          static_cast<double>(sign_[jj].Sign(i)) * value;
+      const size_t cell = jj * static_cast<size_t>(buckets_) + k;
+      saved.emplace_back(cell, table_[cell]);
+      table_[cell] -= static_cast<double>(sign_[jj].Sign(i)) * value;
     }
   }
   std::vector<double> row_f2(static_cast<size_t>(rows_));
   for (int j = 0; j < rows_; ++j) {
     double sum = 0;
     for (int k = 0; k < buckets_; ++k) {
-      const double y = shadow[static_cast<size_t>(j) *
+      const double y = table_[static_cast<size_t>(j) *
                                   static_cast<size_t>(buckets_) +
                               static_cast<size_t>(k)];
       sum += y * y;
     }
     row_f2[static_cast<size_t>(j)] = sum;
+  }
+  // Restore in reverse so buckets hit by several entries of v end at their
+  // original value.
+  for (size_t r = saved.size(); r-- > 0;) {
+    table_[saved[r].first] = saved[r].second;
   }
   const double f2 = MedianInPlace(&row_f2);
   return std::sqrt(std::max(f2, 0.0));

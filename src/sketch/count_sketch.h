@@ -41,27 +41,41 @@ class CountSketch : public LinearSketch {
   /// Point estimate x*_i (median over rows).
   double Query(uint64_t i) const;
 
-  /// All point estimates for coordinates [0, n): O(n * rows). This is the
-  /// recovery-stage cost model of Figure 1 — queries are rare, updates
-  /// dominate.
+  /// All point estimates for coordinates [0, n): O(n * rows). REFERENCE
+  /// ORACLE: a full-universe scan kept only so tests and benches can check
+  /// the candidate-driven query engine against the exhaustive answer. No
+  /// production Sample()/Query()/Recover() chain may call it.
   std::vector<double> EstimateAll(uint64_t n) const;
 
   /// The m coordinates of [0, n) with largest |x*_i|, with their estimates,
-  /// sorted by decreasing magnitude. This is the best m-sparse
-  /// approximation \hat{x} of x* from Lemma 1.
+  /// sorted by decreasing |estimate| (ties broken by ascending index).
+  /// This is the best m-sparse approximation \hat{x} of x* from Lemma 1.
+  /// REFERENCE ORACLE, same caveat as EstimateAll: O(n * rows).
   std::vector<std::pair<uint64_t, double>> TopM(uint64_t n, uint64_t m) const;
+
+  /// Candidate-driven TopM: point-estimates only the given candidates and
+  /// returns the m with largest |x*_i|, ordered exactly like the oracle
+  /// overload (|estimate| desc, index asc; duplicates ignored). When
+  /// `candidates` contains the true top m of [0, n), the result equals
+  /// TopM(n, m) — the equivalence the query-engine tests assert. Cost is
+  /// O(|candidates| * rows), independent of the universe size.
+  std::vector<std::pair<uint64_t, double>> TopM(
+      const std::vector<uint64_t>& candidates, uint64_t m) const;
 
   /// Adds `scale` times another count-sketch drawn with the same seed and
   /// shape (linearity of the sketch).
   void AddScaled(const CountSketch& other, double scale);
 
-  /// Estimates ||x - v||_2 for a sparse vector v by subtracting v from a
-  /// clone of the counters and taking the median over rows of the row's
-  /// sum of squared buckets (each row is an unbiased F2 estimator with
-  /// relative standard deviation ~ sqrt(2 / buckets), since bucket and sign
-  /// hashes are pairwise independent). This realizes the paper's
-  /// L'(z - zhat) = L'(z) - L'(zhat) with the count-sketch itself playing
-  /// the role of the linear map L'.
+  /// Estimates ||x - v||_2 for a sparse vector v by subtracting v from the
+  /// counters in place (saving the few affected buckets and restoring them
+  /// bit-exactly afterwards — no O(rows * buckets) clone) and taking the
+  /// median over rows of the row's sum of squared buckets (each row is an
+  /// unbiased F2 estimator with relative standard deviation
+  /// ~ sqrt(2 / buckets), since bucket and sign hashes are pairwise
+  /// independent). This realizes the paper's L'(z - zhat) = L'(z) - L'(zhat)
+  /// with the count-sketch itself playing the role of the linear map L'.
+  /// Logically const, but the in-place subtract/restore makes concurrent
+  /// queries on the same object unsafe.
   double EstimateResidualL2(
       const std::vector<std::pair<uint64_t, double>>& v) const;
 
@@ -93,7 +107,9 @@ class CountSketch : public LinearSketch {
   int rows_;
   int buckets_;
   uint64_t seed_;
-  std::vector<double> table_;            // rows_ x buckets_
+  // Mutable only for EstimateResidualL2's exact subtract/restore; every
+  // other method treats const as read-only.
+  mutable std::vector<double> table_;    // rows_ x buckets_
   std::vector<hash::KWiseHash> bucket_;  // one pairwise hash per row
   std::vector<hash::KWiseHash> sign_;    // one pairwise sign hash per row
   std::vector<uint64_t> reduced_keys_;   // batch scratch: keys mod 2^61 - 1

@@ -53,25 +53,28 @@ double DyadicCountMin::Query(uint64_t i) const {
 
 std::vector<uint64_t> DyadicCountMin::HeavyLeaves(double threshold) const {
   std::vector<uint64_t> heavy;
+  for (uint64_t leaf : Candidates(threshold)) {
+    if (levels_[0].QueryMin(leaf) >= threshold) heavy.push_back(leaf);
+  }
+  return heavy;
+}
+
+std::vector<uint64_t> DyadicCountMin::Candidates(double threshold) const {
   // Frontier of candidate blocks, expanded top-down. At the root level the
   // whole universe is one block (block id 0).
   std::vector<uint64_t> frontier = {0};
-  for (int l = log_n_; l >= 0; --l) {
+  for (int l = log_n_; l >= 1; --l) {
     std::vector<uint64_t> next;
     for (uint64_t block : frontier) {
       if (levels_[static_cast<size_t>(l)].QueryMin(block) >= threshold) {
-        if (l == 0) {
-          heavy.push_back(block);
-        } else {
-          next.push_back(block << 1);
-          next.push_back((block << 1) | 1);
-        }
+        next.push_back(block << 1);
+        next.push_back((block << 1) | 1);
       }
     }
     frontier = std::move(next);
-    if (frontier.empty() && l > 0) break;
+    if (frontier.empty()) break;
   }
-  return heavy;
+  return frontier;
 }
 
 void DyadicCountMin::Merge(const LinearSketch& other) {
@@ -168,9 +171,17 @@ int DyadicCountSketch::start_level() const { return std::max(0, log_n_ - 6); }
 
 std::vector<uint64_t> DyadicCountSketch::HeavyLeaves(double threshold) const {
   std::vector<uint64_t> heavy;
+  for (uint64_t leaf : Candidates(threshold)) {
+    if (std::abs(levels_[0].Query(leaf)) >= threshold) heavy.push_back(leaf);
+  }
+  return heavy;
+}
+
+std::vector<uint64_t> DyadicCountSketch::Candidates(double threshold) const {
   // Scan every block of the starting level (at most 2^6 of them), then
   // descend. Expansion uses the halved threshold (block estimates are
-  // noisy in both directions under general updates); leaves are verified.
+  // noisy in both directions under general updates); leaves are for the
+  // caller to verify.
   const int start = start_level();
   std::vector<uint64_t> frontier;
   for (uint64_t block = 0; block < (1ULL << (log_n_ - start)); ++block) {
@@ -186,12 +197,54 @@ std::vector<uint64_t> DyadicCountSketch::HeavyLeaves(double threshold) const {
       }
     }
     frontier = std::move(next);
-    if (frontier.empty()) return heavy;
+    if (frontier.empty()) break;
   }
-  for (uint64_t leaf : frontier) {
-    if (std::abs(levels_[0].Query(leaf)) >= threshold) heavy.push_back(leaf);
+  return frontier;
+}
+
+std::vector<uint64_t> DyadicCountSketch::TopCandidates(uint64_t m) const {
+  const size_t beam = static_cast<size_t>(std::max<uint64_t>(4 * m, 64));
+  const int start = start_level();
+  std::vector<std::pair<double, uint64_t>> frontier;  // (|estimate|, block)
+  frontier.reserve(1ULL << (log_n_ - start));
+  for (uint64_t block = 0; block < (1ULL << (log_n_ - start)); ++block) {
+    frontier.emplace_back(
+        std::abs(levels_[static_cast<size_t>(start)].Query(block)), block);
   }
-  return heavy;
+  // Keep the beam deterministic: |estimate| desc, block id asc on ties.
+  const auto heavier = [](const std::pair<double, uint64_t>& a,
+                          const std::pair<double, uint64_t>& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
+  std::vector<std::pair<double, uint64_t>> next;
+  for (int l = start; l >= 1; --l) {
+    if (frontier.size() > beam) {
+      std::partial_sort(frontier.begin(),
+                        frontier.begin() + static_cast<int64_t>(beam),
+                        frontier.end(), heavier);
+      frontier.resize(beam);
+    }
+    next.clear();
+    next.reserve(2 * frontier.size());
+    const auto& child_level = levels_[static_cast<size_t>(l - 1)];
+    for (const auto& [est, block] : frontier) {
+      for (uint64_t child : {block << 1, (block << 1) | 1}) {
+        next.emplace_back(std::abs(child_level.Query(child)), child);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (frontier.size() > beam) {
+    std::partial_sort(frontier.begin(),
+                      frontier.begin() + static_cast<int64_t>(beam),
+                      frontier.end(), heavier);
+    frontier.resize(beam);
+  }
+  std::vector<uint64_t> leaves;
+  leaves.reserve(frontier.size());
+  for (const auto& [est, leaf] : frontier) leaves.push_back(leaf);
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
 }
 
 void DyadicCountSketch::Merge(const LinearSketch& other) {
@@ -202,13 +255,21 @@ void DyadicCountSketch::Merge(const LinearSketch& other) {
   for (size_t l = 0; l < levels_.size(); ++l) levels_[l].Merge(o->levels_[l]);
 }
 
+void DyadicCountSketch::SerializeCounters(BitWriter* writer) const {
+  for (const auto& level : levels_) level.SerializeCounters(writer);
+}
+
+void DyadicCountSketch::DeserializeCounters(BitReader* reader) {
+  for (auto& level : levels_) level.DeserializeCounters(reader);
+}
+
 void DyadicCountSketch::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteBits(static_cast<uint64_t>(log_n_), 32);
   writer->WriteBits(static_cast<uint64_t>(rows_), 32);
   writer->WriteBits(static_cast<uint64_t>(buckets_), 32);
   writer->WriteU64(seed_);
-  for (const auto& level : levels_) level.SerializeCounters(writer);
+  SerializeCounters(writer);
 }
 
 void DyadicCountSketch::Deserialize(BitReader* reader) {
@@ -218,7 +279,7 @@ void DyadicCountSketch::Deserialize(BitReader* reader) {
   const int buckets = static_cast<int>(reader->ReadBits(32));
   const uint64_t seed = reader->ReadU64();
   *this = DyadicCountSketch(log_n, rows, buckets, seed);
-  for (auto& level : levels_) level.DeserializeCounters(reader);
+  DeserializeCounters(reader);
 }
 
 void DyadicCountSketch::Reset() {

@@ -40,6 +40,13 @@ class DyadicCountMin : public LinearSketch {
   /// turnstile model because block masses upper-bound leaf masses.
   std::vector<uint64_t> HeavyLeaves(double threshold) const;
 
+  /// Unverified candidate leaves: the leaf frontier of the same top-down
+  /// descent, *without* the leaf-level estimate filter. Consumers that own
+  /// a more accurate point-query structure (e.g. the flat count-min of
+  /// CmHeavyHitters) verify candidates there instead, so tree noise
+  /// affects neither precision nor the verdict. Ascending order.
+  std::vector<uint64_t> Candidates(double threshold) const;
+
   /// Counters-only serialization (all levels, in order) for composites
   /// that carry the tree's parameters themselves.
   void SerializeCounters(BitWriter* writer) const;
@@ -99,8 +106,29 @@ class DyadicCountSketch : public LinearSketch {
   /// noise produces no false positives.
   std::vector<uint64_t> HeavyLeaves(double threshold) const;
 
+  /// Unverified candidate leaves: the leaf frontier of the threshold
+  /// descent, without the leaf-level verification. For consumers (the
+  /// heavy-hitter classes) that point-estimate candidates in their own,
+  /// wider flat count-sketch. Ascending order.
+  std::vector<uint64_t> Candidates(double threshold) const;
+
+  /// Threshold-free candidate generation for top-m recovery: a beam-search
+  /// descent that keeps the `beam = max(4m, 64)` blocks of largest
+  /// |estimated block sum| per level and returns the surviving leaves
+  /// (ascending, at most `beam` of them). Cost O(log n * beam * rows) —
+  /// independent of the universe size. When the universe's m heaviest
+  /// coordinates dominate their blocks (no adversarial in-block
+  /// cancellation), the result contains the true top m; the caller
+  /// re-ranks candidates in its flat count-sketch, so extras are harmless.
+  std::vector<uint64_t> TopCandidates(uint64_t m) const;
+
   /// The level the descent starts from (all its blocks are scanned).
   int start_level() const;
+
+  /// Counters-only serialization (all levels, in order) for composites
+  /// that carry the tree's parameters themselves.
+  void SerializeCounters(BitWriter* writer) const;
+  void DeserializeCounters(BitReader* reader);
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;

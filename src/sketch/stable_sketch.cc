@@ -57,13 +57,22 @@ StableSketch::StableSketch(double p, int rows, uint64_t seed)
   LPS_CHECK(rows >= 1);
 }
 
+namespace {
+// Key mixing multipliers of the (seed, row, i) hash behind StableAt.
+constexpr uint64_t kRowMul = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kKeyMul = 0xc2b2ae3d27d4eb4fULL;
+}  // namespace
+
 double StableSketch::StableAt(int row, uint64_t i) const {
+  return StableAtKeyed(row, i * kKeyMul);
+}
+
+double StableSketch::StableAtKeyed(int row, uint64_t key) const {
   // Two independent uniforms in (0,1] from a hash of (seed, row, i). The
   // same (row, i) always yields the same stable value, keeping the sketch
-  // linear.
+  // linear. `key` is i * kKeyMul, precomputed once per batch item.
   const uint64_t base =
-      Mix64(seed_ ^ (static_cast<uint64_t>(row) * 0x9e3779b97f4a7c15ULL) ^
-            (i * 0xc2b2ae3d27d4eb4fULL));
+      Mix64(seed_ ^ (static_cast<uint64_t>(row) * kRowMul) ^ key);
   uint64_t s = base;
   const uint64_t w1 = SplitMix64(s);
   const uint64_t w2 = SplitMix64(s);
@@ -79,11 +88,19 @@ void StableSketch::Update(uint64_t i, double delta) {
 
 template <typename U>
 void StableSketch::ApplyBatch(const U* updates, size_t count) {
+  // Hoist the per-item work shared by all rows — the key product of the
+  // (row, i) hash and the delta widening — so the row sweep is purely the
+  // per-(row, item) mix + stable transform.
+  key_scratch_.resize(count);
+  delta_scratch_.resize(count);
+  for (size_t t = 0; t < count; ++t) {
+    key_scratch_[t] = updates[t].index * kKeyMul;
+    delta_scratch_[t] = static_cast<double>(updates[t].delta);
+  }
   for (int j = 0; j < rows_; ++j) {
     double acc = y_[static_cast<size_t>(j)];
     for (size_t t = 0; t < count; ++t) {
-      acc += StableAt(j, updates[t].index) *
-             static_cast<double>(updates[t].delta);
+      acc += StableAtKeyed(j, key_scratch_[t]) * delta_scratch_[t];
     }
     y_[static_cast<size_t>(j)] = acc;
   }

@@ -44,7 +44,9 @@ class StableSketch : public LinearSketch {
   void Update(uint64_t i, double delta);
 
   /// Batched ingestion, row-major: each row's counter accumulates the whole
-  /// batch in a register. Bit-identical to per-update processing.
+  /// batch in a register, and the per-item half of the (row, i) hash — the
+  /// key product and the delta widening — is hoisted out of the row sweep
+  /// and computed once per batch. Bit-identical to per-update processing.
   void UpdateBatch(const stream::ScaledUpdate* updates, size_t count);
   void UpdateBatch(const stream::Update* updates, size_t count) override;
 
@@ -70,6 +72,8 @@ class StableSketch : public LinearSketch {
 
  private:
   double StableAt(int row, uint64_t i) const;
+  /// StableAt with the per-item key product (i * kKeyMul) precomputed.
+  double StableAtKeyed(int row, uint64_t key) const;
 
   template <typename U>
   void ApplyBatch(const U* updates, size_t count);
@@ -79,6 +83,8 @@ class StableSketch : public LinearSketch {
   uint64_t seed_;
   double normalizer_;
   std::vector<double> y_;
+  std::vector<uint64_t> key_scratch_;   // batch scratch: i * kKeyMul
+  std::vector<double> delta_scratch_;   // batch scratch: widened deltas
 };
 
 }  // namespace lps::sketch

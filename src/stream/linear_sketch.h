@@ -70,7 +70,10 @@ const char* SketchKindName(SketchKind kind);
 /// Current version of the serialized wire format. Bump when a structure's
 /// layout changes; Deserialize accepts versions <= current and CHECK-fails
 /// on newer ones (state written by a future library revision).
-inline constexpr uint32_t kSketchFormatVersion = 1;
+/// v2: the samplers and heavy-hitter classes grew co-updated dyadic
+/// candidate generators (extra params + counters); their Deserialize
+/// rejects v1 state, whose layout lacks those fields.
+inline constexpr uint32_t kSketchFormatVersion = 2;
 
 class LinearSketch {
  public:
