@@ -2,12 +2,16 @@
 // linearity buys (Section 4's "send the memory contents", productionized).
 //
 // A click stream over a million-slot key space is partitioned across 4
-// ingest shards. Each shard owns replicas of a heavy-hitters sketch and an
-// L1 sampler (same params, same seeds) and consumes only its own
-// sub-stream through the batched fast path. At query time the replicas
-// merge coordinate-wise into one structure whose answers match
-// single-stream ingestion — then the merged state round-trips through a
-// file, the way a shard would ship its summary to an aggregator.
+// ingest shards, each owned by a worker thread of the parallel ingestion
+// runtime (ParallelPipeline). Each shard holds replicas of a
+// heavy-hitters sketch and an L1 sampler (same params, same seeds) and
+// consumes only its own sub-stream through the batched fast path, fed by
+// a bounded ring. At query time the replicas merge coordinate-wise into
+// one structure whose answers match single-stream ingestion — the final
+// state is bit-identical for ANY worker count, including the inline
+// threads=0 ShardedDriver mode — then the merged state round-trips
+// through a file, the way a shard would ship its summary to an
+// aggregator.
 //
 // Build & run:  ./build/sharded_ingest
 #include <cstdio>
@@ -16,12 +20,13 @@
 #include "src/core/lp_sampler.h"
 #include "src/heavy/heavy_hitters.h"
 #include "src/stream/generators.h"
-#include "src/stream/sharded_driver.h"
+#include "src/stream/parallel_pipeline.h"
 #include "src/util/serialize.h"
 
 int main() {
   const uint64_t n = 1 << 20;
   const int kShards = 4;
+  const int kThreads = 4;  // one worker per shard
 
   // A workload with 5 planted heavy clickers over background noise.
   const auto stream =
@@ -47,8 +52,12 @@ int main() {
     l1_replicas.emplace_back(l1_params);
   }
 
-  // Hash-partitioned ingestion: every coordinate sticks to one shard.
-  lps::stream::ShardedDriver driver(kShards);
+  // Hash-partitioned parallel ingestion: every coordinate sticks to one
+  // shard, every shard to one worker thread.
+  lps::stream::ParallelPipeline::Options options;
+  options.shards = kShards;
+  options.threads = kThreads;
+  lps::stream::ParallelPipeline driver(options);
   std::vector<lps::LinearSketch*> hh_ptrs, l1_ptrs;
   for (int s = 0; s < kShards; ++s) {
     hh_ptrs.push_back(&hh_replicas[static_cast<size_t>(s)]);
@@ -56,8 +65,8 @@ int main() {
   }
   driver.Add("heavy_hitters", hh_ptrs).Add("l1_sampler", l1_ptrs);
   driver.Drive(stream);
-  std::printf("ingested %zu updates across %d shards\n",
-              driver.updates_driven(), driver.shards());
+  std::printf("ingested %zu updates across %d shards on %d workers\n",
+              driver.updates_driven(), driver.shards(), driver.threads());
 
   // Collapse: replicas 1..k-1 merge into replica 0 (and reset for the
   // next epoch). By linearity the merged state equals single-stream

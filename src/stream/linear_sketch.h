@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "src/stream/update.h"
 #include "src/util/serialize.h"
@@ -129,5 +130,20 @@ uint32_t ReadSketchHeader(BitReader* reader, SketchKind expected);
 /// constructing one; pass a throwaway reader and Deserialize through a
 /// fresh one. CHECK-fails on bad magic.
 SketchKind PeekSketchKind(BitReader* reader);
+
+/// Constructs an empty instance of the given kind with throwaway
+/// parameters — the canonical Deserialize target, since Deserialize
+/// reconfigures the object to the serialized parameters. Covers every
+/// SketchKind; returns nullptr for a kind value outside the enum (a
+/// corrupt or future wire stream).
+std::unique_ptr<LinearSketch> MakeEmptySketch(SketchKind kind);
+
+/// Reads one serialized sketch of any kind: peeks the kind tag,
+/// constructs the matching concrete type, rewinds, and Deserializes.
+/// `reader` must hold the sketch starting at bit 0 (the save-file layout;
+/// Rewind() is used to re-read the header). CHECK-fails on bad magic or a
+/// version newer than this library writes; returns nullptr on an unknown
+/// kind tag. This is the dispatch the lps_cli load/merge subcommands use.
+std::unique_ptr<LinearSketch> DeserializeAnySketch(BitReader* reader);
 
 }  // namespace lps

@@ -1,93 +1,41 @@
-// ShardedDriver — the mergeable-summaries deployment mode as an ingestion
-// layer.
+// ShardedDriver — the single-threaded, deterministic special case of the
+// parallel ingestion runtime.
 //
-// A stream is partitioned across k shards; each shard owns one replica of
-// every registered structure (constructed with identical parameters and
-// seeds) and ingests only its own sub-stream through the batched
-// UpdateBatch fast path. Because every structure is a LinearSketch,
-// replica states add coordinate-wise: MergeShards() collapses replicas
-// 1..k-1 into replica 0, which then holds exactly the sketch of the whole
-// stream — the same state single-stream ingestion would have produced
-// (bit-identical for integer/field-valued counters; up to floating-point
-// reassociation for real-valued scaled counters).
-//
-// Two partition policies:
-//   - kByIndex (default): shard = hash(coordinate) % k. Every update to a
-//     coordinate lands on the same shard — the natural policy when shards
-//     are fed by a coordinate-keyed router.
-//   - kRoundRobin: updates are dealt to shards in arrival order — the
-//     natural policy for load-balancing a single firehose.
-// Both are valid for any LinearSketch: linearity makes the final state
-// independent of which shard saw which update.
-//
-// The driver itself is single-threaded and deterministic (the property
-// tests rely on that); the per-shard replicas are independent objects, so
-// callers wanting parallel ingestion can partition with the same policies
-// and run one thread per shard — bench_throughput's sharded section does
-// exactly this.
+// Historically this was its own ingestion layer; it is now a thin
+// threads=0 configuration of ParallelPipeline: the same partitioners
+// (coordinate-sticky kByIndex, load-balancing kRoundRobin), the same
+// per-shard chunk boundaries, the same MergeShards() epoch semantics —
+// but every sealed batch is applied inline on the caller thread, so
+// ingestion is single-threaded and deterministic (the property tests in
+// tests/merge_test.cc rely on that). Because chunk boundaries are decided
+// on the producer side regardless of thread count, a ShardedDriver and a
+// ParallelPipeline with threads >= 1 produce bit-identical replica state
+// for the same stream — tests/parallel_pipeline_test.cc enforces it.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "src/stream/linear_sketch.h"
+#include "src/stream/parallel_pipeline.h"
 #include "src/stream/stream_driver.h"
-#include "src/stream/update.h"
 
 namespace lps::stream {
 
-class ShardedDriver {
+class ShardedDriver : public ParallelPipeline {
  public:
-  enum class Partition {
-    kByIndex,     ///< shard = Mix64(index) % k (coordinate-sticky)
-    kRoundRobin,  ///< shard = arrival position % k (load-balancing)
-  };
+  using Partition = ParallelPipeline::Partition;
 
   explicit ShardedDriver(int shards, Partition partition = Partition::kByIndex,
-                         size_t batch_size = StreamDriver::kDefaultBatchSize);
-
-  /// Registers one logical structure by its k per-shard replicas, which
-  /// must be constructed identically (same parameters and seeds) and
-  /// outlive the driver's last Drive/Flush/MergeShards call. replicas[0]
-  /// is the merge target. Returns *this for chaining.
-  ShardedDriver& Add(std::string name, std::vector<LinearSketch*> replicas);
-
-  /// Partitions `count` updates across the shards and feeds each shard's
-  /// replicas in batch_size() chunks. Returns the number of updates driven.
-  size_t Drive(const Update* updates, size_t count);
-  size_t Drive(const UpdateStream& stream);
-
-  /// Buffered single-update ingestion; Flush drains every shard's pending
-  /// buffer. Drive == Push per update + final Flush, state-wise.
-  void Push(Update u);
-  void Flush();
-
-  /// Collapses every registered structure: Merge replicas 1..k-1 into
-  /// replica 0 (which afterwards holds the whole stream's sketch) and
-  /// Reset the merged-from replicas so they are ready for the next epoch.
-  void MergeShards();
-
-  int shards() const { return static_cast<int>(buffers_.size()); }
-  size_t batch_size() const { return batch_size_; }
-  size_t sink_count() const { return sinks_.size(); }
-  size_t updates_driven() const { return updates_driven_; }
+                         size_t batch_size = StreamDriver::kDefaultBatchSize)
+      : ParallelPipeline(MakeOptions(shards, partition, batch_size)) {}
 
  private:
-  int ShardOf(const Update& u);
-  void FlushShard(int s);
-
-  struct Sink {
-    std::string name;
-    std::vector<LinearSketch*> replicas;  // one per shard
-  };
-
-  Partition partition_;
-  size_t batch_size_;
-  uint64_t round_robin_next_ = 0;
-  std::vector<Sink> sinks_;
-  std::vector<std::vector<Update>> buffers_;  // per-shard staging
-  size_t updates_driven_ = 0;
+  static Options MakeOptions(int shards, Partition partition,
+                             size_t batch_size) {
+    Options options;
+    options.shards = shards;
+    options.threads = 0;  // inline: no workers, no queues
+    options.partition = partition;
+    options.batch_size = batch_size;
+    return options;
+  }
 };
 
 }  // namespace lps::stream

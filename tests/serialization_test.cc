@@ -319,6 +319,79 @@ TEST(Serialization, HeavyHittersFullStateRoundTrip) {
   EXPECT_DOUBLE_EQ(original.NormEstimate(), restored.NormEstimate());
 }
 
+TEST(Serialization, DeserializeAnySketchDispatchesOnKind) {
+  // The library-side factory must reconstruct the right concrete type
+  // from the kind tag alone and restore bit-for-bit — for several
+  // families, exercising the same path lps_cli load/merge uses.
+  auto roundtrip = [](const LinearSketch& original) {
+    BitWriter w;
+    original.Serialize(&w);
+    BitReader r(w);
+    auto restored = DeserializeAnySketch(&r);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->kind(), original.kind());
+    BitWriter w2;
+    restored->Serialize(&w2);
+    EXPECT_EQ(w.bit_count(), w2.bit_count());
+    EXPECT_EQ(w.words(), w2.words());
+  };
+  {
+    sketch::CountSketch cs(7, 24, 90);
+    cs.Update(3, 10.0);
+    roundtrip(cs);
+  }
+  {
+    recovery::SparseRecovery rec(1000, 6, 91);
+    rec.Update(1, 10);
+    roundtrip(rec);
+  }
+  {
+    core::LpSamplerParams params;
+    params.n = 2048;
+    params.p = 1.0;
+    params.eps = 0.25;
+    params.repetitions = 4;
+    params.seed = 92;
+    core::LpSampler sampler(params);
+    sampler.Update(17, 5.0);
+    roundtrip(sampler);
+  }
+  {
+    heavy::CsHeavyHitters::Params params;
+    params.n = 512;
+    params.p = 1.0;
+    params.phi = 0.2;
+    params.strict_turnstile = true;
+    params.seed = 93;
+    heavy::CsHeavyHitters hh(params);
+    hh.Update(7, 100);
+    roundtrip(hh);
+  }
+  {
+    duplicates::DuplicateFinder finder(
+        duplicates::DuplicateFinder::Params{256, 0.2, 6, 94});
+    finder.ProcessItem(7);
+    roundtrip(finder);
+  }
+  {
+    norm::L0Estimator est(1024, 5, 95);
+    est.Update(12, 3);
+    roundtrip(est);
+  }
+}
+
+TEST(Serialization, MakeEmptySketchCoversEveryKind) {
+  // Every enum value constructs; an out-of-range tag returns nullptr
+  // instead of a half-built object.
+  for (uint32_t k = 1; k <= 21; ++k) {
+    auto sketch = MakeEmptySketch(static_cast<SketchKind>(k));
+    ASSERT_NE(sketch, nullptr) << "kind " << k;
+    EXPECT_EQ(static_cast<uint32_t>(sketch->kind()), k);
+  }
+  EXPECT_EQ(MakeEmptySketch(static_cast<SketchKind>(0)), nullptr);
+  EXPECT_EQ(MakeEmptySketch(static_cast<SketchKind>(22)), nullptr);
+}
+
 TEST(Serialization, BitExactAccountingMatchesSpaceModel) {
   // The serialized size of a sparse recovery sketch is exactly its
   // measurement bits — the quantity Lemma 5 and the reductions charge.

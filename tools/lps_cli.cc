@@ -7,10 +7,10 @@
 //   lps_cli gen <kind> <n> <arg> <seed>        write a trace to stdout
 //       kinds: turnstile <#updates> | sparse <#nonzero> |
 //              zipf <scale> | duplicates <extras>
-//   lps_cli sample <p|L0> <eps> <delta> <seed> [--shards k] < trace
+//   lps_cli sample <p|L0> <eps> <delta> <seed> [--shards k] [--threads t]
 //   lps_cli duplicates <delta> <seed>          < trace    find a duplicate
-//   lps_cli heavy <p> <phi> <seed> [--shards k]           < trace
-//   lps_cli norm <p> <seed> [--shards k]                  < trace
+//   lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]     < trace
+//   lps_cli norm <p> <seed> [--shards k] [--threads t]            < trace
 //   lps_cli stats                              < trace    exact summary
 //   lps_cli save sample <p|L0> <eps> <delta> <seed> <file>  < trace
 //   lps_cli save heavy <p> <phi> <seed> <file>              < trace
@@ -20,11 +20,16 @@
 //   lps_cli merge <out> <in1> <in2> [in...]    add saved states (linearity)
 //
 // save writes the full LinearSketch state (versioned header, params,
-// seeds, counters); load reconstructs without any out-of-band information;
-// merge requires all inputs to come from identically-parameterized
+// seeds, counters); load reconstructs without any out-of-band information
+// (DeserializeAnySketch dispatches on the kind tag, so any sketch kind
+// loads); merge requires all inputs to come from identically-parameterized
 // structures (shard replicas) and writes their coordinate-wise sum.
-// --shards k ingests through a k-way ShardedDriver and merges the replicas
-// before querying — same answers as single-stream ingestion, by linearity.
+// --shards k ingests through the k-shard parallel runtime and merges the
+// replicas before querying — same answers as single-stream ingestion, by
+// linearity. --threads t (t in [1, k]; omit the flag for inline
+// single-threaded ingestion) runs t worker threads; the final state is
+// bit-identical for every thread count, so the flag is purely a
+// throughput knob.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +46,7 @@
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
 #include "src/stream/linear_sketch.h"
-#include "src/stream/sharded_driver.h"
+#include "src/stream/parallel_pipeline.h"
 #include "src/stream/stream_driver.h"
 #include "src/stream/trace.h"
 #include "src/util/serialize.h"
@@ -53,10 +58,11 @@ int Usage() {
       stderr,
       "usage:\n"
       "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> <seed>\n"
-      "  lps_cli sample {<p>|L0} <eps> <delta> <seed> [--shards k] < trace\n"
+      "  lps_cli sample {<p>|L0} <eps> <delta> <seed>"
+      " [--shards k] [--threads t]\n"
       "  lps_cli duplicates <delta> <seed>                         < trace\n"
-      "  lps_cli heavy <p> <phi> <seed> [--shards k]               < trace\n"
-      "  lps_cli norm <p> <seed> [--shards k]                      < trace\n"
+      "  lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t] < trace\n"
+      "  lps_cli norm <p> <seed> [--shards k] [--threads t]        < trace\n"
       "  lps_cli stats                                             < trace\n"
       "  lps_cli save sample {<p>|L0} <eps> <delta> <seed> <file>  < trace\n"
       "  lps_cli save heavy <p> <phi> <seed> <file>                < trace\n"
@@ -67,18 +73,51 @@ int Usage() {
   return 2;
 }
 
-/// Strips a trailing/embedded "--shards k" from argv, returning k (1 if
-/// absent). argc is updated in place.
-int TakeShardsFlag(int* argc, char** argv) {
-  for (int a = 2; a + 1 < *argc; ++a) {
-    if (std::strcmp(argv[a], "--shards") == 0) {
-      const int k = std::atoi(argv[a + 1]);
-      for (int b = a + 2; b < *argc; ++b) argv[b - 2] = argv[b];
-      *argc -= 2;
-      return k >= 1 ? k : 1;
+/// Strips an embedded "<flag> v" from argv, returning the parsed count.
+/// Returns `fallback` when the flag is absent, and -1 (after an error
+/// message) when the value is missing, non-numeric, trailing-garbage, or
+/// < 1 — silently clamping a typo like "--shards x4" or "--threads 0"
+/// would ingest with a topology the user did not ask for. argc is updated
+/// in place.
+int TakeCountFlag(int* argc, char** argv, const char* flag, int fallback) {
+  for (int a = 2; a < *argc; ++a) {
+    if (std::strcmp(argv[a], flag) != 0) continue;
+    if (a + 1 >= *argc) {
+      std::fprintf(stderr, "%s needs a value\n", flag);
+      return -1;
     }
+    char* end = nullptr;
+    const long value = std::strtol(argv[a + 1], &end, 10);
+    if (end == argv[a + 1] || *end != '\0' || value < 1 || value > 1 << 20) {
+      std::fprintf(stderr, "%s wants a positive integer, got '%s'\n", flag,
+                   argv[a + 1]);
+      return -1;
+    }
+    for (int b = a + 2; b < *argc; ++b) argv[b - 2] = argv[b];
+    *argc -= 2;
+    return static_cast<int>(value);
   }
-  return 1;
+  return fallback;
+}
+
+/// Parses both ingestion-topology flags. Returns false (usage error) if
+/// either is malformed, or if threads exceeds shards — the runtime runs
+/// at most one worker per shard, and silently running fewer workers than
+/// asked would misrepresent the topology. shards defaults to 1, threads
+/// to 0 (inline ingestion on the caller thread).
+bool TakeTopologyFlags(int* argc, char** argv, int* shards, int* threads) {
+  *shards = TakeCountFlag(argc, argv, "--shards", 1);
+  if (*shards < 0) return false;
+  *threads = TakeCountFlag(argc, argv, "--threads", 0);
+  if (*threads < 0) return false;
+  if (*threads > *shards) {
+    std::fprintf(stderr,
+                 "--threads %d exceeds --shards %d: the runtime runs one "
+                 "worker per shard\n",
+                 *threads, *shards);
+    return false;
+  }
+  return true;
 }
 
 lps::Result<lps::stream::Trace> LoadTrace() {
@@ -90,11 +129,13 @@ lps::Result<lps::stream::Trace> LoadTrace() {
   return trace;
 }
 
-/// Drives the trace into `sink`, either directly or through a k-way
-/// ShardedDriver over `replicas` (replica 0 == sink), merging afterwards.
+/// Drives the trace into `sink`, either directly or through the parallel
+/// ingestion runtime over `replicas` (replica 0 == sink), merging
+/// afterwards. threads == 0 applies batches inline (deterministic
+/// single-threaded mode); the final state is bit-identical either way.
 void Ingest(const lps::stream::Trace& trace,
-            const std::vector<lps::LinearSketch*>& replicas) {
-  if (replicas.size() == 1) {
+            const std::vector<lps::LinearSketch*>& replicas, int threads) {
+  if (replicas.size() == 1 && threads == 0) {
     lps::stream::StreamDriver driver;
     driver.AddSink("sink", [&replicas](const lps::stream::Update* u,
                                        size_t c) {
@@ -103,10 +144,13 @@ void Ingest(const lps::stream::Trace& trace,
     driver.Drive(trace.updates);
     return;
   }
-  lps::stream::ShardedDriver driver(static_cast<int>(replicas.size()));
-  driver.Add("sink", replicas);
-  driver.Drive(trace.updates);
-  driver.MergeShards();
+  lps::stream::ParallelPipeline::Options options;
+  options.shards = static_cast<int>(replicas.size());
+  options.threads = threads;
+  lps::stream::ParallelPipeline pipeline(options);
+  pipeline.Add("sink", replicas);
+  pipeline.Drive(trace.updates);
+  pipeline.MergeShards();
 }
 
 int CmdGen(int argc, char** argv) {
@@ -142,24 +186,26 @@ int CmdGen(int argc, char** argv) {
 // merged structure to the caller.
 
 /// Builds `shards` identical replicas with `make`, ingests the trace
-/// (sharded when shards > 1), and returns the merged structure.
+/// through the parallel runtime (sharded when shards > 1, threaded when
+/// threads > 0), and returns the merged structure.
 template <typename MakeFn>
 std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
-                                                int shards, MakeFn make) {
+                                                int shards, int threads,
+                                                MakeFn make) {
   std::vector<std::unique_ptr<lps::LinearSketch>> replicas;
   for (int s = 0; s < shards; ++s) replicas.push_back(make());
   std::vector<lps::LinearSketch*> raw;
   for (auto& r : replicas) raw.push_back(r.get());
-  Ingest(t, raw);
+  Ingest(t, raw, threads);
   return std::move(replicas[0]);
 }
 
 std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
                                                 const char* p_arg, double eps,
                                                 double delta, uint64_t seed,
-                                                int shards) {
+                                                int shards, int threads) {
   if (std::strcmp(p_arg, "L0") == 0) {
-    return BuildSharded(t, shards, [&] {
+    return BuildSharded(t, shards, threads, [&] {
       return std::make_unique<lps::core::L0Sampler>(
           lps::core::L0SamplerParams{t.n, delta, 0, seed, false});
     });
@@ -170,29 +216,30 @@ std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
   params.eps = eps;
   params.delta = delta;
   params.seed = seed;
-  return BuildSharded(t, shards, [&] {
+  return BuildSharded(t, shards, threads, [&] {
     return std::make_unique<lps::core::LpSampler>(params);
   });
 }
 
 std::unique_ptr<lps::LinearSketch> BuildHeavy(const lps::stream::Trace& t,
                                               double p, double phi,
-                                              uint64_t seed, int shards) {
+                                              uint64_t seed, int shards,
+                                              int threads) {
   lps::heavy::CsHeavyHitters::Params params;
   params.n = t.n;
   params.p = p;
   params.phi = phi;
   params.seed = seed;
-  return BuildSharded(t, shards, [&] {
+  return BuildSharded(t, shards, threads, [&] {
     return std::make_unique<lps::heavy::CsHeavyHitters>(params);
   });
 }
 
 std::unique_ptr<lps::LinearSketch> BuildNorm(const lps::stream::Trace& t,
                                              double p, uint64_t seed,
-                                             int shards) {
+                                             int shards, int threads) {
   const int rows = lps::norm::LpNormEstimator::DefaultRows(t.n);
-  return BuildSharded(t, shards, [&] {
+  return BuildSharded(t, shards, threads, [&] {
     return std::make_unique<lps::norm::LpNormEstimator>(p, rows, seed);
   });
 }
@@ -210,37 +257,6 @@ std::unique_ptr<lps::LinearSketch> BuildDuplicates(const lps::stream::Trace& t,
     finder->ProcessItem(u.index);
   }
   return finder;
-}
-
-/// Constructs an empty structure of the given kind (throwaway params; the
-/// following Deserialize reconfigures it from the serialized state).
-std::unique_ptr<lps::LinearSketch> MakeEmpty(lps::SketchKind kind) {
-  using lps::SketchKind;
-  switch (kind) {
-    case SketchKind::kLpSampler: {
-      lps::core::LpSamplerParams params;
-      params.n = 1;
-      params.repetitions = 1;
-      return std::make_unique<lps::core::LpSampler>(params);
-    }
-    case SketchKind::kL0Sampler:
-      return std::make_unique<lps::core::L0Sampler>(
-          lps::core::L0SamplerParams{1, 0.25, 0, 0, false});
-    case SketchKind::kCsHeavyHitters: {
-      lps::heavy::CsHeavyHitters::Params params;
-      params.n = 1;
-      return std::make_unique<lps::heavy::CsHeavyHitters>(params);
-    }
-    case SketchKind::kLpNormEstimator:
-      return std::make_unique<lps::norm::LpNormEstimator>(1.0, 1, 0);
-    case SketchKind::kDuplicateFinder:
-      return std::make_unique<lps::duplicates::DuplicateFinder>(
-          lps::duplicates::DuplicateFinder::Params{1, 0.25, 1, 0});
-    default:
-      std::fprintf(stderr, "load/merge does not support kind '%s'\n",
-                   lps::SketchKindName(kind));
-      return nullptr;
-  }
 }
 
 /// Runs the kind-appropriate query and prints the result. Returns the
@@ -320,25 +336,27 @@ std::unique_ptr<lps::LinearSketch> LoadSketch(const char* path) {
                  reader.status().ToString().c_str());
     return nullptr;
   }
-  const lps::SketchKind kind = lps::PeekSketchKind(&reader.value());
-  auto sketch = MakeEmpty(kind);
-  if (sketch == nullptr) return nullptr;
-  reader.value().Rewind();
-  sketch->Deserialize(&reader.value());
+  // Library-side dispatch on the kind tag: every SketchKind loads.
+  auto sketch = lps::DeserializeAnySketch(&reader.value());
+  if (sketch == nullptr) {
+    std::fprintf(stderr, "%s holds an unknown sketch kind\n", path);
+  }
   return sketch;
 }
 
 // ------------------------------------------------------------- commands --
 
 int CmdSample(int argc, char** argv) {
-  const int shards = TakeShardsFlag(&argc, argv);
+  int shards = 0, threads = 0;
+  if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (argc != 6) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   const double eps = std::strtod(argv[3], nullptr);
   const double delta = std::strtod(argv[4], nullptr);
   const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
-  auto sampler = BuildSampler(*trace, argv[2], eps, delta, seed, shards);
+  auto sampler =
+      BuildSampler(*trace, argv[2], eps, delta, seed, shards, threads);
   return ReportQuery(*sampler);
 }
 
@@ -354,23 +372,25 @@ int CmdDuplicates(int argc, char** argv) {
 }
 
 int CmdHeavy(int argc, char** argv) {
-  const int shards = TakeShardsFlag(&argc, argv);
+  int shards = 0, threads = 0;
+  if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (argc != 5) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   auto hh = BuildHeavy(*trace, std::strtod(argv[2], nullptr),
                        std::strtod(argv[3], nullptr),
-                       std::strtoull(argv[4], nullptr, 10), shards);
+                       std::strtoull(argv[4], nullptr, 10), shards, threads);
   return ReportQuery(*hh);
 }
 
 int CmdNorm(int argc, char** argv) {
-  const int shards = TakeShardsFlag(&argc, argv);
+  int shards = 0, threads = 0;
+  if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (argc != 4) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   auto est = BuildNorm(*trace, std::strtod(argv[2], nullptr),
-                       std::strtoull(argv[3], nullptr, 10), shards);
+                       std::strtoull(argv[3], nullptr, 10), shards, threads);
   return ReportQuery(*est);
 }
 
@@ -399,14 +419,14 @@ int CmdSave(int argc, char** argv) {
   if (what == "sample" && argc == 8) {
     sketch = BuildSampler(*trace, argv[3], std::strtod(argv[4], nullptr),
                           std::strtod(argv[5], nullptr),
-                          std::strtoull(argv[6], nullptr, 10), 1);
+                          std::strtoull(argv[6], nullptr, 10), 1, 0);
   } else if (what == "heavy" && argc == 7) {
     sketch = BuildHeavy(*trace, std::strtod(argv[3], nullptr),
                         std::strtod(argv[4], nullptr),
-                        std::strtoull(argv[5], nullptr, 10), 1);
+                        std::strtoull(argv[5], nullptr, 10), 1, 0);
   } else if (what == "norm" && argc == 6) {
     sketch = BuildNorm(*trace, std::strtod(argv[3], nullptr),
-                       std::strtoull(argv[4], nullptr, 10), 1);
+                       std::strtoull(argv[4], nullptr, 10), 1, 0);
   } else if (what == "duplicates" && argc == 6) {
     sketch = BuildDuplicates(*trace, std::strtod(argv[3], nullptr),
                              std::strtoull(argv[4], nullptr, 10));
