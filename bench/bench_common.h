@@ -1,13 +1,34 @@
 // Shared helpers for the table-harness benchmarks: fixed-width table
-// printing in the style of the paper-claim tables in EXPERIMENTS.md, and a
-// --quick flag that shrinks trial counts for smoke runs.
+// printing in the style of the paper-claim tables in EXPERIMENTS.md, a
+// --quick flag that shrinks trial counts for smoke runs, and the one
+// copy of the perf-gate eligibility logic (sanitizer + core-count
+// skips) that every bench's assertions go through.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
+
+// Sanitizer instrumentation distorts timing by an order of magnitude, so
+// perf *assertions* (not measurements) are skipped under it — the
+// ASan/TSan CI jobs run the benches for memory/race coverage, not
+// numbers. Detected at compile time here; the LPS_BENCH_SANITIZED
+// environment variable is the runtime override the CI jobs (and the
+// bench-regression compare step) use to force the same skip.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define LPS_BENCH_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define LPS_BENCH_SANITIZED_BUILD 1
+#endif
+#endif
+#ifndef LPS_BENCH_SANITIZED_BUILD
+#define LPS_BENCH_SANITIZED_BUILD 0
+#endif
 
 namespace lps::bench {
 
@@ -20,6 +41,33 @@ inline bool Quick(int argc, char** argv) {
 
 inline int Scaled(bool quick, int full, int reduced) {
   return quick ? reduced : full;
+}
+
+/// True when perf numbers from this process are not trustworthy: the
+/// binary is sanitizer-instrumented, or the LPS_BENCH_SANITIZED env var
+/// is set (to anything but "0" / empty).
+inline bool Sanitized() {
+  if (LPS_BENCH_SANITIZED_BUILD) return true;
+  const char* env = std::getenv("LPS_BENCH_SANITIZED");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// The one perf-gate eligibility check: a bench assertion named
+/// `gate_name` runs only on un-instrumented builds with at least
+/// `min_cores` hardware threads. Ineligibility is LOGGED (the CI
+/// regression-diff step greps for "skipped"), never silent.
+inline bool PerfGateEligible(const char* gate_name, unsigned min_cores = 0) {
+  if (Sanitized()) {
+    std::printf("%s: skipped under sanitizer instrumentation\n", gate_name);
+    return false;
+  }
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < min_cores) {
+    std::printf("%s: skipped (%u core%s < %u — cannot observe scaling)\n",
+                gate_name, cores, cores == 1 ? "" : "s", min_cores);
+    return false;
+  }
+  return true;
 }
 
 /// Fixed-width table: set headers once, add printf-formatted rows.

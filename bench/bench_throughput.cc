@@ -42,20 +42,6 @@
 #include "src/stream/stream_driver.h"
 #include "src/util/random.h"
 
-// Sanitizer instrumentation distorts timing by an order of magnitude, so
-// perf *assertions* (not measurements) are skipped under it — the
-// ASan/TSan CI jobs run this bench for memory/race coverage, not numbers.
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-#define LPS_BENCH_SANITIZED 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
-#define LPS_BENCH_SANITIZED 1
-#endif
-#endif
-#ifndef LPS_BENCH_SANITIZED
-#define LPS_BENCH_SANITIZED 0
-#endif
-
 namespace {
 
 using lps::bench::Table;
@@ -217,15 +203,7 @@ bool CheckParallelScaling(const std::vector<ParallelRow>& rows,
                  name.c_str());
     return false;
   }
-  if (LPS_BENCH_SANITIZED) {
-    std::printf("parallel scaling check: skipped under sanitizer "
-                "instrumentation\n");
-    return true;
-  }
-  if (cores < 4) {
-    std::printf("parallel scaling check: skipped (%u core%s — cannot "
-                "observe t=4 vs t=1 scaling)\n",
-                cores, cores == 1 ? "" : "s");
+  if (!lps::bench::PerfGateEligible("parallel scaling check", 4)) {
     return true;
   }
   if (t4 <= t1) {

@@ -1,0 +1,296 @@
+// Sliding-window economics: what the checkpoint ring costs and what it
+// buys. Three tables per structure:
+//
+//   1. ingest overhead — WindowManager-owned ingestion (seal every
+//      checkpoint_interval updates) vs the raw UpdateBatch path, so the
+//      price of window-capability on the hot path is tracked;
+//   2. materialization latency — WindowSketch(w) across window sizes:
+//      the whole point of subtraction is that this is O(sketch size),
+//      FLAT in both w and the stream length (re-ingestion would be
+//      linear in w);
+//   3. checkpoint memory — ring footprint vs checkpoint interval for a
+//      fixed stream, the granularity/memory trade.
+//
+// Emits BENCH_window.json next to the other BENCH_*.json artifacts the
+// CI uploads. Exits non-zero if materializing the LARGEST window costs
+// more than kMaxMaterializeRatio x the smallest — the signature of
+// re-ingestion sneaking into the window path — with the assertion (not
+// the measurement) skipped under sanitizer instrumentation via the
+// shared bench gate.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/lp_sampler.h"
+#include "src/sketch/count_sketch.h"
+#include "src/stream/generators.h"
+#include "src/stream/linear_sketch.h"
+#include "src/stream/window_manager.h"
+
+namespace {
+
+using lps::bench::Table;
+using lps::stream::UpdateStream;
+using lps::stream::WindowManager;
+
+constexpr uint64_t kN = 1 << 16;
+
+// Largest-vs-smallest window materialization latency must stay within
+// this factor: subtraction is O(sketch size) and both ends of the sweep
+// deserialize the same two sketches, so the true ratio is ~1; the slack
+// absorbs timer noise on shared runners.
+constexpr double kMaxMaterializeRatio = 4.0;
+
+struct IngestRow {
+  std::string name;
+  uint64_t interval = 0;
+  double raw_ips = 0;
+  double windowed_ips = 0;
+  double overhead() const {
+    return raw_ips > 0 ? 1.0 - windowed_ips / raw_ips : 0.0;
+  }
+};
+
+struct MaterializeRow {
+  std::string name;
+  uint64_t window = 0;
+  double micros = 0;
+};
+
+struct MemoryRow {
+  std::string name;
+  uint64_t interval = 0;
+  size_t checkpoints = 0;
+  size_t bytes = 0;
+};
+
+template <typename Fn>
+double BestSeconds(int passes, Fn&& fn) {
+  double best = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// Ingest overhead + materialization sweep + memory sweep for one
+/// structure. `make` builds identically-seeded instances.
+template <typename Sink, typename MakeFn>
+void MeasureStructure(const std::string& name, const UpdateStream& stream,
+                      int passes, uint64_t interval, MakeFn make,
+                      std::vector<IngestRow>* ingest,
+                      std::vector<MaterializeRow>* materialize,
+                      std::vector<MemoryRow>* memory) {
+  // 1. Ingest: raw UpdateBatch vs WindowManager-owned (seal on the fly).
+  IngestRow row;
+  row.name = name;
+  row.interval = interval;
+  {
+    Sink sink = make();
+    row.raw_ips = static_cast<double>(stream.size()) /
+                  BestSeconds(passes, [&] {
+                    sink.Reset();
+                    sink.UpdateBatch(stream.data(), stream.size());
+                  });
+  }
+  {
+    Sink sink = make();
+    row.windowed_ips = static_cast<double>(stream.size()) /
+                       BestSeconds(passes, [&] {
+                         sink.Reset();
+                         WindowManager::Options options;
+                         options.checkpoint_interval = interval;
+                         WindowManager wm(&sink, options);
+                         wm.PushBatch(stream.data(), stream.size());
+                       });
+  }
+  ingest->push_back(row);
+
+  // 2. Materialization latency across window sizes (one manager, one
+  // sealed history; each call deserializes now + expired and subtracts).
+  Sink sink = make();
+  WindowManager::Options options;
+  options.checkpoint_interval = interval;
+  WindowManager wm(&sink, options);
+  wm.PushBatch(stream.data(), stream.size());
+  for (uint64_t w = interval; w <= stream.size(); w *= 4) {
+    const double seconds = BestSeconds(passes, [&] {
+      const auto window = wm.WindowSketch(w);
+      if (window.sketch == nullptr) std::abort();
+    });
+    materialize->push_back({name, w, seconds * 1e6});
+  }
+
+  // 3. Checkpoint memory vs interval (granularity/memory trade).
+  for (uint64_t iv = interval; iv <= stream.size(); iv *= 8) {
+    Sink mem_sink = make();
+    WindowManager::Options mopts;
+    mopts.checkpoint_interval = iv;
+    WindowManager mem_wm(&mem_sink, mopts);
+    mem_wm.PushBatch(stream.data(), stream.size());
+    memory->push_back(
+        {name, iv, mem_wm.checkpoint_count(), mem_wm.CheckpointBytes()});
+  }
+}
+
+void WriteJson(const char* path, const std::vector<IngestRow>& ingest,
+               const std::vector<MaterializeRow>& materialize,
+               const std::vector<MemoryRow>& memory, bool quick) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"window\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"window_ingest\": [\n");
+  for (size_t r = 0; r < ingest.size(); ++r) {
+    const IngestRow& row = ingest[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"interval\": %llu, "
+                 "\"raw_items_per_sec\": %.0f, "
+                 "\"windowed_items_per_sec\": %.0f, \"overhead\": %.4f}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.interval), row.raw_ips,
+                 row.windowed_ips, row.overhead(),
+                 r + 1 < ingest.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"window_materialize\": [\n");
+  for (size_t r = 0; r < materialize.size(); ++r) {
+    const MaterializeRow& row = materialize[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"window\": %llu, "
+                 "\"micros_per_call\": %.3f}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.window), row.micros,
+                 r + 1 < materialize.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"checkpoint_memory\": [\n");
+  for (size_t r = 0; r < memory.size(); ++r) {
+    const MemoryRow& row = memory[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"interval\": %llu, "
+                 "\"checkpoints\": %zu, \"bytes\": %zu}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.interval),
+                 row.checkpoints, row.bytes,
+                 r + 1 < memory.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// The window-scaling gate: materializing the largest window must not
+/// cost materially more than the smallest — windows are subtraction, not
+/// re-ingestion.
+bool CheckMaterializeFlat(const std::vector<MaterializeRow>& rows,
+                          const std::string& name) {
+  double smallest = -1, largest = -1;
+  for (const auto& row : rows) {
+    if (row.name != name) continue;
+    if (smallest < 0) smallest = row.micros;
+    largest = row.micros;
+  }
+  if (smallest <= 0 || largest <= 0) {
+    std::fprintf(stderr, "window scaling check: missing rows for %s\n",
+                 name.c_str());
+    return false;
+  }
+  if (!lps::bench::PerfGateEligible("window scaling check")) return true;
+  if (largest > kMaxMaterializeRatio * smallest) {
+    std::fprintf(stderr,
+                 "WINDOW SCALING REGRESSION: %s materializes its largest "
+                 "window in %.1f us vs %.1f us for its smallest (ratio "
+                 "%.2f > %.2f) — re-ingestion is back in the window "
+                 "path\n",
+                 name.c_str(), largest, smallest, largest / smallest,
+                 kMaxMaterializeRatio);
+    return false;
+  }
+  std::printf("window scaling check: %s largest/smallest = %.2fx\n",
+              name.c_str(), largest / smallest);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int passes = lps::bench::Scaled(quick, 7, 3);
+  const uint64_t len = quick ? (1 << 16) : (1 << 20);
+  const uint64_t interval = quick ? (1 << 10) : (1 << 14);
+
+  const auto stream = lps::stream::UniformTurnstile(kN, len, 100, 7);
+
+  std::vector<IngestRow> ingest;
+  std::vector<MaterializeRow> materialize;
+  std::vector<MemoryRow> memory;
+
+  MeasureStructure<lps::sketch::CountSketch>(
+      "count_sketch[17x96]", stream, passes, interval,
+      [] { return lps::sketch::CountSketch(17, 96, 1); }, &ingest,
+      &materialize, &memory);
+  MeasureStructure<lps::core::LpSampler>(
+      "lp_sampler[v=8]", stream, passes, interval,
+      [] {
+        lps::core::LpSamplerParams params;
+        params.n = kN;
+        params.p = 1.0;
+        params.eps = 0.25;
+        params.repetitions = 8;
+        params.seed = 10;
+        return lps::core::LpSampler(params);
+      },
+      &ingest, &materialize, &memory);
+
+  lps::bench::Section("windowed ingest: raw UpdateBatch vs checkpoint ring");
+  Table ingest_table(
+      {"structure", "interval", "raw Mitem/s", "windowed Mitem/s",
+       "overhead"});
+  for (const IngestRow& row : ingest) {
+    ingest_table.AddRow({row.name, Table::Fmt("%llu", (unsigned long long)
+                                                          row.interval),
+                         Table::Fmt("%.2f", row.raw_ips / 1e6),
+                         Table::Fmt("%.2f", row.windowed_ips / 1e6),
+                         Table::Fmt("%.1f%%", row.overhead() * 100)});
+  }
+  ingest_table.Print();
+
+  lps::bench::Section(
+      "window materialization (subtraction, O(sketch size) — flat in w)");
+  Table mat_table({"structure", "window", "us/call"});
+  for (const MaterializeRow& row : materialize) {
+    mat_table.AddRow({row.name,
+                      Table::Fmt("%llu", (unsigned long long)row.window),
+                      Table::Fmt("%.1f", row.micros)});
+  }
+  mat_table.Print();
+
+  lps::bench::Section("checkpoint ring memory vs interval");
+  Table mem_table({"structure", "interval", "checkpoints", "KiB"});
+  for (const MemoryRow& row : memory) {
+    mem_table.AddRow({row.name,
+                      Table::Fmt("%llu", (unsigned long long)row.interval),
+                      Table::Fmt("%zu", row.checkpoints),
+                      Table::Fmt("%.1f", row.bytes / 1024.0)});
+  }
+  mem_table.Print();
+
+  WriteJson("BENCH_window.json", ingest, materialize, memory, quick);
+  std::printf("machine-readable results written to BENCH_window.json\n");
+
+  bool ok = true;
+  ok &= CheckMaterializeFlat(materialize, "count_sketch[17x96]");
+  ok &= CheckMaterializeFlat(materialize, "lp_sampler[v=8]");
+  return ok ? 0 : 1;
+}

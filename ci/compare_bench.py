@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh BENCH_throughput.json against the
+committed baseline and fail on a >25% regression.
+
+Compared metrics (the PR-to-PR trajectory the repo tracks):
+
+  * query_latency scaling — per query family, the n=2^20 / n=2^12
+    micros-per-call ratio. A ratio is machine-portable (both ends ran on
+    the same box), so it is compared against ANY baseline; a >25% growth
+    means a query path got asymptotically slower.
+  * parallel_ingest scaling — per structure, the t=4 / t=1 items-per-sec
+    ratio. Meaningful only with >= 4 real cores on BOTH sides, so it is
+    compared only when both files report hardware_threads >= 4 and
+    logged as skipped otherwise (the committed baseline may come from a
+    small dev box; once a 4-core CI artifact is committed the check
+    arms itself).
+  * absolute throughput/latency — only when baseline and current ran on
+    the same hardware_threads count AND the same quick mode; cross-
+    machine absolute numbers are noise, and pretending otherwise would
+    make the gate cry wolf.
+
+Per the repo's bench-gating convention every skip is LOGGED, never
+silent, and the whole gate is skipped (exit 0) under sanitizer
+instrumentation (LPS_BENCH_SANITIZED env) or on runners with < 4 cores.
+
+Exit codes: 0 pass/skip, 1 regression, 2 bad invocation or input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+QUERY_FAMILIES = [
+    ("lp_sampler.Sample", "[n=2^12,v=1]", "[n=2^20,v=1]"),
+    ("cs_heavy_hitters.Query", "[n=2^12]", "[n=2^20]"),
+]
+PARALLEL_STRUCTURES = ["count_sketch[17x96]", "lp_sampler[v=8]"]
+
+
+def log(msg):
+    print(f"bench compare: {msg}")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def latency_of(data, name):
+    for row in data.get("query_latency", []):
+        if row.get("name") == name:
+            return row.get("micros_per_call")
+    return None
+
+
+def parallel_ips(data, name, threads):
+    for row in data.get("parallel_ingest", []):
+        if row.get("name") == name and row.get("threads") == threads:
+            return row.get("items_per_sec")
+    return None
+
+
+def query_ratio(data, family, small, large):
+    lo = latency_of(data, family + small)
+    hi = latency_of(data, family + large)
+    if not lo or not hi or lo <= 0:
+        return None
+    return hi / lo
+
+
+def scaling_ratio(data, name):
+    t1 = parallel_ips(data, name, 1)
+    t4 = parallel_ips(data, name, 4)
+    if not t1 or not t4 or t1 <= 0:
+        return None
+    return t4 / t1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_throughput.json")
+    parser.add_argument("current", help="freshly produced BENCH_throughput.json")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="fractional regression that fails the gate")
+    args = parser.parse_args()
+
+    env = os.environ.get("LPS_BENCH_SANITIZED", "")
+    if env and env != "0":
+        log("skipped (LPS_BENCH_SANITIZED set: sanitizer instrumentation "
+            "distorts timing)")
+        return 0
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    cur_threads = cur.get("hardware_threads", 0)
+    base_threads = base.get("hardware_threads", 0)
+    if cur_threads < 4:
+        log(f"skipped ({cur_threads} hardware threads < 4: scaling is not "
+            "observable on this runner)")
+        return 0
+
+    allowed = 1.0 + args.max_regress
+    failed = []
+    compared = 0
+
+    # Query-latency scaling ratios: portable across machines.
+    for family, small, large in QUERY_FAMILIES:
+        b = query_ratio(base, family, small, large)
+        c = query_ratio(cur, family, small, large)
+        if b is None or c is None:
+            log(f"{family}: skipped (missing rows in "
+                f"{'baseline' if b is None else 'current'})")
+            continue
+        compared += 1
+        verdict = "ok" if c <= b * allowed else "REGRESSED"
+        log(f"{family}: 2^20/2^12 latency ratio {c:.2f} vs baseline "
+            f"{b:.2f} ({verdict})")
+        if c > b * allowed:
+            failed.append(family)
+
+    # Parallel scaling ratios: need real cores on both sides.
+    if base_threads < 4:
+        log(f"parallel_ingest: skipped (baseline measured on "
+            f"{base_threads} hardware threads — commit a >=4-core bench "
+            "artifact to arm this check)")
+    else:
+        for name in PARALLEL_STRUCTURES:
+            b = scaling_ratio(base, name)
+            c = scaling_ratio(cur, name)
+            if b is None or c is None:
+                log(f"parallel_ingest {name}: skipped (missing rows)")
+                continue
+            compared += 1
+            verdict = "ok" if c >= b * (1.0 - args.max_regress) else "REGRESSED"
+            log(f"parallel_ingest {name}: t4/t1 scaling {c:.2f}x vs "
+                f"baseline {b:.2f}x ({verdict})")
+            if c < b * (1.0 - args.max_regress):
+                failed.append(f"parallel_ingest {name}")
+
+    # Absolute numbers: same machine shape and same mode only.
+    if base_threads != cur_threads or base.get("quick") != cur.get("quick"):
+        log("absolute metrics: skipped (baseline hardware_threads="
+            f"{base_threads}/quick={base.get('quick')} vs current "
+            f"{cur_threads}/quick={cur.get('quick')} — ratios only)")
+    else:
+        for name in PARALLEL_STRUCTURES:
+            for threads in (1, 4):
+                b = parallel_ips(base, name, threads)
+                c = parallel_ips(cur, name, threads)
+                if not b or not c:
+                    continue
+                compared += 1
+                verdict = ("ok" if c >= b * (1.0 - args.max_regress)
+                           else "REGRESSED")
+                log(f"parallel_ingest {name} t={threads}: {c / 1e6:.2f} "
+                    f"Mitem/s vs baseline {b / 1e6:.2f} ({verdict})")
+                if c < b * (1.0 - args.max_regress):
+                    failed.append(f"parallel_ingest {name} t={threads}")
+
+    if failed:
+        print(f"bench compare: FAIL — >{args.max_regress:.0%} regression in: "
+              + ", ".join(failed), file=sys.stderr)
+        return 1
+    log(f"pass ({compared} metrics within {args.max_regress:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,19 @@ void MomentEstimator::Merge(const LinearSketch& other) {
   }
 }
 
+void MomentEstimator::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const MomentEstimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.samples == b.samples &&
+            a.q == b.q && a.seed == b.seed);
+  q_norm_.MergeNegated(o->q_norm_);
+  for (size_t j = 0; j < samplers_.size(); ++j) {
+    samplers_[j].MergeNegated(o->samplers_[j]);
+  }
+}
+
 void MomentEstimator::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);

@@ -27,6 +27,12 @@ void AkoSampler::Merge(const LinearSketch& other) {
   inner_.Merge(o->inner_);
 }
 
+void AkoSampler::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const AkoSampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  inner_.MergeNegated(o->inner_);
+}
+
 void AkoSampler::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   inner_.Serialize(writer);

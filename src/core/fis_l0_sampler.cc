@@ -61,6 +61,17 @@ void FisL0Sampler::Merge(const LinearSketch& other) {
   }
 }
 
+void FisL0Sampler::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const FisL0Sampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < table_.size(); ++l) {
+    for (size_t b = 0; b < table_[l].size(); ++b) {
+      table_[l][b].MergeNegated(o->table_[l][b]);
+    }
+  }
+}
+
 void FisL0Sampler::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(n_);

@@ -109,6 +109,17 @@ void L0Sampler::Merge(const LinearSketch& other) {
   for (size_t k = 0; k < levels_.size(); ++k) levels_[k].Merge(o->levels_[k]);
 }
 
+void L0Sampler::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const L0Sampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.delta == params_.delta &&
+            o->params_.s == params_.s && o->params_.seed == params_.seed &&
+            o->params_.use_nisan == params_.use_nisan);
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    levels_[k].MergeNegated(o->levels_[k]);
+  }
+}
+
 void L0Sampler::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);

@@ -260,6 +260,23 @@ void LpSampler::Merge(const LinearSketch& other) {
   }
 }
 
+void LpSampler::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const LpSampler*>(&other);
+  LPS_CHECK(o != nullptr);
+  const LpSamplerParams& a = params_;
+  const LpSamplerParams& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.eps == b.eps && a.delta == b.delta &&
+            a.repetitions == b.repetitions && a.cs_rows == b.cs_rows &&
+            a.m == b.m && a.k == b.k && a.norm_rows == b.norm_rows &&
+            a.dyadic_rows == b.dyadic_rows && a.seed == b.seed &&
+            a.override_index == b.override_index &&
+            a.override_t == b.override_t);
+  norm_.MergeNegated(o->norm_);
+  for (size_t v = 0; v < rounds_.size(); ++v) {
+    rounds_[v].MergeNegatedFrom(o->rounds_[v]);
+  }
+}
+
 void LpSampler::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);

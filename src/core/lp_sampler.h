@@ -139,6 +139,14 @@ class LpSamplerRound {
     snapshot_.reset();
   }
 
+  /// Coordinate-wise subtraction of a same-params round replica (used by
+  /// LpSampler::MergeNegated; the sketches CHECK shape and seed).
+  void MergeNegatedFrom(const LpSamplerRound& other) {
+    cs_.MergeNegated(other.cs_);
+    dyadic_.MergeNegated(other.dyadic_);
+    snapshot_.reset();
+  }
+
   /// Zeroes the round's counters, keeping hashes and allocations.
   void ResetCounters() {
     cs_.Reset();
@@ -219,6 +227,7 @@ class LpSampler : public LinearSketch {
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;

@@ -63,6 +63,20 @@ void DuplicateFinder::Merge(const LinearSketch& other) {
   sampler_.UpdateBatch(cancel.data(), cancel.size());
 }
 
+void DuplicateFinder::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DuplicateFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  sampler_.MergeNegated(o->sampler_);
+  // The two (i, -1) initialization feeds cancel in the subtraction, so
+  // re-feed one copy: the difference is again init + (lettersA - lettersB)
+  // — a well-formed finder over the subtracted letter multiset (for a
+  // window, exactly the letters the window saw).
+  FeedInitialMinusOnes(params_.n, &sampler_);
+}
+
 void DuplicateFinder::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);
@@ -144,6 +158,21 @@ void SparseDuplicateFinder::Merge(const LinearSketch& other) {
   const stream::UpdateStream cancel = ConstantStream(params_.n, +1);
   recovery_.UpdateBatch(cancel.data(), cancel.size());
   sampler_.UpdateBatch(cancel.data(), cancel.size());
+}
+
+void SparseDuplicateFinder::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const SparseDuplicateFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n && o->params_.s == params_.s &&
+            o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  recovery_.MergeNegated(o->recovery_);
+  sampler_.MergeNegated(o->sampler_);
+  // The initialization feeds cancelled in the subtraction; re-feed one
+  // copy (see DuplicateFinder::MergeNegated).
+  FeedInitialMinusOnes(params_.n, &recovery_);
+  FeedInitialMinusOnes(params_.n, &sampler_);
 }
 
 void SparseDuplicateFinder::Serialize(BitWriter* writer) const {

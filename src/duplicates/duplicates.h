@@ -79,6 +79,7 @@ class DuplicateFinder : public LinearSketch {
   // exactly init + lettersA + lettersB (up to floating-point
   // reassociation in the scaled counters).
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;
@@ -123,6 +124,7 @@ class SparseDuplicateFinder : public LinearSketch {
   // initialization exactly as in DuplicateFinder (field-exact on the
   // recovery side).
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;

@@ -55,6 +55,19 @@ void PositiveFinder::Merge(const LinearSketch& other) {
   sampler_.Merge(o->sampler_);
 }
 
+void PositiveFinder::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const PositiveFinder*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->params_.n == params_.n &&
+            o->params_.s_budget == params_.s_budget &&
+            o->params_.delta == params_.delta &&
+            o->params_.repetitions == params_.repetitions &&
+            o->params_.seed == params_.seed);
+  total_ -= o->total_;
+  recovery_.MergeNegated(o->recovery_);
+  sampler_.MergeNegated(o->sampler_);
+}
+
 void PositiveFinder::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);

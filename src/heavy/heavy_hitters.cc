@@ -152,6 +152,21 @@ void CsHeavyHitters::Merge(const LinearSketch& other) {
   if (norm_) norm_->Merge(*o->norm_);
 }
 
+void CsHeavyHitters::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CsHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.p == b.p && a.phi == b.phi && a.rows == b.rows &&
+            a.norm_rows == b.norm_rows &&
+            a.strict_turnstile == b.strict_turnstile &&
+            a.dyadic_rows == b.dyadic_rows && a.seed == b.seed);
+  cs_.MergeNegated(o->cs_);
+  dyadic_.MergeNegated(o->dyadic_);
+  running_sum_ -= o->running_sum_;
+  if (norm_) norm_->MergeNegated(*o->norm_);
+}
+
 void CsHeavyHitters::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);
@@ -273,6 +288,18 @@ void CmHeavyHitters::Merge(const LinearSketch& other) {
   running_sum_ += o->running_sum_;
 }
 
+void CmHeavyHitters::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CmHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  const Params& a = params_;
+  const Params& b = o->params_;
+  LPS_CHECK(a.n == b.n && a.phi == b.phi && a.rows == b.rows &&
+            a.seed == b.seed && a.use_median == b.use_median);
+  cm_.MergeNegated(o->cm_);
+  tree_.MergeNegated(o->tree_);
+  running_sum_ -= o->running_sum_;
+}
+
 void CmHeavyHitters::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(params_.n);
@@ -349,6 +376,14 @@ void DyadicHeavyHitters::Merge(const LinearSketch& other) {
   LPS_CHECK(o->log_n_ == log_n_ && o->phi_ == phi_ && o->seed_ == seed_);
   tree_.Merge(o->tree_);
   running_sum_ += o->running_sum_;
+}
+
+void DyadicHeavyHitters::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicHeavyHitters*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->phi_ == phi_ && o->seed_ == seed_);
+  tree_.MergeNegated(o->tree_);
+  running_sum_ -= o->running_sum_;
 }
 
 void DyadicHeavyHitters::Serialize(BitWriter* writer) const {

@@ -90,6 +90,7 @@ class CsHeavyHitters : public LinearSketch {
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;
@@ -136,6 +137,7 @@ class CmHeavyHitters : public LinearSketch {
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;
@@ -163,6 +165,7 @@ class DyadicHeavyHitters : public LinearSketch {
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;

@@ -108,6 +108,15 @@ void L0Estimator::Merge(const LinearSketch& other) {
   }
 }
 
+void L0Estimator::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const L0Estimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->reps_ == reps_ && o->seed_ == seed_);
+  for (size_t c = 0; c < fingerprints_.size(); ++c) {
+    fingerprints_[c] = gf::Sub(fingerprints_[c], o->fingerprints_[c]);
+  }
+}
+
 void L0Estimator::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(n_);

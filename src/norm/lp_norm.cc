@@ -30,6 +30,12 @@ void LpNormEstimator::Merge(const LinearSketch& other) {
   sketch_.Merge(o->sketch_);
 }
 
+void LpNormEstimator::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const LpNormEstimator*>(&other);
+  LPS_CHECK(o != nullptr);
+  sketch_.MergeNegated(o->sketch_);
+}
+
 void LpNormEstimator::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   sketch_.Serialize(writer);

@@ -49,6 +49,15 @@ void OneSparse::Merge(const LinearSketch& other) {
   f_ = gf::Add(f_, o->f_);
 }
 
+void OneSparse::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const OneSparse*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->seed_ == seed_);
+  s0_ = gf::Sub(s0_, o->s0_);
+  s1_ = gf::Sub(s1_, o->s1_);
+  f_ = gf::Sub(f_, o->f_);
+}
+
 void OneSparse::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(n_);

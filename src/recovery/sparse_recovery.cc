@@ -77,6 +77,17 @@ void SparseRecovery::Merge(const LinearSketch& other) {
   fingerprints_[1] = gf::Add(fingerprints_[1], o->fingerprints_[1]);
 }
 
+void SparseRecovery::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const SparseRecovery*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->n_ == n_ && o->s_ == s_ && o->seed_ == seed_);
+  for (size_t r = 0; r < syndromes_.size(); ++r) {
+    syndromes_[r] = gf::Sub(syndromes_[r], o->syndromes_[r]);
+  }
+  fingerprints_[0] = gf::Sub(fingerprints_[0], o->fingerprints_[0]);
+  fingerprints_[1] = gf::Sub(fingerprints_[1], o->fingerprints_[1]);
+}
+
 void SparseRecovery::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteU64(n_);

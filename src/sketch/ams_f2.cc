@@ -93,6 +93,14 @@ void AmsF2::Merge(const LinearSketch& other) {
   for (size_t c = 0; c < counters_.size(); ++c) counters_[c] += o->counters_[c];
 }
 
+void AmsF2::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const AmsF2*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->groups_ == groups_ && o->per_group_ == per_group_ &&
+            o->seed_ == seed_);
+  for (size_t c = 0; c < counters_.size(); ++c) counters_[c] -= o->counters_[c];
+}
+
 void AmsF2::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteBits(static_cast<uint64_t>(groups_), 32);

@@ -105,6 +105,14 @@ void CountMin::Merge(const LinearSketch& other) {
   for (size_t c = 0; c < table_.size(); ++c) table_[c] += o->table_[c];
 }
 
+void CountMin::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CountMin*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->rows_ == rows_ && o->buckets_ == buckets_ &&
+            o->seed_ == seed_);
+  for (size_t c = 0; c < table_.size(); ++c) table_[c] -= o->table_[c];
+}
+
 void CountMin::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteBits(static_cast<uint64_t>(rows_), 32);

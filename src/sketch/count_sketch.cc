@@ -231,6 +231,14 @@ void CountSketch::Merge(const LinearSketch& other) {
   for (size_t c = 0; c < table_.size(); ++c) table_[c] += o->table_[c];
 }
 
+void CountSketch::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const CountSketch*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->rows_ == rows_ && o->buckets_ == buckets_ &&
+            o->seed_ == seed_);
+  for (size_t c = 0; c < table_.size(); ++c) table_[c] -= o->table_[c];
+}
+
 void CountSketch::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteBits(static_cast<uint64_t>(rows_), 32);

@@ -85,6 +85,16 @@ void DyadicCountMin::Merge(const LinearSketch& other) {
   for (size_t l = 0; l < levels_.size(); ++l) levels_[l].Merge(o->levels_[l]);
 }
 
+void DyadicCountMin::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicCountMin*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->rows_ == rows_ &&
+            o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].MergeNegated(o->levels_[l]);
+  }
+}
+
 void DyadicCountMin::SerializeCounters(BitWriter* writer) const {
   for (const auto& level : levels_) level.SerializeCounters(writer);
 }
@@ -253,6 +263,16 @@ void DyadicCountSketch::Merge(const LinearSketch& other) {
   LPS_CHECK(o->log_n_ == log_n_ && o->rows_ == rows_ &&
             o->buckets_ == buckets_ && o->seed_ == seed_);
   for (size_t l = 0; l < levels_.size(); ++l) levels_[l].Merge(o->levels_[l]);
+}
+
+void DyadicCountSketch::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const DyadicCountSketch*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->log_n_ == log_n_ && o->rows_ == rows_ &&
+            o->buckets_ == buckets_ && o->seed_ == seed_);
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].MergeNegated(o->levels_[l]);
+  }
 }
 
 void DyadicCountSketch::SerializeCounters(BitWriter* writer) const {

@@ -138,6 +138,13 @@ void StableSketch::Merge(const LinearSketch& other) {
   for (size_t j = 0; j < y_.size(); ++j) y_[j] += o->y_[j];
 }
 
+void StableSketch::MergeNegated(const LinearSketch& other) {
+  const auto* o = dynamic_cast<const StableSketch*>(&other);
+  LPS_CHECK(o != nullptr);
+  LPS_CHECK(o->p_ == p_ && o->rows_ == rows_ && o->seed_ == seed_);
+  for (size_t j = 0; j < y_.size(); ++j) y_[j] -= o->y_[j];
+}
+
 void StableSketch::Serialize(BitWriter* writer) const {
   WriteSketchHeader(writer, kind());
   writer->WriteDouble(p_);

@@ -58,6 +58,7 @@ class StableSketch : public LinearSketch {
 
   // LinearSketch contract: full-state serialization, merge, reset.
   void Merge(const LinearSketch& other) override;
+  void MergeNegated(const LinearSketch& other) override;
   void Serialize(BitWriter* writer) const override;
   void Deserialize(BitReader* reader) override;
   void Reset() override;

@@ -96,6 +96,21 @@ class LinearSketch {
   /// and seeds (a shard replica); any mismatch CHECK-fails.
   virtual void Merge(const LinearSketch& other) = 0;
 
+  /// Coordinate-wise SUBTRACTION: folds -1 x `other`'s counters into this
+  /// one, under the same same-type/same-params/same-seeds contract as
+  /// Merge (any mismatch CHECK-fails). Linearity gives subtraction for
+  /// free, and subtraction is what makes sliding windows cheap: if this
+  /// sketch holds the prefix stream x[0..now) and `other` a checkpointed
+  /// prefix x[0..t), then after MergeNegated(other) this sketch holds
+  /// exactly the window x[t..now) — without re-ingesting a single update
+  /// (stream::WindowManager builds on this). Exactness matches Merge's
+  /// taxonomy: bit-exact for integer-valued-double and GF(2^61-1) counter
+  /// families, FP-reassociation-exact for genuinely real-scaled ones. The
+  /// duplicates finders cancel their duplicated (i,-1) initialization and
+  /// re-feed one copy, so the difference is again a well-formed finder
+  /// over the subtracted letter multiset.
+  virtual void MergeNegated(const LinearSketch& other) = 0;
+
   /// Full reconstructible state: versioned header, parameters, seed,
   /// counters.
   virtual void Serialize(BitWriter* writer) const = 0;

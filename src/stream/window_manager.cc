@@ -1,0 +1,111 @@
+#include "src/stream/window_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/serialize.h"
+
+namespace lps::stream {
+
+WindowManager::WindowManager(LinearSketch* live, Options options)
+    : live_(live),
+      interval_(options.checkpoint_interval),
+      max_checkpoints_(options.max_checkpoints) {
+  LPS_CHECK(live_ != nullptr);
+  LPS_CHECK(interval_ >= 1);
+  next_seal_ = interval_;
+  // The attach-time state is the position-0 prefix. For a freshly
+  // constructed sketch the snapshot is all-zero counters (subtracting it
+  // is the identity); for the duplicates finders it carries their
+  // (i, -1) initialization, which MergeNegated cancels and re-feeds.
+  Seal();
+}
+
+void WindowManager::Seal() {
+  if (!ring_.empty() && ring_.back().count == updates_seen_) return;
+  Checkpoint cp;
+  cp.count = updates_seen_;
+  BitWriter writer;
+  live_->Serialize(&writer);
+  cp.words = writer.words();
+  cp.bits = writer.bit_count();
+  ring_.push_back(std::move(cp));
+  if (max_checkpoints_ > 0) {
+    while (ring_.size() > max_checkpoints_) ring_.pop_front();
+  }
+}
+
+void WindowManager::PushBatch(const Update* updates, size_t count) {
+  size_t done = 0;
+  while (done < count) {
+    // Stop the chunk at the next seal boundary so checkpoint positions
+    // are exact multiples of the interval, independent of how callers
+    // chunk their batches.
+    const uint64_t room = next_seal_ - updates_seen_;
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(room, count - done));
+    live_->UpdateBatch(updates + done, take);
+    updates_seen_ += take;
+    done += take;
+    if (updates_seen_ == next_seal_) {
+      Seal();
+      next_seal_ += interval_;
+    }
+  }
+}
+
+size_t WindowManager::Drive(const UpdateStream& stream) {
+  PushBatch(stream.data(), stream.size());
+  return stream.size();
+}
+
+void WindowManager::SealEpoch(uint64_t count) {
+  updates_seen_ += count;
+  Seal();
+  // Re-anchor the automatic schedule: the next owned-ingestion seal comes
+  // one full interval after this epoch boundary.
+  next_seal_ = updates_seen_ + interval_;
+}
+
+WindowManager::Window WindowManager::WindowSketch(uint64_t w) const {
+  LPS_CHECK(!ring_.empty());
+  const uint64_t want_start = w >= updates_seen_ ? 0 : updates_seen_ - w;
+
+  // Newest checkpoint at or before the wanted start — the window start
+  // rounds DOWN so the materialized window always contains the last w
+  // updates. Reaching behind the ring (evicted history) clamps to the
+  // oldest retained snapshot.
+  const auto past = std::upper_bound(
+      ring_.begin(), ring_.end(), want_start,
+      [](uint64_t value, const Checkpoint& cp) { return value < cp.count; });
+  const Checkpoint& expired = past == ring_.begin() ? *past : *std::prev(past);
+
+  // S(now): round-trip the live sketch through its own wire format — the
+  // cheapest faithful copy the LinearSketch contract offers, and O(sketch
+  // size) like everything else here.
+  BitWriter now;
+  live_->Serialize(&now);
+  BitReader now_reader(now);
+  Window out;
+  out.sketch = DeserializeAnySketch(&now_reader);
+  LPS_CHECK(out.sketch != nullptr);
+
+  // Minus S(expired): fold -1 x the checkpointed prefix counters in.
+  BitReader expired_reader(expired.words, expired.bits);
+  auto expired_sketch = DeserializeAnySketch(&expired_reader);
+  LPS_CHECK(expired_sketch != nullptr);
+  out.sketch->MergeNegated(*expired_sketch);
+
+  out.start = expired.count;
+  out.length = updates_seen_ - expired.count;
+  return out;
+}
+
+size_t WindowManager::CheckpointBytes() const {
+  size_t bytes = 0;
+  for (const Checkpoint& cp : ring_) bytes += cp.words.size() * 8;
+  return bytes;
+}
+
+}  // namespace lps::stream

@@ -1,0 +1,140 @@
+// WindowManager — sliding-window queries over any LinearSketch, by
+// subtraction instead of re-ingestion.
+//
+// Every structure in this library is a linear function of the stream
+// vector x, so the sketch of a window is the difference of two prefix
+// sketches: if S(t) sketches the first t updates, then
+//
+//     WindowSketch(w) = S(now) - S(expired)      (MergeNegated)
+//
+// sketches exactly the updates in (expired, now]. The WindowManager
+// maintains that subtraction cheaply: a ring of CHECKPOINTS — serialized
+// prefix snapshots of the live sketch, sealed every checkpoint_interval
+// updates — plus the live sketch itself as S(now). Materializing any
+// trailing window costs O(sketch size): deserialize the current state,
+// deserialize the newest checkpoint at or before the window start, and
+// fold -1 x its counters in. No update is ever re-ingested, and the
+// stream itself is never buffered.
+//
+// Window starts round DOWN to a checkpoint boundary: WindowSketch(w)
+// returns the smallest materializable window that CONTAINS the last w
+// updates (up to checkpoint_interval - 1 extra leading updates; exact
+// when the window start lands on a checkpoint). The returned Window
+// reports the actual start/length so callers can see the rounding.
+//
+// Exactness follows the Merge taxonomy (tests/merge_test.cc): for the
+// exact-arithmetic families (GF(2^61-1) fingerprints/syndromes and
+// integer-valued double counters) the materialized window is
+// BIT-IDENTICAL to a sketch fed only the window's updates; for genuinely
+// real-scaled counters (p-stable rows, the Lp sampler's t_i^{-1/p}
+// scaling) it agrees up to floating-point reassociation, which the
+// samplers' index selection tolerates. The duplicates finders re-feed
+// their (i, -1) initialization inside MergeNegated, so a materialized
+// window behaves as a finder that saw exactly the window's letters.
+//
+// Composition with the parallel runtime: when ingestion flows through a
+// ParallelPipeline, replica 0 holds the full prefix only after a
+// MergeShards() epoch — so checkpoints must be sealed AT epoch
+// boundaries, not mid-epoch. SealEpoch(count) is that hook: call it right
+// after MergeShards() and the epoch boundary becomes a checkpoint,
+// making any trailing run of epochs materializable. When the
+// WindowManager owns ingestion instead (Push/PushBatch/Drive forwarding
+// to the live sketch), it seals automatically every checkpoint_interval
+// updates, splitting batches at the boundary so checkpoints land exactly.
+//
+// Memory: ring size x serialized sketch size. max_checkpoints bounds the
+// ring (oldest snapshots are evicted first), trading farthest-back window
+// start for memory; CheckpointBytes() reports the current footprint so
+// deployments can size the ring (bench/bench_window.cc tracks it).
+//
+// Thread-safety: none of its own — like the pipeline's producer side,
+// Push/Drive/Seal/WindowSketch must be externally serialized with any
+// concurrent use of the live sketch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/stream/linear_sketch.h"
+#include "src/stream/update.h"
+
+namespace lps::stream {
+
+class WindowManager {
+ public:
+  struct Options {
+    /// Updates between automatically sealed checkpoints (Push/Drive
+    /// ingestion). Smaller = finer window granularity, more snapshots.
+    uint64_t checkpoint_interval = 4096;
+    /// Ring capacity in checkpoints; 0 = unbounded. When full, the OLDEST
+    /// checkpoint is evicted: windows reaching farther back than the ring
+    /// clamp to the oldest retained boundary (Window reports the clamp).
+    size_t max_checkpoints = 0;
+  };
+
+  /// A materialized trailing window: the sketch of updates
+  /// [start, start + length), where start is the chosen checkpoint
+  /// boundary and start + length == updates_seen().
+  struct Window {
+    std::unique_ptr<LinearSketch> sketch;
+    uint64_t start = 0;
+    uint64_t length = 0;
+  };
+
+  /// Attaches to `live`, which must outlive this object. The live
+  /// sketch's CURRENT state becomes the position-0 checkpoint — attach at
+  /// construction time (or treat prior state as permanently in-window).
+  WindowManager(LinearSketch* live, Options options);
+
+  /// Ingestion-owning mode: forwards to the live sketch's batch fast
+  /// path, sealing a checkpoint every checkpoint_interval updates
+  /// (batches are split at the boundary, so checkpoint positions are
+  /// exact multiples regardless of chunking).
+  void Push(Update u) { PushBatch(&u, 1); }
+  void PushBatch(const Update* updates, size_t count);
+  size_t Drive(const UpdateStream& stream);
+
+  /// Epoch mode: the caller ingested `count` updates into the live sketch
+  /// out of band (e.g. a ParallelPipeline epoch, closed by MergeShards()
+  /// so replica 0 holds the full prefix) — record them and seal a
+  /// checkpoint at the new position.
+  void SealEpoch(uint64_t count);
+
+  /// Seals a checkpoint at the current position (idempotent at a given
+  /// position). Called automatically by PushBatch and SealEpoch.
+  void Seal();
+
+  /// Materializes the sketch of (at least) the last `w` updates in
+  /// O(sketch size): current state minus the newest checkpoint at or
+  /// before the window start. w >= updates_seen() (or w reaching behind
+  /// an evicted checkpoint) clamps to the oldest retained boundary.
+  Window WindowSketch(uint64_t w) const;
+
+  uint64_t updates_seen() const { return updates_seen_; }
+  uint64_t checkpoint_interval() const { return interval_; }
+  size_t checkpoint_count() const { return ring_.size(); }
+  /// Earliest window start currently materializable (the oldest retained
+  /// checkpoint's position).
+  uint64_t oldest_start() const { return ring_.front().count; }
+  /// Serialized bytes held by the checkpoint ring — the memory the
+  /// sliding-window capability costs on top of the live sketch.
+  size_t CheckpointBytes() const;
+
+ private:
+  struct Checkpoint {
+    uint64_t count = 0;            // prefix length at seal time
+    std::vector<uint64_t> words;   // full serialized state (BitWriter)
+    size_t bits = 0;
+  };
+
+  LinearSketch* live_;
+  uint64_t interval_;
+  size_t max_checkpoints_;
+  uint64_t updates_seen_ = 0;
+  uint64_t next_seal_;               // position of the next automatic seal
+  std::deque<Checkpoint> ring_;      // ascending by count; front = oldest
+};
+
+}  // namespace lps::stream

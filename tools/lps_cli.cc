@@ -7,10 +7,13 @@
 //   lps_cli gen <kind> <n> <arg> <seed>        write a trace to stdout
 //       kinds: turnstile <#updates> | sparse <#nonzero> |
 //              zipf <scale> | duplicates <extras>
-//   lps_cli sample <p|L0> <eps> <delta> <seed> [--shards k] [--threads t]
+//   lps_cli sample <p|L0> <eps> <delta> <seed>
+//           [--shards k] [--threads t] [--window w [--checkpoint c]]
 //   lps_cli duplicates <delta> <seed>          < trace    find a duplicate
-//   lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]     < trace
-//   lps_cli norm <p> <seed> [--shards k] [--threads t]            < trace
+//   lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]
+//           [--window w [--checkpoint c]]                         < trace
+//   lps_cli norm <p> <seed> [--shards k] [--threads t]
+//           [--window w [--checkpoint c]]                         < trace
 //   lps_cli stats                              < trace    exact summary
 //   lps_cli save sample <p|L0> <eps> <delta> <seed> <file>  < trace
 //   lps_cli save heavy <p> <phi> <seed> <file>              < trace
@@ -30,6 +33,15 @@
 // single-threaded ingestion) runs t worker threads; the final state is
 // bit-identical for every thread count, so the flag is purely a
 // throughput knob.
+// --window w answers the query over (at least) the LAST w updates of the
+// trace instead of the whole stream: ingestion flows through a
+// WindowManager that checkpoints a serialized prefix every --checkpoint c
+// updates (default 4096), and the windowed sketch is materialized by
+// subtraction (prefix_now - prefix_expired, O(sketch size)). The window
+// start rounds down to a checkpoint boundary; the chosen range is
+// printed. With --shards k the checkpoints seal at parallel-runtime
+// epoch boundaries (every c updates, after MergeShards), so windows and
+// sharding compose.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +61,7 @@
 #include "src/stream/parallel_pipeline.h"
 #include "src/stream/stream_driver.h"
 #include "src/stream/trace.h"
+#include "src/stream/window_manager.h"
 #include "src/util/serialize.h"
 
 namespace {
@@ -59,10 +72,12 @@ int Usage() {
       "usage:\n"
       "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> <seed>\n"
       "  lps_cli sample {<p>|L0} <eps> <delta> <seed>"
-      " [--shards k] [--threads t]\n"
+      " [--shards k] [--threads t] [--window w [--checkpoint c]]\n"
       "  lps_cli duplicates <delta> <seed>                         < trace\n"
-      "  lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t] < trace\n"
-      "  lps_cli norm <p> <seed> [--shards k] [--threads t]        < trace\n"
+      "  lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]"
+      " [--window w [--checkpoint c]]                              < trace\n"
+      "  lps_cli norm <p> <seed> [--shards k] [--threads t]"
+      " [--window w [--checkpoint c]]                              < trace\n"
       "  lps_cli stats                                             < trace\n"
       "  lps_cli save sample {<p>|L0} <eps> <delta> <seed> <file>  < trace\n"
       "  lps_cli save heavy <p> <phi> <seed> <file>                < trace\n"
@@ -75,22 +90,26 @@ int Usage() {
 
 /// Strips an embedded "<flag> v" from argv, returning the parsed count.
 /// Returns `fallback` when the flag is absent, and -1 (after an error
-/// message) when the value is missing, non-numeric, trailing-garbage, or
-/// < 1 — silently clamping a typo like "--shards x4" or "--threads 0"
-/// would ingest with a topology the user did not ask for. argc is updated
-/// in place.
-int TakeCountFlag(int* argc, char** argv, const char* flag, int fallback) {
+/// message) when the value is missing, non-numeric, trailing-garbage,
+/// < 1, or > max — silently clamping a typo like "--shards x4" or
+/// "--threads 0" would ingest with a topology the user did not ask for.
+/// argc is updated in place; *found (optional) reports whether the flag
+/// was present at all.
+int TakeCountFlag(int* argc, char** argv, const char* flag, int fallback,
+                  long max = 1 << 20, bool* found = nullptr) {
+  if (found != nullptr) *found = false;
   for (int a = 2; a < *argc; ++a) {
     if (std::strcmp(argv[a], flag) != 0) continue;
+    if (found != nullptr) *found = true;
     if (a + 1 >= *argc) {
       std::fprintf(stderr, "%s needs a value\n", flag);
       return -1;
     }
     char* end = nullptr;
     const long value = std::strtol(argv[a + 1], &end, 10);
-    if (end == argv[a + 1] || *end != '\0' || value < 1 || value > 1 << 20) {
-      std::fprintf(stderr, "%s wants a positive integer, got '%s'\n", flag,
-                   argv[a + 1]);
+    if (end == argv[a + 1] || *end != '\0' || value < 1 || value > max) {
+      std::fprintf(stderr, "%s wants a positive integer in [1, %ld], got "
+                   "'%s'\n", flag, max, argv[a + 1]);
       return -1;
     }
     for (int b = a + 2; b < *argc; ++b) argv[b - 2] = argv[b];
@@ -117,6 +136,36 @@ bool TakeTopologyFlags(int* argc, char** argv, int* shards, int* threads) {
                  *threads, *shards);
     return false;
   }
+  return true;
+}
+
+/// Sliding-window request: window == 0 means "whole stream" (no window
+/// machinery at all).
+struct WindowSpec {
+  uint64_t window = 0;
+  uint64_t checkpoint = 4096;
+};
+
+/// Parses --window w and --checkpoint c. Returns false (usage error) on a
+/// malformed value or a --checkpoint without --window (the flag would
+/// silently do nothing).
+bool TakeWindowFlags(int* argc, char** argv, WindowSpec* spec) {
+  // Windows and checkpoint intervals are update counts, not topology
+  // sizes — allow up to 2^30 (counts stay in int range for TakeCountFlag).
+  constexpr long kMaxUpdates = 1L << 30;
+  const int window =
+      TakeCountFlag(argc, argv, "--window", 0, kMaxUpdates);
+  if (window < 0) return false;
+  bool checkpoint_given = false;
+  const int checkpoint = TakeCountFlag(argc, argv, "--checkpoint", 4096,
+                                       kMaxUpdates, &checkpoint_given);
+  if (checkpoint < 0) return false;
+  if (window == 0 && checkpoint_given) {
+    std::fprintf(stderr, "--checkpoint only makes sense with --window\n");
+    return false;
+  }
+  spec->window = static_cast<uint64_t>(window);
+  spec->checkpoint = static_cast<uint64_t>(checkpoint);
   return true;
 }
 
@@ -185,17 +234,63 @@ int CmdGen(int argc, char** argv) {
 // structure for a command spec, ingest (optionally sharded), and hand the
 // merged structure to the caller.
 
+/// Windowed ingestion: replica 0 is wrapped in a WindowManager. Solo
+/// ingestion seals automatically every `checkpoint` updates; sharded
+/// ingestion runs the parallel runtime in epochs of `checkpoint` updates
+/// (Drive, MergeShards, SealEpoch — replica 0 holds the full prefix
+/// exactly at those boundaries). Returns the materialized trailing
+/// window and prints the chosen range (the start rounds down to a
+/// checkpoint boundary).
+std::unique_ptr<lps::LinearSketch> IngestWindowed(
+    const lps::stream::Trace& t,
+    const std::vector<lps::LinearSketch*>& replicas, int threads,
+    const WindowSpec& spec) {
+  lps::stream::WindowManager::Options options;
+  options.checkpoint_interval = spec.checkpoint;
+  lps::stream::WindowManager wm(replicas[0], options);
+  if (replicas.size() == 1 && threads == 0) {
+    wm.PushBatch(t.updates.data(), t.updates.size());
+  } else {
+    lps::stream::ParallelPipeline::Options popts;
+    popts.shards = static_cast<int>(replicas.size());
+    popts.threads = threads;
+    lps::stream::ParallelPipeline pipeline(popts);
+    pipeline.Add("sink", replicas);
+    size_t done = 0;
+    while (done < t.updates.size()) {
+      const size_t take =
+          std::min<size_t>(spec.checkpoint, t.updates.size() - done);
+      pipeline.Drive(t.updates.data() + done, take);
+      pipeline.MergeShards();
+      wm.SealEpoch(take);
+      done += take;
+    }
+  }
+  auto window = wm.WindowSketch(spec.window);
+  std::printf("window [%llu, %llu) of %llu updates (asked %llu, checkpoint "
+              "every %llu)\n",
+              static_cast<unsigned long long>(window.start),
+              static_cast<unsigned long long>(window.start + window.length),
+              static_cast<unsigned long long>(wm.updates_seen()),
+              static_cast<unsigned long long>(spec.window),
+              static_cast<unsigned long long>(spec.checkpoint));
+  return std::move(window.sketch);
+}
+
 /// Builds `shards` identical replicas with `make`, ingests the trace
 /// through the parallel runtime (sharded when shards > 1, threaded when
-/// threads > 0), and returns the merged structure.
+/// threads > 0), and returns the merged structure — windowed to the last
+/// spec.window updates when requested.
 template <typename MakeFn>
 std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
                                                 int shards, int threads,
+                                                const WindowSpec& spec,
                                                 MakeFn make) {
   std::vector<std::unique_ptr<lps::LinearSketch>> replicas;
   for (int s = 0; s < shards; ++s) replicas.push_back(make());
   std::vector<lps::LinearSketch*> raw;
   for (auto& r : replicas) raw.push_back(r.get());
+  if (spec.window > 0) return IngestWindowed(t, raw, threads, spec);
   Ingest(t, raw, threads);
   return std::move(replicas[0]);
 }
@@ -203,9 +298,10 @@ std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
 std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
                                                 const char* p_arg, double eps,
                                                 double delta, uint64_t seed,
-                                                int shards, int threads) {
+                                                int shards, int threads,
+                                                const WindowSpec& spec) {
   if (std::strcmp(p_arg, "L0") == 0) {
-    return BuildSharded(t, shards, threads, [&] {
+    return BuildSharded(t, shards, threads, spec, [&] {
       return std::make_unique<lps::core::L0Sampler>(
           lps::core::L0SamplerParams{t.n, delta, 0, seed, false});
     });
@@ -216,7 +312,7 @@ std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
   params.eps = eps;
   params.delta = delta;
   params.seed = seed;
-  return BuildSharded(t, shards, threads, [&] {
+  return BuildSharded(t, shards, threads, spec, [&] {
     return std::make_unique<lps::core::LpSampler>(params);
   });
 }
@@ -224,22 +320,24 @@ std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
 std::unique_ptr<lps::LinearSketch> BuildHeavy(const lps::stream::Trace& t,
                                               double p, double phi,
                                               uint64_t seed, int shards,
-                                              int threads) {
+                                              int threads,
+                                              const WindowSpec& spec) {
   lps::heavy::CsHeavyHitters::Params params;
   params.n = t.n;
   params.p = p;
   params.phi = phi;
   params.seed = seed;
-  return BuildSharded(t, shards, threads, [&] {
+  return BuildSharded(t, shards, threads, spec, [&] {
     return std::make_unique<lps::heavy::CsHeavyHitters>(params);
   });
 }
 
 std::unique_ptr<lps::LinearSketch> BuildNorm(const lps::stream::Trace& t,
                                              double p, uint64_t seed,
-                                             int shards, int threads) {
+                                             int shards, int threads,
+                                             const WindowSpec& spec) {
   const int rows = lps::norm::LpNormEstimator::DefaultRows(t.n);
-  return BuildSharded(t, shards, threads, [&] {
+  return BuildSharded(t, shards, threads, spec, [&] {
     return std::make_unique<lps::norm::LpNormEstimator>(p, rows, seed);
   });
 }
@@ -348,7 +446,9 @@ std::unique_ptr<lps::LinearSketch> LoadSketch(const char* path) {
 
 int CmdSample(int argc, char** argv) {
   int shards = 0, threads = 0;
+  WindowSpec spec;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
+  if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
   if (argc != 6) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
@@ -356,7 +456,7 @@ int CmdSample(int argc, char** argv) {
   const double delta = std::strtod(argv[4], nullptr);
   const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
   auto sampler =
-      BuildSampler(*trace, argv[2], eps, delta, seed, shards, threads);
+      BuildSampler(*trace, argv[2], eps, delta, seed, shards, threads, spec);
   return ReportQuery(*sampler);
 }
 
@@ -373,24 +473,30 @@ int CmdDuplicates(int argc, char** argv) {
 
 int CmdHeavy(int argc, char** argv) {
   int shards = 0, threads = 0;
+  WindowSpec spec;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
+  if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
   if (argc != 5) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   auto hh = BuildHeavy(*trace, std::strtod(argv[2], nullptr),
                        std::strtod(argv[3], nullptr),
-                       std::strtoull(argv[4], nullptr, 10), shards, threads);
+                       std::strtoull(argv[4], nullptr, 10), shards, threads,
+                       spec);
   return ReportQuery(*hh);
 }
 
 int CmdNorm(int argc, char** argv) {
   int shards = 0, threads = 0;
+  WindowSpec spec;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
+  if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
   if (argc != 4) return Usage();
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   auto est = BuildNorm(*trace, std::strtod(argv[2], nullptr),
-                       std::strtoull(argv[3], nullptr, 10), shards, threads);
+                       std::strtoull(argv[3], nullptr, 10), shards, threads,
+                       spec);
   return ReportQuery(*est);
 }
 
@@ -416,17 +522,18 @@ int CmdSave(int argc, char** argv) {
   auto trace = LoadTrace();
   if (!trace.ok()) return 1;
   std::unique_ptr<lps::LinearSketch> sketch;
+  const WindowSpec whole;  // save persists the whole-stream sketch
   if (what == "sample" && argc == 8) {
     sketch = BuildSampler(*trace, argv[3], std::strtod(argv[4], nullptr),
                           std::strtod(argv[5], nullptr),
-                          std::strtoull(argv[6], nullptr, 10), 1, 0);
+                          std::strtoull(argv[6], nullptr, 10), 1, 0, whole);
   } else if (what == "heavy" && argc == 7) {
     sketch = BuildHeavy(*trace, std::strtod(argv[3], nullptr),
                         std::strtod(argv[4], nullptr),
-                        std::strtoull(argv[5], nullptr, 10), 1, 0);
+                        std::strtoull(argv[5], nullptr, 10), 1, 0, whole);
   } else if (what == "norm" && argc == 6) {
     sketch = BuildNorm(*trace, std::strtod(argv[3], nullptr),
-                       std::strtoull(argv[4], nullptr, 10), 1, 0);
+                       std::strtoull(argv[4], nullptr, 10), 1, 0, whole);
   } else if (what == "duplicates" && argc == 6) {
     sketch = BuildDuplicates(*trace, std::strtod(argv[3], nullptr),
                              std::strtoull(argv[4], nullptr, 10));
