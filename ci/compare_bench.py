@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: diff a fresh BENCH_throughput.json against the
-committed baseline and fail on a >25% regression.
+"""Bench-regression gate: diff a fresh BENCH_throughput.json (or, with
+--serve, BENCH_serve.json) against the committed baseline and fail on a
+>25% regression.
 
 Compared metrics (the PR-to-PR trajectory the repo tracks):
 
@@ -18,6 +19,14 @@ Compared metrics (the PR-to-PR trajectory the repo tracks):
     the same hardware_threads count AND the same quick mode; cross-
     machine absolute numbers are noise, and pretending otherwise would
     make the gate cry wolf.
+
+--serve swaps the metric set for the lps_serve load-generator report:
+
+  * tenant-count scaling — the max-tenants / 1-tenant aggregate
+    ingest_rps ratio (a machine-portable ratio: a drop means the tenant
+    registry serialized what used to run concurrently).
+  * absolute rps and p99 latency per tenant count — same
+    hardware_threads + quick mode only, like the library benches.
 
 Per the repo's bench-gating convention every skip is LOGGED, never
 silent, and the whole gate is skipped (exit 0) under sanitizer
@@ -81,12 +90,86 @@ def scaling_ratio(data, name):
     return t4 / t1
 
 
+def serve_row(data, tenants):
+    for row in data.get("serve_scaling", []):
+        if row.get("tenants") == tenants:
+            return row
+    return None
+
+
+def serve_tenant_ratio(data):
+    """max-tenants / 1-tenant aggregate ingest rps — portable."""
+    rows = data.get("serve_scaling", [])
+    if not rows:
+        return None
+    solo = serve_row(data, 1)
+    peak = max(rows, key=lambda r: r.get("tenants", 0))
+    if not solo or peak.get("tenants", 0) <= 1:
+        return None
+    lo = solo.get("ingest_rps")
+    hi = peak.get("ingest_rps")
+    if not lo or not hi or lo <= 0:
+        return None
+    return hi / lo
+
+
+def compare_serve(base, cur, allowed, max_regress):
+    """The --serve metric set; returns (compared, failed)."""
+    failed = []
+    compared = 0
+
+    b = serve_tenant_ratio(base)
+    c = serve_tenant_ratio(cur)
+    if b is None or c is None:
+        log("serve tenant scaling: skipped (missing rows in "
+            f"{'baseline' if b is None else 'current'})")
+    else:
+        compared += 1
+        verdict = "ok" if c >= b * (1.0 - max_regress) else "REGRESSED"
+        log(f"serve tenant scaling: max/1-tenant ingest rps ratio {c:.2f} "
+            f"vs baseline {b:.2f} ({verdict})")
+        if c < b * (1.0 - max_regress):
+            failed.append("serve tenant scaling")
+
+    if (base.get("hardware_threads") != cur.get("hardware_threads")
+            or base.get("quick") != cur.get("quick")):
+        log("serve absolute metrics: skipped (hardware_threads/quick "
+            "mismatch — ratios only)")
+        return compared, failed
+    for brow in base.get("serve_scaling", []):
+        tenants = brow.get("tenants")
+        crow = serve_row(cur, tenants)
+        if crow is None:
+            log(f"serve tenants={tenants}: skipped (missing in current)")
+            continue
+        for metric, better_high in (("ingest_rps", True),
+                                    ("query_rps", True),
+                                    ("ingest_p99_us", False),
+                                    ("query_p99_us", False)):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = (c < b * (1.0 - max_regress) if better_high
+                         else c > b * allowed)
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"serve tenants={tenants} {metric}: {c:.1f} vs baseline "
+                f"{b:.1f} ({verdict})")
+            if regressed:
+                failed.append(f"serve tenants={tenants} {metric}")
+    return compared, failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_throughput.json")
     parser.add_argument("current", help="freshly produced BENCH_throughput.json")
     parser.add_argument("--max-regress", type=float, default=0.25,
                         help="fractional regression that fails the gate")
+    parser.add_argument("--serve", action="store_true",
+                        help="compare BENCH_serve.json files (lps_serve "
+                        "load-generator report) instead of the library bench")
     args = parser.parse_args()
 
     env = os.environ.get("LPS_BENCH_SANITIZED", "")
@@ -105,6 +188,17 @@ def main():
         return 0
 
     allowed = 1.0 + args.max_regress
+
+    if args.serve:
+        compared, failed = compare_serve(base, cur, allowed, args.max_regress)
+        if failed:
+            print(f"bench compare: FAIL — >{args.max_regress:.0%} regression "
+                  "in: " + ", ".join(failed), file=sys.stderr)
+            return 1
+        log(f"pass ({compared} serve metrics within {args.max_regress:.0%} "
+            "of baseline)")
+        return 0
+
     failed = []
     compared = 0
 

@@ -5,14 +5,15 @@
 // space. This example builds a small stream, draws an L1 sample and an L0
 // sample, and prints what the samplers saw versus the exact vector.
 //
-// Build & run:  ./build/examples/quickstart
+// It is written against the library's public surface only: one include
+// (src/lps.h), one construction path (SketchSpec -> MakeSketch), one
+// answer type (Query -> QueryResult). The concrete classes stay available
+// for typed access, but nothing here needs them.
+//
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
-#include "src/core/l0_sampler.h"
-#include "src/core/lp_sampler.h"
-#include "src/stream/exact_vector.h"
-#include "src/stream/stream_driver.h"
-#include "src/stream/update.h"
+#include "src/lps.h"
 
 int main() {
   const uint64_t n = 1000;
@@ -30,20 +31,26 @@ int main() {
   exact.Apply(stream);
 
   // --- L1 sampler (Figure 1 + Theorem 1) ---
-  lps::core::LpSamplerParams params;
-  params.n = n;
-  params.p = 1.0;    // sample index i with probability |x_i| / ||x||_1
-  params.eps = 0.25; // relative error of the sampling distribution
-  params.delta = 0.05;  // failure probability
-  params.seed = 2024;
-  lps::core::LpSampler l1(params);
+  lps::SketchSpec l1_spec;
+  l1_spec.kind = lps::SketchKind::kLpSampler;
+  l1_spec.n = n;
+  l1_spec.p = 1.0;       // sample index i with probability |x_i| / ||x||_1
+  l1_spec.eps = 0.25;    // relative error of the sampling distribution
+  l1_spec.delta = 0.05;  // failure probability
+  l1_spec.seed = 2024;
+  auto l1 = lps::MakeSketch(l1_spec);
 
   // --- L0 sampler (Theorem 2): uniform over the surviving support ---
-  lps::core::L0Sampler l0({n, /*delta=*/0.05, /*s=*/0, /*seed=*/7, false});
+  lps::SketchSpec l0_spec;
+  l0_spec.kind = lps::SketchKind::kL0Sampler;
+  l0_spec.n = n;
+  l0_spec.delta = 0.05;
+  l0_spec.seed = 7;
+  auto l0 = lps::MakeSketch(l0_spec);
 
   // One pass of the stream through both samplers, in cache-sized batches.
   lps::stream::StreamDriver driver;
-  driver.Add("l1", &l1).Add("l0", &l0).Drive(stream);
+  driver.Add("l1", l1.get()).Add("l0", l0.get()).Drive(stream);
 
   std::printf("stream applied; exact vector: x[42]=%ld x[7]=%ld x[999]=%ld "
               "x[500]=%ld, ||x||_1=%.0f, support=%zu\n",
@@ -51,27 +58,15 @@ int main() {
               static_cast<long>(exact[999]), static_cast<long>(exact[500]),
               exact.NormP(1.0), static_cast<size_t>(exact.L0()));
 
-  auto s1 = l1.Sample();
-  if (s1.ok()) {
-    std::printf("L1 sample : index %llu (estimate %.1f)  -- P[i] ~ |x_i|/100\n",
-                static_cast<unsigned long long>(s1.value().index),
-                s1.value().estimate);
-  } else {
-    std::printf("L1 sample : FAIL (%s)\n", s1.status().ToString().c_str());
-  }
-
-  auto s0 = l0.Sample();
-  if (s0.ok()) {
-    std::printf("L0 sample : index %llu (exact value %.0f) -- uniform over "
-                "{42, 7, 999}\n",
-                static_cast<unsigned long long>(s0.value().index),
-                s0.value().estimate);
-  } else {
-    std::printf("L0 sample : FAIL (%s)\n", s0.status().ToString().c_str());
-  }
+  // Query() answers any sketch with the same tagged QueryResult the CLI
+  // and the lps_serve wire protocol use.
+  const lps::QueryResult s1 = lps::Query(*l1);
+  std::printf("L1 sample : %s", s1.ToText().c_str());
+  const lps::QueryResult s0 = lps::Query(*l0);
+  std::printf("L0 sample : %s", s0.ToText().c_str());
 
   std::printf("sampler space: L1 %zu bits, L0 %zu bits (paper counter model)\n",
-              l1.SpaceBits(2 * 10), l0.SpaceBits());
+              l1->SpaceBits(), l0->SpaceBits());
   std::printf("note: the deleted item 500 can never be sampled.\n");
   return 0;
 }

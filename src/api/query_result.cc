@@ -1,0 +1,237 @@
+#include "src/api/query_result.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/apps/moment_estimation.h"
+#include "src/core/ako_sampler.h"
+#include "src/core/fis_l0_sampler.h"
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/duplicates/positive_finder.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
+#include "src/util/status.h"
+
+namespace lps {
+
+namespace {
+
+std::string Printf(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+QueryResult Answered(QueryResult::Type type, SketchKind kind) {
+  QueryResult r;
+  r.type = type;
+  r.kind = kind;
+  return r;
+}
+
+QueryResult FromSample(SketchKind kind, const Result<core::SampleResult>& res) {
+  QueryResult r;
+  r.kind = kind;
+  if (!res.ok()) {
+    r.type = QueryResult::Type::kFailed;
+    r.message = res.status().ToString();
+    return r;
+  }
+  r.type = QueryResult::Type::kSample;
+  r.index = res.value().index;
+  r.value = res.value().estimate;
+  return r;
+}
+
+QueryResult FromHeavySet(SketchKind kind, std::vector<uint64_t> set) {
+  QueryResult r = Answered(QueryResult::Type::kHeavyHitters, kind);
+  r.items = std::move(set);
+  return r;
+}
+
+QueryResult FromNorm(SketchKind kind, double value) {
+  QueryResult r = Answered(QueryResult::Type::kNorm, kind);
+  r.value = value;
+  return r;
+}
+
+QueryResult DuplicateFound(SketchKind kind, uint64_t letter) {
+  QueryResult r = Answered(QueryResult::Type::kDuplicate, kind);
+  r.index = letter;
+  return r;
+}
+
+QueryResult Fail(SketchKind kind, std::string message) {
+  QueryResult r = Answered(QueryResult::Type::kFailed, kind);
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+std::string QueryResult::ToText() const {
+  switch (type) {
+    case Type::kSample:
+      // The L0 family reports the sampled coordinate's EXACT value; the
+      // Lp family an estimate. The two historical CLI lines are kept
+      // byte-for-byte.
+      if (kind == SketchKind::kL0Sampler || kind == SketchKind::kFisL0Sampler) {
+        return Printf("index %llu value %.0f\n",
+                      static_cast<unsigned long long>(index), value);
+      }
+      return Printf("index %llu estimate %.3f\n",
+                    static_cast<unsigned long long>(index), value);
+    case Type::kHeavyHitters: {
+      std::string text = Printf("%zu heavy hitters:", items.size());
+      for (uint64_t i : items) {
+        text += Printf(" %llu", static_cast<unsigned long long>(i));
+      }
+      text += "\n";
+      return text;
+    }
+    case Type::kNorm:
+      if (kind == SketchKind::kL0Estimator) {
+        return Printf("L0 %.6g   ((1-eps) L0 <= est <= (1+eps) L0 w.h.p.)\n",
+                      value);
+      }
+      if (kind == SketchKind::kMomentEstimator) {
+        return Printf("F_p %.6g\n", value);
+      }
+      return Printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n", value);
+    case Type::kDuplicate:
+      return Printf("duplicate %llu\n", static_cast<unsigned long long>(index));
+    case Type::kFailed:
+      return Printf("FAIL %s\n", message.c_str());
+    case Type::kUnsupported:
+      return Printf("no query for kind '%s'\n", SketchKindName(kind));
+  }
+  return "";
+}
+
+int QueryResult::ExitCode() const {
+  if (type == Type::kUnsupported) return 2;
+  return type == Type::kFailed ? 1 : 0;
+}
+
+bool QueryResult::operator==(const QueryResult& o) const {
+  return type == o.type && kind == o.kind && index == o.index &&
+         value == o.value && items == o.items && message == o.message;
+}
+
+QueryResult Query(const LinearSketch& sketch) {
+  switch (sketch.kind()) {
+    case SketchKind::kLpSampler:
+      return FromSample(
+          sketch.kind(),
+          static_cast<const core::LpSampler&>(sketch).Sample());
+    case SketchKind::kAkoSampler:
+      return FromSample(
+          sketch.kind(),
+          static_cast<const core::AkoSampler&>(sketch).Sample());
+    case SketchKind::kL0Sampler:
+      return FromSample(
+          sketch.kind(),
+          static_cast<const core::L0Sampler&>(sketch).Sample());
+    case SketchKind::kFisL0Sampler:
+      return FromSample(
+          sketch.kind(),
+          static_cast<const core::FisL0Sampler&>(sketch).Sample());
+    case SketchKind::kCsHeavyHitters:
+      return FromHeavySet(
+          sketch.kind(),
+          static_cast<const heavy::CsHeavyHitters&>(sketch).Query());
+    case SketchKind::kCmHeavyHitters:
+      return FromHeavySet(
+          sketch.kind(),
+          static_cast<const heavy::CmHeavyHitters&>(sketch).Query());
+    case SketchKind::kDyadicHeavyHitters:
+      return FromHeavySet(
+          sketch.kind(),
+          static_cast<const heavy::DyadicHeavyHitters&>(sketch).Query());
+    case SketchKind::kLpNormEstimator:
+      return FromNorm(
+          sketch.kind(),
+          static_cast<const norm::LpNormEstimator&>(sketch).Estimate2Approx());
+    case SketchKind::kL0Estimator:
+      return FromNorm(sketch.kind(),
+                      static_cast<const norm::L0Estimator&>(sketch).Estimate());
+    case SketchKind::kMomentEstimator: {
+      auto res = static_cast<const apps::MomentEstimator&>(sketch).Estimate();
+      if (!res.ok()) return Fail(sketch.kind(), res.status().ToString());
+      return FromNorm(sketch.kind(), res.value());
+    }
+    case SketchKind::kDuplicateFinder: {
+      auto res = static_cast<const duplicates::DuplicateFinder&>(sketch).Find();
+      if (!res.ok()) return Fail(sketch.kind(), res.status().ToString());
+      return DuplicateFound(sketch.kind(), res.value());
+    }
+    case SketchKind::kSparseDuplicateFinder: {
+      const auto outcome =
+          static_cast<const duplicates::SparseDuplicateFinder&>(sketch).Find();
+      using Kind = duplicates::SparseDuplicateFinder::Kind;
+      if (outcome.kind == Kind::kDuplicate) {
+        return DuplicateFound(sketch.kind(), outcome.duplicate);
+      }
+      if (outcome.kind == Kind::kNoDuplicate) {
+        return Fail(sketch.kind(), Status::Failed("no duplicate").ToString());
+      }
+      return Fail(sketch.kind(), Status::Failed("").ToString());
+    }
+    case SketchKind::kPositiveFinder: {
+      const auto outcome =
+          static_cast<const duplicates::PositiveFinder&>(sketch).Find();
+      using Kind = duplicates::PositiveFinder::Kind;
+      if (outcome.kind == Kind::kFound) {
+        return DuplicateFound(sketch.kind(), outcome.index);
+      }
+      if (outcome.kind == Kind::kNone) {
+        return Fail(sketch.kind(), Status::Failed("no positive").ToString());
+      }
+      return Fail(sketch.kind(), Status::Failed("").ToString());
+    }
+    default: {
+      QueryResult r;
+      r.type = QueryResult::Type::kUnsupported;
+      r.kind = sketch.kind();
+      return r;
+    }
+  }
+}
+
+void SerializeQueryResult(const QueryResult& result, BitWriter* writer) {
+  writer->WriteBits(static_cast<uint64_t>(result.type), 8);
+  writer->WriteBits(static_cast<uint64_t>(result.kind), 8);
+  writer->WriteU64(result.index);
+  writer->WriteDouble(result.value);
+  writer->WriteBits(result.items.size(), 32);
+  for (uint64_t i : result.items) writer->WriteU64(i);
+  writer->WriteBits(result.message.size(), 32);
+  for (char c : result.message) {
+    writer->WriteBits(static_cast<uint8_t>(c), 8);
+  }
+}
+
+QueryResult DeserializeQueryResult(BitReader* reader) {
+  QueryResult result;
+  result.type = static_cast<QueryResult::Type>(reader->ReadBits(8));
+  result.kind = static_cast<SketchKind>(reader->ReadBits(8));
+  result.index = reader->ReadU64();
+  result.value = reader->ReadDouble();
+  const size_t items = reader->ReadBits(32);
+  result.items.reserve(items);
+  for (size_t i = 0; i < items; ++i) result.items.push_back(reader->ReadU64());
+  const size_t len = reader->ReadBits(32);
+  result.message.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    result.message.push_back(static_cast<char>(reader->ReadBits(8)));
+  }
+  return result;
+}
+
+}  // namespace lps

@@ -1,0 +1,77 @@
+// QueryResult — the one answer type for every queryable structure.
+//
+// Before this layer, each consumer of a sketch answer re-implemented the
+// per-kind unpacking: lps_cli dynamic_cast its way through five concrete
+// types, each example called a differently-shaped method (Sample /
+// Query / Estimate2Approx / Find), and a wire protocol would have had to
+// invent a sixth encoding. QueryResult is the tagged union they all
+// share, and Query(sketch) is the single dispatch point:
+//
+//     lps::QueryResult r = lps::Query(*sketch);   // any LinearSketch
+//     if (r.ok()) std::fputs(r.ToText().c_str(), stdout);
+//
+// The CLI prints ToText() (byte-identical to its historical output — the
+// CI smoke asserts the exact lines), the server serializes the result
+// onto the wire with Serialize/DeserializeQueryResult, and tests compare
+// results structurally. One source of truth for all three.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stream/linear_sketch.h"
+#include "src/util/serialize.h"
+
+namespace lps {
+
+struct QueryResult {
+  /// Wire values — never renumber, only append (the server protocol
+  /// serializes the tag).
+  enum class Type : uint8_t {
+    kSample = 1,        ///< index + value (a sampler's draw)
+    kHeavyHitters = 2,  ///< items (sorted ascending)
+    kNorm = 3,          ///< value (the norm estimate)
+    kDuplicate = 4,     ///< index (a letter appearing twice)
+    kFailed = 5,        ///< the randomized algorithm declared FAIL
+    kUnsupported = 6,   ///< the kind has no query
+  };
+
+  Type type = Type::kUnsupported;
+  /// The kind that produced the answer; drives ToText's formatting (the
+  /// L0 sampler reports an exact "value", the Lp sampler an "estimate").
+  SketchKind kind = SketchKind::kCountSketch;
+  uint64_t index = 0;            ///< kSample, kDuplicate
+  double value = 0.0;            ///< kSample (estimate), kNorm
+  std::vector<uint64_t> items;   ///< kHeavyHitters
+  std::string message;           ///< kFailed / kUnsupported diagnostic
+
+  bool ok() const { return type != Type::kFailed && type != Type::kUnsupported; }
+
+  /// The historical lps_cli line for this answer, newline-terminated —
+  /// e.g. "index 42 estimate 60.000\n" or "3 heavy hitters: 1 5 9\n".
+  /// kFailed renders as "FAIL <status>\n"; kUnsupported as the
+  /// "no query for kind '<name>'\n" diagnostic.
+  std::string ToText() const;
+
+  /// Process exit code the CLI maps this result to: 0 answered, 1 FAIL,
+  /// 2 unsupported.
+  int ExitCode() const;
+
+  bool operator==(const QueryResult& o) const;
+  bool operator!=(const QueryResult& o) const { return !(*this == o); }
+};
+
+/// Runs the kind-appropriate query. Covers every queryable kind (both
+/// sampler families, all three heavy-hitter classes, both norm
+/// estimators, the duplicate finder, the moment estimator); any other
+/// kind yields kUnsupported. NOTE: queries are logically const but not
+/// concurrency-safe on one object (cached snapshots, in-place residual
+/// estimation) — same contract as the underlying Sample()/Query().
+QueryResult Query(const LinearSketch& sketch);
+
+/// Bit-exact result encoding, shared by the server protocol.
+void SerializeQueryResult(const QueryResult& result, BitWriter* writer);
+QueryResult DeserializeQueryResult(BitReader* reader);
+
+}  // namespace lps

@@ -1,0 +1,268 @@
+#include "src/api/sketch_spec.h"
+
+#include <algorithm>
+
+#include "src/apps/moment_estimation.h"
+#include "src/core/ako_sampler.h"
+#include "src/core/fis_l0_sampler.h"
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/duplicates/positive_finder.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
+#include "src/recovery/one_sparse.h"
+#include "src/recovery/sparse_recovery.h"
+#include "src/sketch/ams_f2.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/count_sketch.h"
+#include "src/sketch/dyadic.h"
+#include "src/sketch/stable_sketch.h"
+#include "src/util/bits.h"
+
+namespace lps {
+
+namespace {
+
+// The dyadic structures take log2(universe); at least one level so the
+// degenerate n <= 2 universes still construct.
+int LogN(uint64_t n) {
+  const uint64_t clamped = std::max<uint64_t>(n, 2);
+  return std::max(1, CeilLog2(clamped));
+}
+
+int OrOne(uint32_t v) { return v == 0 ? 1 : static_cast<int>(v); }
+
+core::LpSamplerParams LpParamsFromSpec(const SketchSpec& spec) {
+  core::LpSamplerParams params;
+  params.n = std::max<uint64_t>(spec.n, 1);
+  params.p = spec.p;
+  params.eps = spec.eps;
+  params.delta = spec.delta;
+  params.repetitions = static_cast<int>(spec.repetitions);
+  params.cs_rows = static_cast<int>(spec.rows);
+  params.m = static_cast<int>(spec.buckets);
+  params.seed = spec.seed;
+  return params;
+}
+
+SketchSpec SpecFromLpParams(SketchKind kind,
+                            const core::LpSamplerParams& params) {
+  SketchSpec spec;
+  spec.kind = kind;
+  spec.n = params.n;
+  spec.p = params.p;
+  spec.eps = params.eps;
+  spec.delta = params.delta;
+  // The resolved params reproduce the same sampler whatever the original
+  // zero-valued fields were, so the round-trip pins them explicitly.
+  spec.repetitions = static_cast<uint32_t>(params.repetitions);
+  spec.rows = static_cast<uint32_t>(params.cs_rows);
+  spec.buckets = static_cast<uint32_t>(params.m);
+  spec.seed = params.seed;
+  return spec;
+}
+
+}  // namespace
+
+bool SketchSpec::operator==(const SketchSpec& o) const {
+  return kind == o.kind && n == o.n && p == o.p && eps == o.eps &&
+         delta == o.delta && phi == o.phi && rows == o.rows &&
+         buckets == o.buckets && s == o.s && repetitions == o.repetitions &&
+         seed == o.seed;
+}
+
+std::unique_ptr<LinearSketch> MakeSketch(const SketchSpec& spec) {
+  const uint64_t n = std::max<uint64_t>(spec.n, 1);
+  switch (spec.kind) {
+    case SketchKind::kCountSketch:
+      return std::make_unique<sketch::CountSketch>(
+          OrOne(spec.rows), OrOne(spec.buckets), spec.seed);
+    case SketchKind::kCountMin:
+      return std::make_unique<sketch::CountMin>(
+          OrOne(spec.rows), OrOne(spec.buckets), spec.seed);
+    case SketchKind::kAmsF2:
+      return std::make_unique<sketch::AmsF2>(OrOne(spec.rows),
+                                             OrOne(spec.buckets), spec.seed);
+    case SketchKind::kStableSketch:
+      return std::make_unique<sketch::StableSketch>(spec.p, OrOne(spec.rows),
+                                                    spec.seed);
+    case SketchKind::kDyadicCountMin:
+      return std::make_unique<sketch::DyadicCountMin>(
+          LogN(spec.n), OrOne(spec.rows), OrOne(spec.buckets), spec.seed);
+    case SketchKind::kDyadicCountSketch:
+      return std::make_unique<sketch::DyadicCountSketch>(
+          LogN(spec.n), OrOne(spec.rows), OrOne(spec.buckets), spec.seed);
+    case SketchKind::kL0Estimator:
+      return std::make_unique<norm::L0Estimator>(n, OrOne(spec.repetitions),
+                                                 spec.seed);
+    case SketchKind::kLpNormEstimator:
+      return std::make_unique<norm::LpNormEstimator>(
+          spec.p,
+          spec.rows == 0 ? norm::LpNormEstimator::DefaultRows(n)
+                         : static_cast<int>(spec.rows),
+          spec.seed);
+    case SketchKind::kOneSparse:
+      return std::make_unique<recovery::OneSparse>(n, spec.seed);
+    case SketchKind::kSparseRecovery:
+      return std::make_unique<recovery::SparseRecovery>(
+          n, std::max<uint64_t>(spec.s, 1), spec.seed);
+    case SketchKind::kLpSampler:
+      return std::make_unique<core::LpSampler>(LpParamsFromSpec(spec));
+    case SketchKind::kL0Sampler:
+      return std::make_unique<core::L0Sampler>(
+          core::L0SamplerParams{n, spec.delta, spec.s, spec.seed, false});
+    case SketchKind::kFisL0Sampler:
+      return std::make_unique<core::FisL0Sampler>(
+          n, spec.seed, static_cast<int>(spec.buckets));
+    case SketchKind::kAkoSampler:
+      return std::make_unique<core::AkoSampler>(LpParamsFromSpec(spec));
+    case SketchKind::kCsHeavyHitters: {
+      heavy::CsHeavyHitters::Params params;
+      params.n = n;
+      params.p = spec.p;
+      params.phi = spec.phi;
+      params.rows = static_cast<int>(spec.rows);
+      params.seed = spec.seed;
+      return std::make_unique<heavy::CsHeavyHitters>(params);
+    }
+    case SketchKind::kCmHeavyHitters: {
+      heavy::CmHeavyHitters::Params params;
+      params.n = n;
+      params.phi = spec.phi;
+      params.rows = static_cast<int>(spec.rows);
+      params.seed = spec.seed;
+      return std::make_unique<heavy::CmHeavyHitters>(params);
+    }
+    case SketchKind::kDyadicHeavyHitters:
+      return std::make_unique<heavy::DyadicHeavyHitters>(LogN(spec.n),
+                                                         spec.phi, spec.seed);
+    case SketchKind::kDuplicateFinder:
+      return std::make_unique<duplicates::DuplicateFinder>(
+          duplicates::DuplicateFinder::Params{
+              n, spec.delta, static_cast<int>(spec.repetitions), spec.seed});
+    case SketchKind::kSparseDuplicateFinder: {
+      duplicates::SparseDuplicateFinder::Params params;
+      params.n = n;
+      params.s = std::max<uint64_t>(spec.s, 1);
+      params.delta = spec.delta;
+      params.repetitions = static_cast<int>(spec.repetitions);
+      params.seed = spec.seed;
+      return std::make_unique<duplicates::SparseDuplicateFinder>(params);
+    }
+    case SketchKind::kPositiveFinder: {
+      duplicates::PositiveFinder::Params params;
+      params.n = n;
+      if (spec.s != 0) params.s_budget = spec.s;
+      params.delta = spec.delta;
+      params.repetitions = static_cast<int>(spec.repetitions);
+      params.seed = spec.seed;
+      return std::make_unique<duplicates::PositiveFinder>(params);
+    }
+    case SketchKind::kMomentEstimator: {
+      apps::MomentEstimator::Params params;
+      params.n = n;
+      if (spec.p > 2.0) params.p = spec.p;
+      if (spec.repetitions != 0) {
+        params.samples = static_cast<int>(spec.repetitions);
+      }
+      params.seed = spec.seed;
+      return std::make_unique<apps::MomentEstimator>(params);
+    }
+  }
+  return nullptr;
+}
+
+SketchSpec SpecOf(const LinearSketch& sketch) {
+  SketchSpec spec;
+  spec.kind = sketch.kind();
+  if (const auto* lp = dynamic_cast<const core::LpSampler*>(&sketch)) {
+    return SpecFromLpParams(SketchKind::kLpSampler, lp->params());
+  }
+  if (const auto* ako = dynamic_cast<const core::AkoSampler*>(&sketch)) {
+    return SpecFromLpParams(SketchKind::kAkoSampler, ako->params());
+  }
+  if (const auto* l0 = dynamic_cast<const core::L0Sampler*>(&sketch)) {
+    spec.n = l0->params().n;
+    spec.delta = l0->params().delta;
+    spec.s = l0->params().s;
+    spec.seed = l0->params().seed;
+    return spec;
+  }
+  if (const auto* hh = dynamic_cast<const heavy::CsHeavyHitters*>(&sketch)) {
+    spec.n = hh->params().n;
+    spec.p = hh->params().p;
+    spec.phi = hh->params().phi;
+    spec.rows = static_cast<uint32_t>(hh->params().rows);
+    spec.seed = hh->params().seed;
+    return spec;
+  }
+  if (const auto* cm = dynamic_cast<const heavy::CmHeavyHitters*>(&sketch)) {
+    spec.n = cm->params().n;
+    spec.phi = cm->params().phi;
+    spec.rows = static_cast<uint32_t>(cm->params().rows);
+    spec.seed = cm->params().seed;
+    return spec;
+  }
+  if (const auto* est = dynamic_cast<const norm::LpNormEstimator*>(&sketch)) {
+    spec.p = est->sketch().p();
+    spec.rows = static_cast<uint32_t>(est->rows());
+    spec.seed = est->sketch().seed();
+    return spec;
+  }
+  if (const auto* dup =
+          dynamic_cast<const duplicates::DuplicateFinder*>(&sketch)) {
+    spec.n = dup->params().n;
+    spec.delta = dup->params().delta;
+    spec.repetitions = static_cast<uint32_t>(dup->params().repetitions);
+    spec.seed = dup->params().seed;
+    return spec;
+  }
+  // Internal kinds: the kind tag alone is still a valid (default-sized)
+  // spec; callers that need exact reconstruction use Serialize, which
+  // carries the full parameters.
+  return spec;
+}
+
+Result<SketchKind> SketchKindFromName(const std::string& name) {
+  // SketchKindName is the single source of the names; invert it by scan
+  // (21 entries — not a hot path).
+  for (uint32_t k = 1; k <= 21; ++k) {
+    const auto kind = static_cast<SketchKind>(k);
+    if (name == SketchKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown sketch kind '" + name + "'");
+}
+
+void SerializeSpec(const SketchSpec& spec, BitWriter* writer) {
+  writer->WriteBits(static_cast<uint64_t>(spec.kind), 8);
+  writer->WriteU64(spec.n);
+  writer->WriteDouble(spec.p);
+  writer->WriteDouble(spec.eps);
+  writer->WriteDouble(spec.delta);
+  writer->WriteDouble(spec.phi);
+  writer->WriteBits(spec.rows, 32);
+  writer->WriteBits(spec.buckets, 32);
+  writer->WriteU64(spec.s);
+  writer->WriteBits(spec.repetitions, 32);
+  writer->WriteU64(spec.seed);
+}
+
+SketchSpec DeserializeSpec(BitReader* reader) {
+  SketchSpec spec;
+  spec.kind = static_cast<SketchKind>(reader->ReadBits(8));
+  spec.n = reader->ReadU64();
+  spec.p = reader->ReadDouble();
+  spec.eps = reader->ReadDouble();
+  spec.delta = reader->ReadDouble();
+  spec.phi = reader->ReadDouble();
+  spec.rows = static_cast<uint32_t>(reader->ReadBits(32));
+  spec.buckets = static_cast<uint32_t>(reader->ReadBits(32));
+  spec.s = reader->ReadU64();
+  spec.repetitions = static_cast<uint32_t>(reader->ReadBits(32));
+  spec.seed = reader->ReadU64();
+  return spec;
+}
+
+}  // namespace lps

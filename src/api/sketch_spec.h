@@ -1,0 +1,86 @@
+// SketchSpec — the one construction path for every structure in the
+// library.
+//
+// Five PRs of growth left construction scattered across per-structure
+// params structs (LpSamplerParams, CsHeavyHitters::Params, bare
+// constructor argument lists, ...). Anything that needs to *name* a
+// sketch across a boundary — the server's CREATE request, a saved spec
+// next to a snapshot, the CLI's command parsing — would have to
+// re-encode each of those shapes. SketchSpec collapses them into one
+// small, wire-encodable description:
+//
+//     SketchSpec spec;
+//     spec.kind = SketchKind::kCsHeavyHitters;
+//     spec.n = 1 << 20; spec.p = 1.0; spec.phi = 0.05; spec.seed = 42;
+//     auto sketch = MakeSketch(spec);       // any of the 21 kinds
+//     SketchSpec back = SpecOf(*sketch);    // round-trips for the
+//                                           // query-facing families
+//
+// MakeSketch is total over SketchKind: every kind constructs, with
+// zero-valued fields resolving to the same library defaults the concrete
+// params structs use. MakeEmptySketch (the Deserialize target behind
+// DeserializeAnySketch) is now a thin wrapper over MakeSketch, so the
+// wire-format dispatch, the server registry, and the CLI all construct
+// through this single registry.
+//
+// Determinism contract: MakeSketch(spec) called twice yields two
+// identically-seeded replicas (all randomness derives from spec.seed) —
+// exactly what ParallelPipeline::Add requires of its per-shard replicas.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/stream/linear_sketch.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace lps {
+
+/// One wire-encodable description of any constructible sketch. Fields a
+/// kind does not use are ignored by MakeSketch and left at their defaults
+/// by SpecOf; 0 (or 0.0) in a sized/derived field means "library
+/// default", mirroring the per-structure params structs.
+struct SketchSpec {
+  SketchKind kind = SketchKind::kLpSampler;
+  uint64_t n = 0;        ///< universe size
+  double p = 1.0;        ///< Lp parameter (samplers, norms, heavy hitters)
+  double eps = 0.5;      ///< relative-error target (Lp sampler)
+  double delta = 0.25;   ///< failure-probability target
+  double phi = 0.1;      ///< heaviness threshold (heavy hitters)
+  uint32_t rows = 0;     ///< rows / groups / reps; 0 = auto
+  uint32_t buckets = 0;  ///< row width / per-group; 0 = auto
+  uint64_t s = 0;        ///< sparsity budget (recovery, duplicates); 0 = auto
+  uint32_t repetitions = 0;  ///< parallel rounds / samples; 0 = auto
+  uint64_t seed = 0;
+
+  bool operator==(const SketchSpec& o) const;
+  bool operator!=(const SketchSpec& o) const { return !(*this == o); }
+};
+
+/// Constructs a sketch of spec.kind. Total over the enum: every kind
+/// builds (unused fields ignored, zeros resolve to library defaults);
+/// returns nullptr only for a kind value outside the enum (corrupt wire
+/// data). Two calls with equal specs produce identically-seeded replicas.
+std::unique_ptr<LinearSketch> MakeSketch(const SketchSpec& spec);
+
+/// Recovers the construction spec of a live sketch. Exact round-trip
+/// (MakeSketch(SpecOf(x)) serializes bit-identically to a reset x) for
+/// the query-facing families — the samplers, heavy hitters, norm
+/// estimators, and duplicate finders the CLI and server construct. For
+/// the remaining internal kinds the result names the kind but may leave
+/// derived fields at defaults.
+SketchSpec SpecOf(const LinearSketch& sketch);
+
+/// Inverse of SketchKindName: resolves "cs_heavy_hitters" etc. to the
+/// kind tag. Status::InvalidArgument for an unknown name.
+Result<SketchKind> SketchKindFromName(const std::string& name);
+
+/// Bit-exact spec encoding — the CREATE request payload and the header of
+/// every server snapshot go through these, so the wire format has one
+/// source of truth.
+void SerializeSpec(const SketchSpec& spec, BitWriter* writer);
+SketchSpec DeserializeSpec(BitReader* reader);
+
+}  // namespace lps

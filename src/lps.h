@@ -1,0 +1,51 @@
+// lps.h — the single public include for the library.
+//
+//     #include "src/lps.h"
+//
+// is the supported way to consume the library: it exports the stable
+// surface and nothing else. What you get:
+//
+//   Construction      SketchSpec + MakeSketch / SpecOf (one registry for
+//                     all 21 kinds), plus the concrete classes for typed
+//                     access (core::LpSampler, heavy::CsHeavyHitters, ...)
+//   Ingestion         stream::StreamDriver (single-threaded batching),
+//                     stream::ParallelPipeline (thread-per-shard runtime),
+//                     stream::WindowManager (sliding windows by
+//                     subtraction)
+//   Queries           Query(sketch) -> QueryResult, the tagged answer
+//                     type shared by the CLI, the server wire protocol,
+//                     and the examples
+//   Persistence       LinearSketch::Serialize/Deserialize,
+//                     DeserializeAnySketch, WriteBitsToFile/
+//                     ReadBitsFromFile
+//   Workloads         stream::generators + trace reading/writing, and
+//                     stream::ExactVector as the test oracle
+//
+// Deeper internal headers (src/sketch/*, src/field/*, src/recovery/*,
+// ...) remain includable but are NOT a stability surface; new code should
+// include this file only. The multi-tenant server layers live separately
+// under src/server/ — they are consumers of this surface, not part of it.
+#pragma once
+
+#include "src/api/query_result.h"
+#include "src/api/sketch_spec.h"
+#include "src/apps/moment_estimation.h"
+#include "src/core/ako_sampler.h"
+#include "src/core/fis_l0_sampler.h"
+#include "src/core/l0_sampler.h"
+#include "src/core/lp_sampler.h"
+#include "src/duplicates/duplicates.h"
+#include "src/duplicates/positive_finder.h"
+#include "src/heavy/heavy_hitters.h"
+#include "src/norm/l0_norm.h"
+#include "src/norm/lp_norm.h"
+#include "src/stream/exact_vector.h"
+#include "src/stream/generators.h"
+#include "src/stream/linear_sketch.h"
+#include "src/stream/parallel_pipeline.h"
+#include "src/stream/stream_driver.h"
+#include "src/stream/trace.h"
+#include "src/stream/update.h"
+#include "src/stream/window_manager.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"

@@ -1,0 +1,76 @@
+// Client — a blocking connection to an lps_serve daemon.
+//
+// One method per opcode, each a single request/response round trip over
+// the shared protocol codec (src/server/protocol.h) — the client
+// serializes the SAME SketchSpec/QueryResult/SnapshotBlob types the
+// library uses, so what a test materializes locally and what the server
+// answers are directly comparable, bit for bit.
+//
+// A Client is one socket and is NOT thread-safe; concurrent load (the
+// bench client, the multi-tenant tests) opens one Client per thread,
+// which also exercises the server's connection-level parallelism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/server/protocol.h"
+
+namespace lps::server {
+
+class Client {
+ public:
+  /// Connects to host:port. `host` accepts a dotted-quad IPv4 address
+  /// or "localhost".
+  static Result<Client> Connect(const std::string& host, int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// A WINDOW answer: the query result, the actual (rounded) window
+  /// bounds, and — when requested — the window sketch's serialized
+  /// state for bit-identity comparison.
+  struct WindowReply {
+    QueryResult result;
+    uint64_t start = 0;
+    uint64_t length = 0;
+    bool has_state = false;
+    std::vector<uint64_t> state_words;
+    size_t state_bits = 0;
+  };
+
+  Status Create(const std::string& tenant, const std::string& key,
+                const SketchConfig& config);
+  Result<uint64_t> Ingest(const std::string& tenant, const std::string& key,
+                          const std::vector<stream::Update>& updates);
+  Result<QueryResult> Query(const std::string& tenant, const std::string& key);
+  Result<WindowReply> Window(const std::string& tenant, const std::string& key,
+                             uint64_t w, bool want_state);
+  Result<SnapshotBlob> Snapshot(const std::string& tenant,
+                                const std::string& key);
+  Status Restore(const std::string& tenant, const std::string& key,
+                 const SnapshotBlob& blob);
+  Status Drop(const std::string& tenant, const std::string& key);
+  Result<ServerStats> Stats();
+
+  /// Escape hatch for protocol tests: sends a raw already-framed byte
+  /// sequence and reads one response frame.
+  Status SendRaw(const std::vector<uint8_t>& bytes);
+  Result<Frame> ReadReply();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One request/response exchange; unwraps error responses into a
+  /// Failed status carrying the server's message.
+  Result<Frame> RoundTrip(Opcode opcode, const BitWriter& body);
+
+  int fd_ = -1;
+};
+
+}  // namespace lps::server

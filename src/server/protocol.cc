@@ -1,0 +1,232 @@
+#include "src/server/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lps::server {
+
+namespace {
+
+// The body bit stream is carried as [u64 LE bit count][packed words LE];
+// bytes are assembled explicitly so the wire format does not depend on
+// host endianness.
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+/// Reads exactly `size` bytes. Returns the byte count actually read
+/// (short only on EOF), or -1 on a hard socket error.
+ssize_t ReadFull(int fd, uint8_t* buffer, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, buffer + done, size - done);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += size_t(n);
+  }
+  return ssize_t(done);
+}
+
+Status WriteFull(int fd, const uint8_t* buffer, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, buffer + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Failed(std::string("send: ") + std::strerror(errno));
+    }
+    done += size_t(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- payloads --
+
+void WriteString(BitWriter* writer, const std::string& s) {
+  writer->WriteBits(s.size(), 32);
+  for (char c : s) writer->WriteBits(uint8_t(c), 8);
+}
+
+std::string ReadString(BitReader* reader) {
+  const size_t size = reader->ReadBits(32);
+  std::string s;
+  s.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    s.push_back(char(uint8_t(reader->ReadBits(8))));
+  }
+  return s;
+}
+
+void WriteUpdates(BitWriter* writer, const stream::Update* updates,
+                  size_t count) {
+  writer->WriteU64(count);
+  for (size_t i = 0; i < count; ++i) {
+    writer->WriteU64(updates[i].index);
+    writer->WriteU64(uint64_t(updates[i].delta));
+  }
+}
+
+std::vector<stream::Update> ReadUpdates(BitReader* reader) {
+  const uint64_t count = reader->ReadU64();
+  std::vector<stream::Update> updates;
+  updates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    stream::Update u;
+    u.index = reader->ReadU64();
+    u.delta = int64_t(reader->ReadU64());
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+void WriteState(BitWriter* writer, const std::vector<uint64_t>& words,
+                size_t bits) {
+  writer->WriteU64(bits);
+  const size_t count = (bits + 63) / 64;
+  for (size_t i = 0; i < count; ++i) writer->WriteU64(words[i]);
+}
+
+void ReadState(BitReader* reader, std::vector<uint64_t>* words, size_t* bits) {
+  *bits = reader->ReadU64();
+  const size_t count = (*bits + 63) / 64;
+  words->clear();
+  words->reserve(count);
+  for (size_t i = 0; i < count; ++i) words->push_back(reader->ReadU64());
+}
+
+void SerializeConfig(const SketchConfig& config, BitWriter* writer) {
+  SerializeSpec(config.spec, writer);
+  writer->WriteU64(config.window_checkpoint);
+  writer->WriteU64(config.max_checkpoints);
+  writer->WriteBits(uint32_t(config.shards), 32);
+  writer->WriteBits(uint32_t(config.threads), 32);
+}
+
+SketchConfig DeserializeConfig(BitReader* reader) {
+  SketchConfig config;
+  config.spec = DeserializeSpec(reader);
+  config.window_checkpoint = reader->ReadU64();
+  config.max_checkpoints = reader->ReadU64();
+  config.shards = int32_t(uint32_t(reader->ReadBits(32)));
+  config.threads = int32_t(uint32_t(reader->ReadBits(32)));
+  return config;
+}
+
+void SerializeSnapshot(const SnapshotBlob& blob, BitWriter* writer) {
+  SerializeConfig(blob.config, writer);
+  writer->WriteU64(blob.updates_seen);
+  WriteState(writer, blob.state_words, blob.state_bits);
+}
+
+SnapshotBlob DeserializeSnapshot(BitReader* reader) {
+  SnapshotBlob blob;
+  blob.config = DeserializeConfig(reader);
+  blob.updates_seen = reader->ReadU64();
+  ReadState(reader, &blob.state_words, &blob.state_bits);
+  return blob;
+}
+
+void SerializeStats(const ServerStats& stats, BitWriter* writer) {
+  writer->WriteU64(stats.tenants);
+  writer->WriteU64(stats.updates);
+  writer->WriteU64(stats.ingests);
+  writer->WriteU64(stats.queries);
+  writer->WriteU64(stats.snapshots);
+}
+
+ServerStats DeserializeStats(BitReader* reader) {
+  ServerStats stats;
+  stats.tenants = reader->ReadU64();
+  stats.updates = reader->ReadU64();
+  stats.ingests = reader->ReadU64();
+  stats.queries = reader->ReadU64();
+  stats.snapshots = reader->ReadU64();
+  return stats;
+}
+
+// --------------------------------------------------------------- framing --
+
+std::vector<uint8_t> EncodeFrame(uint8_t first, const BitWriter& body) {
+  const std::vector<uint64_t>& words = body.words();
+  const size_t word_count = (body.bit_count() + 63) / 64;
+  const uint32_t payload = uint32_t(1 + 8 + 8 * word_count);
+  std::vector<uint8_t> out;
+  out.reserve(4 + payload);
+  PutU32(&out, payload);
+  out.push_back(first);
+  PutU64(&out, body.bit_count());
+  for (size_t i = 0; i < word_count; ++i) PutU64(&out, words[i]);
+  return out;
+}
+
+Result<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
+  if (size < 1 + 8) {
+    return Status::InvalidArgument("frame payload shorter than its header");
+  }
+  const uint8_t first = payload[0];
+  const uint64_t bit_count = GetU64(payload + 1);
+  const size_t word_count = size_t((bit_count + 63) / 64);
+  if (size < 1 + 8 + 8 * word_count) {
+    return Status::InvalidArgument("frame body truncated");
+  }
+  std::vector<uint64_t> words;
+  words.reserve(word_count);
+  for (size_t i = 0; i < word_count; ++i) {
+    words.push_back(GetU64(payload + 1 + 8 + 8 * i));
+  }
+  return Frame{first, BitReader(std::move(words), size_t(bit_count))};
+}
+
+Status WriteFrame(int fd, uint8_t first, const BitWriter& body) {
+  const std::vector<uint8_t> bytes = EncodeFrame(first, body);
+  return WriteFull(fd, bytes.data(), bytes.size());
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_bytes) {
+  uint8_t header[4];
+  const ssize_t got = ReadFull(fd, header, sizeof(header));
+  if (got < 0) {
+    return Status::Failed(std::string("read: ") + std::strerror(errno));
+  }
+  if (got == 0) return Status::Failed("eof");
+  if (size_t(got) < sizeof(header)) {
+    return Status::InvalidArgument("truncated length prefix");
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) length |= uint32_t(header[i]) << (8 * i);
+  if (length > max_bytes) {
+    return Status::InvalidArgument("frame length exceeds limit");
+  }
+  std::vector<uint8_t> payload(length);
+  const ssize_t body = ReadFull(fd, payload.data(), payload.size());
+  if (body < 0) {
+    return Status::Failed(std::string("read: ") + std::strerror(errno));
+  }
+  if (size_t(body) < payload.size()) {
+    return Status::InvalidArgument("frame payload truncated");
+  }
+  return DecodeFramePayload(payload.data(), payload.size());
+}
+
+}  // namespace lps::server

@@ -1,0 +1,150 @@
+// Wire protocol of the multi-tenant sketch server (lps_serve).
+//
+// One frame = one request or one response:
+//
+//     [u32 LE payload length] [payload bytes]
+//     payload[0]   = opcode (requests) / status byte (responses: 0 = ok,
+//                    1 = error)
+//     payload[1..] = body, a BitWriter bit stream: u64 LE bit count,
+//                    then ceil(bits/64) packed 64-bit words, LE
+//
+// The body re-uses the library's bit-exact serialization layer, so the
+// payloads carry the SAME unified types the library and CLI consume:
+// CREATE ships a SketchSpec (SerializeSpec), QUERY/WINDOW answers ship a
+// QueryResult (SerializeQueryResult), and SNAPSHOT/RESTORE ship the
+// LinearSketch::Serialize state verbatim. The wire format has one source
+// of truth — there is no server-only re-encoding of any library type.
+//
+// Framing errors are the connection's problem, not the daemon's: a
+// length prefix above kMaxFrameBytes, a truncated payload, or an unknown
+// opcode must never bring the server down (tests/server_test.cc shoots
+// all three at a live server). Oversized/truncated frames close the
+// connection (the stream is unsynchronized beyond them); an unknown
+// opcode inside a well-formed frame gets an error response and the
+// connection lives on.
+//
+// This header is shared VERBATIM by the server, the Client class, the
+// lps_bench_client load generator, and the loopback tests — the codec
+// exists exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/query_result.h"
+#include "src/api/sketch_spec.h"
+#include "src/stream/update.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace lps::server {
+
+/// Wire values — never renumber, only append.
+enum class Opcode : uint8_t {
+  kCreate = 1,    ///< register tenant/key with a SketchSpec + topology
+  kIngest = 2,    ///< push a batch of updates into tenant/key's stream
+  kQuery = 3,     ///< whole-stream QueryResult
+  kWindow = 4,    ///< QueryResult over the trailing w updates
+  kSnapshot = 5,  ///< full serialized state (restorable blob)
+  kRestore = 6,   ///< recreate tenant/key from a snapshot blob
+  kDrop = 7,      ///< forget tenant/key
+  kStats = 8,     ///< server-wide counters
+};
+
+/// Response status byte.
+inline constexpr uint8_t kStatusOk = 0;
+inline constexpr uint8_t kStatusError = 1;
+
+/// Hard ceiling on a frame payload. Large enough for a multi-megabyte
+/// serialized lp_sampler snapshot, small enough that a hostile length
+/// prefix cannot make the server allocate unbounded memory.
+inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Default TCP port of lps_serve (0 asks the kernel for an ephemeral
+/// port, which Server::port() reports — the test/bench path).
+inline constexpr int kDefaultPort = 4321;
+
+// ------------------------------------------------------------ payloads --
+
+/// Everything CREATE needs beyond the spec: the per-tenant ingestion
+/// topology and the sliding-window configuration. Serialized inside
+/// CREATE requests and snapshot blobs.
+struct SketchConfig {
+  SketchSpec spec;
+  /// 0 disables windowing; otherwise the WindowManager checkpoint
+  /// interval (window starts round down to multiples of this).
+  uint64_t window_checkpoint = 0;
+  /// Checkpoint ring bound; 0 = unbounded.
+  uint64_t max_checkpoints = 0;
+  /// ParallelPipeline topology for this tenant's stream. shards == 1 &&
+  /// threads == 0 ingests inline on the serving thread.
+  int32_t shards = 1;
+  int32_t threads = 0;
+};
+
+void SerializeConfig(const SketchConfig& config, BitWriter* writer);
+SketchConfig DeserializeConfig(BitReader* reader);
+
+/// A restorable snapshot: the config to rebuild the entry and the
+/// LinearSketch::Serialize state of the whole-prefix sketch. What
+/// SNAPSHOT returns and RESTORE accepts; also what clients persist to
+/// disk between daemon generations.
+struct SnapshotBlob {
+  SketchConfig config;
+  uint64_t updates_seen = 0;
+  std::vector<uint64_t> state_words;
+  size_t state_bits = 0;
+};
+
+void SerializeSnapshot(const SnapshotBlob& blob, BitWriter* writer);
+SnapshotBlob DeserializeSnapshot(BitReader* reader);
+
+/// Server-wide counters answered by STATS.
+struct ServerStats {
+  uint64_t tenants = 0;   ///< live tenant/key entries
+  uint64_t updates = 0;   ///< stream updates ingested since boot
+  uint64_t ingests = 0;   ///< INGEST requests served
+  uint64_t queries = 0;   ///< QUERY + WINDOW requests served
+  uint64_t snapshots = 0; ///< SNAPSHOT requests served
+};
+
+void SerializeStats(const ServerStats& stats, BitWriter* writer);
+ServerStats DeserializeStats(BitReader* reader);
+
+// Small shared primitives the payload structs compose.
+void WriteString(BitWriter* writer, const std::string& s);
+std::string ReadString(BitReader* reader);
+void WriteUpdates(BitWriter* writer, const stream::Update* updates,
+                  size_t count);
+std::vector<stream::Update> ReadUpdates(BitReader* reader);
+/// A nested bit stream (serialized sketch state): u64 bit count + words.
+void WriteState(BitWriter* writer, const std::vector<uint64_t>& words,
+                size_t bits);
+void ReadState(BitReader* reader, std::vector<uint64_t>* words, size_t* bits);
+
+// -------------------------------------------------------------- framing --
+
+/// A decoded frame: the leading opcode/status byte plus an owning reader
+/// over the body bit stream.
+struct Frame {
+  uint8_t first = 0;
+  BitReader body;
+};
+
+/// Encodes [length][first][body] into a contiguous byte buffer ready for
+/// a single write.
+std::vector<uint8_t> EncodeFrame(uint8_t first, const BitWriter& body);
+
+/// Decodes a payload (everything after the length prefix) into a Frame.
+/// Fails on an empty payload or a malformed body header.
+Result<Frame> DecodeFramePayload(const uint8_t* payload, size_t size);
+
+/// Blocking frame I/O over a connected socket. ReadFrame returns
+/// InvalidArgument for protocol violations (length prefix above
+/// max_bytes, truncated payload) and Failed("eof") for a clean peer
+/// close before any byte of a frame.
+Status WriteFrame(int fd, uint8_t first, const BitWriter& body);
+Result<Frame> ReadFrame(int fd, uint32_t max_bytes = kMaxFrameBytes);
+
+}  // namespace lps::server

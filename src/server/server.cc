@@ -1,0 +1,318 @@
+#include "src/server/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lps::server {
+
+// --------------------------------------------------------------- Outbox --
+
+void Server::Outbox::Push(std::vector<uint8_t> frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_push_.wait(lock,
+                 [&] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return;
+  queue_.push_back(std::move(frame));
+  can_pop_.notify_one();
+}
+
+bool Server::Outbox::Pop(std::vector<uint8_t>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  can_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  can_push_.notify_one();
+  return true;
+}
+
+void Server::Outbox::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+// --------------------------------------------------------------- Server --
+
+Server::Server(Options options) : options_(options) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Failed(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(uint16_t(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::Failed(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status status =
+        Status::Failed(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = int(ntohs(bound.sin_port));
+
+  listen_fd_.store(fd);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  const bool was_running = running_.exchange(false);
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() unblocks a blocked accept(); close() finishes the fd.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+    connection->outbox.Close();
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+    ::close(connection->fd);
+  }
+  (void)was_running;
+}
+
+void Server::AcceptLoop() {
+  while (running_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;  // Stop() already retired the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto connection =
+        std::make_unique<Connection>(fd, options_.outbox_capacity);
+    Connection* raw = connection.get();
+    raw->reader = std::thread([this, raw] { ReaderMain(raw); });
+    raw->writer = std::thread([this, raw] { WriterMain(raw); });
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+    ReapFinished();
+  }
+}
+
+void Server::ReapFinished() {
+  // Caller holds connections_mutex_.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* connection = it->get();
+    if (connection->done.load()) {
+      if (connection->reader.joinable()) connection->reader.join();
+      if (connection->writer.joinable()) connection->writer.join();
+      ::close(connection->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ReaderMain(Connection* connection) {
+  while (running_.load()) {
+    Result<Frame> frame = ReadFrame(connection->fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // A protocol violation (oversized prefix, truncated payload)
+      // leaves the stream unsynchronized: answer once, then close.
+      // EOF/read errors just close.
+      if (frame.status().code() == Code::kInvalidArgument) {
+        SendError(connection, frame.status().message());
+      }
+      break;
+    }
+    if (!HandleFrame(connection, std::move(frame.value()))) break;
+  }
+  connection->outbox.Close();
+  // Wake the writer if it is mid-send on a dead peer, and mark the
+  // connection reapable once the writer drains.
+  ::shutdown(connection->fd, SHUT_RD);
+}
+
+void Server::WriterMain(Connection* connection) {
+  std::vector<uint8_t> bytes;
+  while (connection->outbox.Pop(&bytes)) {
+    size_t done = 0;
+    bool failed = false;
+    while (done < bytes.size()) {
+      const ssize_t n = ::send(connection->fd, bytes.data() + done,
+                               bytes.size() - done, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed = true;
+        break;
+      }
+      done += size_t(n);
+    }
+    if (failed) {
+      // Peer is gone: unblock the reader and stop draining.
+      ::shutdown(connection->fd, SHUT_RDWR);
+      break;
+    }
+  }
+  // The outbox only closes once the reader has exited, so every reply is
+  // on the wire: signal EOF to the peer (the fd itself is closed when the
+  // connection is reaped or the server stops).
+  ::shutdown(connection->fd, SHUT_WR);
+  connection->done.store(true);
+}
+
+void Server::SendOk(Connection* connection, const BitWriter& body) {
+  connection->outbox.Push(EncodeFrame(kStatusOk, body));
+}
+
+void Server::SendError(Connection* connection, const std::string& message) {
+  BitWriter body;
+  WriteString(&body, message);
+  connection->outbox.Push(EncodeFrame(kStatusError, body));
+}
+
+bool Server::HandleFrame(Connection* connection, Frame frame) {
+  BitReader& body = frame.body;
+  switch (Opcode(frame.first)) {
+    case Opcode::kCreate: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const SketchConfig config = DeserializeConfig(&body);
+      const Status status = registry_.Create(tenant, key, config);
+      if (!status.ok()) {
+        SendError(connection, status.message());
+      } else {
+        SendOk(connection, BitWriter());
+      }
+      return true;
+    }
+    case Opcode::kIngest: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const std::vector<stream::Update> updates = ReadUpdates(&body);
+      const Status status = registry_.Ingest(tenant, key, updates);
+      if (!status.ok()) {
+        SendError(connection, status.message());
+      } else {
+        BitWriter reply;
+        reply.WriteU64(updates.size());
+        SendOk(connection, reply);
+      }
+      return true;
+    }
+    case Opcode::kQuery: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const Result<QueryResult> result = registry_.Query(tenant, key);
+      if (!result.ok()) {
+        SendError(connection, result.status().message());
+      } else {
+        BitWriter reply;
+        SerializeQueryResult(*result, &reply);
+        SendOk(connection, reply);
+      }
+      return true;
+    }
+    case Opcode::kWindow: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const uint64_t w = body.ReadU64();
+      const bool want_state = body.ReadBits(8) != 0;
+      Result<TenantRegistry::WindowAnswer> answer =
+          registry_.Window(tenant, key, w, want_state);
+      if (!answer.ok()) {
+        SendError(connection, answer.status().message());
+      } else {
+        BitWriter reply;
+        SerializeQueryResult(answer->result, &reply);
+        reply.WriteU64(answer->start);
+        reply.WriteU64(answer->length);
+        reply.WriteBits(want_state ? 1 : 0, 8);
+        if (want_state) {
+          WriteState(&reply, answer.value().state_words,
+                     answer.value().state_bits);
+        }
+        SendOk(connection, reply);
+      }
+      return true;
+    }
+    case Opcode::kSnapshot: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const Result<SnapshotBlob> blob = registry_.Snapshot(tenant, key);
+      if (!blob.ok()) {
+        SendError(connection, blob.status().message());
+      } else {
+        BitWriter reply;
+        SerializeSnapshot(*blob, &reply);
+        SendOk(connection, reply);
+      }
+      return true;
+    }
+    case Opcode::kRestore: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const SnapshotBlob blob = DeserializeSnapshot(&body);
+      const Status status = registry_.Restore(tenant, key, blob);
+      if (!status.ok()) {
+        SendError(connection, status.message());
+      } else {
+        SendOk(connection, BitWriter());
+      }
+      return true;
+    }
+    case Opcode::kDrop: {
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const Status status = registry_.Drop(tenant, key);
+      if (!status.ok()) {
+        SendError(connection, status.message());
+      } else {
+        SendOk(connection, BitWriter());
+      }
+      return true;
+    }
+    case Opcode::kStats: {
+      BitWriter reply;
+      SerializeStats(registry_.Stats(), &reply);
+      SendOk(connection, reply);
+      return true;
+    }
+  }
+  // Well-formed frame, unknown opcode: report and keep serving — the
+  // stream is still synchronized.
+  SendError(connection,
+            "unknown opcode " + std::to_string(int(frame.first)));
+  return true;
+}
+
+}  // namespace lps::server

@@ -1,0 +1,133 @@
+// Server — the TCP transport of lps_serve.
+//
+// Threading model (the classic reader/writer-thread shape used by
+// high-throughput pipeline tools): one accept thread owns the listening
+// socket; each accepted connection gets
+//
+//   - a READER thread: reads length-prefixed frames, decodes the
+//     request, calls the matching TenantRegistry method, and pushes the
+//     encoded response into the connection's outbox;
+//   - a WRITER thread: the only thread that writes the socket, draining
+//     the outbox in order. The outbox is a BOUNDED queue — a client
+//     that stops reading its responses eventually blocks its own reader
+//     thread (per-connection backpressure) instead of growing server
+//     memory.
+//
+// Responses therefore leave in request order, and no lock is held
+// across socket I/O. Cross-tenant parallelism comes from the registry's
+// entry-level locking: N connections ingesting into N tenants proceed
+// concurrently, serialized only per stream.
+//
+// Failure containment: a malformed frame must never take the daemon
+// down. An oversized length prefix or truncated payload makes the byte
+// stream unsynchronized — the connection gets a best-effort error frame
+// and is closed; an unknown opcode inside a well-formed frame gets an
+// error response and the connection continues. Registry-level errors
+// (unknown tenant, duplicate CREATE, ...) are ordinary error responses.
+// Other connections are never affected; tests/server_test.cc drives all
+// of these against a live server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/server/tenant_registry.h"
+
+namespace lps::server {
+
+class Server {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 asks the kernel for an
+    /// ephemeral port (tests/bench), reported by port() after Start().
+    int port = 0;
+    /// Bound on queued responses per connection before the reader
+    /// blocks (backpressure against clients that stop reading).
+    size_t outbox_capacity = 64;
+    /// Frame payload ceiling handed to ReadFrame.
+    uint32_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. InvalidArgument /
+  /// Failed on socket errors (e.g. port in use).
+  Status Start();
+
+  /// Shuts down every connection, joins every thread, closes the
+  /// listener. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The actually bound port (resolves port 0 after Start()).
+  int port() const { return port_; }
+
+  TenantRegistry& registry() { return registry_; }
+
+ private:
+  /// Bounded FIFO of encoded response frames, closed on teardown.
+  class Outbox {
+   public:
+    explicit Outbox(size_t capacity) : capacity_(capacity) {}
+
+    /// Blocks while full; drops the frame if the outbox was closed.
+    void Push(std::vector<uint8_t> frame);
+    /// Blocks while empty; false once closed and drained.
+    bool Pop(std::vector<uint8_t>* out);
+    void Close();
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable can_push_;
+    std::condition_variable can_pop_;
+    std::deque<std::vector<uint8_t>> queue_;
+    size_t capacity_;
+    bool closed_ = false;
+  };
+
+  struct Connection {
+    explicit Connection(int fd_in, size_t outbox_capacity)
+        : fd(fd_in), outbox(outbox_capacity) {}
+    int fd;
+    Outbox outbox;
+    std::thread reader;
+    std::thread writer;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ReaderMain(Connection* connection);
+  void WriterMain(Connection* connection);
+  /// Decodes and executes one request, enqueueing exactly one response.
+  /// Returns false when the connection must close (unsynchronized
+  /// stream).
+  bool HandleFrame(Connection* connection, Frame frame);
+  void SendOk(Connection* connection, const BitWriter& body);
+  void SendError(Connection* connection, const std::string& message);
+  /// Joins and erases finished connections (called from the accept
+  /// loop so long-lived servers do not accumulate dead threads).
+  void ReapFinished();
+
+  Options options_;
+  TenantRegistry registry_;
+  /// Atomic: the accept loop re-reads it per iteration while Stop()
+  /// (another thread) swaps in -1 before closing the socket.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace lps::server

@@ -1,0 +1,266 @@
+#include "src/server/tenant_registry.h"
+
+#include <utility>
+
+namespace lps::server {
+
+namespace {
+
+// Low 16 bits of every serialized sketch ("LS"), used to pre-validate
+// snapshot blobs with a plain integer test — the BitReader/Deserialize
+// path CHECK-aborts on corrupt state, which a daemon must not do on
+// behalf of a client.
+constexpr uint64_t kSketchMagic = 0x4C53;
+
+}  // namespace
+
+Result<std::shared_ptr<TenantRegistry::Entry>> TenantRegistry::BuildEntry(
+    const SketchConfig& config) {
+  if (config.shards < 1 || config.shards > 1024) {
+    return Status::InvalidArgument("shards must be in [1, 1024]");
+  }
+  if (config.threads < 0 || config.threads > 1024) {
+    return Status::InvalidArgument("threads must be in [0, 1024]");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->config = config;
+  entry->replicas.reserve(size_t(config.shards));
+  for (int32_t s = 0; s < config.shards; ++s) {
+    auto replica = MakeSketch(config.spec);
+    if (replica == nullptr) {
+      return Status::InvalidArgument("unknown sketch kind");
+    }
+    entry->replicas.push_back(std::move(replica));
+  }
+  if (config.shards > 1 || config.threads > 0) {
+    stream::ParallelPipeline::Options options;
+    options.shards = config.shards;
+    options.threads = config.threads;
+    entry->pipeline =
+        std::make_unique<stream::ParallelPipeline>(options);
+    std::vector<LinearSketch*> raw;
+    raw.reserve(entry->replicas.size());
+    for (const auto& replica : entry->replicas) raw.push_back(replica.get());
+    entry->pipeline->Add("sketch", std::move(raw));
+  }
+  return entry;
+}
+
+std::shared_ptr<TenantRegistry::Entry> TenantRegistry::Find(
+    const std::string& tenant, const std::string& key) {
+  const std::string map_key = MapKey(tenant, key);
+  MapShard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(map_key);
+  return it == shard.entries.end() ? nullptr : it->second;
+}
+
+Status TenantRegistry::Create(const std::string& tenant,
+                              const std::string& key,
+                              const SketchConfig& config) {
+  auto built = BuildEntry(config);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<Entry> entry = *built;
+  if (config.window_checkpoint > 0) {
+    stream::WindowManager::Options options;
+    options.checkpoint_interval = config.window_checkpoint;
+    options.max_checkpoints = size_t(config.max_checkpoints);
+    entry->window = std::make_unique<stream::WindowManager>(
+        entry->replicas[0].get(), options);
+  }
+  const std::string map_key = MapKey(tenant, key);
+  MapShard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!shard.entries.emplace(map_key, std::move(entry)).second) {
+    return Status::InvalidArgument("sketch already exists: " + tenant + "/" +
+                                   key);
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::Ingest(const std::string& tenant,
+                              const std::string& key,
+                              const std::vector<stream::Update>& updates) {
+  auto entry = Find(tenant, key);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->pipeline != nullptr) {
+    if (entry->window != nullptr) {
+      // Close pipeline epochs exactly at checkpoint boundaries so the
+      // sealed positions match a single-process WindowManager fed the
+      // same stream (the bit-identity contract).
+      const uint64_t interval = entry->window->checkpoint_interval();
+      const stream::Update* cursor = updates.data();
+      size_t remaining = updates.size();
+      while (remaining > 0) {
+        const uint64_t room = interval - entry->epoch_fill;
+        const size_t chunk = size_t(remaining < room ? remaining : room);
+        entry->pipeline->Drive(cursor, chunk);
+        entry->epoch_fill += chunk;
+        cursor += chunk;
+        remaining -= chunk;
+        if (entry->epoch_fill == interval) {
+          entry->pipeline->MergeShards();
+          entry->window->SealEpoch(interval);
+          entry->epoch_fill = 0;
+        }
+      }
+    } else {
+      entry->pipeline->Drive(updates.data(), updates.size());
+      entry->epoch_fill += updates.size();
+    }
+  } else if (entry->window != nullptr) {
+    entry->window->PushBatch(updates.data(), updates.size());
+  } else {
+    entry->replicas[0]->UpdateBatch(updates.data(), updates.size());
+  }
+  entry->updates_seen += updates.size();
+  updates_.fetch_add(updates.size(), std::memory_order_relaxed);
+  ingests_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TenantRegistry::Quiesce(Entry* entry) {
+  if (entry->pipeline == nullptr || entry->epoch_fill == 0) return;
+  entry->pipeline->MergeShards();
+  if (entry->window != nullptr) {
+    entry->window->SealEpoch(entry->epoch_fill);
+  }
+  entry->epoch_fill = 0;
+}
+
+Result<QueryResult> TenantRegistry::Query(const std::string& tenant,
+                                          const std::string& key) {
+  auto entry = Find(tenant, key);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  Quiesce(entry.get());
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return lps::Query(*entry->replicas[0]);
+}
+
+Result<TenantRegistry::WindowAnswer> TenantRegistry::Window(
+    const std::string& tenant, const std::string& key, uint64_t w,
+    bool want_state) {
+  auto entry = Find(tenant, key);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  if (entry->window == nullptr) {
+    return Status::InvalidArgument("windowing not enabled for " + tenant +
+                                   "/" + key);
+  }
+  Quiesce(entry.get());
+  stream::WindowManager::Window window = entry->window->WindowSketch(w);
+  WindowAnswer answer;
+  answer.result = lps::Query(*window.sketch);
+  answer.start = window.start;
+  answer.length = window.length;
+  if (want_state) {
+    BitWriter writer;
+    window.sketch->Serialize(&writer);
+    answer.state_words = writer.words();
+    answer.state_bits = writer.bit_count();
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+Result<SnapshotBlob> TenantRegistry::Snapshot(const std::string& tenant,
+                                              const std::string& key) {
+  auto entry = Find(tenant, key);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  Quiesce(entry.get());
+  SnapshotBlob blob;
+  blob.config = entry->config;
+  blob.updates_seen = entry->updates_seen;
+  BitWriter writer;
+  entry->replicas[0]->Serialize(&writer);
+  blob.state_words = writer.words();
+  blob.state_bits = writer.bit_count();
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return blob;
+}
+
+Status TenantRegistry::Restore(const std::string& tenant,
+                               const std::string& key,
+                               const SnapshotBlob& blob) {
+  // Pre-validate the state head with plain integer tests: Deserialize
+  // CHECK-aborts on corrupt state, which must stay unreachable from the
+  // wire.
+  if (blob.state_bits < 32 || blob.state_words.empty() ||
+      blob.state_words.size() < (blob.state_bits + 63) / 64) {
+    return Status::InvalidArgument("snapshot state truncated");
+  }
+  const uint64_t head = blob.state_words[0];
+  if ((head & 0xFFFF) != kSketchMagic) {
+    return Status::InvalidArgument("snapshot state is not a serialized sketch");
+  }
+  const auto state_kind = uint32_t((head >> 16) & 0xFF);
+  if (state_kind != uint32_t(blob.config.spec.kind)) {
+    return Status::InvalidArgument(
+        "snapshot state kind does not match its config");
+  }
+  const auto version = uint32_t((head >> 24) & 0xFF);
+  if (version < 1 || version > kSketchFormatVersion) {
+    return Status::InvalidArgument("snapshot state version unsupported");
+  }
+
+  auto built = BuildEntry(blob.config);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<Entry> entry = *built;
+  BitReader reader(blob.state_words, blob.state_bits);
+  entry->replicas[0]->Deserialize(&reader);
+  entry->updates_seen = blob.updates_seen;
+  // Attach windowing AFTER the restore so the restored prefix becomes
+  // checkpoint position 0: the snapshot is the stream's new origin, and
+  // windows reach back at most to the restore point.
+  if (blob.config.window_checkpoint > 0) {
+    stream::WindowManager::Options options;
+    options.checkpoint_interval = blob.config.window_checkpoint;
+    options.max_checkpoints = size_t(blob.config.max_checkpoints);
+    entry->window = std::make_unique<stream::WindowManager>(
+        entry->replicas[0].get(), options);
+  }
+  const std::string map_key = MapKey(tenant, key);
+  MapShard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!shard.entries.emplace(map_key, std::move(entry)).second) {
+    return Status::InvalidArgument("sketch already exists: " + tenant + "/" +
+                                   key);
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::Drop(const std::string& tenant, const std::string& key) {
+  const std::string map_key = MapKey(tenant, key);
+  MapShard& shard = ShardFor(map_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.erase(map_key) == 0) {
+    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  return Status::OK();
+}
+
+ServerStats TenantRegistry::Stats() const {
+  ServerStats stats;
+  for (const MapShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.tenants += shard.entries.size();
+  }
+  stats.updates = updates_.load(std::memory_order_relaxed);
+  stats.ingests = ingests_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace lps::server

@@ -1,0 +1,159 @@
+// TenantRegistry — the named-sketch store behind lps_serve.
+//
+// Each (tenant, key) pair owns one logical sketch plus its ingestion
+// topology: k identically-seeded replicas (built through the MakeSketch
+// registry from the CREATE request's SketchSpec), optionally a
+// ParallelPipeline driving them from worker threads, optionally a
+// WindowManager giving the stream trailing-window queries by sketch
+// subtraction. The registry is the only layer that knows how those
+// existing runtimes compose — the transport layer above it just decodes
+// frames and calls one method per opcode.
+//
+// Concurrency model (two levels, both sized for many tenants):
+//
+//   - The map from "tenant\0key" to entries is sharded across
+//     kLockShards independently locked submaps, so CREATE/DROP/lookup
+//     traffic for different tenants rarely contends. Lookups copy the
+//     shared_ptr and release the shard lock immediately.
+//   - Each entry has its own mutex serializing ingest/query/snapshot on
+//     that one stream — exactly the external serialization the
+//     ParallelPipeline producer side and the WindowManager demand. Two
+//     tenants never share an entry lock, so 64 tenants ingest on 64
+//     connections with no shared mutable state beyond the stats
+//     counters (atomics). DROP under a concurrent operation is safe:
+//     the operation's shared_ptr keeps the entry alive until it
+//     returns.
+//
+// Epoch sealing (how WINDOW composes with a pipeline): replica 0 holds
+// the whole prefix only after MergeShards(), so checkpoints are sealed
+// at epoch boundaries. Ingest drives checkpoint-interval-sized chunks
+// and closes an epoch (MergeShards + SealEpoch) exactly at each
+// boundary — therefore a server-side stream and a single-process
+// WindowManager fed the same updates seal checkpoints at the SAME
+// positions, and for exact-arithmetic kinds the materialized windows
+// are bit-identical (tests/server_test.cc proves it against a solo
+// WindowManager). Queries arriving mid-epoch quiesce first: the partial
+// epoch is merged and sealed, which may add a checkpoint at an
+// unaligned position — window starts then round to it, never past it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/query_result.h"
+#include "src/server/protocol.h"
+#include "src/stream/linear_sketch.h"
+#include "src/stream/parallel_pipeline.h"
+#include "src/stream/update.h"
+#include "src/stream/window_manager.h"
+#include "src/util/status.h"
+
+namespace lps::server {
+
+class TenantRegistry {
+ public:
+  /// A materialized window answer: the query result plus the actual
+  /// window bounds after checkpoint rounding. want_state additionally
+  /// returns the window sketch's full serialized state, so a client can
+  /// compare bit-for-bit against a locally materialized window.
+  struct WindowAnswer {
+    QueryResult result;
+    uint64_t start = 0;
+    uint64_t length = 0;
+    std::vector<uint64_t> state_words;
+    size_t state_bits = 0;
+  };
+
+  TenantRegistry() = default;
+
+  /// Registers (tenant, key). InvalidArgument if it already exists, the
+  /// spec's kind is unknown, or the topology is malformed.
+  Status Create(const std::string& tenant, const std::string& key,
+                const SketchConfig& config);
+
+  /// Appends a batch of updates to the stream. Routed through the
+  /// entry's pipeline when one is configured, else applied inline;
+  /// window checkpoints are sealed at exact checkpoint_interval
+  /// positions either way.
+  Status Ingest(const std::string& tenant, const std::string& key,
+                const std::vector<stream::Update>& updates);
+
+  /// Whole-stream query: quiesces any open pipeline epoch, then answers
+  /// from replica 0 with the same unified QueryResult the CLI prints.
+  Result<QueryResult> Query(const std::string& tenant, const std::string& key);
+
+  /// Trailing-window query over (at least) the last `w` updates.
+  /// InvalidArgument when the entry was created without windowing.
+  Result<WindowAnswer> Window(const std::string& tenant,
+                              const std::string& key, uint64_t w,
+                              bool want_state);
+
+  /// Full restorable state of the stream (config + serialized sketch).
+  Result<SnapshotBlob> Snapshot(const std::string& tenant,
+                                const std::string& key);
+
+  /// Recreates (tenant, key) from a snapshot, e.g. after a daemon
+  /// restart. The restored state becomes the stream's new origin for
+  /// windowing (checkpoint position 0). InvalidArgument if the key is
+  /// live or the blob's state does not match its declared kind.
+  Status Restore(const std::string& tenant, const std::string& key,
+                 const SnapshotBlob& blob);
+
+  Status Drop(const std::string& tenant, const std::string& key);
+
+  ServerStats Stats() const;
+
+ private:
+  /// One (tenant, key) stream. Member order matters for destruction:
+  /// the pipeline references the replicas and the window manager
+  /// references replica 0, so both must die before `replicas` does.
+  struct Entry {
+    std::mutex mutex;
+    SketchConfig config;
+    std::vector<std::unique_ptr<LinearSketch>> replicas;
+    std::unique_ptr<stream::ParallelPipeline> pipeline;  // null = inline
+    std::unique_ptr<stream::WindowManager> window;       // null = no windows
+    uint64_t updates_seen = 0;
+    /// Updates driven into the pipeline since the last MergeShards —
+    /// replica 0 lags the stream by exactly this many.
+    uint64_t epoch_fill = 0;
+  };
+
+  struct MapShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries;
+  };
+
+  static constexpr size_t kLockShards = 16;
+
+  static std::string MapKey(const std::string& tenant, const std::string& key) {
+    return tenant + '\0' + key;
+  }
+  MapShard& ShardFor(const std::string& map_key) {
+    return shards_[std::hash<std::string>()(map_key) % kLockShards];
+  }
+  std::shared_ptr<Entry> Find(const std::string& tenant,
+                              const std::string& key);
+
+  /// Builds an entry's replicas/pipeline/window from its config.
+  /// Returns InvalidArgument without mutating the registry on a bad
+  /// config. The new entry is NOT yet inserted.
+  Result<std::shared_ptr<Entry>> BuildEntry(const SketchConfig& config);
+
+  /// Closes the open pipeline epoch (if any) so replica 0 holds the
+  /// whole prefix and the window manager's position is current. Caller
+  /// holds the entry mutex.
+  void Quiesce(Entry* entry);
+
+  MapShard shards_[kLockShards];
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> ingests_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> snapshots_{0};
+};
+
+}  // namespace lps::server

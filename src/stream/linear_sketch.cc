@@ -1,25 +1,9 @@
 #include "src/stream/linear_sketch.h"
 
-// The MakeEmptySketch factory is the one place that names every concrete
-// LinearSketch, so the wire-format dispatch stays in the library instead
-// of being re-written (and drifting) in each tool.
-#include "src/apps/moment_estimation.h"
-#include "src/core/ako_sampler.h"
-#include "src/core/fis_l0_sampler.h"
-#include "src/core/l0_sampler.h"
-#include "src/core/lp_sampler.h"
-#include "src/duplicates/duplicates.h"
-#include "src/duplicates/positive_finder.h"
-#include "src/heavy/heavy_hitters.h"
-#include "src/norm/l0_norm.h"
-#include "src/norm/lp_norm.h"
-#include "src/recovery/one_sparse.h"
-#include "src/recovery/sparse_recovery.h"
-#include "src/sketch/ams_f2.h"
-#include "src/sketch/count_min.h"
-#include "src/sketch/count_sketch.h"
-#include "src/sketch/dyadic.h"
-#include "src/sketch/stable_sketch.h"
+// Construction is delegated to the MakeSketch registry (the one place
+// that names every concrete LinearSketch), so the wire-format dispatch,
+// the server's CREATE path, and the CLI all build through one door.
+#include "src/api/sketch_spec.h"
 #include "src/util/check.h"
 
 namespace lps {
@@ -78,80 +62,18 @@ SketchKind PeekSketchKind(BitReader* reader) {
 }
 
 std::unique_ptr<LinearSketch> MakeEmptySketch(SketchKind kind) {
-  switch (kind) {
-    case SketchKind::kCountSketch:
-      return std::make_unique<sketch::CountSketch>(1, 1, 0);
-    case SketchKind::kCountMin:
-      return std::make_unique<sketch::CountMin>(1, 1, 0);
-    case SketchKind::kAmsF2:
-      return std::make_unique<sketch::AmsF2>(1, 1, 0);
-    case SketchKind::kStableSketch:
-      return std::make_unique<sketch::StableSketch>(1.0, 1, 0);
-    case SketchKind::kDyadicCountMin:
-      return std::make_unique<sketch::DyadicCountMin>(1, 1, 1, 0);
-    case SketchKind::kDyadicCountSketch:
-      return std::make_unique<sketch::DyadicCountSketch>(1, 1, 1, 0);
-    case SketchKind::kL0Estimator:
-      return std::make_unique<norm::L0Estimator>(1, 1, 0);
-    case SketchKind::kLpNormEstimator:
-      return std::make_unique<norm::LpNormEstimator>(1.0, 1, 0);
-    case SketchKind::kOneSparse:
-      return std::make_unique<recovery::OneSparse>(1, 0);
-    case SketchKind::kSparseRecovery:
-      return std::make_unique<recovery::SparseRecovery>(1, 1, 0);
-    case SketchKind::kLpSampler: {
-      core::LpSamplerParams params;
-      params.n = 1;
-      params.repetitions = 1;
-      return std::make_unique<core::LpSampler>(params);
-    }
-    case SketchKind::kL0Sampler:
-      return std::make_unique<core::L0Sampler>(
-          core::L0SamplerParams{1, 0.25, 0, 0, false});
-    case SketchKind::kFisL0Sampler:
-      return std::make_unique<core::FisL0Sampler>(1, 0);
-    case SketchKind::kAkoSampler: {
-      core::LpSamplerParams params;
-      params.n = 1;
-      params.repetitions = 1;
-      return std::make_unique<core::AkoSampler>(params);
-    }
-    case SketchKind::kCsHeavyHitters: {
-      heavy::CsHeavyHitters::Params params;
-      params.n = 1;
-      return std::make_unique<heavy::CsHeavyHitters>(params);
-    }
-    case SketchKind::kCmHeavyHitters: {
-      heavy::CmHeavyHitters::Params params;
-      params.n = 1;
-      return std::make_unique<heavy::CmHeavyHitters>(params);
-    }
-    case SketchKind::kDyadicHeavyHitters:
-      return std::make_unique<heavy::DyadicHeavyHitters>(1, 0.1, 0);
-    case SketchKind::kDuplicateFinder:
-      return std::make_unique<duplicates::DuplicateFinder>(
-          duplicates::DuplicateFinder::Params{1, 0.25, 1, 0});
-    case SketchKind::kSparseDuplicateFinder: {
-      duplicates::SparseDuplicateFinder::Params params;
-      params.n = 1;
-      params.s = 1;
-      params.repetitions = 1;
-      return std::make_unique<duplicates::SparseDuplicateFinder>(params);
-    }
-    case SketchKind::kPositiveFinder: {
-      duplicates::PositiveFinder::Params params;
-      params.n = 1;
-      params.repetitions = 1;
-      return std::make_unique<duplicates::PositiveFinder>(params);
-    }
-    case SketchKind::kMomentEstimator: {
-      apps::MomentEstimator::Params params;
-      params.n = 1;
-      params.samples = 1;
-      return std::make_unique<apps::MomentEstimator>(params);
-    }
-  }
-  return nullptr;
+  // Throwaway parameters: Deserialize reconfigures the object to the
+  // serialized ones, so the empty instance only has to construct. All
+  // sizing fields are pinned to 1 so even the dyadic/recovery families
+  // allocate next to nothing.
+  SketchSpec spec;
+  spec.kind = kind;
+  spec.n = 1;
+  spec.rows = 1;
+  spec.buckets = 1;
+  spec.s = 1;
+  spec.repetitions = 1;
+  return MakeSketch(spec);
 }
 
 std::unique_ptr<LinearSketch> DeserializeAnySketch(BitReader* reader) {

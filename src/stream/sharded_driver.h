@@ -11,7 +11,20 @@
 // on the producer side regardless of thread count, a ShardedDriver and a
 // ParallelPipeline with threads >= 1 produce bit-identical replica state
 // for the same stream — tests/parallel_pipeline_test.cc enforces it.
+//
+// DEPRECATED: new code should include src/lps.h and construct a
+// ParallelPipeline with Options{.threads = 0} directly; this shim exists
+// only for the historical test suites. The message below turns into a
+// hard error in the -Werror CI jobs, so a fresh include cannot land
+// silently; legacy call sites opt out by defining
+// LPS_SHARDED_DRIVER_ALLOW_DEPRECATED before the include.
 #pragma once
+
+#ifndef LPS_SHARDED_DRIVER_ALLOW_DEPRECATED
+#pragma message( \
+    "sharded_driver.h is deprecated: include src/lps.h and use " \
+    "stream::ParallelPipeline (Options{.threads = 0}) instead")
+#endif
 
 #include "src/stream/parallel_pipeline.h"
 #include "src/stream/stream_driver.h"

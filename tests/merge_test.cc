@@ -31,6 +31,9 @@
 #include "src/sketch/stable_sketch.h"
 #include "src/stream/generators.h"
 #include "src/stream/linear_sketch.h"
+// ShardedDriver is the deprecated shim this suite historically tests
+// through; the pipeline itself is the supported surface.
+#define LPS_SHARDED_DRIVER_ALLOW_DEPRECATED
 #include "src/stream/sharded_driver.h"
 #include "src/util/serialize.h"
 

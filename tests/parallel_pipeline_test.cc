@@ -22,6 +22,9 @@
 #include "src/stream/generators.h"
 #include "src/stream/linear_sketch.h"
 #include "src/stream/parallel_pipeline.h"
+// ShardedDriver is the deprecated shim this suite historically tests
+// through; the pipeline itself is the supported surface.
+#define LPS_SHARDED_DRIVER_ALLOW_DEPRECATED
 #include "src/stream/sharded_driver.h"
 #include "src/util/serialize.h"
 

@@ -1,0 +1,366 @@
+// The multi-tenant sketch server, over real loopback sockets.
+//
+// Every test starts a Server on an ephemeral 127.0.0.1 port and talks
+// to it through the production Client — the same codec lps_serve and
+// lps_bench_client use, so the protocol is tested end to end:
+//
+//   * request/response cycle and per-tenant isolation (64 tenants
+//     ingesting and querying concurrently, each answer reflecting only
+//     its own stream);
+//   * windowed queries bit-identical to a single-process WindowManager
+//     for exact-arithmetic kinds, including through a sharded
+//     per-tenant pipeline (epoch-aligned checkpoints);
+//   * snapshot -> daemon restart -> restore equivalence, byte-for-byte
+//     on the re-snapshotted state;
+//   * malformed-frame containment: oversized length prefix, truncated
+//     payload, unknown opcode — each answered or dropped without taking
+//     the daemon down for anyone else.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/lps.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace lps::server {
+namespace {
+
+constexpr uint64_t kN = 1024;
+
+Client MustConnect(const Server& server) {
+  auto client = Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client.value());
+}
+
+std::unique_ptr<Server> MustStart() {
+  Server::Options options;
+  options.port = 0;
+  auto server = std::make_unique<Server>(options);
+  const Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  return server;
+}
+
+/// A deterministic per-tenant stream with a planted heavy coordinate
+/// (the tenant id), so each tenant's correct answer identifies it.
+std::vector<stream::Update> TenantStream(uint64_t tenant, size_t count) {
+  std::vector<stream::Update> updates;
+  updates.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t h = (tenant + 1) * 0x9E3779B97F4A7C15ull + i;
+    h ^= h >> 31;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    updates.push_back(
+        {i % 3 == 0 ? tenant % kN : h % kN, int64_t(1 + i % 2)});
+  }
+  return updates;
+}
+
+SketchConfig HeavyConfig(uint64_t seed) {
+  SketchConfig config;
+  config.spec.kind = SketchKind::kCsHeavyHitters;
+  config.spec.n = kN;
+  config.spec.p = 1.0;
+  config.spec.phi = 0.05;
+  config.spec.seed = seed;
+  return config;
+}
+
+TEST(ServerTest, CreateIngestQueryCycle) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+
+  const SketchConfig config = HeavyConfig(17);
+  ASSERT_TRUE(client.Create("acme", "clicks", config).ok());
+
+  const auto updates = TenantStream(5, 3000);
+  auto ingested = client.Ingest("acme", "clicks", updates);
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  EXPECT_EQ(*ingested, updates.size());
+
+  auto result = client.Query("acme", "clicks");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->type, QueryResult::Type::kHeavyHitters);
+  EXPECT_NE(std::find(result->items.begin(), result->items.end(), 5ull),
+            result->items.end())
+      << result->ToText();
+
+  // The server's answer equals a local sketch fed the same stream —
+  // same spec, same updates, same unified QueryResult.
+  auto local = MakeSketch(config.spec);
+  local->UpdateBatch(updates.data(), updates.size());
+  EXPECT_EQ(*result, lps::Query(*local));
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tenants, 1u);
+  EXPECT_EQ(stats->updates, updates.size());
+  server->Stop();
+}
+
+TEST(ServerTest, RegistryErrorsAreResponsesNotDisconnects) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Create("a", "k", HeavyConfig(1)).ok());
+  EXPECT_FALSE(client.Create("a", "k", HeavyConfig(1)).ok());  // duplicate
+  EXPECT_FALSE(client.Query("a", "missing").ok());
+  EXPECT_FALSE(client.Drop("ghost", "k").ok());
+  EXPECT_FALSE(client.Window("a", "k", 10, false).ok());  // no windowing
+  // The connection survived all four errors.
+  EXPECT_TRUE(client.Query("a", "k").ok());
+  server->Stop();
+}
+
+TEST(ServerTest, SixtyFourTenantsStayIsolatedUnderConcurrency) {
+  auto server = MustStart();
+  constexpr int kTenants = 64;
+  std::vector<std::string> failures(kTenants);
+  std::vector<std::thread> threads;
+  threads.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      auto connected = Client::Connect("127.0.0.1", server->port());
+      if (!connected.ok()) {
+        failures[t] = connected.status().ToString();
+        return;
+      }
+      Client client = std::move(connected.value());
+      const std::string tenant = "tenant" + std::to_string(t);
+      if (!client.Create(tenant, "s", HeavyConfig(100 + uint64_t(t))).ok()) {
+        failures[t] = "create failed";
+        return;
+      }
+      const auto updates = TenantStream(uint64_t(t), 1200);
+      // Interleave ingest and query so queries run against tenants
+      // mid-stream elsewhere on the server.
+      for (int round = 0; round < 3; ++round) {
+        const size_t third = updates.size() / 3;
+        std::vector<stream::Update> slice(
+            updates.begin() + round * third,
+            updates.begin() + (round + 1) * third);
+        if (!client.Ingest(tenant, "s", slice).ok()) {
+          failures[t] = "ingest failed";
+          return;
+        }
+        auto result = client.Query(tenant, "s");
+        if (!result.ok()) {
+          failures[t] = "query failed";
+          return;
+        }
+      }
+      auto result = client.Query(tenant, "s");
+      if (!result.ok() ||
+          result->type != QueryResult::Type::kHeavyHitters) {
+        failures[t] = "final query failed";
+        return;
+      }
+      // The tenant's own planted heavy coordinate — and nobody else's
+      // stream bleeding in.
+      auto local = MakeSketch(HeavyConfig(100 + uint64_t(t)).spec);
+      local->UpdateBatch(updates.data(), updates.size());
+      if (*result != lps::Query(*local)) {
+        failures[t] = "answer differs from isolated local sketch: " +
+                      result->ToText();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(failures[t], "") << "tenant " << t;
+  }
+  auto client = MustConnect(*server);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tenants, uint64_t(kTenants));
+  EXPECT_EQ(stats->updates, uint64_t(kTenants) * 1200);
+  server->Stop();
+}
+
+// The server-side windowed query must be bit-identical to a solo
+// WindowManager over the same stream, for an exact-arithmetic kind —
+// both inline and through a sharded per-tenant pipeline (checkpoints
+// sealed at epoch boundaries). CmHeavyHitters is all-integer arithmetic
+// (count-min + dyadic tree), so shard merges reassociate nothing —
+// unlike default CsHeavyHitters, whose embedded FP norm estimator is
+// only merge-exact in strict-turnstile mode.
+class WindowBitIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowBitIdentityTest, MatchesSoloWindowManager) {
+  const int shards = GetParam();
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+
+  SketchConfig config;
+  config.spec.kind = SketchKind::kCmHeavyHitters;
+  config.spec.n = kN;
+  config.spec.phi = 0.05;
+  config.spec.seed = 23;
+  config.window_checkpoint = 256;
+  config.shards = shards;
+  config.threads = shards > 1 ? 2 : 0;
+  ASSERT_TRUE(client.Create("w", "s", config).ok());
+
+  const auto updates = TenantStream(9, 3000);
+  // Odd-sized ingest batches: checkpoint positions must not depend on
+  // request framing.
+  size_t sent = 0;
+  const size_t kBatches[] = {700, 123, 989, 1111, 77};
+  for (size_t batch : kBatches) {
+    std::vector<stream::Update> slice(updates.begin() + sent,
+                                      updates.begin() + sent + batch);
+    ASSERT_TRUE(client.Ingest("w", "s", slice).ok());
+    sent += batch;
+  }
+  ASSERT_EQ(sent, updates.size());
+
+  // Solo reference: same spec, same stream, same checkpoint interval.
+  auto solo = MakeSketch(config.spec);
+  stream::WindowManager::Options wm_options;
+  wm_options.checkpoint_interval = config.window_checkpoint;
+  stream::WindowManager solo_wm(solo.get(), wm_options);
+  solo_wm.PushBatch(updates.data(), updates.size());
+
+  for (uint64_t w : {uint64_t(256), uint64_t(512), uint64_t(2048)}) {
+    auto served = client.Window("w", "s", w, /*want_state=*/true);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    auto local = solo_wm.WindowSketch(w);
+    EXPECT_EQ(served->start, local.start) << "w=" << w;
+    EXPECT_EQ(served->length, local.length) << "w=" << w;
+    BitWriter local_state;
+    local.sketch->Serialize(&local_state);
+    ASSERT_TRUE(served->has_state);
+    EXPECT_EQ(served->state_bits, local_state.bit_count()) << "w=" << w;
+    EXPECT_EQ(served->state_words, local_state.words()) << "w=" << w;
+    EXPECT_EQ(served->result, lps::Query(*local.sketch)) << "w=" << w;
+  }
+  server->Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(InlineAndSharded, WindowBitIdentityTest,
+                         ::testing::Values(1, 4));
+
+TEST(ServerTest, SnapshotRestartRestoreRoundTrips) {
+  SnapshotBlob blob;
+  QueryResult before;
+  {
+    auto server = MustStart();
+    Client client = MustConnect(*server);
+    SketchConfig config = HeavyConfig(31);
+    config.window_checkpoint = 512;
+    ASSERT_TRUE(client.Create("t", "s", config).ok());
+    const auto updates = TenantStream(3, 2048);
+    ASSERT_TRUE(client.Ingest("t", "s", updates).ok());
+    auto result = client.Query("t", "s");
+    ASSERT_TRUE(result.ok());
+    before = *result;
+    auto snapshot = client.Snapshot("t", "s");
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    blob = *snapshot;
+    server->Stop();  // daemon generation 1 gone
+  }
+
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Restore("t", "s", blob).ok());
+
+  // Same answer across the restart...
+  auto after = client.Query("t", "s");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, before);
+
+  // ...byte-identical re-snapshotted state...
+  auto again = client.Snapshot("t", "s");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->state_bits, blob.state_bits);
+  EXPECT_EQ(again->state_words, blob.state_words);
+  EXPECT_EQ(again->updates_seen, blob.updates_seen);
+
+  // ...and the restored stream keeps ingesting and windowing (the
+  // restore point is the new window origin).
+  const auto more = TenantStream(4, 1024);
+  ASSERT_TRUE(client.Ingest("t", "s", more).ok());
+  auto window = client.Window("t", "s", 512, false);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->start + window->length, more.size());
+
+  // A corrupt blob is rejected without killing the daemon.
+  SnapshotBlob corrupt = blob;
+  corrupt.state_words[0] ^= 0xFFFF;  // break the magic
+  EXPECT_FALSE(client.Restore("t", "other", corrupt).ok());
+  EXPECT_TRUE(client.Query("t", "s").ok());
+  server->Stop();
+}
+
+TEST(ServerTest, MalformedFramesDoNotKillTheDaemon) {
+  auto server = MustStart();
+  Client healthy = MustConnect(*server);
+  ASSERT_TRUE(healthy.Create("a", "k", HeavyConfig(1)).ok());
+
+  {
+    // Oversized length prefix: error frame, then the connection closes.
+    Client attacker = MustConnect(*server);
+    const std::vector<uint8_t> oversized = {0xFF, 0xFF, 0xFF, 0x7F};
+    ASSERT_TRUE(attacker.SendRaw(oversized).ok());
+    auto reply = attacker.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->first, kStatusError);
+    EXPECT_FALSE(attacker.ReadReply().ok());  // closed after answering
+  }
+  {
+    // Truncated payload: declared 64 bytes, delivered 3, then EOF.
+    Client attacker = MustConnect(*server);
+    const std::vector<uint8_t> truncated = {64, 0, 0, 0, 1, 2, 3};
+    ASSERT_TRUE(attacker.SendRaw(truncated).ok());
+    ::shutdown(attacker.fd(), SHUT_WR);
+    auto reply = attacker.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->first, kStatusError);
+  }
+  {
+    // Unknown opcode in a well-formed frame: error response, and the
+    // SAME connection keeps working.
+    Client attacker = MustConnect(*server);
+    BitWriter empty;
+    ASSERT_TRUE(attacker.SendRaw(EncodeFrame(0x7E, empty)).ok());
+    auto reply = attacker.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->first, kStatusError);
+    EXPECT_TRUE(attacker.Stats().ok());
+  }
+
+  // The daemon served everyone else throughout.
+  EXPECT_TRUE(healthy.Query("a", "k").ok());
+  Client fresh = MustConnect(*server);
+  EXPECT_TRUE(fresh.Stats().ok());
+  server->Stop();
+}
+
+TEST(ServerTest, DropForgetsOnlyTheNamedStream) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Create("a", "one", HeavyConfig(1)).ok());
+  ASSERT_TRUE(client.Create("a", "two", HeavyConfig(2)).ok());
+  ASSERT_TRUE(client.Create("b", "one", HeavyConfig(3)).ok());
+  ASSERT_TRUE(client.Drop("a", "one").ok());
+  EXPECT_FALSE(client.Query("a", "one").ok());
+  EXPECT_TRUE(client.Query("a", "two").ok());
+  EXPECT_TRUE(client.Query("b", "one").ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->tenants, 2u);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace lps::server

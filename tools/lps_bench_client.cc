@@ -1,0 +1,390 @@
+// lps_bench_client — load generator and functional smoke for lps_serve.
+//
+// Speaks the production protocol through the SAME src/server/client.h
+// codec the daemon's tests use (no bench-only wire path), against either
+// an external daemon (--port p, the CI serve-smoke pairing) or an
+// in-process Server on an ephemeral loopback port (the default — one
+// command measures the full network round trip with no orchestration).
+//
+// Bench mode sweeps tenant counts {1, 8, 64}: per tenant one client
+// thread on its own connection CREATEs a windowed cs_heavy_hitters
+// stream, drives an ingest phase (batched INGEST requests) and a query
+// phase (whole-stream QUERY plus trailing WINDOW requests), and reports
+// requests/sec and p50/p99 request latency per phase into
+// BENCH_serve.json — the artifact ci/compare_bench.py --serve gates.
+//
+// --smoke runs a single functional cycle instead (create, ingest,
+// query, window, snapshot, restore, equivalence check, drop, stats,
+// duplicate-create and unknown-key error paths) and exits non-zero on
+// any deviation; the CI serve smoke drives it against a daemon started
+// with --port 0 and then checks clean SIGTERM shutdown.
+//
+// Usage:
+//   lps_bench_client [--port p] [--quick] [--smoke] [--out file]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/stream/generators.h"
+
+namespace {
+
+using lps::QueryResult;
+using lps::server::SketchConfig;
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t at = std::min(values.size() - 1,
+                             size_t(q * double(values.size())));
+  return values[at];
+}
+
+/// The workload every tenant streams: a Zipf-ish skew with one planted
+/// heavy coordinate per tenant, deterministic in (tenant, position).
+lps::stream::Update MakeUpdate(uint64_t tenant, uint64_t position,
+                               uint64_t n) {
+  // Mix the pair into a pseudo-random coordinate; every 4th update hits
+  // the tenant's heavy coordinate so heavy-hitter queries have signal.
+  uint64_t h = (tenant + 1) * 0x9E3779B97F4A7C15ull + position;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  const uint64_t heavy = tenant % n;
+  const uint64_t index = (position % 4 == 0) ? heavy : (h % n);
+  return {index, +1};
+}
+
+SketchConfig TenantConfig(uint64_t tenant, uint64_t n) {
+  SketchConfig config;
+  config.spec.kind = lps::SketchKind::kCsHeavyHitters;
+  config.spec.n = n;
+  config.spec.p = 1.0;
+  config.spec.phi = 0.05;
+  config.spec.seed = 1000 + tenant;
+  config.window_checkpoint = 8192;
+  return config;
+}
+
+struct Flags {
+  int port = 0;  // 0 = run an in-process server
+  bool quick = false;
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+};
+
+int Fail(const char* what, const lps::Status& status) {
+  std::fprintf(stderr, "lps_bench_client: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------- smoke --
+
+int RunSmoke(const std::string& host, int port) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+
+  const uint64_t n = 1 << 12;
+  const SketchConfig config = TenantConfig(0, n);
+  lps::Status status = client.Create("smoke", "s", config);
+  if (!status.ok()) return Fail("create", status);
+
+  // Duplicate CREATE must be an error response, not a dead connection.
+  if (client.Create("smoke", "s", config).ok()) {
+    std::fprintf(stderr, "lps_bench_client: duplicate create succeeded\n");
+    return 1;
+  }
+
+  std::vector<lps::stream::Update> updates;
+  for (uint64_t i = 0; i < 3 * config.window_checkpoint; ++i) {
+    updates.push_back(MakeUpdate(0, i, n));
+  }
+  auto ingested = client.Ingest("smoke", "s", updates);
+  if (!ingested.ok()) return Fail("ingest", ingested.status());
+  if (*ingested != updates.size()) {
+    std::fprintf(stderr, "lps_bench_client: ingest ack %llu != %zu\n",
+                 static_cast<unsigned long long>(*ingested), updates.size());
+    return 1;
+  }
+
+  auto query = client.Query("smoke", "s");
+  if (!query.ok()) return Fail("query", query.status());
+  const uint64_t heavy = 0 % n;
+  const bool found = std::find(query->items.begin(), query->items.end(),
+                               heavy) != query->items.end();
+  if (query->type != QueryResult::Type::kHeavyHitters || !found) {
+    std::fprintf(stderr, "lps_bench_client: heavy coordinate missing from "
+                         "query answer: %s",
+                 query->ToText().c_str());
+    return 1;
+  }
+
+  auto window =
+      client.Window("smoke", "s", config.window_checkpoint, false);
+  if (!window.ok()) return Fail("window", window.status());
+  if (window->length < config.window_checkpoint ||
+      window->start + window->length != updates.size()) {
+    std::fprintf(stderr, "lps_bench_client: window [%llu, +%llu) does not "
+                         "cover the last %llu of %zu updates\n",
+                 static_cast<unsigned long long>(window->start),
+                 static_cast<unsigned long long>(window->length),
+                 static_cast<unsigned long long>(config.window_checkpoint),
+                 updates.size());
+    return 1;
+  }
+
+  auto snapshot = client.Snapshot("smoke", "s");
+  if (!snapshot.ok()) return Fail("snapshot", snapshot.status());
+  status = client.Restore("smoke", "restored", *snapshot);
+  if (!status.ok()) return Fail("restore", status);
+  auto restored_query = client.Query("smoke", "restored");
+  if (!restored_query.ok()) return Fail("query restored", restored_query.status());
+  if (*restored_query != *query) {
+    std::fprintf(stderr, "lps_bench_client: restored stream answers "
+                         "differently:\n  %s  %s",
+                 query->ToText().c_str(), restored_query->ToText().c_str());
+    return 1;
+  }
+
+  status = client.Drop("smoke", "s");
+  if (!status.ok()) return Fail("drop", status);
+  if (client.Query("smoke", "s").ok()) {
+    std::fprintf(stderr, "lps_bench_client: query after drop succeeded\n");
+    return 1;
+  }
+
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail("stats", stats.status());
+  if (stats->tenants < 1 || stats->updates < updates.size()) {
+    std::fprintf(stderr, "lps_bench_client: implausible stats (tenants "
+                         "%llu, updates %llu)\n",
+                 static_cast<unsigned long long>(stats->tenants),
+                 static_cast<unsigned long long>(stats->updates));
+    return 1;
+  }
+
+  std::printf("serve smoke OK (%llu updates, window [%llu, +%llu), "
+              "restored answer matches)\n",
+              static_cast<unsigned long long>(stats->updates),
+              static_cast<unsigned long long>(window->start),
+              static_cast<unsigned long long>(window->length));
+  return 0;
+}
+
+// ---------------------------------------------------------------- bench --
+
+struct PhaseStats {
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+PhaseStats Summarize(const std::vector<double>& micros, double seconds) {
+  PhaseStats stats;
+  stats.rps = seconds > 0 ? double(micros.size()) / seconds : 0;
+  stats.p50_us = Percentile(micros, 0.50);
+  stats.p99_us = Percentile(micros, 0.99);
+  return stats;
+}
+
+struct SweepRow {
+  int tenants = 0;
+  PhaseStats ingest;
+  PhaseStats query;
+  double updates_per_sec = 0;
+};
+
+/// One tenant's full load: CREATE, `requests` INGEST batches, then
+/// `queries` QUERY + one WINDOW. Latencies append under `mutex`.
+void TenantLoad(const std::string& host, int port, uint64_t tenant,
+                uint64_t n, size_t requests, size_t batch, size_t queries,
+                std::mutex* mutex, std::vector<double>* ingest_us,
+                std::vector<double>* query_us, bool* failed) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    *failed = true;
+    return;
+  }
+  lps::server::Client client = std::move(connected.value());
+  const std::string name = "t" + std::to_string(tenant);
+  if (!client.Create(name, "s", TenantConfig(tenant, n)).ok()) {
+    std::lock_guard<std::mutex> lock(*mutex);
+    *failed = true;
+    return;
+  }
+  std::vector<double> my_ingest, my_query;
+  std::vector<lps::stream::Update> updates(batch);
+  uint64_t position = 0;
+  for (size_t r = 0; r < requests; ++r) {
+    for (size_t i = 0; i < batch; ++i) {
+      updates[i] = MakeUpdate(tenant, position++, n);
+    }
+    const auto start = Clock::now();
+    const bool ok = client.Ingest(name, "s", updates).ok();
+    my_ingest.push_back(MicrosSince(start));
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      *failed = true;
+      return;
+    }
+  }
+  for (size_t q = 0; q < queries; ++q) {
+    const auto start = Clock::now();
+    // Every 4th query materializes a trailing window instead — both
+    // paths stay exercised under concurrency.
+    const bool ok =
+        (q % 4 == 3)
+            ? client.Window(name, "s", 8192, false).ok()
+            : client.Query(name, "s").ok();
+    my_query.push_back(MicrosSince(start));
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      *failed = true;
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(*mutex);
+  ingest_us->insert(ingest_us->end(), my_ingest.begin(), my_ingest.end());
+  query_us->insert(query_us->end(), my_query.begin(), my_query.end());
+}
+
+int RunBench(const std::string& host, int port, bool quick,
+             const std::string& out_path) {
+  const uint64_t n = 1 << 14;
+  const size_t requests = quick ? 16 : 128;
+  const size_t batch = quick ? 512 : 2048;
+  const size_t queries = quick ? 8 : 32;
+  const std::vector<int> tenant_counts = {1, 8, 64};
+
+  std::vector<SweepRow> rows;
+  for (int tenants : tenant_counts) {
+    std::mutex mutex;
+    std::vector<double> ingest_us, query_us;
+    bool failed = false;
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(size_t(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      threads.emplace_back([&, t] {
+        TenantLoad(host, port, uint64_t(t) + uint64_t(tenants) * 1000, n,
+                   requests, batch, queries, &mutex, &ingest_us, &query_us,
+                   &failed);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (failed) {
+      std::fprintf(stderr, "lps_bench_client: tenant load failed at %d "
+                           "tenants\n",
+                   tenants);
+      return 1;
+    }
+    SweepRow row;
+    row.tenants = tenants;
+    // Phases overlap across tenants, so each phase's rps uses the whole
+    // wall time — a conservative (under-)estimate that is still
+    // comparable run to run.
+    row.ingest = Summarize(ingest_us, seconds);
+    row.query = Summarize(query_us, seconds);
+    row.updates_per_sec =
+        double(size_t(tenants) * requests * batch) / seconds;
+    rows.push_back(row);
+    std::printf("tenants %2d: ingest %8.0f req/s (p50 %7.1f us, p99 %8.1f "
+                "us), query %7.0f req/s (p50 %7.1f us, p99 %8.1f us), "
+                "%.2f Mupd/s\n",
+                tenants, row.ingest.rps, row.ingest.p50_us,
+                row.ingest.p99_us, row.query.rps, row.query.p50_us,
+                row.query.p99_us, row.updates_per_sec / 1e6);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "lps_bench_client: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"serve\",\n  \"quick\": %s,\n"
+               "  \"hardware_threads\": %u,\n  \"serve_scaling\": [\n",
+               quick ? "true" : "false",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"tenants\": %d, \"ingest_rps\": %.0f, "
+                 "\"ingest_p50_us\": %.1f, \"ingest_p99_us\": %.1f, "
+                 "\"query_rps\": %.0f, \"query_p50_us\": %.1f, "
+                 "\"query_p99_us\": %.1f, \"updates_per_sec\": %.0f}%s\n",
+                 row.tenants, row.ingest.rps, row.ingest.p50_us,
+                 row.ingest.p99_us, row.query.rps, row.query.p50_us,
+                 row.query.p99_us, row.updates_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.quick = lps::bench::Quick(argc, argv);
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
+      flags.port = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      flags.out = argv[++a];
+    } else if (std::strcmp(argv[a], "--quick") == 0) {
+      // handled by bench::Quick
+    } else {
+      std::fprintf(stderr,
+                   "usage: lps_bench_client [--port p] [--quick] [--smoke] "
+                   "[--out file]\n");
+      return 2;
+    }
+  }
+
+  // No --port: serve ourselves on an ephemeral loopback port, so the
+  // bench still measures the real socket round trip.
+  std::unique_ptr<lps::server::Server> in_process;
+  int port = flags.port;
+  if (port == 0) {
+    lps::server::Server::Options options;
+    options.port = 0;
+    in_process = std::make_unique<lps::server::Server>(options);
+    const lps::Status started = in_process->Start();
+    if (!started.ok()) return Fail("in-process server", started);
+    port = in_process->port();
+    std::printf("in-process lps_serve on 127.0.0.1:%d\n", port);
+  }
+
+  const int exit_code =
+      flags.smoke ? RunSmoke("127.0.0.1", port)
+                  : RunBench("127.0.0.1", port, flags.quick, flags.out);
+  if (in_process != nullptr) in_process->Stop();
+  return exit_code;
+}

@@ -50,19 +50,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/l0_sampler.h"
-#include "src/core/lp_sampler.h"
-#include "src/duplicates/duplicates.h"
-#include "src/heavy/heavy_hitters.h"
-#include "src/norm/lp_norm.h"
-#include "src/stream/exact_vector.h"
-#include "src/stream/generators.h"
-#include "src/stream/linear_sketch.h"
-#include "src/stream/parallel_pipeline.h"
-#include "src/stream/stream_driver.h"
-#include "src/stream/trace.h"
-#include "src/stream/window_manager.h"
-#include "src/util/serialize.h"
+#include "src/lps.h"
 
 namespace {
 
@@ -277,20 +265,20 @@ std::unique_ptr<lps::LinearSketch> IngestWindowed(
   return std::move(window.sketch);
 }
 
-/// Builds `shards` identical replicas with `make`, ingests the trace
-/// through the parallel runtime (sharded when shards > 1, threaded when
-/// threads > 0), and returns the merged structure — windowed to the last
-/// spec.window updates when requested.
-template <typename MakeFn>
+/// Builds `shards` identical replicas of `spec` through the MakeSketch
+/// registry (the same one CREATE requests and DeserializeAnySketch use),
+/// ingests the trace through the parallel runtime (sharded when
+/// shards > 1, threaded when threads > 0), and returns the merged
+/// structure — windowed to the last window.window updates when requested.
 std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
                                                 int shards, int threads,
-                                                const WindowSpec& spec,
-                                                MakeFn make) {
+                                                const WindowSpec& window,
+                                                const lps::SketchSpec& spec) {
   std::vector<std::unique_ptr<lps::LinearSketch>> replicas;
-  for (int s = 0; s < shards; ++s) replicas.push_back(make());
+  for (int s = 0; s < shards; ++s) replicas.push_back(lps::MakeSketch(spec));
   std::vector<lps::LinearSketch*> raw;
   for (auto& r : replicas) raw.push_back(r.get());
-  if (spec.window > 0) return IngestWindowed(t, raw, threads, spec);
+  if (window.window > 0) return IngestWindowed(t, raw, threads, window);
   Ingest(t, raw, threads);
   return std::move(replicas[0]);
 }
@@ -299,119 +287,82 @@ std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
                                                 const char* p_arg, double eps,
                                                 double delta, uint64_t seed,
                                                 int shards, int threads,
-                                                const WindowSpec& spec) {
+                                                const WindowSpec& window) {
+  lps::SketchSpec spec;
+  spec.n = t.n;
+  spec.delta = delta;
+  spec.seed = seed;
   if (std::strcmp(p_arg, "L0") == 0) {
-    return BuildSharded(t, shards, threads, spec, [&] {
-      return std::make_unique<lps::core::L0Sampler>(
-          lps::core::L0SamplerParams{t.n, delta, 0, seed, false});
-    });
+    spec.kind = lps::SketchKind::kL0Sampler;
+  } else {
+    spec.kind = lps::SketchKind::kLpSampler;
+    spec.p = std::strtod(p_arg, nullptr);
+    spec.eps = eps;
   }
-  lps::core::LpSamplerParams params;
-  params.n = t.n;
-  params.p = std::strtod(p_arg, nullptr);
-  params.eps = eps;
-  params.delta = delta;
-  params.seed = seed;
-  return BuildSharded(t, shards, threads, spec, [&] {
-    return std::make_unique<lps::core::LpSampler>(params);
-  });
+  return BuildSharded(t, shards, threads, window, spec);
 }
 
 std::unique_ptr<lps::LinearSketch> BuildHeavy(const lps::stream::Trace& t,
                                               double p, double phi,
                                               uint64_t seed, int shards,
                                               int threads,
-                                              const WindowSpec& spec) {
-  lps::heavy::CsHeavyHitters::Params params;
-  params.n = t.n;
-  params.p = p;
-  params.phi = phi;
-  params.seed = seed;
-  return BuildSharded(t, shards, threads, spec, [&] {
-    return std::make_unique<lps::heavy::CsHeavyHitters>(params);
-  });
+                                              const WindowSpec& window) {
+  lps::SketchSpec spec;
+  spec.kind = lps::SketchKind::kCsHeavyHitters;
+  spec.n = t.n;
+  spec.p = p;
+  spec.phi = phi;
+  spec.seed = seed;
+  return BuildSharded(t, shards, threads, window, spec);
 }
 
 std::unique_ptr<lps::LinearSketch> BuildNorm(const lps::stream::Trace& t,
                                              double p, uint64_t seed,
                                              int shards, int threads,
-                                             const WindowSpec& spec) {
-  const int rows = lps::norm::LpNormEstimator::DefaultRows(t.n);
-  return BuildSharded(t, shards, threads, spec, [&] {
-    return std::make_unique<lps::norm::LpNormEstimator>(p, rows, seed);
-  });
+                                             const WindowSpec& window) {
+  lps::SketchSpec spec;
+  spec.kind = lps::SketchKind::kLpNormEstimator;
+  spec.n = t.n;
+  spec.p = p;
+  spec.seed = seed;  // rows == 0 resolves to DefaultRows(n) in MakeSketch
+  return BuildSharded(t, shards, threads, window, spec);
 }
 
 std::unique_ptr<lps::LinearSketch> BuildDuplicates(const lps::stream::Trace& t,
                                                    double delta,
                                                    uint64_t seed) {
-  auto finder = std::make_unique<lps::duplicates::DuplicateFinder>(
-      lps::duplicates::DuplicateFinder::Params{t.n, delta, 0, seed});
+  lps::SketchSpec spec;
+  spec.kind = lps::SketchKind::kDuplicateFinder;
+  spec.n = t.n;
+  spec.delta = delta;
+  spec.seed = seed;
+  auto finder = lps::MakeSketch(spec);
   for (const auto& u : t.updates) {
     if (u.delta != 1) {
       std::fprintf(stderr, "duplicates mode expects a letter trace\n");
       return nullptr;
     }
-    finder->ProcessItem(u.index);
+    // A letter is a (letter, +1) update on top of the finder's built-in
+    // initialization — ProcessItem and the LinearSketch entry point are
+    // the same operation.
+    finder->Update(u.index, +1);
   }
   return finder;
 }
 
-/// Runs the kind-appropriate query and prints the result. Returns the
+/// Queries through the unified dispatch and prints the result — the text
+/// is byte-identical to the historical per-kind printf chain (the CI
+/// smoke diffs it). Unsupported kinds diagnose on stderr. Returns the
 /// process exit code.
 int ReportQuery(const lps::LinearSketch& sketch) {
-  if (const auto* lp = dynamic_cast<const lps::core::LpSampler*>(&sketch)) {
-    auto res = lp->Sample();
-    if (!res.ok()) {
-      std::printf("FAIL %s\n", res.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("index %llu estimate %.3f\n",
-                static_cast<unsigned long long>(res.value().index),
-                res.value().estimate);
-    return 0;
+  const lps::QueryResult result = lps::Query(sketch);
+  const std::string text = result.ToText();
+  if (result.type == lps::QueryResult::Type::kUnsupported) {
+    std::fputs(text.c_str(), stderr);
+  } else {
+    std::fputs(text.c_str(), stdout);
   }
-  if (const auto* l0 = dynamic_cast<const lps::core::L0Sampler*>(&sketch)) {
-    auto res = l0->Sample();
-    if (!res.ok()) {
-      std::printf("FAIL %s\n", res.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("index %llu value %.0f\n",
-                static_cast<unsigned long long>(res.value().index),
-                res.value().estimate);
-    return 0;
-  }
-  if (const auto* hh =
-          dynamic_cast<const lps::heavy::CsHeavyHitters*>(&sketch)) {
-    const auto set = hh->Query();
-    std::printf("%zu heavy hitters:", set.size());
-    for (uint64_t i : set) {
-      std::printf(" %llu", static_cast<unsigned long long>(i));
-    }
-    std::printf("\n");
-    return 0;
-  }
-  if (const auto* est =
-          dynamic_cast<const lps::norm::LpNormEstimator*>(&sketch)) {
-    std::printf("r %.6g   (||x||_p <= r <= 2 ||x||_p w.h.p.)\n",
-                est->Estimate2Approx());
-    return 0;
-  }
-  if (const auto* dup =
-          dynamic_cast<const lps::duplicates::DuplicateFinder*>(&sketch)) {
-    auto res = dup->Find();
-    if (!res.ok()) {
-      std::printf("FAIL %s\n", res.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("duplicate %llu\n",
-                static_cast<unsigned long long>(res.value()));
-    return 0;
-  }
-  std::fprintf(stderr, "no query for kind '%s'\n",
-               lps::SketchKindName(sketch.kind()));
-  return 2;
+  return result.ExitCode();
 }
 
 int SaveSketch(const lps::LinearSketch& sketch, const char* path) {

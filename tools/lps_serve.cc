@@ -1,0 +1,88 @@
+// lps_serve — the multi-tenant sketch daemon.
+//
+// Owns a registry of named LinearSketches (tenant/key -> sketch) and
+// speaks the length-prefixed binary protocol of src/server/protocol.h
+// over TCP on 127.0.0.1: clients CREATE a sketch from a SketchSpec (the
+// same construction registry the library and CLI use), INGEST update
+// batches (optionally through a per-tenant ParallelPipeline), QUERY
+// whole streams or trailing WINDOWs (per-tenant WindowManager), and
+// SNAPSHOT/RESTORE full serialized state across daemon restarts.
+//
+// Usage:
+//   lps_serve [--port p]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// printed on the "listening" line, which scripts (the CI serve smoke,
+// the bench client) parse. SIGTERM/SIGINT shut down cleanly: stop
+// accepting, drain and join every connection, exit 0.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage() {
+  std::fprintf(stderr, "usage: lps_serve [--port p]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
+      char* end = nullptr;
+      const long value = std::strtol(argv[a + 1], &end, 10);
+      if (end == argv[a + 1] || *end != '\0' || value < 0 || value > 65535) {
+        return Usage();
+      }
+      port = static_cast<int>(value);
+      ++a;
+    } else {
+      return Usage();
+    }
+  }
+
+  lps::server::Server::Options options;
+  options.port = port;
+  lps::server::Server server(options);
+  const lps::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "lps_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::printf("lps_serve listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  const lps::server::ServerStats stats = server.registry().Stats();
+  std::printf("lps_serve shut down cleanly: %llu tenants, %llu updates, "
+              "%llu ingests, %llu queries, %llu snapshots\n",
+              static_cast<unsigned long long>(stats.tenants),
+              static_cast<unsigned long long>(stats.updates),
+              static_cast<unsigned long long>(stats.ingests),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.snapshots));
+  return 0;
+}
