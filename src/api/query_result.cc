@@ -223,12 +223,24 @@ QueryResult DeserializeQueryResult(BitReader* reader) {
   result.kind = static_cast<SketchKind>(reader->ReadBits(8));
   result.index = reader->ReadU64();
   result.value = reader->ReadDouble();
-  const size_t items = reader->ReadBits(32);
-  result.items.reserve(items);
-  for (size_t i = 0; i < items; ++i) result.items.push_back(reader->ReadU64());
-  const size_t len = reader->ReadBits(32);
-  result.message.reserve(len);
-  for (size_t i = 0; i < len; ++i) {
+  // Claimed counts can come off the wire (the server's QUERY replies):
+  // validate them against the bits actually present before reserving.
+  const uint64_t items = reader->ReadBits(32);
+  if (items > reader->bits_remaining() / 64) {
+    reader->Fail();
+    return result;
+  }
+  result.items.reserve(size_t(items));
+  for (uint64_t i = 0; i < items; ++i) {
+    result.items.push_back(reader->ReadU64());
+  }
+  const uint64_t len = reader->ReadBits(32);
+  if (len * 8 > reader->bits_remaining()) {
+    reader->Fail();
+    return result;
+  }
+  result.message.reserve(size_t(len));
+  for (uint64_t i = 0; i < len; ++i) {
     result.message.push_back(static_cast<char>(reader->ReadBits(8)));
   }
   return result;

@@ -1,7 +1,9 @@
 #include "src/api/sketch_spec.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/field/gf61.h"
 #include "src/apps/moment_estimation.h"
 #include "src/core/ako_sampler.h"
 #include "src/core/fis_l0_sampler.h"
@@ -223,6 +225,136 @@ SketchSpec SpecOf(const LinearSketch& sketch) {
   // spec; callers that need exact reconstruction use Serialize, which
   // carries the full parameters.
   return spec;
+}
+
+Status ValidateSpec(const SketchSpec& spec) {
+  // Mirrors the LPS_CHECK preconditions of the constructors MakeSketch
+  // dispatches to (plus the MakeSketch zero-defaults), so a hostile
+  // spec fails here as a Status instead of aborting inside a ctor.
+  if (!std::isfinite(spec.p) || !std::isfinite(spec.eps) ||
+      !std::isfinite(spec.delta) || !std::isfinite(spec.phi)) {
+    return Status::InvalidArgument("spec has a non-finite parameter");
+  }
+  // Generous caps on the size fields: real sketches are polylogarithmic,
+  // and the casts to int inside the params structs must stay positive.
+  constexpr uint32_t kMaxDim = 1u << 20;
+  constexpr uint64_t kMaxSparsity = 1ull << 22;
+  if (spec.rows > kMaxDim || spec.buckets > kMaxDim ||
+      spec.repetitions > kMaxDim) {
+    return Status::InvalidArgument("spec rows/buckets/repetitions too large");
+  }
+  if (uint64_t(spec.rows) * spec.buckets > (1ull << 26)) {
+    return Status::InvalidArgument("spec rows*buckets too large");
+  }
+  if (spec.s > kMaxSparsity) {
+    return Status::InvalidArgument("spec sparsity budget too large");
+  }
+  const bool p_in_0_2_open = spec.p > 0 && spec.p < 2;
+  const bool p_in_0_2_closed = spec.p > 0 && spec.p <= 2;
+  const bool eps_ok = spec.eps > 0 && spec.eps < 1;
+  const bool delta_ok = spec.delta > 0 && spec.delta < 1;
+  const bool phi_ok = spec.phi > 0 && spec.phi < 1;
+  // 2^61 - 1 is the GF fingerprinting modulus (SparseRecovery requires
+  // n < p - 1); the dyadic trees require log2(universe) < 63.
+  const bool n_fits_gf = spec.n < gf61::kP - 1;
+  const bool n_fits_dyadic = spec.n <= (1ull << 62);
+  switch (spec.kind) {
+    case SketchKind::kCountSketch:
+    case SketchKind::kCountMin:
+    case SketchKind::kAmsF2:
+    case SketchKind::kL0Estimator:
+      return Status::OK();
+    case SketchKind::kStableSketch:
+    case SketchKind::kLpNormEstimator:
+      if (!p_in_0_2_closed) {
+        return Status::InvalidArgument("spec p must be in (0, 2]");
+      }
+      return Status::OK();
+    case SketchKind::kDyadicCountMin:
+    case SketchKind::kDyadicCountSketch:
+      if (!n_fits_dyadic) {
+        return Status::InvalidArgument("spec n too large for a dyadic tree");
+      }
+      return Status::OK();
+    case SketchKind::kOneSparse:
+    case SketchKind::kSparseRecovery:
+      if (!n_fits_gf) {
+        return Status::InvalidArgument(
+            "spec n too large for GF fingerprinting");
+      }
+      return Status::OK();
+    case SketchKind::kLpSampler:
+    case SketchKind::kAkoSampler:
+      if (!p_in_0_2_open) {
+        return Status::InvalidArgument("spec p must be in (0, 2)");
+      }
+      if (!eps_ok) return Status::InvalidArgument("spec eps must be in (0, 1)");
+      if (!delta_ok) {
+        return Status::InvalidArgument("spec delta must be in (0, 1)");
+      }
+      return Status::OK();
+    case SketchKind::kL0Sampler:
+      if (!delta_ok) {
+        return Status::InvalidArgument("spec delta must be in (0, 1)");
+      }
+      return Status::OK();
+    case SketchKind::kFisL0Sampler:
+      return Status::OK();
+    case SketchKind::kCsHeavyHitters:
+      if (!p_in_0_2_closed) {
+        return Status::InvalidArgument("spec p must be in (0, 2]");
+      }
+      if (!phi_ok) return Status::InvalidArgument("spec phi must be in (0, 1)");
+      return Status::OK();
+    case SketchKind::kCmHeavyHitters:
+      if (!phi_ok) return Status::InvalidArgument("spec phi must be in (0, 1)");
+      return Status::OK();
+    case SketchKind::kDyadicHeavyHitters:
+      if (!phi_ok) return Status::InvalidArgument("spec phi must be in (0, 1)");
+      if (!n_fits_dyadic) {
+        return Status::InvalidArgument("spec n too large for a dyadic tree");
+      }
+      return Status::OK();
+    case SketchKind::kDuplicateFinder:
+      if (!delta_ok) {
+        return Status::InvalidArgument("spec delta must be in (0, 1)");
+      }
+      return Status::OK();
+    case SketchKind::kSparseDuplicateFinder:
+    case SketchKind::kPositiveFinder:
+      if (!delta_ok) {
+        return Status::InvalidArgument("spec delta must be in (0, 1)");
+      }
+      if (!n_fits_gf) {
+        return Status::InvalidArgument(
+            "spec n too large for GF fingerprinting");
+      }
+      return Status::OK();
+    case SketchKind::kMomentEstimator:
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown sketch kind");
+}
+
+uint64_t EnforcedUniverse(const SketchSpec& spec) {
+  switch (spec.kind) {
+    // These kinds (or a sampler/recovery structure inside them) check
+    // index < n on every update; the bound is the same max(n, 1)
+    // resolution MakeSketch applies.
+    case SketchKind::kOneSparse:
+    case SketchKind::kSparseRecovery:
+    case SketchKind::kLpSampler:
+    case SketchKind::kL0Sampler:
+    case SketchKind::kFisL0Sampler:
+    case SketchKind::kAkoSampler:
+    case SketchKind::kDuplicateFinder:
+    case SketchKind::kSparseDuplicateFinder:
+    case SketchKind::kPositiveFinder:
+    case SketchKind::kMomentEstimator:
+      return std::max<uint64_t>(spec.n, 1);
+    default:
+      return 0;  // hashes arbitrary 64-bit indices
+  }
 }
 
 Result<SketchKind> SketchKindFromName(const std::string& name) {

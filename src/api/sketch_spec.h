@@ -63,7 +63,28 @@ struct SketchSpec {
 /// builds (unused fields ignored, zeros resolve to library defaults);
 /// returns nullptr only for a kind value outside the enum (corrupt wire
 /// data). Two calls with equal specs produce identically-seeded replicas.
+///
+/// Precondition: the spec's values are in range for its kind — the
+/// underlying constructors LPS_CHECK their parameters (a programming
+/// error aborts). Specs that arrive from an untrusted boundary (the
+/// server's CREATE/RESTORE requests) must pass ValidateSpec first.
 std::unique_ptr<LinearSketch> MakeSketch(const SketchSpec& spec);
+
+/// Checks a spec's values against the constructor preconditions of its
+/// kind, as a recoverable error instead of a CHECK abort: finite
+/// doubles in their documented ranges (p, eps, delta, phi), size fields
+/// under generous server-side caps (so a hostile spec cannot demand an
+/// unbounded allocation), universe bounds for the GF-fingerprinting and
+/// dyadic kinds. OK means MakeSketch(spec) constructs without tripping
+/// any precondition. Wire-facing construction paths call this before
+/// MakeSketch; in-process callers may skip it.
+Status ValidateSpec(const SketchSpec& spec);
+
+/// The bound MakeSketch(spec)'s sketch enforces on update indices
+/// (update paths LPS_CHECK index < bound), or 0 for the kinds that hash
+/// arbitrary 64-bit indices. Wire-facing ingest paths reject an index
+/// at or past this bound before it reaches the sketch.
+uint64_t EnforcedUniverse(const SketchSpec& spec);
 
 /// Recovers the construction spec of a live sketch. Exact round-trip
 /// (MakeSketch(SpecOf(x)) serializes bit-identically to a reset x) for

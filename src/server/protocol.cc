@@ -69,10 +69,16 @@ void WriteString(BitWriter* writer, const std::string& s) {
 }
 
 std::string ReadString(BitReader* reader) {
-  const size_t size = reader->ReadBits(32);
+  const uint64_t size = reader->ReadBits(32);
+  // The claimed length is attacker-controlled: validate it against what
+  // the stream can actually hold before reserving or looping.
+  if (size * 8 > reader->bits_remaining()) {
+    reader->Fail();
+    return std::string();
+  }
   std::string s;
-  s.reserve(size);
-  for (size_t i = 0; i < size; ++i) {
+  s.reserve(size_t(size));
+  for (uint64_t i = 0; i < size; ++i) {
     s.push_back(char(uint8_t(reader->ReadBits(8))));
   }
   return s;
@@ -89,8 +95,13 @@ void WriteUpdates(BitWriter* writer, const stream::Update* updates,
 
 std::vector<stream::Update> ReadUpdates(BitReader* reader) {
   const uint64_t count = reader->ReadU64();
+  // 128 bits per update; a count the body cannot hold is a lie.
+  if (count > reader->bits_remaining() / 128) {
+    reader->Fail();
+    return {};
+  }
   std::vector<stream::Update> updates;
-  updates.reserve(count);
+  updates.reserve(size_t(count));
   for (uint64_t i = 0; i < count; ++i) {
     stream::Update u;
     u.index = reader->ReadU64();
@@ -108,9 +119,19 @@ void WriteState(BitWriter* writer, const std::vector<uint64_t>& words,
 }
 
 void ReadState(BitReader* reader, std::vector<uint64_t>* words, size_t* bits) {
-  *bits = reader->ReadU64();
-  const size_t count = (*bits + 63) / 64;
   words->clear();
+  const uint64_t claimed = reader->ReadU64();
+  // The state is packed as ceil(bits/64) whole words; reject a claimed
+  // bit count the body cannot hold before sizing the buffer. The first
+  // comparison also rules out the (claimed + 63) wraparound.
+  if (claimed > reader->bits_remaining() ||
+      ((claimed + 63) / 64) * 64 > reader->bits_remaining()) {
+    *bits = 0;
+    reader->Fail();
+    return;
+  }
+  *bits = size_t(claimed);
+  const size_t count = (*bits + 63) / 64;
   words->reserve(count);
   for (size_t i = 0; i < count; ++i) words->push_back(reader->ReadU64());
 }
@@ -169,14 +190,19 @@ ServerStats DeserializeStats(BitReader* reader) {
 
 std::vector<uint8_t> EncodeFrame(uint8_t first, const BitWriter& body) {
   const std::vector<uint64_t>& words = body.words();
-  const size_t word_count = (body.bit_count() + 63) / 64;
-  const uint32_t payload = uint32_t(1 + 8 + 8 * word_count);
+  const uint64_t word_count = (uint64_t(body.bit_count()) + 63) / 64;
+  const uint64_t payload = 1 + 8 + 8 * word_count;
+  // A body that does not fit the u32 length prefix (or the protocol's
+  // own frame ceiling) must fail loudly, not wrap and emit a corrupt
+  // frame. A valid frame is never empty (>= 13 bytes), so the empty
+  // vector is an unambiguous failure sentinel.
+  if (payload > kMaxFrameBytes) return {};
   std::vector<uint8_t> out;
-  out.reserve(4 + payload);
-  PutU32(&out, payload);
+  out.reserve(size_t(4 + payload));
+  PutU32(&out, uint32_t(payload));
   out.push_back(first);
   PutU64(&out, body.bit_count());
-  for (size_t i = 0; i < word_count; ++i) PutU64(&out, words[i]);
+  for (uint64_t i = 0; i < word_count; ++i) PutU64(&out, words[i]);
   return out;
 }
 
@@ -186,6 +212,13 @@ Result<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
   }
   const uint8_t first = payload[0];
   const uint64_t bit_count = GetU64(payload + 1);
+  // Bound the declared bit count by the bits actually delivered before
+  // any ceil-division: for bit_count near 2^64 the (bit_count + 63)
+  // rounding wraps to a tiny word count that would slip past the
+  // truncation check below.
+  if (bit_count > uint64_t(size - (1 + 8)) * 8) {
+    return Status::InvalidArgument("frame body truncated");
+  }
   const size_t word_count = size_t((bit_count + 63) / 64);
   if (size < 1 + 8 + 8 * word_count) {
     return Status::InvalidArgument("frame body truncated");
@@ -195,11 +228,18 @@ Result<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
   for (size_t i = 0; i < word_count; ++i) {
     words.push_back(GetU64(payload + 1 + 8 + 8 * i));
   }
-  return Frame{first, BitReader(std::move(words), size_t(bit_count))};
+  BitReader body(std::move(words), size_t(bit_count));
+  // Frames arrive from the network: a body that lies about its interior
+  // lengths must read as failed(), never CHECK-abort the process.
+  body.set_permissive(true);
+  return Frame{first, std::move(body)};
 }
 
 Status WriteFrame(int fd, uint8_t first, const BitWriter& body) {
   const std::vector<uint8_t> bytes = EncodeFrame(first, body);
+  if (bytes.empty()) {
+    return Status::InvalidArgument("frame body exceeds kMaxFrameBytes");
+  }
   return WriteFull(fd, bytes.data(), bytes.size());
 }
 

@@ -21,7 +21,13 @@
 // all three at a live server). Oversized/truncated frames close the
 // connection (the stream is unsynchronized beyond them); an unknown
 // opcode inside a well-formed frame gets an error response and the
-// connection lives on.
+// connection lives on. The same holds one level down: frame BODIES are
+// decoded through a permissive BitReader, and every claimed length
+// inside a body (string sizes, update counts, state bit counts) is
+// validated against the bits the frame actually delivered before any
+// allocation — a body that lies about its interior surfaces as a
+// "malformed request body" error response on a connection that keeps
+// serving, because the frame boundary itself was sound.
 //
 // This header is shared VERBATIM by the server, the Client class, the
 // lps_bench_client load generator, and the loopback tests — the codec
@@ -133,7 +139,10 @@ struct Frame {
 };
 
 /// Encodes [length][first][body] into a contiguous byte buffer ready for
-/// a single write.
+/// a single write. Returns an EMPTY vector when the body exceeds
+/// kMaxFrameBytes (a valid frame is never smaller than 13 bytes, so
+/// empty is unambiguous) — encoding must fail loudly rather than wrap
+/// the u32 length prefix and emit a corrupt frame.
 std::vector<uint8_t> EncodeFrame(uint8_t first, const BitWriter& body);
 
 /// Decodes a payload (everything after the length prefix) into a Frame.

@@ -121,24 +121,36 @@ void Server::AcceptLoop() {
     Connection* raw = connection.get();
     raw->reader = std::thread([this, raw] { ReaderMain(raw); });
     raw->writer = std::thread([this, raw] { WriterMain(raw); });
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.push_back(std::move(connection));
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
     ReapFinished();
   }
 }
 
 void Server::ReapFinished() {
-  // Caller holds connections_mutex_.
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    Connection* connection = it->get();
-    if (connection->done.load()) {
-      if (connection->reader.joinable()) connection->reader.join();
-      if (connection->writer.joinable()) connection->writer.join();
-      ::close(connection->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
+  // Unlink finished connections under the lock, but JOIN outside it: a
+  // reader can still be finishing its last request when the writer
+  // flags done, and Stop() takes the same mutex — joining under it
+  // would stall the accept loop (and could deadlock it) behind one
+  // straggling connection.
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  for (auto& connection : finished) {
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+    ::close(connection->fd);
   }
 }
 
@@ -178,7 +190,11 @@ void Server::WriterMain(Connection* connection) {
       done += size_t(n);
     }
     if (failed) {
-      // Peer is gone: unblock the reader and stop draining.
+      // Peer is gone: stop draining, and CLOSE the outbox so a reader
+      // blocked in Push (bounded queue full — exactly what a peer that
+      // stopped reading and then died produces) wakes up instead of
+      // waiting forever on a queue nothing will ever pop.
+      connection->outbox.Close();
       ::shutdown(connection->fd, SHUT_RDWR);
       break;
     }
@@ -191,13 +207,29 @@ void Server::WriterMain(Connection* connection) {
 }
 
 void Server::SendOk(Connection* connection, const BitWriter& body) {
-  connection->outbox.Push(EncodeFrame(kStatusOk, body));
+  std::vector<uint8_t> frame = EncodeFrame(kStatusOk, body);
+  if (frame.empty()) {
+    // Body larger than a frame can carry: answer with an error rather
+    // than silently dropping the reply (the client is owed exactly one
+    // response per request).
+    SendError(connection, "response exceeds the frame size limit");
+    return;
+  }
+  connection->outbox.Push(std::move(frame));
 }
 
 void Server::SendError(Connection* connection, const std::string& message) {
   BitWriter body;
   WriteString(&body, message);
   connection->outbox.Push(EncodeFrame(kStatusError, body));
+}
+
+bool Server::SendMalformed(Connection* connection) {
+  // The frame boundary was sound — only the body lied about its
+  // interior — so the byte stream is still synchronized and the
+  // connection keeps serving, like the unknown-opcode case.
+  SendError(connection, "malformed request body");
+  return true;
 }
 
 bool Server::HandleFrame(Connection* connection, Frame frame) {
@@ -207,6 +239,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
       const SketchConfig config = DeserializeConfig(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Status status = registry_.Create(tenant, key, config);
       if (!status.ok()) {
         SendError(connection, status.message());
@@ -219,6 +252,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
       const std::vector<stream::Update> updates = ReadUpdates(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Status status = registry_.Ingest(tenant, key, updates);
       if (!status.ok()) {
         SendError(connection, status.message());
@@ -232,6 +266,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
     case Opcode::kQuery: {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Result<QueryResult> result = registry_.Query(tenant, key);
       if (!result.ok()) {
         SendError(connection, result.status().message());
@@ -247,6 +282,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       const std::string key = ReadString(&body);
       const uint64_t w = body.ReadU64();
       const bool want_state = body.ReadBits(8) != 0;
+      if (body.failed()) return SendMalformed(connection);
       Result<TenantRegistry::WindowAnswer> answer =
           registry_.Window(tenant, key, w, want_state);
       if (!answer.ok()) {
@@ -268,6 +304,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
     case Opcode::kSnapshot: {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Result<SnapshotBlob> blob = registry_.Snapshot(tenant, key);
       if (!blob.ok()) {
         SendError(connection, blob.status().message());
@@ -282,6 +319,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
       const SnapshotBlob blob = DeserializeSnapshot(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Status status = registry_.Restore(tenant, key, blob);
       if (!status.ok()) {
         SendError(connection, status.message());
@@ -293,6 +331,7 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
     case Opcode::kDrop: {
       const std::string tenant = ReadString(&body);
       const std::string key = ReadString(&body);
+      if (body.failed()) return SendMalformed(connection);
       const Status status = registry_.Drop(tenant, key);
       if (!status.ok()) {
         SendError(connection, status.message());

@@ -22,10 +22,17 @@
 // down. An oversized length prefix or truncated payload makes the byte
 // stream unsynchronized — the connection gets a best-effort error frame
 // and is closed; an unknown opcode inside a well-formed frame gets an
-// error response and the connection continues. Registry-level errors
-// (unknown tenant, duplicate CREATE, ...) are ordinary error responses.
-// Other connections are never affected; tests/server_test.cc drives all
-// of these against a live server.
+// error response and the connection continues, as does a well-formed
+// frame whose BODY lies about its interior lengths (bodies decode
+// through a permissive BitReader and every claimed count is checked
+// against the delivered bits — see protocol.h). Request VALUES that
+// would trip a library precondition (out-of-range spec parameters,
+// update indices past the declared universe, snapshot state that does
+// not match its config) are rejected by the registry before they reach
+// CHECK-guarded code. Registry-level errors (unknown tenant, duplicate
+// CREATE, ...) are ordinary error responses. Other connections are
+// never affected; tests/server_test.cc drives all of these against a
+// live server.
 #pragma once
 
 #include <atomic>
@@ -114,8 +121,14 @@ class Server {
   bool HandleFrame(Connection* connection, Frame frame);
   void SendOk(Connection* connection, const BitWriter& body);
   void SendError(Connection* connection, const std::string& message);
-  /// Joins and erases finished connections (called from the accept
-  /// loop so long-lived servers do not accumulate dead threads).
+  /// Answers a body whose interior lengths lied about the frame's
+  /// contents. Returns true: the frame boundary was sound, so the
+  /// connection keeps serving.
+  bool SendMalformed(Connection* connection);
+  /// Unlinks finished connections under connections_mutex_, then joins
+  /// them outside it (called from the accept loop so long-lived servers
+  /// do not accumulate dead threads, without the accept loop ever
+  /// blocking on a join while holding the mutex).
   void ReapFinished();
 
   Options options_;

@@ -22,6 +22,11 @@ Result<std::shared_ptr<TenantRegistry::Entry>> TenantRegistry::BuildEntry(
   if (config.threads < 0 || config.threads > 1024) {
     return Status::InvalidArgument("threads must be in [0, 1024]");
   }
+  // The spec arrived from the wire: out-of-range values would CHECK-
+  // abort inside the sketch constructors, so they must be rejected
+  // here, as a response the client can read.
+  const Status valid = ValidateSpec(config.spec);
+  if (!valid.ok()) return valid;
   auto entry = std::make_shared<Entry>();
   entry->config = config;
   entry->replicas.reserve(size_t(config.shards));
@@ -84,6 +89,18 @@ Status TenantRegistry::Ingest(const std::string& tenant,
   auto entry = Find(tenant, key);
   if (entry == nullptr) {
     return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  }
+  // The sampler/recovery kinds CHECK index < n on every update; an
+  // out-of-universe index from the wire must be an error response, not
+  // a daemon abort.
+  if (const uint64_t bound = EnforcedUniverse(entry->config.spec)) {
+    for (const stream::Update& update : updates) {
+      if (update.index >= bound) {
+        return Status::InvalidArgument(
+            "update index " + std::to_string(update.index) +
+            " outside universe [0, " + std::to_string(bound) + ")");
+      }
+    }
   }
   std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->pipeline != nullptr) {
@@ -217,6 +234,19 @@ Status TenantRegistry::Restore(const std::string& tenant,
   auto built = BuildEntry(blob.config);
   if (!built.ok()) return built.status();
   std::shared_ptr<Entry> entry = *built;
+  // Serialized size and the leading word (header + first parameter
+  // bits) are pure functions of the config — counters only change
+  // values, never layout. A fresh replica of the same (already
+  // validated) config is therefore an exact template for both, which
+  // rejects truncated, padded, or version-skewed state before
+  // Deserialize walks it.
+  BitWriter probe;
+  entry->replicas[0]->Serialize(&probe);
+  if (blob.state_bits != probe.bit_count() ||
+      blob.state_words[0] != probe.words()[0]) {
+    return Status::InvalidArgument(
+        "snapshot state does not match its declared config");
+  }
   BitReader reader(blob.state_words, blob.state_bits);
   entry->replicas[0]->Deserialize(&reader);
   entry->updates_seen = blob.updates_seen;

@@ -11,7 +11,8 @@
 //
 // Concurrency model (two levels, both sized for many tenants):
 //
-//   - The map from "tenant\0key" to entries is sharded across
+//   - The map from the length-prefixed (tenant, key) name to entries
+//     is sharded across
 //     kLockShards independently locked submaps, so CREATE/DROP/lookup
 //     traffic for different tenants rarely contends. Lookups copy the
 //     shared_ptr and release the shard lock immediately.
@@ -131,7 +132,12 @@ class TenantRegistry {
   static constexpr size_t kLockShards = 16;
 
   static std::string MapKey(const std::string& tenant, const std::string& key) {
-    return tenant + '\0' + key;
+    // Wire strings are length-prefixed and may contain ANY byte, so a
+    // separator alone is ambiguous: ("a\0b", "c") and ("a", "b\0c")
+    // must not alias. Prefixing the tenant's decimal length keeps the
+    // parse unambiguous — the digits run ends at the first ':', and the
+    // tenant's own bytes are covered by the count.
+    return std::to_string(tenant.size()) + ':' + tenant + key;
   }
   MapShard& ShardFor(const std::string& map_key) {
     return shards_[std::hash<std::string>()(map_key) % kLockShards];

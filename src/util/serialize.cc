@@ -47,7 +47,8 @@ BitReader::BitReader(std::vector<uint64_t> words, size_t bit_count)
 BitReader::BitReader(BitReader&& other) noexcept
     : owned_(std::move(other.owned_)),
       words_(other.words_ == &other.owned_ ? &owned_ : other.words_),
-      total_bits_(other.total_bits_), position_(other.position_) {}
+      total_bits_(other.total_bits_), position_(other.position_),
+      permissive_(other.permissive_), failed_(other.failed_) {}
 
 BitReader& BitReader::operator=(BitReader&& other) noexcept {
   if (this != &other) {
@@ -56,6 +57,8 @@ BitReader& BitReader::operator=(BitReader&& other) noexcept {
     words_ = owning ? &owned_ : other.words_;
     total_bits_ = other.total_bits_;
     position_ = other.position_;
+    permissive_ = other.permissive_;
+    failed_ = other.failed_;
   }
   return *this;
 }
@@ -63,7 +66,11 @@ BitReader& BitReader::operator=(BitReader&& other) noexcept {
 uint64_t BitReader::ReadBits(int bits) {
   LPS_CHECK(bits >= 0 && bits <= 64);
   if (bits == 0) return 0;
-  LPS_CHECK(position_ + static_cast<size_t>(bits) <= total_bits_);
+  if (position_ + static_cast<size_t>(bits) > total_bits_) {
+    LPS_CHECK(permissive_);
+    Fail();
+    return 0;
+  }
   const std::vector<uint64_t>& words = *words_;
   const size_t word_index = position_ >> 6;
   const int offset = static_cast<int>(position_ & 63);

@@ -72,11 +72,31 @@ class BitReader {
 
   size_t bits_remaining() const { return total_bits_ - position_; }
 
+  /// Overrun policy. By default a read past the end of the stream is a
+  /// programming error (LPS_CHECK aborts). A PERMISSIVE reader instead
+  /// records the overrun and returns 0 for that and every later read —
+  /// the mode for bytes that arrive from an untrusted peer, where a
+  /// stream that lies about its length must surface as failed(), never
+  /// as a CHECK abort (the sketch server decodes every request body
+  /// through a permissive reader).
+  void set_permissive(bool permissive) { permissive_ = permissive; }
+  /// True once any read overran the stream, or a decoder called Fail()
+  /// after pre-validating a claimed element count. Sticky.
+  bool failed() const { return failed_; }
+  /// Marks the stream failed and exhausts it, so later reads return 0
+  /// instead of walking an arbitrarily large claimed count.
+  void Fail() {
+    failed_ = true;
+    position_ = total_bits_;
+  }
+
  private:
   std::vector<uint64_t> owned_;  // empty for the non-owning view
   const std::vector<uint64_t>* words_;
   size_t total_bits_;
   size_t position_ = 0;
+  bool permissive_ = false;
+  bool failed_ = false;
 };
 
 /// Writes a BitWriter's contents to `path` in a self-describing binary

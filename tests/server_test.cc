@@ -14,7 +14,15 @@
 //     on the re-snapshotted state;
 //   * malformed-frame containment: oversized length prefix, truncated
 //     payload, unknown opcode — each answered or dropped without taking
-//     the daemon down for anyone else.
+//     the daemon down for anyone else;
+//   * malformed-BODY containment: well-formed frames whose bodies lie
+//     (string lengths, update counts, state bit counts, a bit count
+//     that wraps the word-count arithmetic) or carry hostile VALUES
+//     (out-of-range spec parameters, out-of-universe indices, NUL-
+//     aliased tenant names) — every one an error response, never an
+//     abort;
+//   * a client that stops reading its replies and then dies must not
+//     wedge the writer/reader pair or the accept loop.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -22,6 +30,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -344,6 +353,194 @@ TEST(ServerTest, MalformedFramesDoNotKillTheDaemon) {
   Client fresh = MustConnect(*server);
   EXPECT_TRUE(fresh.Stats().ok());
   server->Stop();
+}
+
+// A well-formed frame whose BODY lies about its interior lengths gets a
+// "malformed request body" error on a connection that keeps serving —
+// the frame boundary was sound, so the stream is still synchronized.
+TEST(ServerTest, MalformedBodiesAreErrorsNotAborts) {
+  auto server = MustStart();
+  Client healthy = MustConnect(*server);
+  ASSERT_TRUE(healthy.Create("a", "k", HeavyConfig(1)).ok());
+
+  Client attacker = MustConnect(*server);
+  const auto expect_error_then_alive = [&](const BitWriter& body,
+                                           Opcode opcode, const char* what) {
+    ASSERT_TRUE(attacker.SendRaw(EncodeFrame(uint8_t(opcode), body)).ok())
+        << what;
+    auto reply = attacker.ReadReply();
+    ASSERT_TRUE(reply.ok()) << what;
+    EXPECT_EQ(reply->first, kStatusError) << what;
+    EXPECT_TRUE(attacker.Stats().ok()) << what;  // SAME connection serves on
+  };
+
+  {
+    // CREATE whose tenant string claims 4096 bytes the body never ships.
+    BitWriter body;
+    body.WriteBits(4096, 32);
+    expect_error_then_alive(body, Opcode::kCreate, "lying string length");
+  }
+  {
+    // INGEST claiming ~2^60 updates with an empty tail.
+    BitWriter body;
+    WriteString(&body, "a");
+    WriteString(&body, "k");
+    body.WriteU64(1ull << 60);
+    expect_error_then_alive(body, Opcode::kIngest, "lying update count");
+  }
+  {
+    // WINDOW missing its w / want_state tail.
+    BitWriter body;
+    WriteString(&body, "a");
+    WriteString(&body, "k");
+    expect_error_then_alive(body, Opcode::kWindow, "truncated body");
+  }
+  {
+    // RESTORE whose snapshot state claims 2^40 bits it does not carry.
+    BitWriter body;
+    WriteString(&body, "a");
+    WriteString(&body, "other");
+    SerializeConfig(HeavyConfig(1), &body);
+    body.WriteU64(0);           // updates_seen
+    body.WriteU64(1ull << 40);  // state bit count, nothing behind it
+    expect_error_then_alive(body, Opcode::kRestore, "lying state size");
+  }
+
+  // The daemon served everyone else throughout.
+  EXPECT_TRUE(healthy.Query("a", "k").ok());
+  server->Stop();
+}
+
+// A frame whose declared body bit count sits near 2^64 must not wrap
+// the ceil-to-words arithmetic into a "valid" tiny frame (that abort
+// lived in DecodeFramePayload): it is a framing violation, answered
+// once before the connection closes.
+TEST(ServerTest, HostileBitCountDoesNotKillTheDaemon) {
+  auto server = MustStart();
+  Client attacker = MustConnect(*server);
+  std::vector<uint8_t> frame = {9, 0, 0, 0, uint8_t(Opcode::kStats)};
+  for (int i = 0; i < 8; ++i) frame.push_back(0xFF);  // bit count 2^64 - 1
+  ASSERT_TRUE(attacker.SendRaw(frame).ok());
+  auto reply = attacker.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->first, kStatusError);
+  EXPECT_FALSE(attacker.ReadReply().ok());  // closed after answering
+
+  Client fresh = MustConnect(*server);
+  EXPECT_TRUE(fresh.Stats().ok());
+  server->Stop();
+}
+
+// Wire strings are length-prefixed and may contain NUL, so the registry
+// key must be unambiguous: ("a\0b", "c") and ("a", "b\0c") are two
+// different streams, not aliases of each other.
+TEST(ServerTest, NulBytesInNamesDoNotAliasTenants) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  const std::string tenant_one("a\0b", 3);
+  const std::string key_one("c");
+  const std::string tenant_two("a");
+  const std::string key_two("b\0c", 3);
+
+  ASSERT_TRUE(client.Create(tenant_one, key_one, HeavyConfig(1)).ok());
+  // Not a duplicate: a different (tenant, key) pair entirely.
+  ASSERT_TRUE(client.Create(tenant_two, key_two, HeavyConfig(2)).ok());
+
+  const auto updates = TenantStream(7, 512);
+  ASSERT_TRUE(client.Ingest(tenant_one, key_one, updates).ok());
+  // Dropping one must not reach through the alias into the other.
+  ASSERT_TRUE(client.Drop(tenant_two, key_two).ok());
+  auto result = client.Query(tenant_one, key_one);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto local = MakeSketch(HeavyConfig(1).spec);
+  local->UpdateBatch(updates.data(), updates.size());
+  EXPECT_EQ(*result, lps::Query(*local));
+  server->Stop();
+}
+
+// Request VALUES that would trip a constructor or update precondition
+// (LPS_CHECK aborts in-process) must come back as error responses.
+TEST(ServerTest, OutOfRangeValuesAreErrorsNotAborts) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+
+  SketchConfig bad = HeavyConfig(1);
+  bad.spec.kind = SketchKind::kLpSampler;
+  bad.spec.p = 5.0;  // Lp sampler requires p in (0, 2)
+  EXPECT_FALSE(client.Create("v", "p", bad).ok());
+
+  bad = HeavyConfig(1);
+  bad.spec.phi = 0.0;  // heavy hitters require phi in (0, 1)
+  EXPECT_FALSE(client.Create("v", "phi", bad).ok());
+
+  bad = HeavyConfig(1);
+  bad.spec.delta = std::numeric_limits<double>::quiet_NaN();
+  bad.spec.kind = SketchKind::kL0Sampler;
+  EXPECT_FALSE(client.Create("v", "nan", bad).ok());
+
+  bad = HeavyConfig(1);
+  bad.spec.rows = 1u << 30;  // allocation bomb
+  bad.spec.buckets = 1u << 30;
+  EXPECT_FALSE(client.Create("v", "huge", bad).ok());
+
+  // An out-of-universe index into a sampler kind: the sketch would
+  // CHECK index < n, so the registry rejects the batch up front.
+  SketchConfig sampler = HeavyConfig(3);
+  sampler.spec.kind = SketchKind::kLpSampler;
+  sampler.spec.p = 1.0;
+  ASSERT_TRUE(client.Create("v", "s", sampler).ok());
+  EXPECT_FALSE(client.Ingest("v", "s", {{1ull << 40, 1}}).ok());
+  EXPECT_TRUE(client.Ingest("v", "s", {{kN - 1, 1}}).ok());  // in range
+
+  EXPECT_TRUE(client.Stats().ok());  // daemon alive through all of it
+  server->Stop();
+}
+
+// A client that stops reading its replies (filling the bounded outbox
+// and the socket buffers) and then dies with a RST must not leave the
+// reader blocked in Outbox::Push forever — the writer's failure path
+// closes the outbox, the pair exits, and the accept loop keeps serving.
+TEST(ServerTest, DeadSlowClientDoesNotWedgeTheServer) {
+  Server::Options options;
+  options.port = 0;
+  options.outbox_capacity = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    Client setup = MustConnect(server);
+    // A deliberately wide CountSketch so each SNAPSHOT reply is ~2 MiB
+    // and a few pipelined replies overrun any default socket buffer.
+    SketchConfig big;
+    big.spec.kind = SketchKind::kCountSketch;
+    big.spec.rows = 8;
+    big.spec.buckets = 1 << 15;
+    ASSERT_TRUE(setup.Create("t", "big", big).ok());
+  }
+  {
+    Client slow = MustConnect(server);
+    BitWriter body;
+    WriteString(&body, "t");
+    WriteString(&body, "big");
+    const std::vector<uint8_t> request =
+        EncodeFrame(uint8_t(Opcode::kSnapshot), body);
+    // Pipeline far more replies than the outbox + socket buffers hold,
+    // never reading any of them...
+    for (int i = 0; i < 32; ++i) {
+      if (!slow.SendRaw(request).ok()) break;  // buffers already full
+    }
+    // ...then die abruptly: linger(0) turns close() into a RST, which
+    // is what makes the server's in-flight send() fail.
+    const linger abort_on_close{1, 0};
+    ::setsockopt(slow.fd(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof(abort_on_close));
+  }
+
+  // The accept loop (which also reaps finished connections) must still
+  // serve newcomers, and Stop() must join everything without hanging.
+  Client fresh = MustConnect(server);
+  EXPECT_TRUE(fresh.Stats().ok());
+  server.Stop();
 }
 
 TEST(ServerTest, DropForgetsOnlyTheNamedStream) {
