@@ -1,0 +1,434 @@
+// Durability economics: what the checkpoint store costs and what the
+// delta codec buys. Three tables:
+//
+//   1. delta compression — raw vs delta-compressed checkpoint bytes per
+//      workload regime. The monitoring regime (a bounded hot set per
+//      interval) is what the spill path is built for and is GATED at
+//      >= 4x; the uniform regime touches most counters per interval and
+//      is reported un-gated as the honest worst case;
+//   2. spill / rehydrate — ingest throughput with the spill chain
+//      attached vs the all-RAM ring, and WindowSketch() latency when the
+//      answer is resident vs when it decodes a spilled delta chain;
+//   3. cold boot — CheckpointStore::Open (recovery scan over the
+//      segments) and TenantRegistry::RestoreAll timing over a populated
+//      data dir: the crash-recovery path a SIGKILL'd lps_serve reboots
+//      through.
+//
+// Emits BENCH_persist.json next to the other BENCH_*.json artifacts; the
+// CI gates the compression ratio via ci/compare_bench.py --persist. The
+// ratio is a deterministic property of codec + workload (no timing), so
+// it is asserted even under sanitizer instrumentation.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "src/api/sketch_spec.h"
+#include "src/persist/checkpoint_store.h"
+#include "src/persist/delta_codec.h"
+#include "src/server/tenant_registry.h"
+#include "src/stream/generators.h"
+#include "src/stream/window_manager.h"
+#include "src/util/serialize.h"
+
+namespace {
+
+using lps::BitWriter;
+using lps::MakeSketch;
+using lps::SketchKind;
+using lps::SketchSpec;
+using lps::bench::Table;
+using lps::persist::CheckpointStore;
+using lps::persist::EncodeBestDelta;
+using lps::persist::EncodedDelta;
+using lps::stream::UpdateStream;
+using lps::stream::WindowManager;
+
+// The gate the monitoring regime must clear (ISSUE acceptance; the
+// measured ratio on the reference workload is ~6.5x, so this holds with
+// margin without being brittle).
+constexpr double kMinHotSetRatio = 4.0;
+
+constexpr uint64_t kN = 1 << 16;
+constexpr uint64_t kInterval = 1 << 10;
+constexpr uint64_t kHotKeys = 8;
+
+struct CompressionRow {
+  std::string name;
+  uint64_t checkpoints = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t compressed_bytes = 0;
+  double ratio() const {
+    return compressed_bytes > 0
+               ? double(raw_bytes) / double(compressed_bytes)
+               : 0.0;
+  }
+};
+
+struct SpillRow {
+  std::string name;
+  double ram_items_per_sec = 0;
+  double spill_items_per_sec = 0;
+  double resident_micros = 0;
+  double rehydrate_micros = 0;
+};
+
+struct RecoveryRow {
+  uint64_t tenants = 0;
+  uint64_t store_bytes = 0;
+  double open_millis = 0;
+  double restore_millis = 0;
+};
+
+template <typename Fn>
+double BestSeconds(int passes, Fn&& fn) {
+  double best = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lps_bench_persist_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return std::string(dir);
+}
+
+void RemoveTree(const std::string& dir) {
+  const std::string command = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(command.c_str());
+}
+
+SketchSpec LpSamplerSpec() {
+  SketchSpec spec;
+  spec.kind = SketchKind::kLpSampler;
+  spec.n = kN;
+  spec.p = 1.0;
+  spec.eps = 0.25;
+  spec.repetitions = 8;
+  spec.seed = 10;
+  return spec;
+}
+
+SketchSpec CountSketchSpec() {
+  SketchSpec spec;
+  spec.kind = SketchKind::kCountSketch;
+  spec.n = kN;
+  spec.rows = 17;
+  spec.buckets = 96;
+  spec.seed = 1;
+  return spec;
+}
+
+/// Seals `checkpoints` checkpoints of `spec`'s sketch over `stream`
+/// (kInterval updates apiece) and delta-encodes each against its
+/// predecessor — exactly what the spill chain stores.
+CompressionRow MeasureCompression(const std::string& name,
+                                  const SketchSpec& spec,
+                                  const UpdateStream& stream,
+                                  uint64_t checkpoints) {
+  auto sketch = MakeSketch(spec);
+  CompressionRow row;
+  row.name = name;
+  row.checkpoints = checkpoints;
+  std::vector<uint64_t> prev_words;
+  size_t prev_bits = 0;
+  for (uint64_t c = 0; c < checkpoints; ++c) {
+    sketch->UpdateBatch(stream.data() + c * kInterval, kInterval);
+    BitWriter writer;
+    sketch->Serialize(&writer);
+    const EncodedDelta delta = EncodeBestDelta(writer.words(),
+                                               writer.bit_count(), prev_words,
+                                               prev_bits);
+    row.raw_bytes += (writer.bit_count() + 7) / 8;
+    row.compressed_bytes += delta.bytes.size();
+    prev_words = writer.words();
+    prev_bits = writer.bit_count();
+  }
+  return row;
+}
+
+/// Spill-chain cost on one structure: ingest throughput with and without
+/// the store attached, plus WindowSketch latency for a resident answer
+/// vs one that decodes a spilled delta chain.
+SpillRow MeasureSpill(const std::string& name, const SketchSpec& spec,
+                      const UpdateStream& stream, int passes) {
+  SpillRow row;
+  row.name = name;
+
+  {
+    auto sketch = MakeSketch(spec);
+    WindowManager::Options options;
+    options.checkpoint_interval = kInterval;
+    row.ram_items_per_sec =
+        double(stream.size()) / BestSeconds(passes, [&] {
+          sketch->Reset();
+          WindowManager manager(sketch.get(), options);
+          manager.PushBatch(stream.data(), stream.size());
+        });
+  }
+
+  const std::string dir = MakeTempDir();
+  {
+    auto sketch = MakeSketch(spec);
+    WindowManager::Options options;
+    options.checkpoint_interval = kInterval;
+    row.spill_items_per_sec =
+        double(stream.size()) / BestSeconds(passes, [&] {
+          sketch->Reset();
+          WindowManager manager(sketch.get(), options);
+          auto opened = CheckpointStore::Open(dir);
+          if (!opened.ok()) std::abort();
+          WindowManager::SpillOptions spill;
+          spill.store = opened.value().get();
+          spill.stream_key = "w:bench";
+          spill.resident_checkpoints = 2;
+          spill.keyframe_interval = 8;
+          manager.AttachSpill(spill);
+          manager.PushBatch(stream.data(), stream.size());
+          if (!manager.last_spill_error().ok()) std::abort();
+        });
+
+    // One populated manager for the query-latency split.
+    sketch->Reset();
+    WindowManager manager(sketch.get(), options);
+    auto opened = CheckpointStore::Open(dir);
+    if (!opened.ok()) std::abort();
+    WindowManager::SpillOptions spill;
+    spill.store = opened.value().get();
+    spill.stream_key = "w:bench-latency";
+    spill.resident_checkpoints = 2;
+    spill.keyframe_interval = 8;
+    manager.AttachSpill(spill);
+    manager.PushBatch(stream.data(), stream.size());
+    row.resident_micros = 1e6 * BestSeconds(passes, [&] {
+      // Start rounds to the newest checkpoint — resident by budget.
+      const auto window = manager.WindowSketch(kInterval);
+      if (window.sketch == nullptr) std::abort();
+    });
+    row.rehydrate_micros = 1e6 * BestSeconds(passes, [&] {
+      // Start rounds to the OLDEST checkpoint — spilled, so the call
+      // decodes the delta chain from its nearest keyframe.
+      const auto window = manager.WindowSketch(manager.updates_seen());
+      if (window.sketch == nullptr) std::abort();
+    });
+  }
+  RemoveTree(dir);
+  return row;
+}
+
+/// Populates a data dir with `tenants` windowed tenants and times the
+/// cold-boot path over it: the store's recovery scan and the registry's
+/// RestoreAll.
+RecoveryRow MeasureRecovery(uint64_t tenants, uint64_t updates_per_tenant,
+                            int passes) {
+  const std::string dir = MakeTempDir();
+  {
+    auto opened = CheckpointStore::Open(dir);
+    if (!opened.ok()) std::abort();
+    lps::server::TenantRegistry registry;
+    registry.AttachStore(opened.value().get(),
+                         lps::server::TenantRegistry::PersistOptions());
+    for (uint64_t t = 0; t < tenants; ++t) {
+      lps::server::SketchConfig config;
+      config.spec.kind = SketchKind::kCsHeavyHitters;
+      config.spec.n = 1 << 14;
+      config.spec.p = 1.0;
+      config.spec.phi = 0.05;
+      config.spec.seed = t;
+      config.window_checkpoint = 4096;
+      const std::string tenant = "tenant" + std::to_string(t);
+      if (!registry.Create(tenant, "stream", config).ok()) std::abort();
+      const auto updates =
+          lps::stream::UniformTurnstile(config.spec.n, updates_per_tenant,
+                                        100, 1000 + t);
+      if (!registry.Ingest(tenant, "stream", updates).ok()) std::abort();
+    }
+    if (registry.PersistTenants(false) != tenants) std::abort();
+  }
+
+  RecoveryRow row;
+  row.tenants = tenants;
+  row.open_millis = 1e3 * BestSeconds(passes, [&] {
+    auto opened = CheckpointStore::Open(dir);
+    if (!opened.ok()) std::abort();
+  });
+  row.restore_millis = 1e3 * BestSeconds(passes, [&] {
+    auto opened = CheckpointStore::Open(dir);
+    if (!opened.ok()) std::abort();
+    lps::server::TenantRegistry registry;
+    registry.AttachStore(opened.value().get(),
+                         lps::server::TenantRegistry::PersistOptions());
+    if (registry.RestoreAll() != tenants) std::abort();
+  });
+  {
+    auto opened = CheckpointStore::Open(dir);
+    if (opened.ok()) {
+      for (const std::string& key : opened.value()->Keys()) {
+        row.store_bytes += opened.value()->KeyBytes(key);
+      }
+    }
+  }
+  RemoveTree(dir);
+  return row;
+}
+
+void WriteJson(const char* path, const std::vector<CompressionRow>& compression,
+               const std::vector<SpillRow>& spill,
+               const std::vector<RecoveryRow>& recovery, bool quick) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"persist\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"delta_compression\": [\n");
+  for (size_t r = 0; r < compression.size(); ++r) {
+    const CompressionRow& row = compression[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"checkpoints\": %llu, "
+                 "\"raw_bytes\": %llu, \"compressed_bytes\": %llu, "
+                 "\"ratio\": %.2f}%s\n",
+                 row.name.c_str(),
+                 static_cast<unsigned long long>(row.checkpoints),
+                 static_cast<unsigned long long>(row.raw_bytes),
+                 static_cast<unsigned long long>(row.compressed_bytes),
+                 row.ratio(), r + 1 < compression.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"spill\": [\n");
+  for (size_t r = 0; r < spill.size(); ++r) {
+    const SpillRow& row = spill[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ram_items_per_sec\": %.0f, "
+                 "\"spill_items_per_sec\": %.0f, "
+                 "\"resident_micros\": %.3f, "
+                 "\"rehydrate_micros\": %.3f}%s\n",
+                 row.name.c_str(), row.ram_items_per_sec,
+                 row.spill_items_per_sec, row.resident_micros,
+                 row.rehydrate_micros, r + 1 < spill.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"recovery\": [\n");
+  for (size_t r = 0; r < recovery.size(); ++r) {
+    const RecoveryRow& row = recovery[r];
+    std::fprintf(f,
+                 "    {\"tenants\": %llu, \"store_bytes\": %llu, "
+                 "\"open_millis\": %.3f, \"restore_millis\": %.3f}%s\n",
+                 static_cast<unsigned long long>(row.tenants),
+                 static_cast<unsigned long long>(row.store_bytes),
+                 row.open_millis, row.restore_millis,
+                 r + 1 < recovery.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int passes = lps::bench::Scaled(quick, 5, 2);
+  const uint64_t checkpoints = quick ? 8 : 32;
+  const uint64_t recovery_tenants = quick ? 4 : 16;
+  const uint64_t recovery_updates = quick ? (1 << 13) : (1 << 15);
+
+  const auto hot_stream = lps::stream::HotSetTurnstile(
+      kN, checkpoints * kInterval, kHotKeys, kInterval, 100, 77);
+  const auto uniform_stream = lps::stream::UniformTurnstile(
+      kN, checkpoints * kInterval, 100, 77);
+
+  std::vector<CompressionRow> compression;
+  compression.push_back(MeasureCompression(
+      "lp_sampler[v=8]/hot_set", LpSamplerSpec(), hot_stream, checkpoints));
+  compression.push_back(MeasureCompression("lp_sampler[v=8]/uniform",
+                                           LpSamplerSpec(), uniform_stream,
+                                           checkpoints));
+  compression.push_back(MeasureCompression("count_sketch[17x96]/hot_set",
+                                           CountSketchSpec(), hot_stream,
+                                           checkpoints));
+
+  std::vector<SpillRow> spill;
+  spill.push_back(
+      MeasureSpill("lp_sampler[v=8]", LpSamplerSpec(), hot_stream, passes));
+
+  std::vector<RecoveryRow> recovery;
+  recovery.push_back(
+      MeasureRecovery(recovery_tenants, recovery_updates, passes));
+
+  lps::bench::Section(
+      "delta compression: checkpoint bytes, raw vs delta-compressed");
+  Table compression_table(
+      {"workload", "checkpoints", "raw KiB", "compressed KiB", "ratio"});
+  for (const CompressionRow& row : compression) {
+    compression_table.AddRow(
+        {row.name,
+         Table::Fmt("%llu", (unsigned long long)row.checkpoints),
+         Table::Fmt("%.1f", row.raw_bytes / 1024.0),
+         Table::Fmt("%.1f", row.compressed_bytes / 1024.0),
+         Table::Fmt("%.2fx", row.ratio())});
+  }
+  compression_table.Print();
+
+  lps::bench::Section("spill chain: ingest overhead and query latency");
+  Table spill_table({"structure", "ram Mitem/s", "spill Mitem/s",
+                     "resident us", "rehydrate us"});
+  for (const SpillRow& row : spill) {
+    spill_table.AddRow({row.name,
+                        Table::Fmt("%.2f", row.ram_items_per_sec / 1e6),
+                        Table::Fmt("%.2f", row.spill_items_per_sec / 1e6),
+                        Table::Fmt("%.1f", row.resident_micros),
+                        Table::Fmt("%.1f", row.rehydrate_micros)});
+  }
+  spill_table.Print();
+
+  lps::bench::Section("cold boot: recovery scan + tenant restore");
+  Table recovery_table(
+      {"tenants", "store KiB", "open ms", "restore ms"});
+  for (const RecoveryRow& row : recovery) {
+    recovery_table.AddRow(
+        {Table::Fmt("%llu", (unsigned long long)row.tenants),
+         Table::Fmt("%.1f", row.store_bytes / 1024.0),
+         Table::Fmt("%.3f", row.open_millis),
+         Table::Fmt("%.3f", row.restore_millis)});
+  }
+  recovery_table.Print();
+
+  WriteJson("BENCH_persist.json", compression, spill, recovery, quick);
+  std::printf("machine-readable results written to BENCH_persist.json\n");
+
+  // The compression gate: deterministic (codec + workload, no timing),
+  // so it holds under sanitizers and on loaded runners alike.
+  bool ok = true;
+  for (const CompressionRow& row : compression) {
+    if (row.name != "lp_sampler[v=8]/hot_set") continue;
+    if (row.ratio() < kMinHotSetRatio) {
+      std::fprintf(stderr,
+                   "COMPRESSION REGRESSION: %s compresses %.2fx < %.2fx — "
+                   "the delta codec stopped exploiting checkpoint "
+                   "locality\n",
+                   row.name.c_str(), row.ratio(), kMinHotSetRatio);
+      ok = false;
+    } else {
+      std::printf("compression gate: %s = %.2fx (>= %.2fx)\n",
+                  row.name.c_str(), row.ratio(), kMinHotSetRatio);
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -28,6 +28,17 @@ Compared metrics (the PR-to-PR trajectory the repo tracks):
   * absolute rps and p99 latency per tenant count — same
     hardware_threads + quick mode only, like the library benches.
 
+--persist swaps the metric set for the durability bench
+(BENCH_persist.json):
+
+  * delta-compression ratios — deterministic codec-vs-workload numbers,
+    machine-portable, compared against any baseline; the monitoring
+    regime (lp_sampler hot set) additionally carries a hard >= 4x floor
+    (the same floor bench_persist asserts at run time).
+  * spill ingest throughput, resident/rehydrate window latency, and
+    cold-boot open/restore times — absolute timings, same
+    hardware_threads + quick mode only.
+
 Per the repo's bench-gating convention every skip is LOGGED, never
 silent, and the whole gate is skipped (exit 0) under sanitizer
 instrumentation (LPS_BENCH_SANITIZED env) or on runners with < 4 cores.
@@ -161,6 +172,106 @@ def compare_serve(base, cur, allowed, max_regress):
     return compared, failed
 
 
+HOT_SET_WORKLOAD = "lp_sampler[v=8]/hot_set"
+MIN_HOT_SET_RATIO = 4.0
+
+
+def named_row(data, section, name):
+    for row in data.get(section, []):
+        if row.get("name") == name:
+            return row
+    return None
+
+
+def compare_persist(base, cur, allowed, max_regress):
+    """The --persist metric set; returns (compared, failed)."""
+    failed = []
+    compared = 0
+
+    # Compression ratios: deterministic (codec + workload, no timing),
+    # so they compare against ANY baseline.
+    for brow in base.get("delta_compression", []):
+        name = brow.get("name")
+        crow = named_row(cur, "delta_compression", name)
+        if crow is None:
+            log(f"compression {name}: skipped (missing in current)")
+            continue
+        b = brow.get("ratio")
+        c = crow.get("ratio")
+        if not b or not c or b <= 0:
+            continue
+        compared += 1
+        regressed = c < b * (1.0 - max_regress)
+        verdict = "REGRESSED" if regressed else "ok"
+        log(f"compression {name}: {c:.2f}x vs baseline {b:.2f}x ({verdict})")
+        if regressed:
+            failed.append(f"compression {name}")
+
+    hot = named_row(cur, "delta_compression", HOT_SET_WORKLOAD)
+    if hot is None:
+        log(f"compression floor: skipped ({HOT_SET_WORKLOAD} missing)")
+    else:
+        compared += 1
+        ratio = hot.get("ratio") or 0
+        verdict = "ok" if ratio >= MIN_HOT_SET_RATIO else "REGRESSED"
+        log(f"compression floor: {HOT_SET_WORKLOAD} {ratio:.2f}x "
+            f"(floor {MIN_HOT_SET_RATIO:.2f}x, {verdict})")
+        if ratio < MIN_HOT_SET_RATIO:
+            failed.append("compression floor")
+
+    if (base.get("hardware_threads") != cur.get("hardware_threads")
+            or base.get("quick") != cur.get("quick")):
+        log("persist absolute metrics: skipped (hardware_threads/quick "
+            "mismatch — ratios only)")
+        return compared, failed
+
+    for brow in base.get("spill", []):
+        name = brow.get("name")
+        crow = named_row(cur, "spill", name)
+        if crow is None:
+            log(f"spill {name}: skipped (missing in current)")
+            continue
+        for metric, better_high in (("ram_items_per_sec", True),
+                                    ("spill_items_per_sec", True),
+                                    ("resident_micros", False),
+                                    ("rehydrate_micros", False)):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = (c < b * (1.0 - max_regress) if better_high
+                         else c > b * allowed)
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"spill {name} {metric}: {c:.1f} vs baseline {b:.1f} "
+                f"({verdict})")
+            if regressed:
+                failed.append(f"spill {name} {metric}")
+
+    for brow in base.get("recovery", []):
+        tenants = brow.get("tenants")
+        crow = None
+        for row in cur.get("recovery", []):
+            if row.get("tenants") == tenants:
+                crow = row
+        if crow is None:
+            log(f"recovery tenants={tenants}: skipped (missing in current)")
+            continue
+        for metric in ("open_millis", "restore_millis"):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = c > b * allowed
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"recovery tenants={tenants} {metric}: {c:.3f} vs baseline "
+                f"{b:.3f} ({verdict})")
+            if regressed:
+                failed.append(f"recovery tenants={tenants} {metric}")
+    return compared, failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_throughput.json")
@@ -170,7 +281,14 @@ def main():
     parser.add_argument("--serve", action="store_true",
                         help="compare BENCH_serve.json files (lps_serve "
                         "load-generator report) instead of the library bench")
+    parser.add_argument("--persist", action="store_true",
+                        help="compare BENCH_persist.json files (durability "
+                        "bench: compression, spill, cold-boot recovery)")
     args = parser.parse_args()
+    if args.serve and args.persist:
+        print("bench compare: --serve and --persist are mutually exclusive",
+              file=sys.stderr)
+        return 2
 
     env = os.environ.get("LPS_BENCH_SANITIZED", "")
     if env and env != "0":
@@ -182,20 +300,25 @@ def main():
     cur = load(args.current)
     cur_threads = cur.get("hardware_threads", 0)
     base_threads = base.get("hardware_threads", 0)
-    if cur_threads < 4:
+    # The persist metric set leads with deterministic compression ratios,
+    # which any runner can check; its timing metrics are separately gated
+    # on an exact hardware_threads match inside compare_persist.
+    if cur_threads < 4 and not args.persist:
         log(f"skipped ({cur_threads} hardware threads < 4: scaling is not "
             "observable on this runner)")
         return 0
 
     allowed = 1.0 + args.max_regress
 
-    if args.serve:
-        compared, failed = compare_serve(base, cur, allowed, args.max_regress)
+    if args.serve or args.persist:
+        mode = "serve" if args.serve else "persist"
+        compare = compare_serve if args.serve else compare_persist
+        compared, failed = compare(base, cur, allowed, args.max_regress)
         if failed:
             print(f"bench compare: FAIL — >{args.max_regress:.0%} regression "
                   "in: " + ", ".join(failed), file=sys.stderr)
             return 1
-        log(f"pass ({compared} serve metrics within {args.max_regress:.0%} "
+        log(f"pass ({compared} {mode} metrics within {args.max_regress:.0%} "
             "of baseline)")
         return 0
 

@@ -174,6 +174,16 @@ void SerializeStats(const ServerStats& stats, BitWriter* writer) {
   writer->WriteU64(stats.ingests);
   writer->WriteU64(stats.queries);
   writer->WriteU64(stats.snapshots);
+  // Appended persistence fields (older peers simply stop reading here).
+  writer->WriteU64(stats.resident_bytes);
+  writer->WriteU64(stats.spilled_bytes);
+  writer->WriteU64(stats.per_tenant.size());
+  for (const TenantPersistStats& tenant : stats.per_tenant) {
+    WriteString(writer, tenant.name);
+    writer->WriteU64(tenant.resident_bytes);
+    writer->WriteU64(tenant.spilled_bytes);
+    writer->WriteBits(tenant.resident ? 1 : 0, 8);
+  }
 }
 
 ServerStats DeserializeStats(BitReader* reader) {
@@ -183,6 +193,28 @@ ServerStats DeserializeStats(BitReader* reader) {
   stats.ingests = reader->ReadU64();
   stats.queries = reader->ReadU64();
   stats.snapshots = reader->ReadU64();
+  // A frame from an older server ends here; the appended persistence
+  // fields then stay zero (this read is only reached on frames the
+  // counters fully occupied, so remaining bits == appended fields).
+  if (reader->bits_remaining() == 0) return stats;
+  stats.resident_bytes = reader->ReadU64();
+  stats.spilled_bytes = reader->ReadU64();
+  const uint64_t count = reader->ReadU64();
+  // Each entry is at least string length (64) + two u64 + flag bits;
+  // bound the claimed count by what the body can hold before reserving.
+  if (count > reader->bits_remaining() / (64 + 64 + 64 + 8)) {
+    reader->Fail();
+    return stats;
+  }
+  stats.per_tenant.reserve(size_t(count));
+  for (uint64_t i = 0; i < count && !reader->failed(); ++i) {
+    TenantPersistStats tenant;
+    tenant.name = ReadString(reader);
+    tenant.resident_bytes = reader->ReadU64();
+    tenant.spilled_bytes = reader->ReadU64();
+    tenant.resident = reader->ReadBits(8) != 0;
+    stats.per_tenant.push_back(std::move(tenant));
+  }
   return stats;
 }
 

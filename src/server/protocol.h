@@ -106,13 +106,30 @@ struct SnapshotBlob {
 void SerializeSnapshot(const SnapshotBlob& blob, BitWriter* writer);
 SnapshotBlob DeserializeSnapshot(BitReader* reader);
 
-/// Server-wide counters answered by STATS.
+/// Per-tenant persistence accounting (the spill observability of the
+/// durable checkpoint store). `resident` distinguishes live entries from
+/// idle-evicted ones that exist only as store snapshots.
+struct TenantPersistStats {
+  std::string name;            ///< "tenant/key"
+  uint64_t resident_bytes = 0;  ///< RAM held by the checkpoint ring
+  uint64_t spilled_bytes = 0;   ///< compressed bytes in the store
+  bool resident = true;
+};
+
+/// Server-wide counters answered by STATS. The persistence fields were
+/// appended in a later revision; DeserializeStats treats their absence
+/// (a frame from an older server) as zeros — the wire rule is append,
+/// never renumber.
 struct ServerStats {
   uint64_t tenants = 0;   ///< live tenant/key entries
   uint64_t updates = 0;   ///< stream updates ingested since boot
   uint64_t ingests = 0;   ///< INGEST requests served
   uint64_t queries = 0;   ///< QUERY + WINDOW requests served
   uint64_t snapshots = 0; ///< SNAPSHOT requests served
+  // ---- appended: durable-store accounting (zero when no --data-dir) --
+  uint64_t resident_bytes = 0;  ///< sum of per-tenant resident bytes
+  uint64_t spilled_bytes = 0;   ///< sum of per-tenant spilled bytes
+  std::vector<TenantPersistStats> per_tenant;
 };
 
 void SerializeStats(const ServerStats& stats, BitWriter* writer);

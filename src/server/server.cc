@@ -1,6 +1,7 @@
 #include "src/server/server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -47,6 +48,19 @@ Server::Server(Options options) : options_(options) {}
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
+  if (!options_.data_dir.empty()) {
+    auto opened = persist::CheckpointStore::Open(options_.data_dir);
+    if (!opened.ok()) return opened.status();
+    store_ = std::move(opened.value());
+    TenantRegistry::PersistOptions persist;
+    persist.resident_checkpoints = options_.resident_checkpoints;
+    persist.keyframe_interval = options_.keyframe_interval;
+    registry_.AttachStore(store_.get(), persist);
+    // Boot recovery happens BEFORE the listener exists: the first
+    // accepted connection already sees every restored tenant.
+    restored_tenants_ = registry_.RestoreAll();
+  }
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Failed(std::string("socket: ") + std::strerror(errno));
@@ -78,11 +92,39 @@ Status Server::Start() {
   listen_fd_.store(fd);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (store_ != nullptr && options_.snapshot_interval_ms > 0) {
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+  }
   return Status::OK();
+}
+
+void Server::SnapshotLoop() {
+  std::unique_lock<std::mutex> lock(snapshot_mutex_);
+  while (!snapshot_stop_) {
+    snapshot_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.snapshot_interval_ms),
+        [this] { return snapshot_stop_; });
+    if (snapshot_stop_) return;
+    // The passes run WITHOUT snapshot_mutex_ held — they take entry
+    // locks and can block behind ingest, which must not delay Stop()'s
+    // shutdown signal.
+    lock.unlock();
+    registry_.PersistTenants(/*only_dirty=*/true);
+    if (options_.idle_timeout_ms > 0) {
+      registry_.EvictIdle(options_.idle_timeout_ms);
+    }
+    lock.lock();
+  }
 }
 
 void Server::Stop() {
   const bool was_running = running_.exchange(false);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_stop_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
   const int fd = listen_fd_.exchange(-1);
   if (fd >= 0) {
     // shutdown() unblocks a blocked accept(); close() finishes the fd.
@@ -102,7 +144,11 @@ void Server::Stop() {
     if (connection->writer.joinable()) connection->writer.join();
     ::close(connection->fd);
   }
-  (void)was_running;
+  // Every serving thread is gone — a final full snapshot makes a clean
+  // shutdown lossless (only run once; Stop is otherwise idempotent).
+  if (was_running && store_ != nullptr && options_.final_snapshot_on_stop) {
+    registry_.PersistTenants(/*only_dirty=*/false);
+  }
 }
 
 void Server::AcceptLoop() {

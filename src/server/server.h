@@ -33,6 +33,16 @@
 // CREATE, ...) are ordinary error responses. Other connections are
 // never affected; tests/server_test.cc drives all of these against a
 // live server.
+//
+// Durability (optional, data_dir != ""): Start() opens a
+// persist::CheckpointStore in data_dir, restores every tenant whose
+// latest record is a snapshot (so a SIGKILL'd daemon reboots answering
+// identically), and spawns one background thread that periodically
+// snapshots dirty tenants — and, with idle_timeout_ms set, evicts idle
+// ones to the store, from which they rehydrate lazily on next touch.
+// Stop() takes a final full snapshot, so a clean shutdown loses
+// nothing; a crash loses at most the updates since the last periodic
+// snapshot (bounded by snapshot_interval_ms).
 #pragma once
 
 #include <atomic>
@@ -44,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/persist/checkpoint_store.h"
 #include "src/server/protocol.h"
 #include "src/server/tenant_registry.h"
 
@@ -60,6 +71,22 @@ class Server {
     size_t outbox_capacity = 64;
     /// Frame payload ceiling handed to ReadFrame.
     uint32_t max_frame_bytes = kMaxFrameBytes;
+    /// Durable checkpoint-store directory; "" disables persistence.
+    std::string data_dir;
+    /// Cadence of the background dirty-tenant snapshot pass (the crash
+    /// loss bound). 0 disables the background thread.
+    uint64_t snapshot_interval_ms = 1000;
+    /// Tenants untouched this long are persisted + evicted from RAM
+    /// (lazy rehydration on next touch). 0 disables eviction.
+    uint64_t idle_timeout_ms = 0;
+    /// Window checkpoints kept resident per tenant; older ones spill
+    /// delta-compressed into the store. 0 disables window spill.
+    size_t resident_checkpoints = 4;
+    /// Keyframe cadence of each tenant's spill chain.
+    size_t keyframe_interval = 16;
+    /// Take one full snapshot pass in Stop() (clean shutdowns lose
+    /// nothing). Tests disable it to model a pure crash.
+    bool final_snapshot_on_stop = true;
   };
 
   explicit Server(Options options);
@@ -80,6 +107,12 @@ class Server {
   int port() const { return port_; }
 
   TenantRegistry& registry() { return registry_; }
+
+  /// Tenants rebuilt from the store during Start() (0 without data_dir).
+  size_t restored_tenants() const { return restored_tenants_; }
+
+  /// The open checkpoint store; null without data_dir / before Start().
+  persist::CheckpointStore* store() { return store_.get(); }
 
  private:
   /// Bounded FIFO of encoded response frames, closed on teardown.
@@ -130,8 +163,13 @@ class Server {
   /// do not accumulate dead threads, without the accept loop ever
   /// blocking on a join while holding the mutex).
   void ReapFinished();
+  /// Background persistence: periodic dirty snapshots + idle eviction.
+  void SnapshotLoop();
 
   Options options_;
+  /// Declared BEFORE registry_: entries hold WindowManagers whose spill
+  /// chains reference the store, so the registry must die first.
+  std::unique_ptr<persist::CheckpointStore> store_;
   TenantRegistry registry_;
   /// Atomic: the accept loop re-reads it per iteration while Stop()
   /// (another thread) swaps in -1 before closing the socket.
@@ -141,6 +179,11 @@ class Server {
   std::thread accept_thread_;
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  size_t restored_tenants_ = 0;
+  std::thread snapshot_thread_;
+  std::mutex snapshot_mutex_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;  // under snapshot_mutex_
 };
 
 }  // namespace lps::server

@@ -1,5 +1,7 @@
 #include "src/server/tenant_registry.h"
 
+#include <chrono>
+#include <cstring>
 #include <utility>
 
 namespace lps::server {
@@ -12,7 +14,52 @@ namespace {
 // behalf of a client.
 constexpr uint64_t kSketchMagic = 0x4C53;
 
+// record_kind tags for tenant records in the checkpoint store. Window
+// delta records live under a different key prefix ("w:" vs "t:") with
+// their own tag, so the namespaces cannot collide.
+constexpr uint8_t kTenantSnapshotRecord = 1;
+constexpr uint8_t kTenantTombstoneRecord = 2;
+
+uint64_t NowMs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+// Store payloads are BitWriter streams packed as [u64 LE bit count]
+// [words LE] — the same shape the wire protocol uses for nested state.
+std::vector<uint8_t> PackBits(const BitWriter& writer) {
+  const std::vector<uint64_t>& words = writer.words();
+  std::vector<uint8_t> bytes(8 + words.size() * 8);
+  const uint64_t bits = writer.bit_count();
+  std::memcpy(bytes.data(), &bits, 8);
+  if (!words.empty()) {
+    std::memcpy(bytes.data() + 8, words.data(), words.size() * 8);
+  }
+  return bytes;
+}
+
+bool UnpackBits(const std::vector<uint8_t>& bytes, BitReader* out) {
+  if (bytes.size() < 8 || (bytes.size() - 8) % 8 != 0) return false;
+  uint64_t bits = 0;
+  std::memcpy(&bits, bytes.data(), 8);
+  if (bits > (bytes.size() - 8) * 8) return false;
+  std::vector<uint64_t> words((bytes.size() - 8) / 8);
+  if (!words.empty()) {
+    std::memcpy(words.data(), bytes.data() + 8, bytes.size() - 8);
+  }
+  *out = BitReader(std::move(words), size_t(bits));
+  out->set_permissive(true);
+  return true;
+}
+
 }  // namespace
+
+void TenantRegistry::AttachStore(persist::CheckpointStore* store,
+                                 PersistOptions options) {
+  store_ = store;
+  persist_options_ = options;
+}
 
 Result<std::shared_ptr<TenantRegistry::Entry>> TenantRegistry::BuildEntry(
     const SketchConfig& config) {
@@ -54,10 +101,46 @@ Result<std::shared_ptr<TenantRegistry::Entry>> TenantRegistry::BuildEntry(
 std::shared_ptr<TenantRegistry::Entry> TenantRegistry::Find(
     const std::string& tenant, const std::string& key) {
   const std::string map_key = MapKey(tenant, key);
-  MapShard& shard = ShardFor(map_key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(map_key);
-  return it == shard.entries.end() ? nullptr : it->second;
+  {
+    MapShard& shard = ShardFor(map_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(map_key);
+    if (it != shard.entries.end()) return it->second;
+  }
+  // Not live — but with a store attached it may be an idle-evicted
+  // tenant whose snapshot can be rehydrated transparently.
+  if (store_ == nullptr) return nullptr;
+  return RehydrateTenant(map_key);
+}
+
+std::shared_ptr<TenantRegistry::Entry> TenantRegistry::FindLive(
+    const std::string& tenant, const std::string& key,
+    std::unique_lock<std::mutex>* lock) {
+  for (;;) {
+    auto entry = Find(tenant, key);
+    if (entry == nullptr) return nullptr;
+    std::unique_lock<std::mutex> held(entry->mutex);
+    if (!entry->evicted) {
+      *lock = std::move(held);
+      return entry;
+    }
+    // Raced EvictIdle: the map no longer holds this entry, but its
+    // snapshot is in the store — retry, which rehydrates it.
+  }
+}
+
+void TenantRegistry::AttachEntrySpill(Entry* entry,
+                                      const std::string& map_key) {
+  if (store_ == nullptr || entry->window == nullptr ||
+      persist_options_.resident_checkpoints == 0) {
+    return;
+  }
+  stream::WindowManager::SpillOptions spill;
+  spill.store = store_;
+  spill.stream_key = "w:" + map_key;
+  spill.resident_checkpoints = persist_options_.resident_checkpoints;
+  spill.keyframe_interval = persist_options_.keyframe_interval;
+  entry->window->AttachSpill(std::move(spill));
 }
 
 Status TenantRegistry::Create(const std::string& tenant,
@@ -74,6 +157,10 @@ Status TenantRegistry::Create(const std::string& tenant,
         entry->replicas[0].get(), options);
   }
   const std::string map_key = MapKey(tenant, key);
+  entry->tenant = tenant;
+  entry->key = key;
+  entry->last_touch_ms = NowMs();
+  AttachEntrySpill(entry.get(), map_key);
   MapShard& shard = ShardFor(map_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (!shard.entries.emplace(map_key, std::move(entry)).second) {
@@ -86,7 +173,8 @@ Status TenantRegistry::Create(const std::string& tenant,
 Status TenantRegistry::Ingest(const std::string& tenant,
                               const std::string& key,
                               const std::vector<stream::Update>& updates) {
-  auto entry = Find(tenant, key);
+  std::unique_lock<std::mutex> lock;
+  auto entry = FindLive(tenant, key, &lock);
   if (entry == nullptr) {
     return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
   }
@@ -102,7 +190,7 @@ Status TenantRegistry::Ingest(const std::string& tenant,
       }
     }
   }
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  entry->last_touch_ms = NowMs();
   if (entry->pipeline != nullptr) {
     if (entry->window != nullptr) {
       // Close pipeline epochs exactly at checkpoint boundaries so the
@@ -150,11 +238,12 @@ void TenantRegistry::Quiesce(Entry* entry) {
 
 Result<QueryResult> TenantRegistry::Query(const std::string& tenant,
                                           const std::string& key) {
-  auto entry = Find(tenant, key);
+  std::unique_lock<std::mutex> lock;
+  auto entry = FindLive(tenant, key, &lock);
   if (entry == nullptr) {
     return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
   }
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  entry->last_touch_ms = NowMs();
   Quiesce(entry.get());
   queries_.fetch_add(1, std::memory_order_relaxed);
   return lps::Query(*entry->replicas[0]);
@@ -163,15 +252,16 @@ Result<QueryResult> TenantRegistry::Query(const std::string& tenant,
 Result<TenantRegistry::WindowAnswer> TenantRegistry::Window(
     const std::string& tenant, const std::string& key, uint64_t w,
     bool want_state) {
-  auto entry = Find(tenant, key);
+  std::unique_lock<std::mutex> lock;
+  auto entry = FindLive(tenant, key, &lock);
   if (entry == nullptr) {
     return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
   }
-  std::lock_guard<std::mutex> lock(entry->mutex);
   if (entry->window == nullptr) {
     return Status::InvalidArgument("windowing not enabled for " + tenant +
                                    "/" + key);
   }
+  entry->last_touch_ms = NowMs();
   Quiesce(entry.get());
   stream::WindowManager::Window window = entry->window->WindowSketch(w);
   WindowAnswer answer;
@@ -190,11 +280,12 @@ Result<TenantRegistry::WindowAnswer> TenantRegistry::Window(
 
 Result<SnapshotBlob> TenantRegistry::Snapshot(const std::string& tenant,
                                               const std::string& key) {
-  auto entry = Find(tenant, key);
+  std::unique_lock<std::mutex> lock;
+  auto entry = FindLive(tenant, key, &lock);
   if (entry == nullptr) {
     return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
   }
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  entry->last_touch_ms = NowMs();
   Quiesce(entry.get());
   SnapshotBlob blob;
   blob.config = entry->config;
@@ -207,12 +298,11 @@ Result<SnapshotBlob> TenantRegistry::Snapshot(const std::string& tenant,
   return blob;
 }
 
-Status TenantRegistry::Restore(const std::string& tenant,
-                               const std::string& key,
-                               const SnapshotBlob& blob) {
+Result<std::shared_ptr<TenantRegistry::Entry>> TenantRegistry::BuildFromSnapshot(
+    const SnapshotBlob& blob) {
   // Pre-validate the state head with plain integer tests: Deserialize
   // CHECK-aborts on corrupt state, which must stay unreachable from the
-  // wire.
+  // wire (and from a store record damaged below the CRC's notice).
   if (blob.state_bits < 32 || blob.state_words.empty() ||
       blob.state_words.size() < (blob.state_bits + 63) / 64) {
     return Status::InvalidArgument("snapshot state truncated");
@@ -260,7 +350,20 @@ Status TenantRegistry::Restore(const std::string& tenant,
     entry->window = std::make_unique<stream::WindowManager>(
         entry->replicas[0].get(), options);
   }
+  return entry;
+}
+
+Status TenantRegistry::Restore(const std::string& tenant,
+                               const std::string& key,
+                               const SnapshotBlob& blob) {
+  auto built = BuildFromSnapshot(blob);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<Entry> entry = *built;
   const std::string map_key = MapKey(tenant, key);
+  entry->tenant = tenant;
+  entry->key = key;
+  entry->last_touch_ms = NowMs();
+  AttachEntrySpill(entry.get(), map_key);
   MapShard& shard = ShardFor(map_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (!shard.entries.emplace(map_key, std::move(entry)).second) {
@@ -272,24 +375,217 @@ Status TenantRegistry::Restore(const std::string& tenant,
 
 Status TenantRegistry::Drop(const std::string& tenant, const std::string& key) {
   const std::string map_key = MapKey(tenant, key);
+  bool was_live = false;
+  {
+    MapShard& shard = ShardFor(map_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    was_live = shard.entries.erase(map_key) > 0;
+  }
+  if (store_ == nullptr) {
+    return was_live ? Status::OK()
+                    : Status::InvalidArgument("no such sketch: " + tenant +
+                                              "/" + key);
+  }
+  const std::string store_key = "t:" + map_key;
+  if (!was_live) {
+    // Not live, but perhaps idle-evicted into the store — DROP of an
+    // evicted tenant must still stick.
+    const size_t records = store_->RecordCount(store_key);
+    if (records == 0 ||
+        store_->RecordKind(store_key, records - 1) != kTenantSnapshotRecord) {
+      return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+    }
+  }
+  // The tombstone makes the drop durable: recovery and lazy rehydration
+  // both stop at a latest record that is not a snapshot. Appended even
+  // when no snapshot exists yet — a dangling tombstone is inert.
+  const Status st = store_->Append(store_key, kTenantTombstoneRecord,
+                                   nullptr, 0);
+  if (st.ok()) store_->Sync();
+  return st;
+}
+
+Status TenantRegistry::PersistEntryLocked(Entry* entry,
+                                          const std::string& map_key) {
+  Quiesce(entry);
+  BitWriter writer;
+  WriteString(&writer, entry->tenant);
+  WriteString(&writer, entry->key);
+  SnapshotBlob blob;
+  blob.config = entry->config;
+  blob.updates_seen = entry->updates_seen;
+  BitWriter state;
+  entry->replicas[0]->Serialize(&state);
+  blob.state_words = state.words();
+  blob.state_bits = state.bit_count();
+  SerializeSnapshot(blob, &writer);
+  const std::vector<uint8_t> payload = PackBits(writer);
+  const Status st = store_->Append("t:" + map_key, kTenantSnapshotRecord,
+                                   payload.data(), payload.size());
+  if (st.ok()) entry->persisted_updates = entry->updates_seen;
+  return st;
+}
+
+size_t TenantRegistry::PersistTenants(bool only_dirty) {
+  if (store_ == nullptr) return 0;
+  size_t written = 0;
+  for (auto& [map_key, entry] : AllEntries()) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->evicted) continue;
+    if (only_dirty && entry->updates_seen == entry->persisted_updates) {
+      continue;
+    }
+    if (PersistEntryLocked(entry.get(), map_key).ok()) ++written;
+  }
+  if (written > 0) store_->Sync();
+  return written;
+}
+
+size_t TenantRegistry::EvictIdle(uint64_t idle_timeout_ms) {
+  if (store_ == nullptr || idle_timeout_ms == 0) return 0;
+  const uint64_t now = NowMs();
+  size_t evicted = 0;
+  bool persisted = false;
+  for (auto& [map_key, entry] : AllEntries()) {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->evicted) continue;
+    if (now < entry->last_touch_ms + idle_timeout_ms) continue;
+    if (entry->updates_seen != entry->persisted_updates) {
+      // An eviction that cannot persist must not happen: the entry stays
+      // resident rather than lose its updates.
+      if (!PersistEntryLocked(entry.get(), map_key).ok()) continue;
+      persisted = true;
+    }
+    {
+      MapShard& shard = ShardFor(map_key);
+      std::lock_guard<std::mutex> map_lock(shard.mutex);
+      auto it = shard.entries.find(map_key);
+      // A drop/recreate may have raced ahead of us — only evict the
+      // exact entry this pass snapshotted.
+      if (it == shard.entries.end() || it->second != entry) continue;
+      shard.entries.erase(it);
+    }
+    entry->evicted = true;
+    ++evicted;
+  }
+  if (persisted) store_->Sync();
+  return evicted;
+}
+
+std::shared_ptr<TenantRegistry::Entry> TenantRegistry::RehydrateTenant(
+    const std::string& map_key) {
+  const std::string store_key = "t:" + map_key;
+  const size_t records = store_->RecordCount(store_key);
+  if (records == 0 ||
+      store_->RecordKind(store_key, records - 1) != kTenantSnapshotRecord) {
+    return nullptr;  // never persisted, or tombstoned
+  }
+  auto payload = store_->ReadRecord(store_key, records - 1);
+  if (!payload.ok()) return nullptr;
+  BitReader reader((std::vector<uint64_t>()), 0);
+  if (!UnpackBits(*payload, &reader)) return nullptr;
+  const std::string tenant = ReadString(&reader);
+  const std::string key = ReadString(&reader);
+  const SnapshotBlob blob = DeserializeSnapshot(&reader);
+  // The names inside the record must agree with the key it was filed
+  // under — a mismatch means the record was damaged below the CRC's
+  // notice or misfiled, either way unusable.
+  if (reader.failed() || MapKey(tenant, key) != map_key) return nullptr;
+  auto built = BuildFromSnapshot(blob);
+  if (!built.ok()) return nullptr;
+  std::shared_ptr<Entry> entry = *built;
+  entry->tenant = tenant;
+  entry->key = key;
+  entry->last_touch_ms = NowMs();
+  // The snapshot we just rebuilt from IS the persisted state.
+  entry->persisted_updates = entry->updates_seen;
+  AttachEntrySpill(entry.get(), map_key);
   MapShard& shard = ShardFor(map_key);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.entries.erase(map_key) == 0) {
-    return Status::InvalidArgument("no such sketch: " + tenant + "/" + key);
+  auto emplaced = shard.entries.emplace(map_key, std::move(entry));
+  // Lost a rehydration race: the concurrently inserted entry wins.
+  return emplaced.first->second;
+}
+
+size_t TenantRegistry::RestoreAll() {
+  if (store_ == nullptr) return 0;
+  size_t restored = 0;
+  for (const std::string& store_key : store_->Keys()) {
+    if (store_key.compare(0, 2, "t:") != 0) continue;
+    const std::string map_key = store_key.substr(2);
+    {
+      MapShard& shard = ShardFor(map_key);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.entries.count(map_key) > 0) continue;  // already live
+    }
+    if (RehydrateTenant(map_key) != nullptr) ++restored;
   }
-  return Status::OK();
+  return restored;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<TenantRegistry::Entry>>>
+TenantRegistry::AllEntries() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+  for (const MapShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [map_key, entry] : shard.entries) {
+      entries.emplace_back(map_key, entry);
+    }
+  }
+  return entries;
 }
 
 ServerStats TenantRegistry::Stats() const {
   ServerStats stats;
-  for (const MapShard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    stats.tenants += shard.entries.size();
-  }
   stats.updates = updates_.load(std::memory_order_relaxed);
   stats.ingests = ingests_.load(std::memory_order_relaxed);
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  const auto entries = AllEntries();
+  stats.tenants = entries.size();
+  std::unordered_map<std::string, bool> live;
+  live.reserve(entries.size());
+  for (const auto& [map_key, entry] : entries) {
+    live.emplace(map_key, true);
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    TenantPersistStats tenant;
+    tenant.name = entry->tenant + "/" + entry->key;
+    if (entry->window != nullptr) {
+      tenant.resident_bytes = entry->window->CheckpointBytes();
+      tenant.spilled_bytes = entry->window->SpilledBytes();
+    }
+    tenant.resident = true;
+    stats.resident_bytes += tenant.resident_bytes;
+    stats.spilled_bytes += tenant.spilled_bytes;
+    stats.per_tenant.push_back(std::move(tenant));
+  }
+  if (store_ == nullptr) return stats;
+  // Idle-evicted tenants exist only as store records; report them with
+  // their on-disk footprint so the spill is observable end to end.
+  for (const std::string& store_key : store_->Keys()) {
+    if (store_key.compare(0, 2, "t:") != 0) continue;
+    const std::string map_key = store_key.substr(2);
+    if (live.count(map_key) > 0) continue;
+    const size_t records = store_->RecordCount(store_key);
+    if (records == 0 ||
+        store_->RecordKind(store_key, records - 1) != kTenantSnapshotRecord) {
+      continue;  // tombstoned (dropped), not evicted
+    }
+    TenantPersistStats tenant;
+    // Recover the wire names from the map key's length-prefixed form:
+    // "<tenant_len>:<tenant><key>".
+    const size_t colon = map_key.find(':');
+    if (colon == std::string::npos) continue;
+    const size_t tenant_len = size_t(std::stoull(map_key.substr(0, colon)));
+    if (colon + 1 + tenant_len > map_key.size()) continue;
+    tenant.name = map_key.substr(colon + 1, tenant_len) + "/" +
+                  map_key.substr(colon + 1 + tenant_len);
+    tenant.resident = false;
+    tenant.spilled_bytes =
+        store_->KeyBytes(store_key) + store_->KeyBytes("w:" + map_key);
+    stats.spilled_bytes += tenant.spilled_bytes;
+    stats.per_tenant.push_back(std::move(tenant));
+  }
   return stats;
 }
 

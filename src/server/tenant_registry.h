@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "src/api/query_result.h"
+#include "src/persist/checkpoint_store.h"
 #include "src/server/protocol.h"
 #include "src/stream/linear_sketch.h"
 #include "src/stream/parallel_pipeline.h"
@@ -69,7 +70,37 @@ class TenantRegistry {
     size_t state_bits = 0;
   };
 
+  /// Durability knobs (active only once AttachStore ran).
+  struct PersistOptions {
+    /// Newest window checkpoints kept in RAM per tenant; older ones are
+    /// delta-compressed into the store. 0 disables window spill.
+    size_t resident_checkpoints = 4;
+    /// Keyframe cadence of each tenant's spill chain.
+    size_t keyframe_interval = 16;
+  };
+
   TenantRegistry() = default;
+
+  /// Attaches the durable store. Must run before any Create/Restore and
+  /// before traffic (lps_serve wires it between store open and
+  /// Server::Start). `store` must outlive the registry.
+  void AttachStore(persist::CheckpointStore* store, PersistOptions options);
+
+  /// Rebuilds every tenant whose latest store record is a snapshot (boot
+  /// recovery). Returns the number restored; tenants whose snapshot
+  /// fails validation are skipped, not fatal.
+  size_t RestoreAll();
+
+  /// Snapshots tenants into the store and fsyncs: every tenant when
+  /// `only_dirty` is false, else only those with updates since their
+  /// last persisted snapshot. Returns the number written.
+  size_t PersistTenants(bool only_dirty);
+
+  /// Persists then drops every live tenant idle for at least
+  /// `idle_timeout_ms` (measured from its last opcode touch). Evicted
+  /// tenants rehydrate lazily from their store snapshot on next touch.
+  /// Returns the number evicted.
+  size_t EvictIdle(uint64_t idle_timeout_ms);
 
   /// Registers (tenant, key). InvalidArgument if it already exists, the
   /// spec's kind is unknown, or the topology is malformed.
@@ -122,6 +153,19 @@ class TenantRegistry {
     /// Updates driven into the pipeline since the last MergeShards —
     /// replica 0 lags the stream by exactly this many.
     uint64_t epoch_fill = 0;
+    // ---- persistence bookkeeping (all under `mutex`) ----
+    std::string tenant;  // wire names, for self-describing store records
+    std::string key;
+    /// updates_seen at the last store snapshot; SIZE_MAX = never.
+    uint64_t persisted_updates = ~uint64_t{0};
+    /// Monotonic ms of the last opcode touching this entry (idle clock).
+    uint64_t last_touch_ms = 0;
+    /// Set (under `mutex`) when EvictIdle removed this entry from the
+    /// map after persisting it. An operation that raced the eviction —
+    /// grabbed the shared_ptr, then blocked on the mutex — sees the flag
+    /// and retries through Find, which rehydrates the snapshot; without
+    /// it the operation would mutate an orphan and lose its updates.
+    bool evicted = false;
   };
 
   struct MapShard {
@@ -145,6 +189,19 @@ class TenantRegistry {
   std::shared_ptr<Entry> Find(const std::string& tenant,
                               const std::string& key);
 
+  /// Find + lock, retrying past entries evicted between the lookup and
+  /// the lock acquisition. On success `lock` owns the entry's mutex.
+  std::shared_ptr<Entry> FindLive(const std::string& tenant,
+                                  const std::string& key,
+                                  std::unique_lock<std::mutex>* lock);
+
+  /// The snapshot-validation + rebuild half of Restore, shared with
+  /// rehydration: validates the blob's state against a probe serialize
+  /// of its declared config, deserializes it, and attaches windowing
+  /// with the restored prefix as checkpoint position 0. The entry is
+  /// NOT yet inserted and carries no tenant/key names.
+  Result<std::shared_ptr<Entry>> BuildFromSnapshot(const SnapshotBlob& blob);
+
   /// Builds an entry's replicas/pipeline/window from its config.
   /// Returns InvalidArgument without mutating the registry on a bad
   /// config. The new entry is NOT yet inserted.
@@ -155,11 +212,32 @@ class TenantRegistry {
   /// holds the entry mutex.
   void Quiesce(Entry* entry);
 
+  /// Wires window spill into a freshly built entry (no-op without a
+  /// store or window, or with resident_checkpoints == 0).
+  void AttachEntrySpill(Entry* entry, const std::string& map_key);
+
+  /// Serializes a snapshot record ([tenant][key][SnapshotBlob] as a bit
+  /// stream) and appends it under "t:<map_key>". Caller holds the entry
+  /// mutex. Updates persisted_updates on success.
+  Status PersistEntryLocked(Entry* entry, const std::string& map_key);
+
+  /// Rebuilds an entry from the latest snapshot record under
+  /// "t:<map_key>" and inserts it (no-op if the key went live again in
+  /// the meantime). Returns the live entry, or null when the store has
+  /// no usable snapshot (missing key, tombstone, corrupt blob).
+  std::shared_ptr<Entry> RehydrateTenant(const std::string& map_key);
+
+  /// Every live entry with its map key (snapshot of the sharded map).
+  std::vector<std::pair<std::string, std::shared_ptr<Entry>>> AllEntries()
+      const;
+
   MapShard shards_[kLockShards];
   std::atomic<uint64_t> updates_{0};
   std::atomic<uint64_t> ingests_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> snapshots_{0};
+  persist::CheckpointStore* store_ = nullptr;  // null = no durability
+  PersistOptions persist_options_;
 };
 
 }  // namespace lps::server

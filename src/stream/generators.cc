@@ -48,6 +48,28 @@ UpdateStream UniformTurnstile(uint64_t n, uint64_t num_updates,
   return stream;
 }
 
+UpdateStream HotSetTurnstile(uint64_t n, uint64_t num_updates,
+                             uint64_t hot_keys, uint64_t epoch,
+                             int64_t max_abs, uint64_t seed) {
+  LPS_CHECK(max_abs >= 1);
+  LPS_CHECK(hot_keys >= 1 && hot_keys <= n);
+  LPS_CHECK(epoch >= 1);
+  Rng rng(seed);
+  std::vector<uint64_t> working_set(hot_keys);
+  UpdateStream stream;
+  stream.reserve(num_updates);
+  for (uint64_t t = 0; t < num_updates; ++t) {
+    if (t % epoch == 0) {
+      for (auto& key : working_set) key = rng.Below(n);
+    }
+    int64_t delta =
+        1 + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(max_abs)));
+    if (rng.Next() & 1) delta = -delta;
+    stream.push_back({working_set[rng.Below(hot_keys)], delta});
+  }
+  return stream;
+}
+
 UpdateStream ZipfianVector(uint64_t n, double alpha, int64_t scale,
                            bool signed_values, uint64_t seed) {
   LPS_CHECK(scale >= 1);

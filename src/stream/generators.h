@@ -19,6 +19,17 @@ using LetterStream = std::vector<uint64_t>;
 UpdateStream UniformTurnstile(uint64_t n, uint64_t num_updates,
                               int64_t max_abs, uint64_t seed);
 
+/// Turnstile stream with temporal locality: every `epoch` updates a fresh
+/// working set of `hot_keys` coordinates is drawn, and updates within the
+/// epoch hit only that set (uniform deltas in [-max_abs, max_abs] \ {0}).
+/// This is the monitoring-style workload where consecutive checkpoints of
+/// a sketch differ in few counters — the regime the persist/ delta codec
+/// is benchmarked on (checkpoints of a uniform stream carry fresh entropy
+/// in nearly every counter and are near-incompressible by design).
+UpdateStream HotSetTurnstile(uint64_t n, uint64_t num_updates,
+                             uint64_t hot_keys, uint64_t epoch,
+                             int64_t max_abs, uint64_t seed);
+
 /// Sets x_i proportional to a Zipf(alpha) law over a random permutation of
 /// coordinates, scaled so the largest magnitude is `scale`, with random
 /// signs if `signed_values`. Delivered as single-coordinate updates in

@@ -47,6 +47,20 @@
 // start for memory; CheckpointBytes() reports the current footprint so
 // deployments can size the ring (bench/bench_window.cc tracks it).
 //
+// Spill (AttachSpill): with a persist::CheckpointStore attached, only the
+// newest `resident_checkpoints` snapshots stay in RAM; older ones are
+// delta-compressed against their predecessor (persist::EncodeBestDelta,
+// with a keyframe every keyframe_interval records so no rehydration
+// replays an unbounded chain) and appended to the store. WindowSketch()
+// rehydrates spilled checkpoints transparently — decode the chain from
+// the nearest keyframe — so windowed queries are BIT-IDENTICAL to the
+// all-RAM ring for the exact-arithmetic families (the codec never
+// interprets the serialized bytes, so this holds for every kind).
+// max_checkpoints then bounds resident + spilled together: the oldest
+// SPILLED entries are dropped first (their records stay in the
+// append-only store but become unreachable). SpilledBytes() reports the
+// compressed on-disk footprint next to CheckpointBytes()'s resident one.
+//
 // Thread-safety: none of its own — like the pipeline's producer side,
 // Push/Drive/Seal/WindowSketch must be externally serialized with any
 // concurrent use of the live sketch.
@@ -55,8 +69,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/persist/checkpoint_store.h"
+#include "src/persist/delta_codec.h"
 #include "src/stream/linear_sketch.h"
 #include "src/stream/update.h"
 
@@ -81,6 +98,19 @@ class WindowManager {
     std::unique_ptr<LinearSketch> sketch;
     uint64_t start = 0;
     uint64_t length = 0;
+  };
+
+  /// Spill configuration: see the class comment. `store` must outlive
+  /// this object; `stream_key` names this manager's record stream inside
+  /// the store (records from earlier processes under the same key are
+  /// ignored — the chain restarts at a keyframe).
+  struct SpillOptions {
+    persist::CheckpointStore* store = nullptr;
+    std::string stream_key;
+    /// Newest checkpoints kept in RAM (>= 1).
+    size_t resident_checkpoints = 4;
+    /// Every keyframe_interval-th spilled record is self-contained.
+    size_t keyframe_interval = 16;
   };
 
   /// Attaches to `live`, which must outlive this object. The live
@@ -112,15 +142,29 @@ class WindowManager {
   /// an evicted checkpoint) clamps to the oldest retained boundary.
   Window WindowSketch(uint64_t w) const;
 
+  /// Enables spill-to-store for checkpoints beyond the resident budget.
+  /// Attach before ingesting (checkpoints already beyond the budget are
+  /// spilled immediately). If a store append ever fails (e.g. disk
+  /// full), spilling is disabled, the checkpoint stays resident, and the
+  /// error is retained in last_spill_error().
+  void AttachSpill(SpillOptions spill);
+
   uint64_t updates_seen() const { return updates_seen_; }
   uint64_t checkpoint_interval() const { return interval_; }
-  size_t checkpoint_count() const { return ring_.size(); }
+  /// Materializable checkpoints: resident + spilled.
+  size_t checkpoint_count() const { return ring_.size() + spilled_.size(); }
+  size_t spilled_count() const { return spilled_.size(); }
   /// Earliest window start currently materializable (the oldest retained
-  /// checkpoint's position).
-  uint64_t oldest_start() const { return ring_.front().count; }
-  /// Serialized bytes held by the checkpoint ring — the memory the
-  /// sliding-window capability costs on top of the live sketch.
+  /// checkpoint's position, spilled or resident).
+  uint64_t oldest_start() const {
+    return spilled_.empty() ? ring_.front().count : spilled_.front().count;
+  }
+  /// Serialized bytes held by the RESIDENT checkpoint ring — the memory
+  /// the sliding-window capability costs on top of the live sketch.
   size_t CheckpointBytes() const;
+  /// Compressed bytes this manager has appended to the spill store.
+  uint64_t SpilledBytes() const { return spilled_bytes_; }
+  Status last_spill_error() const { return last_spill_error_; }
 
  private:
   struct Checkpoint {
@@ -129,12 +173,42 @@ class WindowManager {
     size_t bits = 0;
   };
 
+  /// A spilled checkpoint: where its compressed delta lives in the store
+  /// and whether it is a self-contained keyframe.
+  struct SpilledCheckpoint {
+    uint64_t count = 0;
+    size_t record_index = 0;       // index in the store's key stream
+    bool keyframe = false;
+  };
+
+  /// Moves ring_.front() into the store as a compressed delta record.
+  void SpillOldest();
+  /// Applies ring / spill retention after a seal.
+  void Trim();
+  /// Reconstructs the spilled checkpoint at spilled_[meta_index] by
+  /// decoding the delta chain from its nearest keyframe (reusing the
+  /// rehydrate cache when it lies on the chain).
+  Checkpoint Rehydrate(size_t meta_index) const;
+
   LinearSketch* live_;
   uint64_t interval_;
   size_t max_checkpoints_;
   uint64_t updates_seen_ = 0;
   uint64_t next_seal_;               // position of the next automatic seal
   std::deque<Checkpoint> ring_;      // ascending by count; front = oldest
+
+  SpillOptions spill_;               // spill_.store == nullptr -> disabled
+  std::deque<SpilledCheckpoint> spilled_;  // ascending; all older than ring_
+  // Plaintext of the most recently spilled checkpoint — the predecessor
+  // the next spilled record deltas against.
+  std::vector<uint64_t> last_spilled_words_;
+  size_t last_spilled_bits_ = 0;
+  size_t spill_records_ = 0;         // spilled by THIS manager (keyframe cadence)
+  uint64_t spilled_bytes_ = 0;
+  Status last_spill_error_;
+  // Single-entry rehydrate cache, keyed by checkpoint position.
+  mutable bool cache_valid_ = false;
+  mutable Checkpoint cache_;
 };
 
 }  // namespace lps::stream

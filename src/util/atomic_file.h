@@ -1,0 +1,31 @@
+// Crash-safe file publication. Every durable artifact in the repo (saved
+// sketch state, checkpoint-store segments, server snapshots) goes through
+// AtomicWriteFile: write to a temporary sibling, fsync it, rename over the
+// destination, then fsync the containing directory. Readers therefore see
+// either the old file or the complete new one — never a torn write — which
+// is the invariant the checkpoint store's recovery scan relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace lps {
+
+/// Atomically replaces `path` with `size` bytes from `data` using the
+/// tmp + fsync + rename protocol. The temporary lives in the same
+/// directory as `path` (rename(2) is only atomic within a filesystem).
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size);
+
+/// Creates `path` (and missing parents) as directories. OK if it already
+/// exists as a directory.
+Status EnsureDirectory(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a completed rename
+/// durable. Best-effort: returns OK on platforms where directories cannot
+/// be opened for fsync.
+Status SyncParentDirectory(const std::string& path);
+
+}  // namespace lps

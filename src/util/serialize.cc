@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/util/atomic_file.h"
 #include "src/util/bits.h"
 
 namespace lps {
@@ -95,19 +96,17 @@ uint64_t BitReader::ReadBounded(uint64_t bound) {
 }
 
 Status WriteBitsToFile(const BitWriter& writer, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
-  const uint64_t header[2] = {kFileMagic, writer.bit_count()};
-  bool ok = std::fwrite(header, sizeof(uint64_t), 2, f) == 2;
+  // Publish atomically (tmp + fsync + rename): a crash mid-save leaves
+  // the previous file intact instead of a torn container.
   const auto& words = writer.words();
-  ok = ok && (words.empty() ||
-              std::fwrite(words.data(), sizeof(uint64_t), words.size(), f) ==
-                  words.size());
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) return Status::InvalidArgument("short write: " + path);
-  return Status::OK();
+  std::vector<uint64_t> image(2 + words.size());
+  image[0] = kFileMagic;
+  image[1] = writer.bit_count();
+  if (!words.empty()) {
+    std::memcpy(image.data() + 2, words.data(),
+                words.size() * sizeof(uint64_t));
+  }
+  return AtomicWriteFile(path, image.data(), image.size() * sizeof(uint64_t));
 }
 
 Result<BitReader> ReadBitsFromFile(const std::string& path) {

@@ -1,0 +1,719 @@
+// The durable checkpoint subsystem, end to end:
+//
+//   * delta codec: varint/zero-RLE byte layer edge cases, bit-exact
+//     round-trips for every SketchKind (keyframe, XOR and SUB deltas),
+//     malformed-payload rejection, and the >= 4x compression the
+//     hot-set regime is built for;
+//   * checkpoint store: append/read/reopen index rebuild, torn-tail
+//     truncation and corrupt-record suffix drop at recovery;
+//   * WindowManager spill: windowed answers BIT-IDENTICAL to the
+//     all-RAM ring (including off-boundary starts that round into a
+//     rehydrated checkpoint), resident/spilled accounting, and
+//     max_checkpoints eviction of the oldest spilled entries;
+//   * server persistence: clean-restart restore, idle eviction with
+//     lazy rehydration (STATS observability), and a fork + SIGKILL
+//     crash of a live daemon over real sockets whose reboot answers
+//     identically.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/sketch_spec.h"
+#include "src/persist/checkpoint_store.h"
+#include "src/persist/delta_codec.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/stream/generators.h"
+#include "src/stream/window_manager.h"
+#include "src/util/serialize.h"
+
+namespace lps {
+namespace {
+
+using persist::CheckpointStore;
+using persist::DecodeDelta;
+using persist::DeltaMode;
+using persist::EncodedDelta;
+using persist::EncodeBestDelta;
+using persist::EncodeDelta;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lps_persist_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return std::string(dir);
+}
+
+void RemoveTree(const std::string& dir) {
+  const std::string command = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(command.c_str());
+}
+
+// ----------------------------------------------------------- byte layer --
+
+TEST(DeltaCodecBytes, RoundTripEdges) {
+  const std::vector<std::vector<uint8_t>> cases = {
+      {},
+      {0},
+      {1},
+      {0, 0, 0, 0, 0, 0, 0, 0},
+      {1, 2, 3, 4, 5, 6, 7, 8},
+      {0, 0, 0, 1, 0, 0, 0, 0, 2, 0},
+      std::vector<uint8_t>(1000, 0),
+      std::vector<uint8_t>(1000, 7),
+  };
+  for (const auto& plain : cases) {
+    const std::vector<uint8_t> packed = persist::CompressBytes(plain);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(persist::DecompressBytes(packed, plain.size(), &out));
+    EXPECT_EQ(out, plain);
+  }
+  // Mixed runs around the kMinZeroRun threshold.
+  std::vector<uint8_t> mixed;
+  for (int run = 0; run < 12; ++run) {
+    for (int z = 0; z < run; ++z) mixed.push_back(0);
+    mixed.push_back(uint8_t(run + 1));
+  }
+  const std::vector<uint8_t> packed = persist::CompressBytes(mixed);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(persist::DecompressBytes(packed, mixed.size(), &out));
+  EXPECT_EQ(out, mixed);
+}
+
+TEST(DeltaCodecBytes, RejectsMalformedStreams) {
+  const std::vector<uint8_t> plain = {0, 0, 0, 0, 0, 1, 2, 3};
+  const std::vector<uint8_t> packed = persist::CompressBytes(plain);
+  std::vector<uint8_t> out;
+
+  // Truncated stream.
+  for (size_t cut = 0; cut < packed.size(); ++cut) {
+    std::vector<uint8_t> shorter(packed.begin(), packed.begin() + cut);
+    EXPECT_FALSE(persist::DecompressBytes(shorter, plain.size(), &out))
+        << "cut at " << cut;
+  }
+  // Wrong plaintext size (both directions).
+  EXPECT_FALSE(persist::DecompressBytes(packed, plain.size() - 1, &out));
+  EXPECT_FALSE(persist::DecompressBytes(packed, plain.size() + 1, &out));
+  // Trailing garbage after a complete stream.
+  std::vector<uint8_t> longer = packed;
+  longer.push_back(0x55);
+  EXPECT_FALSE(persist::DecompressBytes(longer, plain.size(), &out));
+  // A varint that never terminates.
+  const std::vector<uint8_t> runaway(12, 0x80);
+  EXPECT_FALSE(persist::DecompressBytes(runaway, 4, &out));
+}
+
+// ---------------------------------------------------------- delta layer --
+
+/// A spec of the given kind that ValidateSpec accepts (n kept small so
+/// the all-kinds sweep stays fast).
+SketchSpec SpecFor(SketchKind kind) {
+  SketchSpec spec;
+  spec.kind = kind;
+  spec.n = 512;
+  spec.p = 1.0;
+  spec.eps = 0.5;
+  spec.delta = 0.25;
+  spec.phi = 0.1;
+  spec.seed = 40 + uint64_t(kind);
+  if (kind == SketchKind::kMomentEstimator) spec.p = 2.5;
+  return spec;
+}
+
+std::pair<std::vector<uint64_t>, size_t> StateOf(const LinearSketch& sketch) {
+  BitWriter writer;
+  sketch.Serialize(&writer);
+  return {writer.words(), writer.bit_count()};
+}
+
+TEST(DeltaCodec, RoundTripsEveryKindBitExactly) {
+  for (uint32_t k = 1; k <= 21; ++k) {
+    const SketchKind kind = SketchKind(k);
+    const SketchSpec spec = SpecFor(kind);
+    ASSERT_TRUE(ValidateSpec(spec).ok()) << SketchKindName(kind);
+    auto sketch = MakeSketch(spec);
+    ASSERT_NE(sketch, nullptr) << SketchKindName(kind);
+
+    for (uint64_t i = 0; i < 300; ++i) {
+      sketch->Update(i % spec.n, int64_t(1 + i % 5));
+    }
+    const auto [prev_words, prev_bits] = StateOf(*sketch);
+
+    // Keyframe: self-contained, decodes with no predecessor.
+    const EncodedDelta keyframe = EncodeDelta(
+        DeltaMode::kKeyframe, prev_words, prev_bits, {}, 0);
+    std::vector<uint64_t> out_words;
+    size_t out_bits = 0;
+    ASSERT_TRUE(DecodeDelta(keyframe, {}, 0, &out_words, &out_bits))
+        << SketchKindName(kind);
+    EXPECT_EQ(out_words, prev_words) << SketchKindName(kind);
+    EXPECT_EQ(out_bits, prev_bits);
+
+    for (uint64_t i = 0; i < 100; ++i) {
+      sketch->Update((7 * i) % spec.n, -int64_t(1 + i % 3));
+    }
+    const auto [cur_words, cur_bits] = StateOf(*sketch);
+
+    // Best-of (XOR/SUB) and each explicit mode invert bit-exactly.
+    for (const EncodedDelta& delta :
+         {EncodeBestDelta(cur_words, cur_bits, prev_words, prev_bits),
+          EncodeDelta(DeltaMode::kXor, cur_words, cur_bits, prev_words,
+                      prev_bits),
+          EncodeDelta(DeltaMode::kSub, cur_words, cur_bits, prev_words,
+                      prev_bits)}) {
+      out_words.clear();
+      ASSERT_TRUE(
+          DecodeDelta(delta, prev_words, prev_bits, &out_words, &out_bits))
+          << SketchKindName(kind);
+      EXPECT_EQ(out_words, cur_words) << SketchKindName(kind);
+      EXPECT_EQ(out_bits, cur_bits);
+    }
+  }
+}
+
+TEST(DeltaCodec, RejectsCorruptDeltas) {
+  std::vector<uint64_t> words = {0x123456789ABCDEF0ull, 42, 0, 7};
+  const size_t bits = 4 * 64;
+  EncodedDelta delta = EncodeBestDelta(words, bits, {}, 0);
+  std::vector<uint64_t> out_words;
+  size_t out_bits = 0;
+  ASSERT_TRUE(DecodeDelta(delta, {}, 0, &out_words, &out_bits));
+
+  EncodedDelta bad_mode = delta;
+  bad_mode.mode = DeltaMode(0x7F);
+  EXPECT_FALSE(DecodeDelta(bad_mode, {}, 0, &out_words, &out_bits));
+
+  EncodedDelta truncated = delta;
+  ASSERT_FALSE(truncated.bytes.empty());
+  truncated.bytes.pop_back();
+  EXPECT_FALSE(DecodeDelta(truncated, {}, 0, &out_words, &out_bits));
+
+  EncodedDelta wrong_size = delta;
+  wrong_size.raw_bits += 64;
+  EXPECT_FALSE(DecodeDelta(wrong_size, {}, 0, &out_words, &out_bits));
+}
+
+TEST(DeltaCodec, HotSetCheckpointsCompressFourfold) {
+  // The bench's gated regime, scaled down: an lp_sampler over a stream
+  // whose updates concentrate on a small working set per interval. Only
+  // the touched counters change between checkpoints, so deltas compress
+  // by the untouched fraction.
+  SketchSpec spec;
+  spec.kind = SketchKind::kLpSampler;
+  spec.n = 1 << 16;
+  spec.p = 1.0;
+  spec.eps = 0.25;
+  spec.repetitions = 8;
+  spec.seed = 10;
+  auto sketch = MakeSketch(spec);
+  ASSERT_NE(sketch, nullptr);
+
+  const uint64_t interval = 1 << 10;
+  const std::vector<stream::Update> updates =
+      stream::HotSetTurnstile(spec.n, 8 * interval, /*hot_keys=*/8,
+                              /*epoch=*/interval, /*max_abs=*/100, 77);
+  auto prev = StateOf(*sketch);
+  uint64_t raw_bytes = 0, delta_bytes = 0;
+  for (uint64_t c = 0; c < 8; ++c) {
+    for (uint64_t i = 0; i < interval; ++i) {
+      const stream::Update& u = updates[c * interval + i];
+      sketch->Update(u.index, u.delta);
+    }
+    const auto cur = StateOf(*sketch);
+    const EncodedDelta delta =
+        EncodeBestDelta(cur.first, cur.second, prev.first, prev.second);
+    raw_bytes += (cur.second + 7) / 8;
+    delta_bytes += delta.bytes.size();
+    prev = cur;
+  }
+  ASSERT_GT(delta_bytes, 0u);
+  const double ratio = double(raw_bytes) / double(delta_bytes);
+  EXPECT_GE(ratio, 4.0) << "compression ratio " << ratio;
+}
+
+// ------------------------------------------------------------- the store --
+
+TEST(CheckpointStoreTest, AppendReadReopen) {
+  const std::string dir = MakeTempDir();
+  {
+    auto opened = CheckpointStore::Open(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    CheckpointStore& store = *opened.value();
+    for (int i = 0; i < 5; ++i) {
+      const std::string payload = "alpha-" + std::to_string(i);
+      ASSERT_TRUE(
+          store.Append("a", uint8_t(i % 3), payload.data(), payload.size())
+              .ok());
+    }
+    const std::string other = "beta-payload";
+    ASSERT_TRUE(store.Append("b", 9, other.data(), other.size()).ok());
+    ASSERT_TRUE(store.Sync().ok());
+    EXPECT_EQ(store.RecordCount("a"), 5u);
+    EXPECT_EQ(store.RecordCount("b"), 1u);
+    EXPECT_EQ(store.RecordCount("missing"), 0u);
+  }
+  // Reopen: the index is rebuilt from the segment scan.
+  auto reopened = CheckpointStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  CheckpointStore& store = *reopened.value();
+  EXPECT_EQ(store.recovered_truncated_bytes(), 0u);
+  EXPECT_EQ(store.RecordCount("a"), 5u);
+  EXPECT_EQ(store.Keys().size(), 2u);
+  for (size_t i = 0; i < 5; ++i) {
+    auto payload = store.ReadRecord("a", i);
+    ASSERT_TRUE(payload.ok());
+    const std::string expect = "alpha-" + std::to_string(i);
+    EXPECT_EQ(std::string(payload->begin(), payload->end()), expect);
+    EXPECT_EQ(store.RecordKind("a", i), uint8_t(i % 3));
+  }
+  EXPECT_EQ(store.KeyBytes("a"), 5 * 7u);
+  EXPECT_EQ(store.RecordKind("a", 99), 0xFF);
+  EXPECT_FALSE(store.ReadRecord("a", 99).ok());
+  // Appending after a reopen extends the same key streams.
+  const std::string more = "alpha-5";
+  ASSERT_TRUE(store.Append("a", 1, more.data(), more.size()).ok());
+  EXPECT_EQ(store.RecordCount("a"), 6u);
+  RemoveTree(dir);
+}
+
+std::string OnlySegment(const std::string& dir) {
+  // The store names its active segment seg-NNNNNN.log.open.
+  return dir + "/seg-000000.log.open";
+}
+
+TEST(CheckpointStoreTest, TornTailIsTruncatedAtRecovery) {
+  const std::string dir = MakeTempDir();
+  {
+    auto opened = CheckpointStore::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    const std::string payload(100, 'x');
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          opened.value()->Append("k", 1, payload.data(), payload.size()).ok());
+    }
+    ASSERT_TRUE(opened.value()->Sync().ok());
+  }
+  // Simulate a crash mid-append: a partial frame at the tail.
+  std::FILE* f = std::fopen(OnlySegment(dir).c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const uint8_t torn[] = {0x40, 0x00, 0x00, 0x00, 0xAA, 0xBB};
+  std::fwrite(torn, 1, sizeof(torn), f);
+  std::fclose(f);
+
+  auto reopened = CheckpointStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->recovered_truncated_bytes(), sizeof(torn));
+  EXPECT_EQ(reopened.value()->RecordCount("k"), 3u);
+  auto last = reopened.value()->ReadRecord("k", 2);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->size(), 100u);
+  RemoveTree(dir);
+}
+
+TEST(CheckpointStoreTest, CorruptRecordDropsTheSuffix) {
+  const std::string dir = MakeTempDir();
+  std::vector<uint64_t> sizes;
+  {
+    auto opened = CheckpointStore::Open(dir);
+    ASSERT_TRUE(opened.ok());
+    for (int i = 0; i < 4; ++i) {
+      const std::string payload(50 + size_t(i), char('a' + i));
+      ASSERT_TRUE(
+          opened.value()->Append("k", 1, payload.data(), payload.size()).ok());
+    }
+    ASSERT_TRUE(opened.value()->Sync().ok());
+  }
+  // Flip one byte inside record 2's payload: its CRC no longer matches,
+  // so recovery keeps records 0-1 and drops everything from the tear.
+  std::FILE* f = std::fopen(OnlySegment(dir).c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const long header = 8;
+  const long record0 = 8 + 3 + 1 + 50;
+  const long record1 = 8 + 3 + 1 + 51;
+  std::fseek(f, header + record0 + record1 + 8 + 3 + 1 + 10, SEEK_SET);
+  std::fputc('Z', f);
+  std::fclose(f);
+
+  auto reopened = CheckpointStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->RecordCount("k"), 2u);
+  EXPECT_GT(reopened.value()->recovered_truncated_bytes(), 0u);
+  auto kept = reopened.value()->ReadRecord("k", 1);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(std::string(kept->begin(), kept->end()), std::string(51, 'b'));
+  RemoveTree(dir);
+}
+
+// -------------------------------------------------------- window spill --
+
+void ExpectSameWindow(const stream::WindowManager& all_ram,
+                      const stream::WindowManager& spilled, uint64_t w) {
+  const auto ram = all_ram.WindowSketch(w);
+  const auto hydrated = spilled.WindowSketch(w);
+  EXPECT_EQ(ram.start, hydrated.start) << "w=" << w;
+  EXPECT_EQ(ram.length, hydrated.length) << "w=" << w;
+  const auto ram_state = StateOf(*ram.sketch);
+  const auto hydrated_state = StateOf(*hydrated.sketch);
+  EXPECT_EQ(ram_state.second, hydrated_state.second) << "w=" << w;
+  EXPECT_EQ(ram_state.first, hydrated_state.first) << "w=" << w;
+}
+
+TEST(WindowSpill, BitIdenticalToAllRamRing) {
+  const std::string dir = MakeTempDir();
+  auto opened = CheckpointStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+
+  SketchSpec spec;
+  spec.kind = SketchKind::kCountSketch;
+  spec.n = 1 << 12;
+  spec.rows = 5;
+  spec.buckets = 64;
+  spec.seed = 3;
+  auto ram_sketch = MakeSketch(spec);
+  auto spill_sketch = MakeSketch(spec);
+
+  stream::WindowManager::Options options;
+  options.checkpoint_interval = 256;
+  stream::WindowManager all_ram(ram_sketch.get(), options);
+  stream::WindowManager spilling(spill_sketch.get(), options);
+  stream::WindowManager::SpillOptions spill;
+  spill.store = opened.value().get();
+  spill.stream_key = "w:test";
+  spill.resident_checkpoints = 2;
+  spill.keyframe_interval = 4;
+  spilling.AttachSpill(spill);
+
+  const uint64_t total = 8192;
+  const auto updates = stream::UniformTurnstile(spec.n, total, 100, 99);
+  all_ram.PushBatch(updates.data(), updates.size());
+  spilling.PushBatch(updates.data(), updates.size());
+
+  ASSERT_TRUE(spilling.last_spill_error().ok())
+      << spilling.last_spill_error().ToString();
+  EXPECT_GT(spilling.spilled_count(), 0u);
+  EXPECT_EQ(spilling.checkpoint_count(), all_ram.checkpoint_count());
+  EXPECT_GT(spilling.SpilledBytes(), 0u);
+  // CheckpointBytes counts RESIDENT state only — the spilled majority of
+  // the ring must not be billed as RAM.
+  EXPECT_LT(spilling.CheckpointBytes(), all_ram.CheckpointBytes());
+  EXPECT_EQ(spilling.oldest_start(), all_ram.oldest_start());
+
+  // Window widths on and OFF checkpoint boundaries, including ones whose
+  // rounded start lands on a rehydrated (spilled) checkpoint.
+  for (const uint64_t w :
+       {uint64_t(0), uint64_t(1), uint64_t(256), uint64_t(300),
+        uint64_t(1000), uint64_t(4096), uint64_t(5000), uint64_t(7937),
+        total, uint64_t(99999)}) {
+    ExpectSameWindow(all_ram, spilling, w);
+  }
+  RemoveTree(dir);
+}
+
+TEST(WindowSpill, MaxCheckpointsEvictsOldestSpilledFirst) {
+  const std::string dir = MakeTempDir();
+  auto opened = CheckpointStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+
+  SketchSpec spec;
+  spec.kind = SketchKind::kCountMin;
+  spec.n = 1 << 10;
+  spec.rows = 4;
+  spec.buckets = 32;
+  spec.seed = 5;
+  auto sketch = MakeSketch(spec);
+
+  stream::WindowManager::Options options;
+  options.checkpoint_interval = 128;
+  options.max_checkpoints = 6;
+  stream::WindowManager manager(sketch.get(), options);
+  stream::WindowManager::SpillOptions spill;
+  spill.store = opened.value().get();
+  spill.stream_key = "w:evict";
+  spill.resident_checkpoints = 2;
+  spill.keyframe_interval = 3;
+  manager.AttachSpill(spill);
+
+  const auto updates = stream::UniformTurnstile(spec.n, 20 * 128, 50, 11);
+  manager.PushBatch(updates.data(), updates.size());
+  ASSERT_TRUE(manager.last_spill_error().ok());
+
+  // The bound covers resident + spilled together; the oldest SPILLED
+  // checkpoints were evicted first, so the ring kept its newest budget.
+  EXPECT_EQ(manager.checkpoint_count(), 6u);
+  EXPECT_EQ(manager.spilled_count(), 4u);
+  // 21 seal positions total (0..20*128); 6 retained => oldest is #15.
+  EXPECT_EQ(manager.oldest_start(), (21 - 6) * 128u);
+
+  // A window reaching past the evicted prefix clamps to the oldest
+  // RETAINED boundary — which is spilled, so the answer rehydrates.
+  const auto window = manager.WindowSketch(20 * 128);
+  EXPECT_EQ(window.start, manager.oldest_start());
+  EXPECT_EQ(window.start + window.length, manager.updates_seen());
+  RemoveTree(dir);
+}
+
+// --------------------------------------------------- server persistence --
+
+server::SketchConfig WindowedConfig(uint64_t seed) {
+  server::SketchConfig config;
+  config.spec.kind = SketchKind::kCsHeavyHitters;
+  config.spec.n = 1 << 10;
+  config.spec.p = 1.0;
+  config.spec.phi = 0.05;
+  config.spec.seed = seed;
+  config.window_checkpoint = 512;
+  return config;
+}
+
+std::vector<stream::Update> TenantStream(uint64_t tenant, size_t count) {
+  std::vector<stream::Update> updates;
+  updates.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t h = (tenant + 1) * 0x9E3779B97F4A7C15ull + i;
+    h ^= h >> 31;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    updates.push_back({i % 3 == 0 ? tenant % 1024 : h % 1024, +1});
+  }
+  return updates;
+}
+
+server::Client MustConnect(const server::Server& server) {
+  auto client = server::Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client.value());
+}
+
+TEST(ServerPersist, CleanRestartRestoresEveryTenant) {
+  const std::string dir = MakeTempDir();
+  server::Server::Options options;
+  options.port = 0;
+  options.data_dir = dir;
+  options.snapshot_interval_ms = 0;  // rely on the final Stop() snapshot
+
+  QueryResult before0, before1;
+  server::SnapshotBlob blob_before;
+  {
+    server::Server daemon(options);
+    ASSERT_TRUE(daemon.Start().ok());
+    EXPECT_EQ(daemon.restored_tenants(), 0u);
+    server::Client client = MustConnect(daemon);
+    ASSERT_TRUE(client.Create("acme", "clicks", WindowedConfig(1)).ok());
+    ASSERT_TRUE(client.Create("umbrella", "errors", WindowedConfig(2)).ok());
+    ASSERT_TRUE(client.Ingest("acme", "clicks", TenantStream(7, 2000)).ok());
+    ASSERT_TRUE(
+        client.Ingest("umbrella", "errors", TenantStream(8, 1500)).ok());
+    auto q0 = client.Query("acme", "clicks");
+    auto q1 = client.Query("umbrella", "errors");
+    ASSERT_TRUE(q0.ok() && q1.ok());
+    before0 = *q0;
+    before1 = *q1;
+    auto blob = client.Snapshot("acme", "clicks");
+    ASSERT_TRUE(blob.ok());
+    blob_before = *blob;
+    daemon.Stop();
+  }
+  {
+    server::Server daemon(options);
+    ASSERT_TRUE(daemon.Start().ok());
+    EXPECT_EQ(daemon.restored_tenants(), 2u);
+    server::Client client = MustConnect(daemon);
+    auto q0 = client.Query("acme", "clicks");
+    auto q1 = client.Query("umbrella", "errors");
+    ASSERT_TRUE(q0.ok() && q1.ok());
+    EXPECT_EQ(*q0, before0);
+    EXPECT_EQ(*q1, before1);
+    // The re-snapshot is byte-identical: same config, same update count,
+    // same serialized state.
+    auto blob = client.Snapshot("acme", "clicks");
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(blob->updates_seen, blob_before.updates_seen);
+    EXPECT_EQ(blob->state_bits, blob_before.state_bits);
+    EXPECT_EQ(blob->state_words, blob_before.state_words);
+    EXPECT_EQ(blob->config.spec, blob_before.config.spec);
+    // A restored tenant keeps serving ingest (and re-persists on stop).
+    ASSERT_TRUE(client.Ingest("acme", "clicks", TenantStream(7, 100)).ok());
+    daemon.Stop();
+  }
+  RemoveTree(dir);
+}
+
+TEST(ServerPersist, IdleTenantsEvictAndRehydrateLazily) {
+  const std::string dir = MakeTempDir();
+  server::Server::Options options;
+  options.port = 0;
+  options.data_dir = dir;
+  options.snapshot_interval_ms = 25;
+  options.idle_timeout_ms = 100;
+  server::Server daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  server::Client client = MustConnect(daemon);
+  ASSERT_TRUE(client.Create("idle", "s", WindowedConfig(3)).ok());
+  ASSERT_TRUE(client.Ingest("idle", "s", TenantStream(5, 1200)).ok());
+  auto before = client.Query("idle", "s");
+  ASSERT_TRUE(before.ok());
+
+  // Wait until the background pass has evicted the tenant (observable
+  // through STATS: still listed, but no longer resident).
+  bool evicted = false;
+  for (int tries = 0; tries < 100 && !evicted; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    for (const server::TenantPersistStats& tenant : stats->per_tenant) {
+      if (tenant.name == "idle/s" && !tenant.resident) {
+        evicted = true;
+        EXPECT_GT(tenant.spilled_bytes, 0u);
+      }
+    }
+  }
+  ASSERT_TRUE(evicted) << "tenant never evicted";
+
+  // The next touch rehydrates transparently and answers identically.
+  auto after = client.Query("idle", "s");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(*after, *before);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  bool resident = false;
+  for (const server::TenantPersistStats& tenant : stats->per_tenant) {
+    if (tenant.name == "idle/s" && tenant.resident) resident = true;
+  }
+  EXPECT_TRUE(resident);
+  daemon.Stop();
+  RemoveTree(dir);
+}
+
+// TSan does not support the fork-with-threads pattern this test needs
+// (the child SIGKILLs before doing anything the sanitizer would check
+// anyway); the ASan job and the plain jobs run it.
+#if defined(__SANITIZE_THREAD__)
+#define LPS_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LPS_UNDER_TSAN 1
+#endif
+#endif
+
+#ifndef LPS_UNDER_TSAN
+
+TEST(ServerPersist, SigkilledDaemonRebootsAnsweringIdentically) {
+  const std::string dir = MakeTempDir();
+  int ports[2];
+  ASSERT_EQ(::pipe(ports), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Daemon process: serve with aggressive background snapshots until
+    // the parent SIGKILLs us. _exit on any failure; never return into
+    // gtest from the child.
+    ::close(ports[0]);
+    server::Server::Options options;
+    options.port = 0;
+    options.data_dir = dir;
+    options.snapshot_interval_ms = 20;
+    server::Server daemon(options);
+    if (!daemon.Start().ok()) ::_exit(3);
+    const int port = daemon.port();
+    if (::write(ports[1], &port, sizeof(port)) != ssize_t(sizeof(port))) {
+      ::_exit(4);
+    }
+    for (;;) ::pause();
+  }
+
+  ::close(ports[1]);
+  int port = 0;
+  ASSERT_EQ(::read(ports[0], &port, sizeof(port)), ssize_t(sizeof(port)));
+  ::close(ports[0]);
+
+  QueryResult before;
+  server::SnapshotBlob blob_before;
+  {
+    auto connected = server::Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    server::Client client = std::move(connected.value());
+    ASSERT_TRUE(client.Create("crash", "s", WindowedConfig(9)).ok());
+    ASSERT_TRUE(client.Ingest("crash", "s", TenantStream(4, 1700)).ok());
+    auto query = client.Query("crash", "s");
+    ASSERT_TRUE(query.ok());
+    before = *query;
+    auto blob = client.Snapshot("crash", "s");
+    ASSERT_TRUE(blob.ok());
+    blob_before = *blob;
+    // Give the background snapshot thread time to persist the ingest
+    // (several 20 ms passes), then pull the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child, &wait_status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+  // Reboot over the same data dir, in-process this time.
+  server::Server::Options options;
+  options.port = 0;
+  options.data_dir = dir;
+  server::Server daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_EQ(daemon.restored_tenants(), 1u);
+  server::Client client = MustConnect(daemon);
+  auto query = client.Query("crash", "s");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(*query, before);
+  auto blob = client.Snapshot("crash", "s");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->updates_seen, blob_before.updates_seen);
+  EXPECT_EQ(blob->state_words, blob_before.state_words);
+  EXPECT_EQ(blob->state_bits, blob_before.state_bits);
+  daemon.Stop();
+  RemoveTree(dir);
+}
+
+#endif  // !LPS_UNDER_TSAN
+
+// ------------------------------------------- atomic bit-file container --
+
+TEST(AtomicBitFiles, WriteReportsFailureAndLeavesNoDebris) {
+  BitWriter writer;
+  writer.WriteU64(0xDEADBEEFCAFEF00Dull);
+  writer.WriteBits(5, 3);
+  // Unwritable destination: a Status, not silence or an abort.
+  EXPECT_FALSE(
+      WriteBitsToFile(writer, "/nonexistent-dir/deep/file.bits").ok());
+
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/state.bits";
+  ASSERT_TRUE(WriteBitsToFile(writer, path).ok());
+  auto read = ReadBitsFromFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  BitReader reader = std::move(read.value());
+  EXPECT_EQ(reader.ReadU64(), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(reader.ReadBits(3), 5u);
+  EXPECT_EQ(reader.bits_remaining(), 0u);
+  // The atomic tmp-file was renamed away, not left behind.
+  std::FILE* listing =
+      ::popen(("ls -1 '" + dir + "'").c_str(), "r");
+  ASSERT_NE(listing, nullptr);
+  char line[256];
+  size_t files = 0;
+  while (std::fgets(line, sizeof(line), listing) != nullptr) ++files;
+  ::pclose(listing);
+  EXPECT_EQ(files, 1u);
+  RemoveTree(dir);
+}
+
+}  // namespace
+}  // namespace lps

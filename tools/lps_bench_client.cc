@@ -19,8 +19,17 @@
 // any deviation; the CI serve smoke drives it against a daemon started
 // with --port 0 and then checks clean SIGTERM shutdown.
 //
+// --crash-prepare / --crash-verify bracket the crash-recovery smoke
+// against a daemon running with --data-dir: prepare creates tenants,
+// ingests deterministic streams, and writes each tenant's snapshot +
+// query answer to files under --out (a directory in these modes); the
+// harness then SIGKILLs and reboots the daemon, and verify re-fetches
+// both from the rebooted daemon and demands they are BIT-IDENTICAL to
+// the pre-crash files.
+//
 // Usage:
 //   lps_bench_client [--port p] [--quick] [--smoke] [--out file]
+//                    [--crash-prepare | --crash-verify]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -87,6 +96,8 @@ struct Flags {
   int port = 0;  // 0 = run an in-process server
   bool quick = false;
   bool smoke = false;
+  bool crash_prepare = false;
+  bool crash_verify = false;
   std::string out = "BENCH_serve.json";
 };
 
@@ -187,6 +198,98 @@ int RunSmoke(const std::string& host, int port) {
               static_cast<unsigned long long>(stats->updates),
               static_cast<unsigned long long>(window->start),
               static_cast<unsigned long long>(window->length));
+  return 0;
+}
+
+// ------------------------------------------------------- crash recovery --
+
+constexpr int kCrashTenants = 4;
+constexpr uint64_t kCrashN = 1 << 12;
+constexpr uint64_t kCrashUpdates = 3 * 8192 + 1234;  // off a window boundary
+
+/// Fetches tenant i's snapshot and whole-stream answer and serializes
+/// both into one bit stream — the unit of pre/post-crash comparison.
+lps::Status FetchCrashState(lps::server::Client* client, int i,
+                            lps::BitWriter* writer) {
+  const std::string name = "crash" + std::to_string(i);
+  auto snapshot = client->Snapshot(name, "s");
+  if (!snapshot.ok()) return snapshot.status();
+  auto query = client->Query(name, "s");
+  if (!query.ok()) return query.status();
+  SerializeSnapshot(*snapshot, writer);
+  lps::SerializeQueryResult(*query, writer);
+  return lps::Status::OK();
+}
+
+int RunCrashPrepare(const std::string& host, int port,
+                    const std::string& out_dir) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+  for (int i = 0; i < kCrashTenants; ++i) {
+    const std::string name = "crash" + std::to_string(i);
+    const lps::Status created =
+        client.Create(name, "s", TenantConfig(uint64_t(i), kCrashN));
+    if (!created.ok()) return Fail("create", created);
+    std::vector<lps::stream::Update> updates;
+    updates.reserve(4096);
+    for (uint64_t position = 0; position < kCrashUpdates;) {
+      updates.clear();
+      while (updates.size() < 4096 && position < kCrashUpdates) {
+        updates.push_back(MakeUpdate(uint64_t(i), position++, kCrashN));
+      }
+      auto ingested = client.Ingest(name, "s", updates);
+      if (!ingested.ok()) return Fail("ingest", ingested.status());
+    }
+  }
+  for (int i = 0; i < kCrashTenants; ++i) {
+    lps::BitWriter writer;
+    const lps::Status fetched = FetchCrashState(&client, i, &writer);
+    if (!fetched.ok()) return Fail("fetch state", fetched);
+    const std::string path =
+        out_dir + "/crash" + std::to_string(i) + ".bits";
+    const lps::Status written = lps::WriteBitsToFile(writer, path);
+    if (!written.ok()) return Fail("write state", written);
+  }
+  std::printf("crash prepare OK (%d tenants, %llu updates each)\n",
+              kCrashTenants,
+              static_cast<unsigned long long>(kCrashUpdates));
+  return 0;
+}
+
+int RunCrashVerify(const std::string& host, int port,
+                   const std::string& out_dir) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+  for (int i = 0; i < kCrashTenants; ++i) {
+    lps::BitWriter fresh;
+    const lps::Status fetched = FetchCrashState(&client, i, &fresh);
+    if (!fetched.ok()) return Fail("fetch state after reboot", fetched);
+    const std::string path =
+        out_dir + "/crash" + std::to_string(i) + ".bits";
+    auto stored = lps::ReadBitsFromFile(path);
+    if (!stored.ok()) return Fail("read pre-crash state", stored.status());
+    bool equal = stored->bits_remaining() == fresh.bit_count();
+    const std::vector<uint64_t>& words = fresh.words();
+    size_t bits = fresh.bit_count();
+    for (size_t w = 0; equal && bits > 0; ++w) {
+      const size_t take = bits < 64 ? bits : 64;
+      // The writer guarantees the last word's trailing bits are zero, so
+      // a partial tail compares against the word directly.
+      equal = stored.value().ReadBits(int(take)) == words[w];
+      bits -= take;
+    }
+    if (!equal || stored->failed()) {
+      std::fprintf(stderr,
+                   "lps_bench_client: tenant crash%d diverged across the "
+                   "reboot (pre-crash %s vs %zu live bits)\n",
+                   i, path.c_str(), fresh.bit_count());
+      return 1;
+    }
+  }
+  std::printf("crash verify OK (%d tenants bit-identical across reboot)\n",
+              kCrashTenants);
   return 0;
 }
 
@@ -356,6 +459,10 @@ int main(int argc, char** argv) {
       flags.port = std::atoi(argv[++a]);
     } else if (std::strcmp(argv[a], "--smoke") == 0) {
       flags.smoke = true;
+    } else if (std::strcmp(argv[a], "--crash-prepare") == 0) {
+      flags.crash_prepare = true;
+    } else if (std::strcmp(argv[a], "--crash-verify") == 0) {
+      flags.crash_verify = true;
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       flags.out = argv[++a];
     } else if (std::strcmp(argv[a], "--quick") == 0) {
@@ -363,7 +470,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: lps_bench_client [--port p] [--quick] [--smoke] "
-                   "[--out file]\n");
+                   "[--out file] [--crash-prepare | --crash-verify]\n");
+      return 2;
+    }
+  }
+  if (flags.crash_prepare || flags.crash_verify) {
+    // The crash modes only make sense against an external daemon that
+    // the harness can SIGKILL; --out names the state DIRECTORY here.
+    if (flags.port == 0 || flags.out == "BENCH_serve.json") {
+      std::fprintf(stderr,
+                   "lps_bench_client: crash modes need --port and --out "
+                   "(a state directory)\n");
       return 2;
     }
   }
@@ -382,9 +499,16 @@ int main(int argc, char** argv) {
     std::printf("in-process lps_serve on 127.0.0.1:%d\n", port);
   }
 
-  const int exit_code =
-      flags.smoke ? RunSmoke("127.0.0.1", port)
-                  : RunBench("127.0.0.1", port, flags.quick, flags.out);
+  int exit_code = 0;
+  if (flags.crash_prepare) {
+    exit_code = RunCrashPrepare("127.0.0.1", port, flags.out);
+  } else if (flags.crash_verify) {
+    exit_code = RunCrashVerify("127.0.0.1", port, flags.out);
+  } else if (flags.smoke) {
+    exit_code = RunSmoke("127.0.0.1", port);
+  } else {
+    exit_code = RunBench("127.0.0.1", port, flags.quick, flags.out);
+  }
   if (in_process != nullptr) in_process->Stop();
   return exit_code;
 }
