@@ -17,6 +17,7 @@
 // for CI smoke runs. Exits non-zero if a query path regressed to
 // universe-scan scaling, or (on hardware with >= 4 cores) if t = 4
 // parallel ingest fails to beat t = 1 — the CI smoke gates on both.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +27,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/l0_sampler.h"
+#include "src/kernels/kernels.h"
 #include "src/core/lp_sampler.h"
 #include "src/heavy/heavy_hitters.h"
 #include "src/norm/l0_norm.h"
@@ -122,6 +124,88 @@ ResultRow MeasureInt(const std::string& name, const UpdateStream& stream,
       stream, passes, [&] { batched_sink->Reset(); },
       [&](const UpdateStream& s) { driver.Drive(s); });
   return row;
+}
+
+/// One structure measured with a specific kernel backend forced — the
+/// per-backend sweep that makes SIMD wins (and scalar-fallback costs)
+/// visible in the JSON trajectory.
+struct BackendRow {
+  std::string backend;
+  ResultRow row;
+};
+
+/// The tentpole perf gate: with the AVX2 backend dispatched, batched
+/// ingestion must clear its speedup floor over the per-update path —
+/// 3x on count_sketch, 1.5x on stable_sketch (which additionally must
+/// never fall below 1.0x: the pre-kernel batch path was a 0.98x
+/// *regression* there, and this gate keeps it from coming back).
+/// Skips (logged, never silent) when the host has no AVX2 backend or the
+/// build is sanitizer-instrumented.
+bool CheckKernelSpeedups(const std::vector<ResultRow>& rows,
+                         const std::vector<BackendRow>& sweep) {
+  bool have_avx2 = false;
+  for (auto b : lps::kernels::AvailableBackends()) {
+    if (b == lps::kernels::Backend::kAvx2) have_avx2 = true;
+  }
+  if (!have_avx2) {
+    std::printf(
+        "kernel speedup check: skipped (no AVX2 kernel backend on this "
+        "host — floors are calibrated for AVX2 hardware)\n");
+    return true;
+  }
+  if (!lps::bench::PerfGateEligible("kernel speedup check")) return true;
+
+  struct Target {
+    const char* name;
+    double floor;
+  };
+  const Target targets[] = {{"count_sketch[17x96]", 3.0},
+                            {"stable_sketch[p=1,96]", 1.5}};
+  const bool dispatched_avx2 =
+      lps::kernels::ActiveBackend() == lps::kernels::Backend::kAvx2;
+  bool ok = true;
+  for (const Target& target : targets) {
+    // Gate on the best AVX2 measurement of the run — the forced-sweep
+    // row, and the headline row when AVX2 was the dispatched backend
+    // anyway. Both are min-of-passes already; taking their max guards
+    // the floor against a noise window swallowing one whole section on
+    // a shared runner.
+    double speedup = -1.0;
+    for (const BackendRow& br : sweep) {
+      if (br.backend == "avx2" && br.row.name == target.name) {
+        speedup = std::max(speedup, br.row.speedup());
+      }
+    }
+    if (dispatched_avx2) {
+      for (const ResultRow& row : rows) {
+        if (row.name == target.name) speedup = std::max(speedup, row.speedup());
+      }
+    }
+    if (speedup < 0) {
+      std::fprintf(stderr, "kernel speedup check: missing avx2 row for %s\n",
+                   target.name);
+      ok = false;
+      continue;
+    }
+    if (speedup <= 1.0) {
+      std::fprintf(stderr,
+                   "KERNEL SPEEDUP REGRESSION: %s batched path is SLOWER "
+                   "than per-update under avx2 (%.2fx) — the batch fast "
+                   "path regressed below break-even\n",
+                   target.name, speedup);
+      ok = false;
+    } else if (speedup < target.floor) {
+      std::fprintf(stderr,
+                   "KERNEL SPEEDUP REGRESSION: %s batched/scalar = %.2fx "
+                   "under avx2, floor is %.2fx\n",
+                   target.name, speedup, target.floor);
+      ok = false;
+    } else {
+      std::printf("kernel speedup check: %s %.2fx under avx2 (floor %.2fx)\n",
+                  target.name, speedup, target.floor);
+    }
+  }
+  return ok;
 }
 
 struct ParallelRow {
@@ -279,6 +363,7 @@ double MicrosPerCall(int passes, int calls, Fn&& fn) {
 }
 
 void WriteJson(const char* path, const std::vector<ResultRow>& rows,
+               const std::vector<BackendRow>& sweep,
                const std::vector<ParallelRow>& parallel,
                const std::vector<LatencyRow>& latencies, bool quick) {
   std::FILE* f = std::fopen(path, "w");
@@ -290,6 +375,11 @@ void WriteJson(const char* path, const std::vector<ResultRow>& rows,
                quick ? "true" : "false");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  // The backend the headline "results" section ran under. Absolute
+  // numbers are only comparable between files with the same value —
+  // compare_bench.py enforces that.
+  std::fprintf(f, "  \"kernel_backend\": \"%s\",\n",
+               lps::kernels::ActiveBackendName());
   std::fprintf(f, "  \"results\": [\n");
   for (size_t r = 0; r < rows.size(); ++r) {
     const ResultRow& row = rows[r];
@@ -300,6 +390,17 @@ void WriteJson(const char* path, const std::vector<ResultRow>& rows,
                  row.name.c_str(), row.updates, row.scalar_ips,
                  row.batched_ips, row.speedup(),
                  r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"kernel_backend_sweep\": [\n");
+  for (size_t r = 0; r < sweep.size(); ++r) {
+    const BackendRow& br = sweep[r];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"backend\": \"%s\", "
+                 "\"scalar_items_per_sec\": %.0f, "
+                 "\"batched_items_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                 br.row.name.c_str(), br.backend.c_str(), br.row.scalar_ips,
+                 br.row.batched_ips, br.row.speedup(),
+                 r + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"parallel_ingest\": [\n");
   for (size_t r = 0; r < parallel.size(); ++r) {
@@ -396,6 +497,31 @@ int main(int argc, char** argv) {
     lps::heavy::CsHeavyHitters a(params), b(params);
     rows.push_back(
         Measure("cs_heavy_hitters[phi=.05]", long_stream, passes, &a, &b));
+  }
+
+  // Per-backend forced sweep: the two speedup-gated structures re-measured
+  // under every compiled-in kernel backend, so the JSON carries the full
+  // scalar/sse4/avx2 trajectory (and the scalar rows document what the
+  // LPS_KERNELS=scalar escape hatch costs).
+  std::vector<BackendRow> backend_sweep;
+  {
+    const auto dispatched = lps::kernels::ActiveBackend();
+    for (const auto backend : lps::kernels::AvailableBackends()) {
+      lps::kernels::ForceBackendForTesting(backend);
+      const std::string backend_name = lps::kernels::BackendName(backend);
+      {
+        lps::sketch::CountSketch a(17, 96, 1), b(17, 96, 1);
+        backend_sweep.push_back({backend_name, Measure("count_sketch[17x96]",
+                                               long_stream, passes, &a, &b)});
+      }
+      {
+        lps::sketch::StableSketch a(1.0, 96, 4), b(1.0, 96, 4);
+        backend_sweep.push_back(
+            {backend_name, Measure("stable_sketch[p=1,96]", short_stream,
+                                   passes, &a, &b)});
+      }
+    }
+    lps::kernels::ForceBackendForTesting(dispatched);
   }
 
   // Parallel ingest: the runtime the library ships (ParallelPipeline, t
@@ -520,6 +646,20 @@ int main(int argc, char** argv) {
                   Table::Fmt("%.2fx", row.speedup())});
   }
   table.Print();
+  std::printf("kernel backend (dispatched): %s\n\n",
+              lps::kernels::ActiveBackendName());
+
+  lps::bench::Section("C17: per-kernel-backend forced sweep");
+  Table sweep_table(
+      {"structure", "backend", "scalar Mitem/s", "batched Mitem/s",
+       "speedup"});
+  for (const BackendRow& br : backend_sweep) {
+    sweep_table.AddRow({br.row.name, br.backend,
+                        Table::Fmt("%.2f", br.row.scalar_ips / 1e6),
+                        Table::Fmt("%.2f", br.row.batched_ips / 1e6),
+                        Table::Fmt("%.2fx", br.row.speedup())});
+  }
+  sweep_table.Print();
 
   lps::bench::Section(
       "C17: parallel ingest (ParallelPipeline, t shards on t workers, "
@@ -539,7 +679,8 @@ int main(int argc, char** argv) {
   }
   lat_table.Print();
 
-  WriteJson("BENCH_throughput.json", rows, parallel, latencies, quick);
+  WriteJson("BENCH_throughput.json", rows, backend_sweep, parallel, latencies,
+            quick);
   std::printf("machine-readable results written to BENCH_throughput.json\n");
 
   // Gates: fail the run (and the CI smoke) if any query path regressed to
@@ -555,5 +696,6 @@ int main(int argc, char** argv) {
                 kMaxQueryScalingRatio);
   }
   ok &= CheckParallelScaling(parallel, "count_sketch[17x96]");
+  ok &= CheckKernelSpeedups(rows, backend_sweep);
   return ok ? 0 : 1;
 }

@@ -16,7 +16,9 @@ Compared metrics (the PR-to-PR trajectory the repo tracks):
     small dev box; once a 4-core CI artifact is committed the check
     arms itself).
   * absolute throughput/latency — only when baseline and current ran on
-    the same hardware_threads count AND the same quick mode; cross-
+    the same hardware_threads count AND the same quick mode AND the same
+    dispatched kernel_backend (an LPS_KERNELS=scalar run against an AVX2
+    baseline differs by the SIMD factor, not by a code change); cross-
     machine absolute numbers are noise, and pretending otherwise would
     make the gate cry wolf.
 
@@ -359,11 +361,22 @@ def main():
             if c < b * (1.0 - args.max_regress):
                 failed.append(f"parallel_ingest {name}")
 
-    # Absolute numbers: same machine shape and same mode only.
+    # Absolute numbers: same machine shape, same mode, and the same
+    # dispatched kernel backend only. A scalar-forced (or SSE4-dispatched)
+    # run is a different machine as far as absolute throughput is
+    # concerned — comparing it against an AVX2 baseline would report the
+    # backend delta as a code regression.
+    base_backend = base.get("kernel_backend", "unknown")
+    cur_backend = cur.get("kernel_backend", "unknown")
     if base_threads != cur_threads or base.get("quick") != cur.get("quick"):
         log("absolute metrics: skipped (baseline hardware_threads="
             f"{base_threads}/quick={base.get('quick')} vs current "
             f"{cur_threads}/quick={cur.get('quick')} — ratios only)")
+    elif base_backend != cur_backend:
+        log("absolute metrics: refused (baseline ran on kernel_backend="
+            f"{base_backend}, current on {cur_backend} — absolute "
+            "throughput from different SIMD backends is not comparable; "
+            "scaling ratios above were still checked)")
     else:
         for name in PARALLEL_STRUCTURES:
             for threads in (1, 4):

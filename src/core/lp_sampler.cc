@@ -107,20 +107,55 @@ void LpSamplerRound::UpdateBatch(const stream::ScaledUpdate* updates,
                                  size_t count) {
   snapshot_.reset();
   scaled_.resize(count);
-  if (p_ == 1.0) {
-    // t^{1/p} = t at p = 1: the per-item std::pow is the identity, so the
-    // hot loop is a single divide (std::pow(x, 1.0) returns x exactly, so
-    // this is bit-identical to the general path).
-    for (size_t t = 0; t < count; ++t) {
-      scaled_[t] = {updates[t].index,
-                    updates[t].delta / ScalingFactor(updates[t].index)};
+  if (override_index_ >= 0) {
+    // Test hook in play: keep the per-item path so the overridden
+    // coordinate picks up its forced t.
+    if (p_ == 1.0) {
+      for (size_t t = 0; t < count; ++t) {
+        scaled_[t] = {updates[t].index,
+                      updates[t].delta / ScalingFactor(updates[t].index)};
+      }
+    } else {
+      const double inv_p = 1.0 / p_;
+      for (size_t t = 0; t < count; ++t) {
+        const double scale = ScalingFactor(updates[t].index);
+        scaled_[t] = {updates[t].index,
+                      updates[t].delta / std::pow(scale, inv_p)};
+      }
     }
   } else {
-    const double inv_p = 1.0 / p_;
+    // The k-wise t_i hash (k is 10*ceil(1/|p-1|) — the deepest Horner in
+    // the library) runs on the dispatched kernel; the (eval + 1) / p
+    // uniform, the kMinScaling clamp and the divide replicate
+    // ScalingFactor per item, so the scaled stream is bit-identical to
+    // the per-item path.
+    reduced_keys_.resize(count);
+    t_evals_.resize(count);
     for (size_t t = 0; t < count; ++t) {
-      const double scale = ScalingFactor(updates[t].index);
-      scaled_[t] = {updates[t].index,
-                    updates[t].delta / std::pow(scale, inv_p)};
+      reduced_keys_[t] = gf61::Reduce(updates[t].index);
+    }
+    t_hash_.EvalBatch(reduced_keys_.data(), count, t_evals_.data());
+    if (p_ == 1.0) {
+      // t^{1/p} = t at p = 1: the per-item std::pow is the identity, so
+      // the hot loop is a single divide (std::pow(x, 1.0) returns x
+      // exactly, so this is bit-identical to the general path).
+      for (size_t t = 0; t < count; ++t) {
+        const double scale =
+            std::max((static_cast<double>(t_evals_[t]) + 1.0) /
+                         static_cast<double>(gf61::kP),
+                     kMinScaling);
+        scaled_[t] = {updates[t].index, updates[t].delta / scale};
+      }
+    } else {
+      const double inv_p = 1.0 / p_;
+      for (size_t t = 0; t < count; ++t) {
+        const double scale =
+            std::max((static_cast<double>(t_evals_[t]) + 1.0) /
+                         static_cast<double>(gf61::kP),
+                     kMinScaling);
+        scaled_[t] = {updates[t].index,
+                      updates[t].delta / std::pow(scale, inv_p)};
+      }
     }
   }
   cs_.UpdateBatch(scaled_.data(), count);

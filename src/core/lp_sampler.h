@@ -179,6 +179,8 @@ class LpSamplerRound {
   sketch::CountSketch cs_;
   sketch::DyadicCountSketch dyadic_;          // candidate generator
   std::vector<stream::ScaledUpdate> scaled_;  // batch scratch
+  std::vector<uint64_t> reduced_keys_;        // batch scratch
+  std::vector<uint64_t> t_evals_;             // batch scratch: t_hash_ values
   mutable std::optional<RecoverySnapshot> snapshot_;  // query cache
 };
 

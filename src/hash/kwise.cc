@@ -1,5 +1,6 @@
 #include "src/hash/kwise.h"
 
+#include "src/kernels/kernels.h"
 #include "src/util/check.h"
 
 namespace lps::hash {
@@ -20,6 +21,12 @@ uint64_t KWiseHash::Eval(uint64_t key) const {
     acc = gf::Add(gf::Mul(acc, x), coeffs_[i]);
   }
   return acc;
+}
+
+void KWiseHash::EvalBatch(const uint64_t* reduced_keys, size_t count,
+                          uint64_t* out) const {
+  kernels::Active().kwise_horner_batch(coeffs_.data(), coeffs_.size(),
+                                       reduced_keys, count, out);
 }
 
 uint64_t KWiseHash::Range(uint64_t key, uint64_t range) const {

@@ -65,6 +65,13 @@ class KWiseHash {
   /// Uniform field element in [0, p).
   uint64_t Eval(uint64_t key) const;
 
+  /// Batch Eval over keys already reduced into [0, p): out[t] is exactly
+  /// Eval would return for any key reducing to xs[t]. Runs on the
+  /// dispatched kernel backend (kernels::Active().kwise_horner_batch),
+  /// bit-identical on every backend.
+  void EvalBatch(const uint64_t* reduced_keys, size_t count,
+                 uint64_t* out) const;
+
   /// Uniform integer in [0, range). Uses the multiply-shift reduction
   /// (Eval * range) / p, whose bias is < range / p < 2^-40 for any range
   /// used in this library.

@@ -1,0 +1,336 @@
+// AVX2 four-lane backend.
+//
+// GF(2^61 - 1) vector arithmetic: AVX2 has no 64x64 multiply, so a field
+// product decomposes into four 32x32 _mm256_mul_epu32 partials. With both
+// operands canonical (< 2^61) the cross terms fit 62 bits and the full
+// product P = hh*2^64 + mid*2^32 + ll reduces with 2^61 = 1 (mod p):
+//   ll        -> (ll & p) + (ll >> 61)
+//   mid*2^32  -> ((mid & (2^29-1)) << 32) + (mid >> 29)
+//   hh*2^64   -> hh << 3
+// The sum stays below 2^63, two fold steps bring it under 2^61 + 4, and a
+// single compare/subtract lands in canonical [0, p) — bit-identical to
+// gf61::Mul. ScaleToRange and Horner evaluation build on the same pieces,
+// so bucket indices and hash values match the scalar backend exactly.
+//
+// The Cauchy path (cauchy_pow_batch, p = 1) vectorizes the splitmix64
+// finalizer with an emulated 64-bit low multiply, converts the 53-bit
+// uniforms with the 2^52/2^84 magic-constant trick (exact), and evaluates
+// tan(pi t) = sinpi(t) / sinpi(0.5 - |t|) with a degree-23 odd Taylor
+// polynomial (truncation < 1e-19 on |t| <= 0.5). This path is
+// query-equivalent, not bit-identical: libm's tan differs in the last few
+// ULPs and the four-lane accumulation reassociates the sum. p != 1 calls
+// the scalar reference and stays bit-identical.
+#include "src/kernels/backends.h"
+
+#if defined(__AVX2__) && !defined(LPS_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/field/gf61.h"
+#include "src/hash/kwise.h"
+#include "src/kernels/stable_transform.h"
+#include "src/util/random.h"
+
+namespace lps::kernels::internal {
+
+namespace gf = ::lps::gf61;
+
+namespace {
+
+inline __m256i Set1(uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// v - p where v >= p, else v; valid for v <= 2^62 (signed compare safe).
+inline __m256i CondSubP(__m256i v) {
+  const __m256i mask = _mm256_cmpgt_epi64(v, Set1(gf::kP - 1));
+  return _mm256_sub_epi64(v, _mm256_and_si256(mask, Set1(gf::kP)));
+}
+
+/// gf61::Add on canonical lanes.
+inline __m256i AddP(__m256i a, __m256i b) {
+  return CondSubP(_mm256_add_epi64(a, b));
+}
+
+/// gf61::Mul on canonical lanes; see the file comment for the derivation.
+inline __m256i MulP(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);      // a_lo * b_lo < 2^64
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);   // a_lo * b_hi < 2^61
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);   // a_hi * b_lo < 2^61
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);  // a_hi * b_hi < 2^58
+  const __m256i mid = _mm256_add_epi64(lh, hl);   // < 2^62
+  __m256i s = _mm256_and_si256(ll, Set1(gf::kP));
+  s = _mm256_add_epi64(s, _mm256_srli_epi64(ll, 61));
+  s = _mm256_add_epi64(
+      s, _mm256_slli_epi64(_mm256_and_si256(mid, Set1((1ULL << 29) - 1)), 32));
+  s = _mm256_add_epi64(s, _mm256_srli_epi64(mid, 29));
+  s = _mm256_add_epi64(s, _mm256_slli_epi64(hh, 3));  // < 2^63 in total
+  s = _mm256_add_epi64(_mm256_and_si256(s, Set1(gf::kP)),
+                       _mm256_srli_epi64(s, 61));
+  s = _mm256_add_epi64(_mm256_and_si256(s, Set1(gf::kP)),
+                       _mm256_srli_epi64(s, 61));
+  return CondSubP(s);
+}
+
+/// hash::ScaleToRange on canonical lanes; range must fit 32 bits (row
+/// widths are ints). Writing value*range = C*2^32 + B_lo with
+/// C = value_hi*range + (value_lo*range >> 32) < 2^62 gives
+///   x >> 61  = C >> 29
+///   x mod p  = ((C & (2^29-1)) << 32) | B_lo
+/// and the same single branchless correction as the scalar code.
+inline __m256i ScaleToRangeVec(__m256i value, __m256i range) {
+  const __m256i b_full = _mm256_mul_epu32(value, range);
+  const __m256i a_part = _mm256_mul_epu32(_mm256_srli_epi64(value, 32), range);
+  const __m256i c = _mm256_add_epi64(a_part, _mm256_srli_epi64(b_full, 32));
+  const __m256i q = _mm256_srli_epi64(c, 29);
+  const __m256i b_lo = _mm256_and_si256(b_full, Set1(0xFFFFFFFFULL));
+  const __m256i rem = _mm256_add_epi64(
+      _mm256_or_si256(
+          _mm256_slli_epi64(_mm256_and_si256(c, Set1((1ULL << 29) - 1)), 32),
+          b_lo),
+      q);
+  // q += (rem >= p): the compare mask is all-ones, i.e. -1, where true.
+  return _mm256_sub_epi64(q, _mm256_cmpgt_epi64(rem, Set1(gf::kP - 1)));
+}
+
+/// Low 64 bits of a 64x64 product (no native epi64 multiply in AVX2).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+/// The splitmix64 finalizer (the body of Mix64 after the increment).
+inline __m256i Mix64Fin(__m256i z) {
+  z = MulLo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+              Set1(0xbf58476d1ce4e5b9ULL));
+  z = MulLo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+              Set1(0x94d049bb133111ebULL));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Exact u64 -> double for v < 2^53 (the 53-bit uniform mantissas): the
+/// classic 2^52 / 2^84 magic-number reconstruction, every step exact.
+inline __m256d U64ToDouble(__m256i v) {
+  const __m256i lo =
+      _mm256_or_si256(_mm256_and_si256(v, Set1(0xFFFFFFFFULL)),
+                      Set1(0x4330000000000000ULL));  // 2^52 + lo32
+  const __m256i hi = _mm256_or_si256(_mm256_srli_epi64(v, 32),
+                                     Set1(0x4530000000000000ULL));  // 2^84 + hi32
+  const __m256d hi_part = _mm256_sub_pd(_mm256_castsi256_pd(hi),
+                                        _mm256_set1_pd(0x1.00000001p+84));
+  return _mm256_add_pd(hi_part, _mm256_castsi256_pd(lo));
+}
+
+/// Odd Taylor coefficients of sin(pi x): x * (c[0] + c[1] x^2 + ...).
+/// Truncation after x^23 is < 1e-19 on |x| <= 0.5.
+struct SinPiCoeffs {
+  double c[12];
+};
+
+const SinPiCoeffs& SinPiTable() {
+  static const SinPiCoeffs table = [] {
+    SinPiCoeffs t;
+    constexpr double kPi = 3.141592653589793238462643383279502884;
+    double coef = kPi;
+    t.c[0] = coef;
+    for (int k = 1; k < 12; ++k) {
+      coef *= -kPi * kPi / static_cast<double>((2 * k) * (2 * k + 1));
+      t.c[k] = coef;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// sin(pi x) for |x| <= 0.5 (odd polynomial, so the sign is inherent).
+inline __m256d SinPiVec(__m256d x) {
+  const SinPiCoeffs& k = SinPiTable();
+  const __m256d x2 = _mm256_mul_pd(x, x);
+  __m256d acc = _mm256_set1_pd(k.c[11]);
+  for (int i = 10; i >= 0; --i) {
+    acc = _mm256_add_pd(_mm256_mul_pd(acc, x2), _mm256_set1_pd(k.c[i]));
+  }
+  return _mm256_mul_pd(acc, x);
+}
+
+void KWiseHornerBatchAvx2(const uint64_t* coeffs, size_t k, const uint64_t* xs,
+                          size_t count, uint64_t* out) {
+  size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + t));
+    __m256i acc = Set1(coeffs[k - 1]);
+    for (size_t i = k - 1; i-- > 0;) {
+      acc = AddP(MulP(acc, x), Set1(coeffs[i]));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + t), acc);
+  }
+  for (; t < count; ++t) {
+    out[t] = hash::PolyEval(coeffs, k, xs[t]);
+  }
+}
+
+void Gf61MulBatchAvx2(const uint64_t* a, const uint64_t* b, size_t count,
+                      uint64_t* out) {
+  size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + t));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + t));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + t), MulP(va, vb));
+  }
+  for (; t < count; ++t) {
+    out[t] = gf::Mul(a[t], b[t]);
+  }
+}
+
+void CountRowsApplyAvx2(const uint64_t* xs, const double* deltas, size_t count,
+                        uint64_t b0, uint64_t b1, uint64_t s0, uint64_t s1,
+                        bool use_sign, uint64_t range, double* row) {
+  const __m256i vb0 = Set1(b0), vb1 = Set1(b1), vrange = Set1(range);
+  alignas(32) uint64_t idx[4];
+  alignas(32) double sd[4];
+  size_t t = 0;
+  if (use_sign) {
+    const __m256i vs0 = Set1(s0), vs1 = Set1(s1);
+    for (; t + 4 <= count; t += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + t));
+      const __m256i bucket = ScaleToRangeVec(AddP(MulP(vb1, x), vb0), vrange);
+      const __m256i bit =
+          _mm256_and_si256(AddP(MulP(vs1, x), vs0), Set1(1));
+      // (2*bit - 1) * delta is an exact sign flip in IEEE arithmetic, so
+      // flipping the sign bit directly where bit == 0 is bit-identical.
+      const __m256i flip =
+          _mm256_slli_epi64(_mm256_xor_si256(bit, Set1(1)), 63);
+      const __m256d signed_delta = _mm256_xor_pd(
+          _mm256_loadu_pd(deltas + t), _mm256_castsi256_pd(flip));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idx), bucket);
+      _mm256_store_pd(sd, signed_delta);
+      // Scatter stays scalar and in stream order: duplicate buckets within
+      // the quad must accumulate in the same order as the scalar loop.
+      row[idx[0]] += sd[0];
+      row[idx[1]] += sd[1];
+      row[idx[2]] += sd[2];
+      row[idx[3]] += sd[3];
+    }
+    for (; t < count; ++t) {
+      const uint64_t x = xs[t];
+      const uint64_t k = hash::ScaleToRange(hash::PolyEval2(b0, b1, x), range);
+      const int64_t bit = static_cast<int64_t>(hash::PolyEval2(s0, s1, x) & 1);
+      row[k] += static_cast<double>(2 * bit - 1) * deltas[t];
+    }
+  } else {
+    for (; t + 4 <= count; t += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + t));
+      const __m256i bucket = ScaleToRangeVec(AddP(MulP(vb1, x), vb0), vrange);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(idx), bucket);
+      row[idx[0]] += deltas[t];
+      row[idx[1]] += deltas[t + 1];
+      row[idx[2]] += deltas[t + 2];
+      row[idx[3]] += deltas[t + 3];
+    }
+    for (; t < count; ++t) {
+      const uint64_t k =
+          hash::ScaleToRange(hash::PolyEval2(b0, b1, xs[t]), range);
+      row[k] += deltas[t];
+    }
+  }
+}
+
+void Gf61SyndromeBatchAvx2(uint64_t* syndromes, size_t n, uint64_t power[4],
+                           const uint64_t a[4]) {
+  __m256i pv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(power));
+  const __m256i av = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  alignas(32) uint64_t lanes[4];
+  for (size_t r = 0; r < n; ++r) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), pv);
+    syndromes[r] =
+        gf::Add(syndromes[r], gf::Add(gf::Add(lanes[0], lanes[1]),
+                                      gf::Add(lanes[2], lanes[3])));
+    pv = MulP(pv, av);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(power), pv);
+}
+
+double CauchyPowBatchAvx2(double p, uint64_t row_base, const uint64_t* keys,
+                          const double* deltas, size_t count, double init) {
+  if (p != 1.0) {
+    // Gaussian / Chambers-Mallows-Stuck need libm log/cos/pow; keep those
+    // families on the exact scalar reference.
+    return ScalarTable()->cauchy_pow_batch(p, row_base, keys, deltas, count,
+                                           init);
+  }
+  constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ULL;  // splitmix64 increment
+  const __m256i vbase = Set1(row_base);
+  const __m256i vgamma = Set1(kGamma);
+  // Clamping the polynomial cos at cos(pi/2) as rounded by libm keeps the
+  // u1 -> 1 pole's magnitude aligned with what scalar tan produces there.
+  const __m256d cos_floor = _mm256_set1_pd(6.123233995736766e-17);
+  __m256d acc = _mm256_setzero_pd();
+  size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + t));
+    const __m256i x = _mm256_xor_si256(key, vbase);
+    const __m256i base = Mix64Fin(_mm256_add_epi64(x, vgamma));
+    // Only w1 feeds the Cauchy transform; w2 is never consumed at p = 1.
+    const __m256i w1 = Mix64Fin(_mm256_add_epi64(base, vgamma));
+    const __m256d u1 = _mm256_mul_pd(
+        _mm256_add_pd(U64ToDouble(_mm256_srli_epi64(w1, 11)),
+                      _mm256_set1_pd(1.0)),
+        _mm256_set1_pd(0x1.0p-53));
+    const __m256d targ = _mm256_sub_pd(u1, _mm256_set1_pd(0.5));
+    const __m256d abs_t =
+        _mm256_andnot_pd(_mm256_set1_pd(-0.0), targ);
+    const __m256d sin_num = SinPiVec(targ);
+    const __m256d cos_den = _mm256_max_pd(
+        SinPiVec(_mm256_sub_pd(_mm256_set1_pd(0.5), abs_t)), cos_floor);
+    const __m256d cauchy = _mm256_div_pd(sin_num, cos_den);
+    acc = _mm256_add_pd(acc,
+                        _mm256_mul_pd(cauchy, _mm256_loadu_pd(deltas + t)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double total = init + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+  for (; t < count; ++t) {
+    const uint64_t base = Mix64(row_base ^ keys[t]);
+    uint64_t s = base;
+    const uint64_t w1 = SplitMix64(s);
+    const double u1 = (static_cast<double>(w1 >> 11) + 1.0) * 0x1.0p-53;
+    total += StableFromUniformsImpl(1.0, u1, 0.5) * deltas[t];
+  }
+  return total;
+}
+
+const KernelTable kAvx2Table = {
+    Backend::kAvx2,       KWiseHornerBatchAvx2, Gf61MulBatchAvx2,
+    CountRowsApplyAvx2,   Gf61SyndromeBatchAvx2,
+    CauchyPowBatchAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Table() { return &kAvx2Table; }
+
+}  // namespace lps::kernels::internal
+
+#else  // !__AVX2__ || LPS_DISABLE_SIMD
+
+namespace lps::kernels::internal {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace lps::kernels::internal
+
+#endif

@@ -1,0 +1,14 @@
+// NEON backend stub. The library has no ARM CI leg yet, so rather than
+// ship unexercised intrinsics this translation unit compiles everywhere
+// and reports "no NEON table" — the dispatcher then falls back to the
+// scalar reference, which is correct on every architecture. A real port
+// replaces the nullptr below with a two-lane table mirroring
+// kernels_sse4.cc (uint64x2_t field arithmetic, float64x2_t Cauchy path)
+// and adds -march gates in CMakeLists.txt; nothing else changes.
+#include "src/kernels/backends.h"
+
+namespace lps::kernels::internal {
+
+const KernelTable* NeonTable() { return nullptr; }
+
+}  // namespace lps::kernels::internal

@@ -1,0 +1,103 @@
+// Scalar reference backend. These bodies are the exact loops that lived
+// inside the sketches' UpdateBatch methods before the kernel layer was
+// extracted; every SIMD backend is tested against them, and the existing
+// bit-identity suites (batch equivalence, merge, window subtraction,
+// server WINDOW) remain meaningful because this backend reproduces the
+// pre-refactor state bit for bit.
+#include "src/field/gf61.h"
+#include "src/hash/kwise.h"
+#include "src/kernels/backends.h"
+#include "src/kernels/stable_transform.h"
+#include "src/util/random.h"
+
+namespace lps::kernels::internal {
+
+namespace gf = ::lps::gf61;
+
+namespace {
+
+void KWiseHornerBatchScalar(const uint64_t* coeffs, size_t k,
+                            const uint64_t* xs, size_t count, uint64_t* out) {
+  if (k == 2) {
+    // Pairwise is by far the most common family; keep both coefficients in
+    // registers like the historical count-sketch loop did.
+    const uint64_t c0 = coeffs[0], c1 = coeffs[1];
+    for (size_t t = 0; t < count; ++t) {
+      out[t] = hash::PolyEval2(c0, c1, xs[t]);
+    }
+    return;
+  }
+  for (size_t t = 0; t < count; ++t) {
+    out[t] = hash::PolyEval(coeffs, k, xs[t]);
+  }
+}
+
+void Gf61MulBatchScalar(const uint64_t* a, const uint64_t* b, size_t count,
+                        uint64_t* out) {
+  for (size_t t = 0; t < count; ++t) {
+    out[t] = gf::Mul(a[t], b[t]);
+  }
+}
+
+void CountRowsApplyScalar(const uint64_t* xs, const double* deltas,
+                          size_t count, uint64_t b0, uint64_t b1, uint64_t s0,
+                          uint64_t s1, bool use_sign, uint64_t range,
+                          double* row) {
+  if (use_sign) {
+    // The count-sketch row: the sign bit is turned into +-1.0
+    // arithmetically instead of through an unpredictable branch.
+    for (size_t t = 0; t < count; ++t) {
+      const uint64_t x = xs[t];
+      const uint64_t k = hash::ScaleToRange(hash::PolyEval2(b0, b1, x), range);
+      const int64_t bit = static_cast<int64_t>(hash::PolyEval2(s0, s1, x) & 1);
+      row[k] += static_cast<double>(2 * bit - 1) * deltas[t];
+    }
+  } else {
+    for (size_t t = 0; t < count; ++t) {
+      const uint64_t k =
+          hash::ScaleToRange(hash::PolyEval2(b0, b1, xs[t]), range);
+      row[k] += deltas[t];
+    }
+  }
+}
+
+void Gf61SyndromeBatchScalar(uint64_t* syndromes, size_t n, uint64_t power[4],
+                             const uint64_t a[4]) {
+  // Four independent chains through one loop so the CPU can overlap the
+  // serial power *= a multiply latencies (the historical sparse_recovery
+  // hand-rolled interleave).
+  for (size_t r = 0; r < n; ++r) {
+    syndromes[r] = gf::Add(syndromes[r], gf::Add(gf::Add(power[0], power[1]),
+                                                 gf::Add(power[2], power[3])));
+    for (size_t j = 0; j < 4; ++j) power[j] = gf::Mul(power[j], a[j]);
+  }
+}
+
+double CauchyPowBatchScalar(double p, uint64_t row_base, const uint64_t* keys,
+                            const double* deltas, size_t count, double init) {
+  double acc = init;
+  for (size_t t = 0; t < count; ++t) {
+    // Two independent uniforms in (0,1] from a hash of (seed, row, i),
+    // exactly StableSketch::StableAtKeyed.
+    const uint64_t base = Mix64(row_base ^ keys[t]);
+    uint64_t s = base;
+    const uint64_t w1 = SplitMix64(s);
+    const uint64_t w2 = SplitMix64(s);
+    const double u1 = (static_cast<double>(w1 >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 = (static_cast<double>(w2 >> 11) + 1.0) * 0x1.0p-53;
+    acc += StableFromUniformsImpl(p, u1, u2) * deltas[t];
+  }
+  return acc;
+}
+
+const KernelTable kScalarTable = {
+    Backend::kScalar,        KWiseHornerBatchScalar, Gf61MulBatchScalar,
+    CountRowsApplyScalar,    Gf61SyndromeBatchScalar,
+    CauchyPowBatchScalar,
+};
+
+}  // namespace
+
+const KernelTable* ScalarTable() { return &kScalarTable; }
+
+}  // namespace lps::kernels::internal

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/field/gf61.h"
+#include "src/kernels/kernels.h"
 #include "src/util/bits.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -44,24 +45,32 @@ void L0Estimator::UpdateBatch(const stream::Update* updates, size_t count) {
     reduced_keys_[t] = gf::Reduce(updates[t].index);
     field_deltas_[t] = gf::FromInt64(updates[t].delta);
   }
+  level_evals_.resize(count);
+  weighted_.resize(count);
+  const kernels::KernelTable& kernel = kernels::Active();
   for (int r = 0; r < reps_; ++r) {
     const size_t rr = static_cast<size_t>(r);
     const auto& lc = level_hash_[rr].coefficients();
     const auto& fc = fp_hash_[rr].coefficients();
     uint64_t* fps = fingerprints_.data() + rr * static_cast<size_t>(levels_);
+    // Both hash sweeps and the delta weighting run on the dispatched
+    // kernels (exact field arithmetic, bit-identical on every backend);
+    // only the level-depth floor(-log2 u) and the nested fingerprint adds
+    // stay scalar.
+    kernel.kwise_horner_batch(lc.data(), lc.size(), reduced_keys_.data(),
+                              count, level_evals_.data());
+    kernel.kwise_horner_batch(fc.data(), fc.size(), reduced_keys_.data(),
+                              count, weighted_.data());
+    kernel.gf61_mul_batch(field_deltas_.data(), weighted_.data(), count,
+                          weighted_.data());
     for (size_t t = 0; t < count; ++t) {
-      const uint64_t x = reduced_keys_[t];
-      const double u =
-          (static_cast<double>(hash::PolyEval(lc.data(), lc.size(), x)) +
-           1.0) /
-          static_cast<double>(gf::kP);
+      const double u = (static_cast<double>(level_evals_[t]) + 1.0) /
+                       static_cast<double>(gf::kP);
       // Nested membership: i survives to levels 0 .. deepest.
       const int deepest = std::min(
           levels_ - 1, static_cast<int>(std::floor(-std::log2(u))));
-      const uint64_t weighted =
-          gf::Mul(field_deltas_[t], hash::PolyEval(fc.data(), fc.size(), x));
       for (int l = 0; l <= deepest; ++l) {
-        fps[l] = gf::Add(fps[l], weighted);
+        fps[l] = gf::Add(fps[l], weighted_[t]);
       }
     }
   }

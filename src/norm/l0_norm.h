@@ -74,6 +74,8 @@ class L0Estimator : public LinearSketch {
   std::vector<hash::KWiseHash> fp_hash_;     // per rep: fingerprint weights
   std::vector<uint64_t> reduced_keys_;       // batch scratch
   std::vector<uint64_t> field_deltas_;       // batch scratch
+  std::vector<uint64_t> level_evals_;        // batch scratch per rep
+  std::vector<uint64_t> weighted_;           // batch scratch per rep
 };
 
 }  // namespace lps::norm

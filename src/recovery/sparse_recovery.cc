@@ -7,6 +7,7 @@
 #include "src/field/poly.h"
 #include "src/field/roots.h"
 #include "src/field/vandermonde.h"
+#include "src/kernels/kernels.h"
 #include "src/util/check.h"
 
 namespace lps::recovery {
@@ -37,9 +38,12 @@ void SparseRecovery::Update(uint64_t i, int64_t delta) {
 
 void SparseRecovery::UpdateBatch(const stream::Update* updates, size_t count) {
   // Four items at a time: the per-item syndrome chain power *= a is a
-  // serial multiply dependency 2s long; running four independent chains
-  // through the loop lets the CPU overlap their latencies. Field addition
-  // is exact, so any accumulation order yields bit-identical syndromes.
+  // serial multiply dependency 2s long; the Gf61SyndromeBatch kernel runs
+  // four independent chains through one loop (interleaved scalar or one
+  // vector lane each, depending on the dispatched backend). Field
+  // addition is exact, so any accumulation order yields bit-identical
+  // syndromes.
+  const kernels::KernelTable& kernel = kernels::Active();
   size_t t = 0;
   for (; t + 4 <= count; t += 4) {
     uint64_t a[4], power[4];
@@ -48,11 +52,7 @@ void SparseRecovery::UpdateBatch(const stream::Update* updates, size_t count) {
       a[j] = updates[t + j].index + 1;
       power[j] = gf::FromInt64(updates[t + j].delta);  // v * a^0
     }
-    for (uint64_t& syn : syndromes_) {
-      syn = gf::Add(syn, gf::Add(gf::Add(power[0], power[1]),
-                                 gf::Add(power[2], power[3])));
-      for (size_t j = 0; j < 4; ++j) power[j] = gf::Mul(power[j], a[j]);
-    }
+    kernel.gf61_syndrome_batch(syndromes_.data(), syndromes_.size(), power, a);
     for (size_t j = 0; j < 4; ++j) {
       const uint64_t v = gf::FromInt64(updates[t + j].delta);
       fingerprints_[0] =

@@ -184,6 +184,8 @@ void SerializeStats(const ServerStats& stats, BitWriter* writer) {
     writer->WriteU64(tenant.spilled_bytes);
     writer->WriteBits(tenant.resident ? 1 : 0, 8);
   }
+  // Appended kernel-dispatch field (same stop-reading compatibility rule).
+  WriteString(writer, stats.kernel_backend);
 }
 
 ServerStats DeserializeStats(BitReader* reader) {
@@ -215,6 +217,10 @@ ServerStats DeserializeStats(BitReader* reader) {
     tenant.resident = reader->ReadBits(8) != 0;
     stats.per_tenant.push_back(std::move(tenant));
   }
+  // Frames carry an exact bit count, so an older server's frame ends
+  // precisely here and the appended backend field stays empty.
+  if (reader->failed() || reader->bits_remaining() == 0) return stats;
+  stats.kernel_backend = ReadString(reader);
   return stats;
 }
 

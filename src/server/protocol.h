@@ -130,6 +130,8 @@ struct ServerStats {
   uint64_t resident_bytes = 0;  ///< sum of per-tenant resident bytes
   uint64_t spilled_bytes = 0;   ///< sum of per-tenant spilled bytes
   std::vector<TenantPersistStats> per_tenant;
+  // ---- appended: kernel dispatch (empty when talking to older peers) --
+  std::string kernel_backend;  ///< SIMD backend the server dispatched
 };
 
 void SerializeStats(const ServerStats& stats, BitWriter* writer);

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "src/kernels/kernels.h"
+
 namespace lps::server {
 
 namespace {
@@ -537,6 +539,7 @@ TenantRegistry::AllEntries() const {
 
 ServerStats TenantRegistry::Stats() const {
   ServerStats stats;
+  stats.kernel_backend = kernels::ActiveBackendName();
   stats.updates = updates_.load(std::memory_order_relaxed);
   stats.ingests = ingests_.load(std::memory_order_relaxed);
   stats.queries = queries_.load(std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -27,17 +28,25 @@ void AmsF2::Update(uint64_t i, double delta) {
 template <typename U>
 void AmsF2::ApplyBatch(const U* updates, size_t count) {
   reduced_keys_.resize(count);
+  delta_scratch_.resize(count);
+  eval_scratch_.resize(count);
   for (size_t t = 0; t < count; ++t) {
     reduced_keys_[t] = gf61::Reduce(updates[t].index);
+    delta_scratch_[t] = static_cast<double>(updates[t].delta);
   }
+  const kernels::KernelTable& kernel = kernels::Active();
   for (size_t c = 0; c < counters_.size(); ++c) {
+    // The degree-3 sign hash dominates this loop; it runs on the
+    // dispatched Horner kernel. The +-1 accumulation stays scalar and in
+    // stream order, so counters are bit-identical on every backend.
     const auto& coeffs = signs_[c].coefficients();
+    kernel.kwise_horner_batch(coeffs.data(), coeffs.size(),
+                              reduced_keys_.data(), count,
+                              eval_scratch_.data());
     double acc = counters_[c];
     for (size_t t = 0; t < count; ++t) {
-      const int64_t bit = static_cast<int64_t>(
-          hash::PolyEval(coeffs.data(), coeffs.size(), reduced_keys_[t]) & 1);
-      acc += static_cast<double>(2 * bit - 1) *
-             static_cast<double>(updates[t].delta);
+      const int64_t bit = static_cast<int64_t>(eval_scratch_[t] & 1);
+      acc += static_cast<double>(2 * bit - 1) * delta_scratch_[t];
     }
     counters_[c] = acc;
   }

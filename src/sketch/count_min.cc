@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/kernels/kernels.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -25,21 +26,23 @@ void CountMin::Update(uint64_t i, double delta) {
 template <typename U>
 void CountMin::ApplyBatch(const U* updates, size_t count) {
   reduced_keys_.resize(count);
+  delta_scratch_.resize(count);
   for (size_t t = 0; t < count; ++t) {
     reduced_keys_[t] = gf61::Reduce(updates[t].index);
+    delta_scratch_[t] = static_cast<double>(updates[t].delta);
   }
   const uint64_t range = static_cast<uint64_t>(buckets_);
+  const kernels::KernelTable& kernel = kernels::Active();
   for (int j = 0; j < rows_; ++j) {
     const size_t jj = static_cast<size_t>(j);
     const auto& bc = bucket_[jj].coefficients();
     double* row = table_.data() + jj * static_cast<size_t>(buckets_);
     if (bc.size() == 2) {
-      const uint64_t b0 = bc[0], b1 = bc[1];
-      for (size_t t = 0; t < count; ++t) {
-        const uint64_t k =
-            hash::ScaleToRange(hash::PolyEval2(b0, b1, reduced_keys_[t]), range);
-        row[k] += static_cast<double>(updates[t].delta);
-      }
+      // Unsigned pairwise row on the dispatched kernel (bit-identical on
+      // every backend; the scatter is in stream order).
+      kernel.count_rows_apply(reduced_keys_.data(), delta_scratch_.data(),
+                              count, bc[0], bc[1], /*s0=*/0, /*s1=*/0,
+                              /*use_sign=*/false, range, row);
     } else {
       for (size_t t = 0; t < count; ++t) {
         const uint64_t k = hash::ScaleToRange(

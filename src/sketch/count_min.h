@@ -63,6 +63,7 @@ class CountMin : public LinearSketch {
   std::vector<double> table_;
   std::vector<hash::KWiseHash> bucket_;
   std::vector<uint64_t> reduced_keys_;  // batch scratch
+  std::vector<double> delta_scratch_;   // batch scratch: deltas widened
 };
 
 }  // namespace lps::sketch

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -46,28 +47,26 @@ void CountSketch::Update(uint64_t i, double delta) {
 template <typename U>
 void CountSketch::ApplyBatch(const U* updates, size_t count) {
   reduced_keys_.resize(count);
+  delta_scratch_.resize(count);
   for (size_t t = 0; t < count; ++t) {
     reduced_keys_[t] = gf61::Reduce(updates[t].index);
+    delta_scratch_[t] = static_cast<double>(updates[t].delta);
   }
   const uint64_t range = static_cast<uint64_t>(buckets_);
+  const kernels::KernelTable& kernel = kernels::Active();
   for (int j = 0; j < rows_; ++j) {
     const size_t jj = static_cast<size_t>(j);
     const auto& bc = bucket_[jj].coefficients();
     const auto& sc = sign_[jj].coefficients();
     double* row = table_.data() + jj * static_cast<size_t>(buckets_);
     if (bc.size() == 2 && sc.size() == 2) {
-      // Pairwise rows (the count-sketch default): both polynomials live in
-      // four registers and the loop body is branchless — the sign bit is
-      // turned into +-1.0 arithmetically instead of through an
-      // unpredictable branch.
-      const uint64_t b0 = bc[0], b1 = bc[1], s0 = sc[0], s1 = sc[1];
-      for (size_t t = 0; t < count; ++t) {
-        const uint64_t x = reduced_keys_[t];
-        const uint64_t k = hash::ScaleToRange(hash::PolyEval2(b0, b1, x), range);
-        const int64_t bit = static_cast<int64_t>(hash::PolyEval2(s0, s1, x) & 1);
-        row[k] += static_cast<double>(2 * bit - 1) *
-                  static_cast<double>(updates[t].delta);
-      }
+      // Pairwise rows (the count-sketch default) run on the dispatched
+      // CountRowsApply kernel: bucket + sign evaluation is vectorized, the
+      // scatter stays in stream order, and the row is bit-identical on
+      // every backend.
+      kernel.count_rows_apply(reduced_keys_.data(), delta_scratch_.data(),
+                              count, bc[0], bc[1], sc[0], sc[1],
+                              /*use_sign=*/true, range, row);
     } else {
       for (size_t t = 0; t < count; ++t) {
         const uint64_t x = reduced_keys_[t];

@@ -114,6 +114,7 @@ class CountSketch : public LinearSketch {
   std::vector<hash::KWiseHash> bucket_;  // one pairwise hash per row
   std::vector<hash::KWiseHash> sign_;    // one pairwise sign hash per row
   std::vector<uint64_t> reduced_keys_;   // batch scratch: keys mod 2^61 - 1
+  std::vector<double> delta_scratch_;    // batch scratch: deltas widened
 };
 
 }  // namespace lps::sketch

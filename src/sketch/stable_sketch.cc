@@ -4,28 +4,18 @@
 #include <cmath>
 #include <map>
 
+#include "src/kernels/kernels.h"
+#include "src/kernels/stable_transform.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
 namespace lps::sketch {
 
 double StableFromUniforms(double p, double u1, double u2) {
-  LPS_CHECK(p > 0 && p <= 2);
-  constexpr double pi = 3.141592653589793238462643383279502884;
-  if (p == 2.0) {
-    // Gaussian by Box-Muller; N(0,1) is 2-stable under the Euclidean norm.
-    return std::sqrt(-2.0 * std::log(u2)) * std::cos(2.0 * pi * u1);
-  }
-  const double theta = pi * (u1 - 0.5);  // uniform on (-pi/2, pi/2)
-  if (p == 1.0) {
-    return std::tan(theta);  // standard Cauchy
-  }
-  // Chambers-Mallows-Stuck for symmetric p-stable.
-  const double w = -std::log(u2);  // exponential(1)
-  const double a = std::sin(p * theta) / std::pow(std::cos(theta), 1.0 / p);
-  const double b =
-      std::pow(std::cos((1.0 - p) * theta) / w, (1.0 - p) / p);
-  return a * b;
+  // The transform itself lives in the kernel layer (the batch kernels'
+  // p != 1 fallback is this exact function); this wrapper keeps the
+  // historical sketch-level API for queries, calibration and tests.
+  return kernels::StableFromUniformsImpl(p, u1, u2);
 }
 
 double StableMedianAbs(double p) {
@@ -97,12 +87,18 @@ void StableSketch::ApplyBatch(const U* updates, size_t count) {
     key_scratch_[t] = updates[t].index * kKeyMul;
     delta_scratch_[t] = static_cast<double>(updates[t].delta);
   }
+  const kernels::KernelTable& kernel = kernels::Active();
   for (int j = 0; j < rows_; ++j) {
-    double acc = y_[static_cast<size_t>(j)];
-    for (size_t t = 0; t < count; ++t) {
-      acc += StableAtKeyed(j, key_scratch_[t]) * delta_scratch_[t];
-    }
-    y_[static_cast<size_t>(j)] = acc;
+    // The whole row inner product is one CauchyPowBatch call: the kernel
+    // regenerates Stable_p(row, i) from row_base ^ key exactly like
+    // StableAtKeyed and accumulates against the deltas. The scalar
+    // backend is bit-identical to the historical loop; SIMD backends
+    // vectorize the p = 1 Cauchy transform (query-equivalent).
+    const uint64_t row_base =
+        seed_ ^ (static_cast<uint64_t>(j) * kRowMul);
+    y_[static_cast<size_t>(j)] = kernel.cauchy_pow_batch(
+        p_, row_base, key_scratch_.data(), delta_scratch_.data(), count,
+        y_[static_cast<size_t>(j)]);
   }
 }
 

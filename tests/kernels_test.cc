@@ -1,0 +1,369 @@
+// Kernel-layer conformance: every compiled-in backend against the scalar
+// reference, at two granularities.
+//
+//  1. Per-kernel: each KernelTable entry fed identical inputs (random plus
+//     field edge values) under every available backend. Integer/GF kernels
+//     must be bit-exact; cauchy_pow_batch is tolerance-bounded at p = 1
+//     (the one query-equivalent kernel) and bit-exact for p != 1, where
+//     SIMD backends delegate to scalar.
+//  2. Whole-sketch: every SketchKind driven through the same stream under
+//     each forced backend and its serialized state compared. The
+//     exact-arithmetic kinds must land bit-identical; the kinds embedding
+//     a StableSketch (vectorized Cauchy transform) get the documented
+//     query-equivalence check instead.
+//
+// Tests here force backends via ForceBackendForTesting and restore the
+// dispatched backend on exit, so they compose with any LPS_KERNELS value.
+#include "src/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/field/gf61.h"
+#include "src/lps.h"
+#include "src/norm/lp_norm.h"
+#include "src/sketch/stable_sketch.h"
+#include "src/stream/generators.h"
+#include "src/stream/stream_driver.h"
+#include "src/util/random.h"
+
+namespace lps::kernels {
+namespace {
+
+namespace gf = ::lps::gf61;
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : saved_(ActiveBackend()) {
+    EXPECT_TRUE(ForceBackendForTesting(b));
+  }
+  ~ScopedBackend() { ForceBackendForTesting(saved_); }
+
+ private:
+  Backend saved_;
+};
+
+std::vector<Backend> SimdBackends() {
+  std::vector<Backend> simd;
+  for (Backend b : AvailableBackends()) {
+    if (b != Backend::kScalar) simd.push_back(b);
+  }
+  return simd;
+}
+
+// Random field elements with the troublesome boundary values planted at
+// the front: 0, p-1 (largest canonical), and p-2.
+std::vector<uint64_t> FieldInputs(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> xs(count);
+  for (uint64_t& x : xs) x = rng.Below(gf::kP);
+  if (count > 0) xs[0] = 0;
+  if (count > 1) xs[1] = gf::kP - 1;
+  if (count > 2) xs[2] = gf::kP - 2;
+  return xs;
+}
+
+TEST(KernelDispatch, ActiveBackendIsAvailableAndNamed) {
+  const auto avail = AvailableBackends();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), Backend::kScalar);  // scalar is always first
+  const std::set<Backend> avail_set(avail.begin(), avail.end());
+  EXPECT_TRUE(avail_set.count(ActiveBackend()) > 0);
+  for (Backend b : avail) {
+    EXPECT_STRNE(BackendName(b), "");
+  }
+  EXPECT_STREQ(ActiveBackendName(), BackendName(ActiveBackend()));
+}
+
+TEST(KernelDispatch, ForceBackendRoundTrips) {
+  const Backend dispatched = ActiveBackend();
+  for (Backend b : AvailableBackends()) {
+    ASSERT_TRUE(ForceBackendForTesting(b));
+    EXPECT_EQ(ActiveBackend(), b);
+    EXPECT_EQ(Active().backend, b);
+  }
+  ASSERT_TRUE(ForceBackendForTesting(dispatched));
+  EXPECT_EQ(ActiveBackend(), dispatched);
+}
+
+TEST(Kernels, Gf61MulBatchBitExact) {
+  // Sizes straddle the vector widths so every backend exercises both its
+  // SIMD body and its scalar tail (including count < lane-width).
+  for (size_t count : {size_t{1}, size_t{3}, size_t{4}, size_t{257}}) {
+    const auto a = FieldInputs(count, 101);
+    const auto b = FieldInputs(count, 202);
+    std::vector<uint64_t> want(count), got(count);
+    {
+      ScopedBackend pin(Backend::kScalar);
+      Active().gf61_mul_batch(a.data(), b.data(), count, want.data());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(want[i], gf::Mul(a[i], b[i])) << "scalar kernel vs gf61::Mul";
+    }
+    for (Backend bk : SimdBackends()) {
+      ScopedBackend pin(bk);
+      Active().gf61_mul_batch(a.data(), b.data(), count, got.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << BackendName(bk) << " count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Gf61MulBatchAllowsOutAliasingB) {
+  // l0_norm weights fingerprints in place: out == b must be safe.
+  const size_t kCount = 67;
+  const auto a = FieldInputs(kCount, 303);
+  for (Backend bk : AvailableBackends()) {
+    ScopedBackend pin(bk);
+    auto b = FieldInputs(kCount, 404);
+    const auto b_orig = b;
+    Active().gf61_mul_batch(a.data(), b.data(), kCount, b.data());
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(b[i], gf::Mul(a[i], b_orig[i])) << BackendName(bk);
+    }
+  }
+}
+
+TEST(Kernels, KWiseHornerBatchBitExact) {
+  const auto xs = FieldInputs(131, 505);
+  const auto coeffs = FieldInputs(6, 606);
+  std::vector<uint64_t> want(xs.size()), got(xs.size());
+  for (size_t k = 2; k <= coeffs.size(); ++k) {
+    {
+      ScopedBackend pin(Backend::kScalar);
+      Active().kwise_horner_batch(coeffs.data(), k, xs.data(), xs.size(),
+                                  want.data());
+    }
+    for (size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(want[i], hash::PolyEval(coeffs.data(), k, xs[i]))
+          << "scalar kernel vs hash::PolyEval, k=" << k;
+    }
+    for (Backend bk : SimdBackends()) {
+      ScopedBackend pin(bk);
+      Active().kwise_horner_batch(coeffs.data(), k, xs.data(), xs.size(),
+                                  got.data());
+      for (size_t i = 0; i < xs.size(); ++i) {
+        ASSERT_EQ(want[i], got[i])
+            << BackendName(bk) << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, CountRowsApplyBitExact) {
+  const size_t kCount = 215;
+  const uint64_t kRange = 97;
+  const auto xs = FieldInputs(kCount, 707);
+  Rng rng(808);
+  std::vector<double> deltas(kCount);
+  for (double& d : deltas) d = rng.NextDouble() * 10.0 - 5.0;
+  const auto h = FieldInputs(4, 909);  // bucket/sign pairwise coefficients
+  for (bool use_sign : {true, false}) {
+    std::vector<double> want(kRange, 0.0);
+    {
+      ScopedBackend pin(Backend::kScalar);
+      Active().count_rows_apply(xs.data(), deltas.data(), kCount, h[0], h[1],
+                                h[2], h[3], use_sign, kRange, want.data());
+    }
+    for (Backend bk : SimdBackends()) {
+      ScopedBackend pin(bk);
+      std::vector<double> got(kRange, 0.0);
+      Active().count_rows_apply(xs.data(), deltas.data(), kCount, h[0], h[1],
+                                h[2], h[3], use_sign, kRange, got.data());
+      for (size_t i = 0; i < kRange; ++i) {
+        // Bit-exact, not EXPECT_DOUBLE_EQ: the scatter stays scalar and in
+        // stream order on every backend, so the accumulation order (and
+        // hence every rounding step) is identical.
+        ASSERT_EQ(want[i], got[i])
+            << BackendName(bk) << " use_sign=" << use_sign << " bucket=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, Gf61SyndromeBatchBitExactIncludingPowers) {
+  const size_t kSyndromes = 57;  // not a multiple of 4: exercises the tail
+  const auto seed_syn = FieldInputs(kSyndromes, 111);
+  const auto a = FieldInputs(4, 222);
+  const auto p0 = FieldInputs(4, 333);
+  std::vector<uint64_t> want(seed_syn), got;
+  uint64_t want_pow[4], got_pow[4];
+  {
+    ScopedBackend pin(Backend::kScalar);
+    for (int j = 0; j < 4; ++j) want_pow[j] = p0[static_cast<size_t>(j)];
+    Active().gf61_syndrome_batch(want.data(), kSyndromes, want_pow, a.data());
+  }
+  for (Backend bk : SimdBackends()) {
+    ScopedBackend pin(bk);
+    got = seed_syn;
+    for (int j = 0; j < 4; ++j) got_pow[j] = p0[static_cast<size_t>(j)];
+    Active().gf61_syndrome_batch(got.data(), kSyndromes, got_pow, a.data());
+    for (size_t i = 0; i < kSyndromes; ++i) {
+      ASSERT_EQ(want[i], got[i]) << BackendName(bk) << " syndrome " << i;
+    }
+    for (int j = 0; j < 4; ++j) {
+      // The running powers are carried state: later batches start from
+      // them, so they must match bit-for-bit too.
+      ASSERT_EQ(want_pow[j], got_pow[j]) << BackendName(bk) << " power " << j;
+    }
+  }
+}
+
+TEST(Kernels, CauchyPowBatchToleranceBoundedAtP1) {
+  const size_t kCount = 509;
+  const auto keys = FieldInputs(kCount, 444);
+  Rng rng(555);
+  std::vector<double> deltas(kCount);
+  for (double& d : deltas) d = rng.NextDouble() * 4.0 - 2.0;
+  const uint64_t kRowBase = 0x9e3779b97f4a7c15ULL;
+  // Per-quad comparison keeps the check tight: summing the whole batch
+  // first would let cancellation hide per-item error.
+  for (Backend bk : SimdBackends()) {
+    for (size_t i = 0; i + 4 <= kCount; i += 4) {
+      double want, got;
+      {
+        ScopedBackend pin(Backend::kScalar);
+        want = Active().cauchy_pow_batch(1.0, kRowBase, keys.data() + i,
+                                         deltas.data() + i, 4, 0.0);
+      }
+      {
+        ScopedBackend pin(bk);
+        got = Active().cauchy_pow_batch(1.0, kRowBase, keys.data() + i,
+                                        deltas.data() + i, 4, 0.0);
+      }
+      ASSERT_NEAR(want, got, 1e-9 * std::max(1.0, std::abs(want)))
+          << BackendName(bk) << " quad at " << i;
+    }
+  }
+}
+
+TEST(Kernels, CauchyPowBatchBitExactForPNotOne) {
+  // p != 1 delegates to the scalar kernel on every backend (the
+  // exponentiation path has no vector form yet) — bit-identical, not
+  // merely close.
+  const size_t kCount = 143;
+  const auto keys = FieldInputs(kCount, 666);
+  Rng rng(777);
+  std::vector<double> deltas(kCount);
+  for (double& d : deltas) d = rng.NextDouble() * 4.0 - 2.0;
+  for (double p : {0.5, 1.5, 2.0}) {
+    double want;
+    {
+      ScopedBackend pin(Backend::kScalar);
+      want = Active().cauchy_pow_batch(p, 42, keys.data(), deltas.data(),
+                                       kCount, 1.25);
+    }
+    for (Backend bk : SimdBackends()) {
+      ScopedBackend pin(bk);
+      const double got = Active().cauchy_pow_batch(
+          p, 42, keys.data(), deltas.data(), kCount, 1.25);
+      ASSERT_EQ(want, got) << BackendName(bk) << " p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-sketch sweep: the same stream through every kind under every
+// backend. Exact-arithmetic kinds land bit-identical serialized state;
+// the kinds that embed a StableSketch (and so cross cauchy_pow_batch at
+// p = 1) are only query-equivalent and get a tolerance check below.
+// ---------------------------------------------------------------------------
+
+bool EmbedsStableSketch(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kStableSketch:       // the Cauchy rows themselves
+    case SketchKind::kLpNormEstimator:    // wraps a StableSketch
+    case SketchKind::kLpSampler:          // owns an LpNormEstimator
+    case SketchKind::kAkoSampler:         // owns LpSampler rounds
+    case SketchKind::kCsHeavyHitters:     // owns an LpNormEstimator
+    case SketchKind::kDuplicateFinder:    // owns an LpSampler
+    case SketchKind::kSparseDuplicateFinder:
+    case SketchKind::kPositiveFinder:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<uint64_t> SerializedState(SketchKind kind, Backend backend) {
+  ScopedBackend pin(backend);
+  SketchSpec spec;
+  spec.kind = kind;
+  spec.n = 1 << 10;
+  spec.rows = 5;
+  spec.buckets = 32;
+  spec.s = 8;
+  spec.repetitions = 3;
+  spec.seed = 77;
+  auto sketch = MakeSketch(spec);
+  EXPECT_NE(sketch, nullptr) << SketchKindName(kind);
+  const auto stream = stream::UniformTurnstile(1 << 10, 6000, 50, 9);
+  stream::StreamDriver driver(193);  // odd batch size: partial tail batches
+  driver.Add("x", sketch.get());
+  driver.Drive(stream);
+  BitWriter writer;
+  sketch->Serialize(&writer);
+  return writer.words();
+}
+
+TEST(KernelSweep, ExactKindsBitIdenticalAcrossBackends) {
+  const auto simd = SimdBackends();
+  constexpr uint32_t kLastKind =
+      static_cast<uint32_t>(SketchKind::kMomentEstimator);
+  for (uint32_t k = 1; k <= kLastKind; ++k) {
+    const auto kind = static_cast<SketchKind>(k);
+    const auto want = SerializedState(kind, Backend::kScalar);
+    for (Backend bk : simd) {
+      const auto got = SerializedState(kind, bk);
+      if (EmbedsStableSketch(kind)) {
+        // Query-equivalent family: state may differ in low-order FP bits,
+        // but the layout (and so the serialized size) must not.
+        EXPECT_EQ(want.size(), got.size())
+            << SketchKindName(kind) << " under " << BackendName(bk);
+      } else {
+        EXPECT_EQ(want, got)
+            << SketchKindName(kind) << " not bit-identical under "
+            << BackendName(bk);
+      }
+    }
+  }
+}
+
+TEST(KernelSweep, StableFamilyQueryEquivalentAcrossBackends) {
+  const auto stream = stream::UniformTurnstile(1 << 10, 8000, 50, 13);
+  for (Backend bk : SimdBackends()) {
+    double want_norm, got_norm, want_est, got_est;
+    {
+      ScopedBackend pin(Backend::kScalar);
+      sketch::StableSketch s(1.0, 32, 21);
+      norm::LpNormEstimator e(1.0, 32, 22);
+      stream::StreamDriver driver(193);
+      driver.Add("s", &s).Add("e", &e).Drive(stream);
+      want_norm = s.EstimateNorm();
+      want_est = e.Estimate2Approx();
+    }
+    {
+      ScopedBackend pin(bk);
+      sketch::StableSketch s(1.0, 32, 21);
+      norm::LpNormEstimator e(1.0, 32, 22);
+      stream::StreamDriver driver(193);
+      driver.Add("s", &s).Add("e", &e).Drive(stream);
+      got_norm = s.EstimateNorm();
+      got_est = e.Estimate2Approx();
+    }
+    EXPECT_NEAR(want_norm, got_norm,
+                1e-9 * std::max(1.0, std::abs(want_norm)))
+        << BackendName(bk);
+    EXPECT_NEAR(want_est, got_est, 1e-9 * std::max(1.0, std::abs(want_est)))
+        << BackendName(bk);
+  }
+}
+
+}  // namespace
+}  // namespace lps::kernels

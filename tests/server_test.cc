@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/kernels/kernels.h"
 #include "src/lps.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
@@ -115,6 +116,9 @@ TEST(ServerTest, CreateIngestQueryCycle) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->tenants, 1u);
   EXPECT_EQ(stats->updates, updates.size());
+  // The STATS opcode reports which SIMD kernel backend the server
+  // dispatched (appended wire field — round-trips through the frame).
+  EXPECT_EQ(stats->kernel_backend, lps::kernels::ActiveBackendName());
   server->Stop();
 }
 

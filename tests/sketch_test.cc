@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/kernels/kernels.h"
 #include "src/sketch/ams_f2.h"
 #include "src/sketch/count_min.h"
 #include "src/sketch/count_sketch.h"
@@ -378,10 +379,36 @@ TEST(AmsF2, BatchMatchesScalarBitExact) {
 }
 
 TEST(StableSketch, BatchMatchesScalarBitExact) {
+  // The stable family is FP-taxonomy: batch-vs-per-update bit-identity is
+  // guaranteed on the scalar kernel backend (the SIMD Cauchy path is
+  // query-equivalent instead — see the dispatched-backend test below), so
+  // pin scalar for the exact comparison.
+  const lps::kernels::Backend dispatched = lps::kernels::ActiveBackend();
+  ASSERT_TRUE(
+      lps::kernels::ForceBackendForTesting(lps::kernels::Backend::kScalar));
   for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
     StableSketch scalar(1.0, 32, 33), batched(1.0, 32, 33);
     FeedBothPaths(stream, &scalar, &batched);
     EXPECT_EQ(CounterWords(scalar), CounterWords(batched));
+  }
+  lps::kernels::ForceBackendForTesting(dispatched);
+}
+
+TEST(StableSketch, BatchMatchesScalarUnderDispatchedBackend) {
+  // Under whatever backend the CPU dispatched, batched ingestion must stay
+  // query-equivalent to the per-update path: same counters to ~1e-9
+  // relative (vectorized tan approximation + reassociated accumulation).
+  for (const auto& stream : {GeneralStream(), StrictTurnstileStream()}) {
+    StableSketch scalar(1.0, 32, 33), batched(1.0, 32, 33);
+    FeedBothPaths(stream, &scalar, &batched);
+    lps::BitWriter wa, wb;
+    scalar.SerializeCounters(&wa);
+    batched.SerializeCounters(&wb);
+    lps::BitReader ra(wa), rb(wb);
+    for (int j = 0; j < 32; ++j) {
+      const double a = ra.ReadDouble(), b = rb.ReadDouble();
+      EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a))) << "row " << j;
+    }
   }
 }
 

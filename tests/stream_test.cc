@@ -8,6 +8,7 @@
 #include "src/core/l0_sampler.h"
 #include "src/core/lp_sampler.h"
 #include "src/heavy/heavy_hitters.h"
+#include "src/kernels/kernels.h"
 #include "src/norm/l0_norm.h"
 #include "src/stream/exact_vector.h"
 #include "src/stream/generators.h"
@@ -16,6 +17,22 @@
 
 namespace lps::stream {
 namespace {
+
+// Batch == per-update *bit*-identity for sketches embedding a StableSketch
+// only holds on the scalar kernel backend: SIMD backends route a batch of
+// one through their scalar tail (libm tan) but vectorize larger batches
+// (polynomial sinpi + reassociated sums) — query-equivalent, not bit-equal.
+// Tests asserting CounterWords equality on such stacks pin scalar.
+class ScopedScalarKernels {
+ public:
+  ScopedScalarKernels() : saved_(lps::kernels::ActiveBackend()) {
+    lps::kernels::ForceBackendForTesting(lps::kernels::Backend::kScalar);
+  }
+  ~ScopedScalarKernels() { lps::kernels::ForceBackendForTesting(saved_); }
+
+ private:
+  lps::kernels::Backend saved_;
+};
 
 TEST(ExactVector, ApplyAndNorms) {
   ExactVector x(8);
@@ -254,6 +271,7 @@ TEST(StreamDriver, PushFlushMatchesDrive) {
 // state to per-update processing — strict-turnstile and general streams,
 // driver batch sizes that exercise partial and single-element chunks.
 TEST(StreamDriver, LpSamplerStateMatchesPerUpdatePath) {
+  ScopedScalarKernels pin_scalar;  // LpSampler embeds an LpNormEstimator
   const auto general = UniformTurnstile(256, 1500, 100, 41);
   const auto strict = PlantedHeavyHitters(256, 4, 200, 100, false, 42);
   for (const auto& stream : {general, strict}) {
@@ -293,6 +311,7 @@ TEST(StreamDriver, L0SamplerStateMatchesPerUpdatePath) {
 }
 
 TEST(StreamDriver, HeavyHittersAndL0EstimatorMatchPerUpdatePath) {
+  ScopedScalarKernels pin_scalar;  // CsHeavyHitters embeds an LpNormEstimator
   const auto stream = UniformTurnstile(512, 2000, 100, 44);
   lps::heavy::CsHeavyHitters::Params params;
   params.n = 512;

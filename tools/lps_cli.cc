@@ -21,6 +21,7 @@
 //   lps_cli save duplicates <delta> <seed> <file>           < trace
 //   lps_cli load <file>                        restore state and query it
 //   lps_cli merge <out> <in1> <in2> [in...]    add saved states (linearity)
+//   lps_cli version                            dispatched kernel backend
 //
 // save writes the full LinearSketch state (versioned header, params,
 // seeds, counters); load reconstructs without any out-of-band information
@@ -50,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/kernels.h"
 #include "src/lps.h"
 
 namespace {
@@ -72,8 +74,23 @@ int Usage() {
       "  lps_cli save norm <p> <seed> <file>                       < trace\n"
       "  lps_cli save duplicates <delta> <seed> <file>             < trace\n"
       "  lps_cli load <file>\n"
-      "  lps_cli merge <out> <in1> <in2> [in...]\n");
+      "  lps_cli merge <out> <in1> <in2> [in...]\n"
+      "  lps_cli version\n");
   return 2;
+}
+
+/// Runtime info line: which SIMD kernel backend this process dispatched
+/// (and the full set the binary + host could run) — the quick way to see
+/// what LPS_KERNELS resolved to.
+int CmdVersion() {
+  std::printf("lps_cli — Lp sampler library (JST11)\n");
+  std::printf("kernel backend: %s (available:",
+              lps::kernels::ActiveBackendName());
+  for (const auto backend : lps::kernels::AvailableBackends()) {
+    std::printf(" %s", lps::kernels::BackendName(backend));
+  }
+  std::printf(")\n");
+  return 0;
 }
 
 /// Strips an embedded "<flag> v" from argv, returning the parsed count.
@@ -538,5 +555,6 @@ int main(int argc, char** argv) {
   if (command == "save") return CmdSave(argc, argv);
   if (command == "load") return CmdLoad(argc, argv);
   if (command == "merge") return CmdMerge(argc, argv);
+  if (command == "version") return CmdVersion();
   return Usage();
 }

@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "src/kernels/kernels.h"
 #include "src/server/server.h"
 
 namespace {
@@ -101,6 +102,8 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &action, nullptr);
 
   std::printf("lps_serve listening on 127.0.0.1:%d\n", server.port());
+  std::printf("lps_serve kernel backend: %s\n",
+              lps::kernels::ActiveBackendName());
   if (!options.data_dir.empty()) {
     std::printf("lps_serve data dir %s: %llu tenants restored, "
                 "%llu torn bytes dropped\n",
@@ -118,12 +121,14 @@ int main(int argc, char** argv) {
   server.Stop();
   const lps::server::ServerStats stats = server.registry().Stats();
   std::printf("lps_serve shut down cleanly: %llu tenants, %llu updates, "
-              "%llu ingests, %llu queries, %llu snapshots\n",
+              "%llu ingests, %llu queries, %llu snapshots, "
+              "kernel backend %s\n",
               static_cast<unsigned long long>(stats.tenants),
               static_cast<unsigned long long>(stats.updates),
               static_cast<unsigned long long>(stats.ingests),
               static_cast<unsigned long long>(stats.queries),
-              static_cast<unsigned long long>(stats.snapshots));
+              static_cast<unsigned long long>(stats.snapshots),
+              stats.kernel_backend.c_str());
   // Per-tenant persistence accounting (the STATS opcode reports the same
   // numbers to clients); only meaningful with a data dir attached.
   for (const lps::server::TenantPersistStats& tenant : stats.per_tenant) {
