@@ -1,0 +1,360 @@
+// Distributed aggregation tier economics: what epoch-shipping workers
+// buy and what the fold costs. One table:
+//
+//   workers ∈ {1, 2, 4, 8} each ingest a disjoint residue class of the
+//   planted stream (src/dist/planted.h) through a real Worker — local
+//   sketch, epoch seal, TCP ship — into one root aggregator; the row
+//   reports aggregate ingest throughput (wall time from first worker
+//   start to the last epoch folded), the aggregator's mean fold latency
+//   per epoch (DIST_STATS fold_ns / epochs_folded), and whether the
+//   folded global state is BIT-IDENTICAL to a solo sketch fed the same
+//   stream in one process — the linearity contract the tier rests on.
+//
+// On un-instrumented builds every node is a real forked process over
+// loopback (the deployment shape); under sanitizers the topology runs
+// as in-process threads — fork + sanitizer runtimes don't mix, and the
+// numbers are for coverage, not comparison.
+//
+// Emits BENCH_distributed.json; ci/compare_bench.py --dist gates the
+// workers=4 vs workers=1 scaling ratio. Bit-identity is deterministic
+// (no timing), so it is asserted even under sanitizers.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "src/api/sketch_spec.h"
+#include "src/dist/aggregator.h"
+#include "src/dist/planted.h"
+#include "src/dist/worker.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/util/serialize.h"
+
+namespace {
+
+using lps::BitWriter;
+using lps::MakeSketch;
+using lps::bench::Table;
+using lps::dist::Aggregator;
+using lps::dist::kPlantedUniverse;
+using lps::dist::PlantedConfig;
+using lps::dist::PlantedUpdate;
+using lps::dist::Worker;
+
+constexpr uint64_t kEpochInterval = 4096;
+constexpr size_t kPushBatch = 4096;
+constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+struct Row {
+  int workers = 0;
+  double seconds = 0;
+  double updates_per_sec = 0;
+  uint64_t epochs_folded = 0;
+  double fold_micros_per_epoch = 0;
+  bool bit_identical = false;
+};
+
+struct SoloState {
+  std::vector<uint64_t> words;
+  size_t bits = 0;
+};
+
+/// The single-process oracle: the whole planted stream through one
+/// sketch. The folded aggregator state must equal this byte for byte.
+SoloState BuildSolo(uint64_t total) {
+  auto sketch = MakeSketch(PlantedConfig().spec);
+  std::vector<lps::stream::Update> batch;
+  batch.reserve(kPushBatch);
+  for (uint64_t position = 0; position < total; ++position) {
+    batch.push_back(PlantedUpdate(position, kPlantedUniverse));
+    if (batch.size() == kPushBatch) {
+      sketch->UpdateBatch(batch.data(), batch.size());
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) sketch->UpdateBatch(batch.data(), batch.size());
+  BitWriter writer;
+  sketch->Serialize(&writer);
+  return {writer.words(), writer.bit_count()};
+}
+
+/// One worker's share: positions {offset, offset + stride, ...} of the
+/// planted stream, pushed through a real Worker (seal + TCP ship at
+/// every epoch boundary, final marker at the end). Returns false on any
+/// failure.
+bool DriveWorker(int port, uint64_t total, uint64_t offset, uint64_t stride) {
+  Worker::Options options;
+  options.uplink.port = port;
+  options.tenant = "dist";
+  options.key = "planted";
+  options.config = PlantedConfig();
+  options.epoch_interval = kEpochInterval;
+  options.worker_id = "w" + std::to_string(offset);
+  options.session = 1000 + offset;
+  auto built = Worker::Create(std::move(options));
+  if (!built.ok()) return false;
+  std::vector<lps::stream::Update> batch;
+  batch.reserve(kPushBatch);
+  for (uint64_t position = offset; position < total; position += stride) {
+    batch.push_back(PlantedUpdate(position, kPlantedUniverse));
+    if (batch.size() == kPushBatch) {
+      if (!built.value()->Push(batch).ok()) return false;
+      batch.clear();
+    }
+  }
+  if (!batch.empty() && !built.value()->Push(batch).ok()) return false;
+  return built.value()->Finish().ok();
+}
+
+/// Waits until the root has folded every shipped update, then fills the
+/// row's fold stats and bit-identity verdict. Returns false on timeout
+/// or divergence.
+bool Settle(lps::server::Client* client, uint64_t total,
+            const SoloState& solo, Row* row) {
+  for (int tries = 0; tries < 3000; ++tries) {
+    const auto stats = client->FetchDistStats();
+    if (!stats.ok()) return false;
+    if (stats->updates_folded == total) {
+      row->epochs_folded = stats->epochs_folded;
+      row->fold_micros_per_epoch =
+          stats->epochs_folded > 0
+              ? double(stats->fold_ns) / double(stats->epochs_folded) / 1e3
+              : 0.0;
+      const auto snapshot = client->Snapshot("dist", "planted");
+      if (!snapshot.ok()) return false;
+      row->bit_identical = snapshot->updates_seen == total &&
+                           snapshot->state_bits == solo.bits &&
+                           snapshot->state_words == solo.words;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::fprintf(stderr, "timed out waiting for %llu updates to fold\n",
+               static_cast<unsigned long long>(total));
+  return false;
+}
+
+/// Deployment shape: root and every worker a real forked process, all
+/// traffic over loopback TCP.
+bool RunForked(int workers, uint64_t total, const SoloState& solo, Row* row) {
+  int ports[2];
+  if (::pipe(ports) != 0) return false;
+  const pid_t root = ::fork();
+  if (root < 0) return false;
+  if (root == 0) {
+    ::close(ports[0]);
+    lps::server::Server::Options options;
+    options.port = 0;
+    lps::server::Server daemon(options);
+    Aggregator::Options dist_options;
+    dist_options.registry = &daemon.registry();
+    Aggregator aggregator(dist_options);
+    daemon.set_extension(&aggregator);
+    if (!daemon.Start().ok()) ::_exit(3);
+    const int bound = daemon.port();
+    if (::write(ports[1], &bound, sizeof(bound)) != ssize_t(sizeof(bound))) {
+      ::_exit(4);
+    }
+    for (;;) ::pause();
+  }
+  ::close(ports[1]);
+  int port = 0;
+  const bool got_port =
+      ::read(ports[0], &port, sizeof(port)) == ssize_t(sizeof(port));
+  ::close(ports[0]);
+  bool ok = got_port;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> children;
+  for (int w = 0; ok && w < workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ok = false;
+      break;
+    }
+    if (pid == 0) {
+      ::_exit(DriveWorker(port, total, uint64_t(w), uint64_t(workers)) ? 0
+                                                                       : 1);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t child : children) {
+    int status = 0;
+    if (::waitpid(child, &status, 0) != child || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  if (ok) {
+    auto client = lps::server::Client::Connect("127.0.0.1", port);
+    ok = client.ok() && Settle(&client.value(), total, solo, row);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  row->seconds = std::chrono::duration<double>(stop - start).count();
+  row->updates_per_sec = ok ? double(total) / row->seconds : 0.0;
+  ::kill(root, SIGKILL);
+  int status = 0;
+  ::waitpid(root, &status, 0);
+  return ok;
+}
+
+/// Sanitizer shape: same topology as in-process threads (fork and the
+/// sanitizer runtimes don't mix); measures nothing trustworthy, but
+/// runs the identical code paths for memory/race coverage.
+bool RunThreaded(int workers, uint64_t total, const SoloState& solo,
+                 Row* row) {
+  lps::server::Server::Options options;
+  options.port = 0;
+  lps::server::Server daemon(options);
+  Aggregator::Options dist_options;
+  dist_options.registry = &daemon.registry();
+  Aggregator aggregator(dist_options);
+  daemon.set_extension(&aggregator);
+  if (!daemon.Start().ok()) return false;
+  const int port = daemon.port();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<char> worker_ok(size_t(workers), 0);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      worker_ok[size_t(w)] =
+          DriveWorker(port, total, uint64_t(w), uint64_t(workers)) ? 1 : 0;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  bool ok = true;
+  for (const char flag : worker_ok) ok = ok && flag != 0;
+  if (ok) {
+    auto client = lps::server::Client::Connect("127.0.0.1", port);
+    ok = client.ok() && Settle(&client.value(), total, solo, row);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  row->seconds = std::chrono::duration<double>(stop - start).count();
+  row->updates_per_sec = ok ? double(total) / row->seconds : 0.0;
+  daemon.Stop();
+  aggregator.Stop();
+  return ok;
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows, bool quick,
+               bool forked, uint64_t total) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"distributed\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"forked_processes\": %s,\n", forked ? "true" : "false");
+  std::fprintf(f, "  \"total_updates\": %llu,\n",
+               static_cast<unsigned long long>(total));
+  std::fprintf(f, "  \"epoch_interval\": %llu,\n",
+               static_cast<unsigned long long>(kEpochInterval));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"seconds\": %.3f, "
+                 "\"updates_per_sec\": %.0f, \"epochs_folded\": %llu, "
+                 "\"fold_micros_per_epoch\": %.1f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.workers, row.seconds, row.updates_per_sec,
+                 static_cast<unsigned long long>(row.epochs_folded),
+                 row.fold_micros_per_epoch,
+                 row.bit_identical ? "true" : "false",
+                 r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = lps::bench::Quick(argc, argv);
+  const int passes = lps::bench::Scaled(quick, 2, 1);
+  const uint64_t total = quick ? (uint64_t{1} << 15) : (uint64_t{1} << 19);
+  const bool forked = !lps::bench::Sanitized();
+
+  const SoloState solo = BuildSolo(total);
+
+  std::vector<Row> rows;
+  for (const int workers : kWorkerCounts) {
+    Row best;
+    best.workers = workers;
+    for (int pass = 0; pass < passes; ++pass) {
+      Row row;
+      row.workers = workers;
+      const bool ok = forked ? RunForked(workers, total, solo, &row)
+                             : RunThreaded(workers, total, solo, &row);
+      if (!ok) {
+        std::fprintf(stderr, "workers=%d pass %d failed\n", workers, pass);
+        return 1;
+      }
+      if (!row.bit_identical) {
+        std::fprintf(stderr,
+                     "DIVERGENCE: workers=%d folded state differs from the "
+                     "solo sketch — the linearity contract is broken\n",
+                     workers);
+        return 1;
+      }
+      if (row.updates_per_sec > best.updates_per_sec) best = row;
+    }
+    rows.push_back(best);
+  }
+
+  lps::bench::Section(
+      "distributed fold: workers -> aggregate ingest + fold latency");
+  Table table({"workers", "topology", "seconds", "Mitem/s", "epochs",
+               "fold us/epoch", "vs solo"});
+  for (const Row& row : rows) {
+    table.AddRow({Table::Fmt("%d", row.workers),
+                  forked ? "forked" : "threads",
+                  Table::Fmt("%.3f", row.seconds),
+                  Table::Fmt("%.2f", row.updates_per_sec / 1e6),
+                  Table::Fmt("%llu", (unsigned long long)row.epochs_folded),
+                  Table::Fmt("%.1f", row.fold_micros_per_epoch),
+                  row.bit_identical ? "bit-identical" : "DIVERGED"});
+  }
+  table.Print();
+
+  WriteJson("BENCH_distributed.json", rows, quick, forked, total);
+  std::printf("machine-readable results written to BENCH_distributed.json\n");
+
+  // The scaling gate: four workers must out-ingest one. Needs real
+  // parallelism to be observable, hence the core-count floor.
+  if (lps::bench::PerfGateEligible("dist_scaling_w4_over_w1", 4)) {
+    const Row* w1 = nullptr;
+    const Row* w4 = nullptr;
+    for (const Row& row : rows) {
+      if (row.workers == 1) w1 = &row;
+      if (row.workers == 4) w4 = &row;
+    }
+    if (w1 != nullptr && w4 != nullptr &&
+        w4->updates_per_sec <= w1->updates_per_sec) {
+      std::fprintf(stderr,
+                   "SCALING REGRESSION: workers=4 ingests %.2f Mitem/s <= "
+                   "workers=1 at %.2f Mitem/s\n",
+                   w4->updates_per_sec / 1e6, w1->updates_per_sec / 1e6);
+      return 1;
+    }
+    if (w1 != nullptr && w4 != nullptr) {
+      std::printf("dist_scaling_w4_over_w1: %.2fx (workers=4 %.2f vs "
+                  "workers=1 %.2f Mitem/s)\n",
+                  w4->updates_per_sec / w1->updates_per_sec,
+                  w4->updates_per_sec / 1e6, w1->updates_per_sec / 1e6);
+    }
+  }
+  return 0;
+}

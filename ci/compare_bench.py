@@ -41,6 +41,19 @@ Compared metrics (the PR-to-PR trajectory the repo tracks):
     cold-boot open/restore times — absolute timings, same
     hardware_threads + quick mode only.
 
+--dist swaps the metric set for the distributed aggregation tier
+(BENCH_distributed.json):
+
+  * solo bit-identity — every row must report bit_identical (the
+    linearity contract: the folded global state equals a solo sketch
+    byte for byte). Deterministic, checked on any runner.
+  * worker scaling — the workers=4 / workers=1 aggregate ingest ratio.
+    Needs >= 4 real cores on BOTH sides (a 1-core box timeslices the
+    worker processes), logged as skipped otherwise.
+  * absolute ingest throughput and per-epoch fold latency — same
+    hardware_threads + quick mode + process topology (forked vs
+    threaded) only.
+
 Per the repo's bench-gating convention every skip is LOGGED, never
 silent, and the whole gate is skipped (exit 0) under sanitizer
 instrumentation (LPS_BENCH_SANITIZED env) or on runners with < 4 cores.
@@ -274,6 +287,94 @@ def compare_persist(base, cur, allowed, max_regress):
     return compared, failed
 
 
+def dist_row(data, workers):
+    for row in data.get("rows", []):
+        if row.get("workers") == workers:
+            return row
+    return None
+
+
+def dist_scaling(data):
+    """workers=4 / workers=1 aggregate ingest ratio."""
+    w1 = dist_row(data, 1)
+    w4 = dist_row(data, 4)
+    if not w1 or not w4:
+        return None
+    lo = w1.get("updates_per_sec")
+    hi = w4.get("updates_per_sec")
+    if not lo or not hi or lo <= 0:
+        return None
+    return hi / lo
+
+
+def compare_dist(base, cur, allowed, max_regress):
+    """The --dist metric set; returns (compared, failed)."""
+    failed = []
+    compared = 0
+
+    # Bit-identity is deterministic (linearity of the sketches, no
+    # timing), so it holds on any runner, any core count.
+    for crow in cur.get("rows", []):
+        workers = crow.get("workers")
+        compared += 1
+        if crow.get("bit_identical"):
+            log(f"dist workers={workers}: folded state bit-identical to "
+                "solo (ok)")
+        else:
+            log(f"dist workers={workers}: folded state DIVERGED from solo")
+            failed.append(f"dist workers={workers} bit_identity")
+
+    cur_threads = cur.get("hardware_threads", 0)
+    base_threads = base.get("hardware_threads", 0)
+    if cur_threads < 4 or base_threads < 4:
+        side = "current" if cur_threads < 4 else "baseline"
+        threads = cur_threads if cur_threads < 4 else base_threads
+        log(f"dist worker scaling: skipped ({side} ran on {threads} "
+            "hardware threads < 4 — worker processes timeslice one core)")
+    else:
+        b = dist_scaling(base)
+        c = dist_scaling(cur)
+        if b is None or c is None:
+            log("dist worker scaling: skipped (missing rows in "
+                f"{'baseline' if b is None else 'current'})")
+        else:
+            compared += 1
+            regressed = c < b * (1.0 - max_regress)
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"dist worker scaling: w4/w1 ingest ratio {c:.2f} vs "
+                f"baseline {b:.2f} ({verdict})")
+            if regressed:
+                failed.append("dist worker scaling")
+
+    if (base.get("hardware_threads") != cur.get("hardware_threads")
+            or base.get("quick") != cur.get("quick")
+            or base.get("forked_processes") != cur.get("forked_processes")):
+        log("dist absolute metrics: skipped (hardware_threads/quick/"
+            "topology mismatch — deterministic checks only)")
+        return compared, failed
+    for brow in base.get("rows", []):
+        workers = brow.get("workers")
+        crow = dist_row(cur, workers)
+        if crow is None:
+            log(f"dist workers={workers}: skipped (missing in current)")
+            continue
+        for metric, better_high in (("updates_per_sec", True),
+                                    ("fold_micros_per_epoch", False)):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = (c < b * (1.0 - max_regress) if better_high
+                         else c > b * allowed)
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"dist workers={workers} {metric}: {c:.1f} vs baseline "
+                f"{b:.1f} ({verdict})")
+            if regressed:
+                failed.append(f"dist workers={workers} {metric}")
+    return compared, failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_throughput.json")
@@ -286,10 +387,14 @@ def main():
     parser.add_argument("--persist", action="store_true",
                         help="compare BENCH_persist.json files (durability "
                         "bench: compression, spill, cold-boot recovery)")
+    parser.add_argument("--dist", action="store_true",
+                        help="compare BENCH_distributed.json files "
+                        "(distributed tier: bit-identity, worker scaling, "
+                        "fold latency)")
     args = parser.parse_args()
-    if args.serve and args.persist:
-        print("bench compare: --serve and --persist are mutually exclusive",
-              file=sys.stderr)
+    if args.serve + args.persist + args.dist > 1:
+        print("bench compare: --serve, --persist, and --dist are mutually "
+              "exclusive", file=sys.stderr)
         return 2
 
     env = os.environ.get("LPS_BENCH_SANITIZED", "")
@@ -302,19 +407,21 @@ def main():
     cur = load(args.current)
     cur_threads = cur.get("hardware_threads", 0)
     base_threads = base.get("hardware_threads", 0)
-    # The persist metric set leads with deterministic compression ratios,
-    # which any runner can check; its timing metrics are separately gated
-    # on an exact hardware_threads match inside compare_persist.
-    if cur_threads < 4 and not args.persist:
+    # The persist and dist metric sets lead with deterministic checks
+    # (compression ratios, fold bit-identity), which any runner can
+    # verify; their timing metrics are separately gated inside the
+    # compare functions.
+    if cur_threads < 4 and not (args.persist or args.dist):
         log(f"skipped ({cur_threads} hardware threads < 4: scaling is not "
             "observable on this runner)")
         return 0
 
     allowed = 1.0 + args.max_regress
 
-    if args.serve or args.persist:
-        mode = "serve" if args.serve else "persist"
-        compare = compare_serve if args.serve else compare_persist
+    if args.serve or args.persist or args.dist:
+        mode = "serve" if args.serve else "persist" if args.persist else "dist"
+        compare = (compare_serve if args.serve
+                   else compare_persist if args.persist else compare_dist)
         compared, failed = compare(base, cur, allowed, args.max_regress)
         if failed:
             print(f"bench compare: FAIL — >{args.max_regress:.0%} regression "

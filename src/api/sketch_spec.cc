@@ -351,6 +351,14 @@ uint64_t EnforcedUniverse(const SketchSpec& spec) {
     case SketchKind::kSparseDuplicateFinder:
     case SketchKind::kPositiveFinder:
     case SketchKind::kMomentEstimator:
+    // The dyadic-decomposition kinds check index < 2^ceil(log2 n) at
+    // every level; max(n, 1) is at most that, so enforcing it here
+    // keeps the CHECK unreachable from the wire.
+    case SketchKind::kDyadicCountMin:
+    case SketchKind::kDyadicCountSketch:
+    case SketchKind::kCsHeavyHitters:
+    case SketchKind::kCmHeavyHitters:
+    case SketchKind::kDyadicHeavyHitters:
       return std::max<uint64_t>(spec.n, 1);
     default:
       return 0;  // hashes arbitrary 64-bit indices

@@ -1,0 +1,55 @@
+// The deterministic planted workload every distributed-tier surface
+// shares: tools/lps_worker's default stream, lps_bench_client's
+// --dist-verify oracle, bench/bench_distributed's load, and the CI
+// multi-process smoke all generate EXACTLY these updates, so a solo
+// sketch built in one process is byte-comparable with an aggregator
+// fold assembled across many.
+//
+// The stream is a position-indexed pure function: worker i of W ingests
+// positions {i, i + W, i + 2W, ...} and the union over workers is the
+// solo stream — no coordination, no shared RNG state, any W.
+#pragma once
+
+#include <cstdint>
+
+#include "src/server/protocol.h"
+#include "src/stream/update.h"
+
+namespace lps::dist {
+
+inline constexpr uint64_t kPlantedUniverse = uint64_t{1} << 12;
+inline constexpr uint64_t kPlantedHeavy = 7;
+
+/// The `position`-th update of the planted stream over universe [0, n):
+/// splitmix-mixed index/sign noise, with every 4th update hitting the
+/// heavy coordinate so heavy-hitter queries have a planted answer.
+inline stream::Update PlantedUpdate(uint64_t position, uint64_t n) {
+  uint64_t z = position + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  stream::Update u;
+  if (position % 4 == 0) {
+    u.index = kPlantedHeavy % n;
+    u.delta = 1;
+  } else {
+    u.index = z % n;
+    u.delta = (z >> 40) % 3 == 0 ? -1 : 1;
+  }
+  return u;
+}
+
+/// The planted stream's config: an exact-arithmetic kind (CountMin
+/// heavy hitters) so distributed answers are bit-identical to solo
+/// ingest, windowed so epoch sealing is exercised end to end.
+inline server::SketchConfig PlantedConfig(uint64_t n = kPlantedUniverse) {
+  server::SketchConfig config;
+  config.spec.kind = SketchKind::kCmHeavyHitters;
+  config.spec.n = n;
+  config.spec.phi = 0.05;
+  config.spec.seed = 4242;
+  config.window_checkpoint = 8192;
+  return config;
+}
+
+}  // namespace lps::dist

@@ -1,0 +1,159 @@
+#include "src/dist/worker.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace lps::dist {
+
+Result<server::EpochAck> EpochShipper::Ship(const server::EpochBlob& blob) {
+  Status last = Status::Failed("no attempts made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.retry_ms));
+    }
+    if (!client_.has_value()) {
+      auto connected = server::Client::Connect(options_.host, options_.port);
+      if (!connected.ok()) {
+        last = connected.status();
+        continue;
+      }
+      client_.emplace(std::move(connected.value()));
+    }
+    Result<server::EpochAck> acked = client_->ShipEpoch(blob);
+    if (acked.ok()) return acked;
+    // The Client unwraps ERROR responses into Failed(server message)
+    // after a complete round trip — those are content rejections, fatal
+    // by contract. Transport failures (connect reset, eof, short read)
+    // surface as read/send/eof statuses; retry those on a fresh
+    // connection, re-sending the same (session, seq) blob.
+    const std::string& message = acked.status().message();
+    const bool transport = message.rfind("read:", 0) == 0 ||
+                           message.rfind("send:", 0) == 0 ||
+                           message == "eof";
+    if (!transport) return acked.status();
+    last = acked.status();
+    client_.reset();
+  }
+  return Status::Failed("epoch undeliverable after retries: " +
+                        last.message());
+}
+
+Result<std::unique_ptr<Worker>> Worker::Create(Options options) {
+  const server::SketchConfig& config = options.config;
+  if (config.shards < 1 || config.shards > 1024) {
+    return Status::InvalidArgument("shards must be in [1, 1024]");
+  }
+  if (config.threads < 0 || config.threads > 1024) {
+    return Status::InvalidArgument("threads must be in [0, 1024]");
+  }
+  const Status valid = ValidateSpec(config.spec);
+  if (!valid.ok()) return valid;
+  std::vector<std::unique_ptr<LinearSketch>> replicas;
+  replicas.reserve(size_t(config.shards));
+  for (int32_t s = 0; s < config.shards; ++s) {
+    auto replica = MakeSketch(config.spec);
+    if (replica == nullptr) {
+      return Status::InvalidArgument("unknown sketch kind");
+    }
+    replicas.push_back(std::move(replica));
+  }
+  uint64_t interval = options.epoch_interval;
+  if (interval == 0) interval = config.window_checkpoint;
+  if (interval == 0) interval = 8192;
+  return std::unique_ptr<Worker>(
+      new Worker(std::move(options), interval, std::move(replicas)));
+}
+
+Worker::Worker(Options options, uint64_t interval,
+               std::vector<std::unique_ptr<LinearSketch>> replicas)
+    : options_(std::move(options)),
+      interval_(interval),
+      replicas_(std::move(replicas)),
+      shipper_(options_.uplink) {
+  const server::SketchConfig& config = options_.config;
+  if (config.shards > 1 || config.threads > 0) {
+    stream::ParallelPipeline::Options pipeline;
+    pipeline.shards = config.shards;
+    pipeline.threads = config.threads;
+    pipeline_ = std::make_unique<stream::ParallelPipeline>(pipeline);
+    std::vector<LinearSketch*> raw;
+    raw.reserve(replicas_.size());
+    for (const auto& replica : replicas_) raw.push_back(replica.get());
+    pipeline_->Add("sketch", std::move(raw));
+  }
+}
+
+Status Worker::Push(const stream::Update* updates, size_t count) {
+  if (finished_) return Status::Failed("worker already finished");
+  if (const uint64_t bound = EnforcedUniverse(options_.config.spec)) {
+    for (size_t i = 0; i < count; ++i) {
+      if (updates[i].index >= bound) {
+        return Status::InvalidArgument(
+            "update index " + std::to_string(updates[i].index) +
+            " outside universe [0, " + std::to_string(bound) + ")");
+      }
+    }
+  }
+  // Chunk at epoch boundaries so every shipped delta covers exactly
+  // interval_ updates (the same chunking TenantRegistry::Ingest uses to
+  // keep checkpoint positions aligned).
+  const stream::Update* cursor = updates;
+  size_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t room = interval_ - fill_;
+    const size_t chunk = size_t(remaining < room ? remaining : room);
+    if (pipeline_ != nullptr) {
+      pipeline_->Drive(cursor, chunk);
+    } else {
+      replicas_[0]->UpdateBatch(cursor, chunk);
+    }
+    fill_ += chunk;
+    updates_ += chunk;
+    cursor += chunk;
+    remaining -= chunk;
+    if (fill_ == interval_) {
+      const Status shipped = CloseEpoch(/*final_epoch=*/false);
+      if (!shipped.ok()) return shipped;
+    }
+  }
+  return Status::OK();
+}
+
+Status Worker::Finish() {
+  if (finished_) return Status::OK();
+  // Ship the partial tail — even an empty one, as the clean-end marker.
+  const Status shipped = CloseEpoch(/*final_epoch=*/true);
+  if (!shipped.ok()) return shipped;
+  finished_ = true;
+  return Status::OK();
+}
+
+Status Worker::CloseEpoch(bool final_epoch) {
+  if (pipeline_ != nullptr) pipeline_->MergeShards();
+  server::EpochBlob blob;
+  blob.tenant = options_.tenant;
+  blob.key = options_.key;
+  blob.worker_id = options_.worker_id;
+  blob.session = options_.session;
+  blob.seq = seq_;
+  blob.count = fill_;
+  blob.final_epoch = final_epoch;
+  blob.config = options_.config;
+  BitWriter state;
+  replicas_[0]->Serialize(&state);
+  blob.state_words = state.words();
+  blob.state_bits = state.bit_count();
+  // Reset BEFORE shipping: replica 0 must restart from zero so the next
+  // epoch is again a pure delta. The blob keeps the serialized bytes,
+  // so a reconnect re-send needs no sketch state.
+  replicas_[0]->Reset();
+  fill_ = 0;
+  Result<server::EpochAck> acked = shipper_.Ship(blob);
+  if (!acked.ok()) return acked.status();
+  ++seq_;
+  ++epochs_;
+  return Status::OK();
+}
+
+}  // namespace lps::dist

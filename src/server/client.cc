@@ -146,6 +146,39 @@ Result<ServerStats> Client::Stats() {
   return DeserializeStats(&reply.value().body);
 }
 
+Status Client::StreamIngest(const std::string& tenant, const std::string& key,
+                            const std::vector<stream::Update>& updates) {
+  BitWriter body;
+  WriteString(&body, tenant);
+  WriteString(&body, key);
+  WriteUpdates(&body, updates.data(), updates.size());
+  // Fire-and-forget: the server replies only to the closing sync.
+  return WriteFrame(fd_, uint8_t(Opcode::kIngestStream), body);
+}
+
+Result<Client::StreamAck> Client::StreamSync() {
+  Result<Frame> reply = RoundTrip(Opcode::kIngestSync, BitWriter());
+  if (!reply.ok()) return reply.status();
+  StreamAck ack;
+  ack.count = reply.value().body.ReadU64();
+  ack.updates_seen = reply.value().body.ReadU64();
+  return ack;
+}
+
+Result<EpochAck> Client::ShipEpoch(const EpochBlob& blob) {
+  BitWriter body;
+  SerializeEpoch(blob, &body);
+  Result<Frame> reply = RoundTrip(Opcode::kEpoch, body);
+  if (!reply.ok()) return reply.status();
+  return DeserializeEpochAck(&reply.value().body);
+}
+
+Result<DistStats> Client::FetchDistStats() {
+  Result<Frame> reply = RoundTrip(Opcode::kDistStats, BitWriter());
+  if (!reply.ok()) return reply.status();
+  return DeserializeDistStats(&reply.value().body);
+}
+
 Status Client::SendRaw(const std::vector<uint8_t>& bytes) {
   size_t done = 0;
   while (done < bytes.size()) {

@@ -56,6 +56,26 @@ class Client {
   Status Drop(const std::string& tenant, const std::string& key);
   Result<ServerStats> Stats();
 
+  /// The cumulative INGEST_SYNC ack closing a streamed ingest run.
+  struct StreamAck {
+    uint64_t count = 0;         ///< updates accepted since the last sync
+    uint64_t updates_seen = 0;  ///< target stream's total after the run
+  };
+
+  /// Streamed (pipelined) ingest: sends one INGEST_STREAM frame and
+  /// returns as soon as it is on the wire — the server sends NO reply.
+  /// Call StreamSync() to close the run and collect the one cumulative
+  /// ack (or the run's first deferred error). Mixing StreamIngest with
+  /// the round-trip methods is fine as long as the run is synced first.
+  Status StreamIngest(const std::string& tenant, const std::string& key,
+                      const std::vector<stream::Update>& updates);
+  Result<StreamAck> StreamSync();
+
+  /// Distributed tier: ship one epoch delta / read the aggregator's
+  /// fold counters (see src/dist/).
+  Result<EpochAck> ShipEpoch(const EpochBlob& blob);
+  Result<DistStats> FetchDistStats();
+
   /// Escape hatch for protocol tests: sends a raw already-framed byte
   /// sequence and reads one response frame.
   Status SendRaw(const std::vector<uint8_t>& bytes);

@@ -224,6 +224,99 @@ ServerStats DeserializeStats(BitReader* reader) {
   return stats;
 }
 
+void SerializeEpoch(const EpochBlob& blob, BitWriter* writer) {
+  WriteString(writer, blob.tenant);
+  WriteString(writer, blob.key);
+  WriteString(writer, blob.worker_id);
+  writer->WriteU64(blob.session);
+  writer->WriteU64(blob.seq);
+  writer->WriteU64(blob.count);
+  writer->WriteBits(blob.final_epoch ? 1 : 0, 8);
+  SerializeConfig(blob.config, writer);
+  WriteState(writer, blob.state_words, blob.state_bits);
+}
+
+EpochBlob DeserializeEpoch(BitReader* reader) {
+  EpochBlob blob;
+  blob.tenant = ReadString(reader);
+  blob.key = ReadString(reader);
+  blob.worker_id = ReadString(reader);
+  blob.session = reader->ReadU64();
+  blob.seq = reader->ReadU64();
+  blob.count = reader->ReadU64();
+  blob.final_epoch = reader->ReadBits(8) != 0;
+  blob.config = DeserializeConfig(reader);
+  ReadState(reader, &blob.state_words, &blob.state_bits);
+  return blob;
+}
+
+void SerializeEpochAck(const EpochAck& ack, BitWriter* writer) {
+  writer->WriteBits(ack.applied ? 1 : 0, 8);
+  writer->WriteU64(ack.next_seq);
+}
+
+EpochAck DeserializeEpochAck(BitReader* reader) {
+  EpochAck ack;
+  ack.applied = reader->ReadBits(8) != 0;
+  ack.next_seq = reader->ReadU64();
+  return ack;
+}
+
+void SerializeDistStats(const DistStats& stats, BitWriter* writer) {
+  writer->WriteU64(stats.epochs_folded);
+  writer->WriteU64(stats.updates_folded);
+  writer->WriteU64(stats.gaps);
+  writer->WriteU64(stats.sessions);
+  writer->WriteU64(stats.interrupted);
+  writer->WriteU64(stats.fold_ns);
+  writer->WriteBits(stats.combiner ? 1 : 0, 8);
+  writer->WriteU64(stats.workers.size());
+  for (const DistWorkerStats& worker : stats.workers) {
+    WriteString(writer, worker.stream);
+    WriteString(writer, worker.worker_id);
+    writer->WriteU64(worker.session);
+    writer->WriteU64(worker.next_seq);
+    writer->WriteU64(worker.epochs);
+    writer->WriteU64(worker.updates);
+    writer->WriteU64(worker.gaps);
+    writer->WriteBits(worker.finished ? 1 : 0, 8);
+    writer->WriteBits(worker.connected ? 1 : 0, 8);
+  }
+}
+
+DistStats DeserializeDistStats(BitReader* reader) {
+  DistStats stats;
+  stats.epochs_folded = reader->ReadU64();
+  stats.updates_folded = reader->ReadU64();
+  stats.gaps = reader->ReadU64();
+  stats.sessions = reader->ReadU64();
+  stats.interrupted = reader->ReadU64();
+  stats.fold_ns = reader->ReadU64();
+  stats.combiner = reader->ReadBits(8) != 0;
+  const uint64_t count = reader->ReadU64();
+  // Two length-prefixed strings, five u64s, two flags per entry; bound
+  // the claimed count by what the body can hold before reserving.
+  if (count > reader->bits_remaining() / (64 + 64 + 5 * 64 + 16)) {
+    reader->Fail();
+    return stats;
+  }
+  stats.workers.reserve(size_t(count));
+  for (uint64_t i = 0; i < count && !reader->failed(); ++i) {
+    DistWorkerStats worker;
+    worker.stream = ReadString(reader);
+    worker.worker_id = ReadString(reader);
+    worker.session = reader->ReadU64();
+    worker.next_seq = reader->ReadU64();
+    worker.epochs = reader->ReadU64();
+    worker.updates = reader->ReadU64();
+    worker.gaps = reader->ReadU64();
+    worker.finished = reader->ReadBits(8) != 0;
+    worker.connected = reader->ReadBits(8) != 0;
+    stats.workers.push_back(std::move(worker));
+  }
+  return stats;
+}
+
 // --------------------------------------------------------------- framing --
 
 std::vector<uint8_t> EncodeFrame(uint8_t first, const BitWriter& body) {

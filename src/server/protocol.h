@@ -1,6 +1,10 @@
 // Wire protocol of the multi-tenant sketch server (lps_serve).
 //
-// One frame = one request or one response:
+// One frame = one request or one response (the single exception is
+// INGEST_STREAM, a request frame that elicits no response: a sender
+// streams a run of them back-to-back and collects one cumulative
+// INGEST_SYNC ack, so pipelined ingest pays one RTT per run instead of
+// one per batch):
 //
 //     [u32 LE payload length] [payload bytes]
 //     payload[0]   = opcode (requests) / status byte (responses: 0 = ok,
@@ -56,6 +60,12 @@ enum class Opcode : uint8_t {
   kRestore = 6,   ///< recreate tenant/key from a snapshot blob
   kDrop = 7,      ///< forget tenant/key
   kStats = 8,     ///< server-wide counters
+  // ---- appended: streaming ingest framing ------------------------------
+  kIngestStream = 9,  ///< pipelined ingest batch: NO per-frame reply
+  kIngestSync = 10,   ///< close a streamed run: one cumulative ack / error
+  // ---- appended: distributed aggregation tier (src/dist/) --------------
+  kEpoch = 11,      ///< fold one worker epoch delta (EpochBlob -> EpochAck)
+  kDistStats = 12,  ///< aggregator fold/gap counters (DistStats)
 };
 
 /// Response status byte.
@@ -136,6 +146,70 @@ struct ServerStats {
 
 void SerializeStats(const ServerStats& stats, BitWriter* writer);
 ServerStats DeserializeStats(BitReader* reader);
+
+/// One sealed ingest epoch, shipped by a distributed worker (or an
+/// intermediate combiner) to the aggregator it feeds. The state is the
+/// epoch's DELTA — the worker serializes its whole-prefix sketch at the
+/// epoch boundary and then Reset()s it, so folding every delta with
+/// Merge reconstructs the prefix exactly, and for exact-arithmetic
+/// kinds the fold is bit-identical to solo ingest in ANY arrival order
+/// (linearity). `config` rides along so the aggregator can auto-create
+/// the stream on the first epoch it sees.
+struct EpochBlob {
+  std::string tenant;
+  std::string key;
+  std::string worker_id;     ///< stable name of the shipping node
+  uint64_t session = 0;      ///< per-boot nonce; a changed session = restart
+  uint64_t seq = 0;          ///< epoch index within the session, from 0
+  uint64_t count = 0;        ///< updates folded into this delta
+  bool final_epoch = false;  ///< clean end-of-stream marker
+  SketchConfig config;
+  std::vector<uint64_t> state_words;  ///< LinearSketch::Serialize of the delta
+  size_t state_bits = 0;
+};
+
+void SerializeEpoch(const EpochBlob& blob, BitWriter* writer);
+EpochBlob DeserializeEpoch(BitReader* reader);
+
+/// The EPOCH ok-reply. `applied` is false for a duplicate sequence (a
+/// reconnecting worker re-sent an epoch the aggregator already folded —
+/// acked, not re-folded, so the retry path is idempotent).
+struct EpochAck {
+  bool applied = false;
+  uint64_t next_seq = 0;  ///< the sequence the aggregator expects next
+};
+
+void SerializeEpochAck(const EpochAck& ack, BitWriter* writer);
+EpochAck DeserializeEpochAck(BitReader* reader);
+
+/// Per-(stream, worker) fold progress inside a DistStats answer.
+struct DistWorkerStats {
+  std::string stream;  ///< "tenant/key"
+  std::string worker_id;
+  uint64_t session = 0;
+  uint64_t next_seq = 0;   ///< next expected epoch sequence
+  uint64_t epochs = 0;     ///< epochs folded from this worker
+  uint64_t updates = 0;    ///< updates folded from this worker
+  uint64_t gaps = 0;       ///< epochs known lost (sequence skips/restarts)
+  bool finished = false;   ///< worker shipped its final epoch
+  bool connected = false;  ///< worker currently holds a live connection
+};
+
+/// Aggregator-side counters answered by DIST_STATS. Same wire rule as
+/// ServerStats: append fields, never renumber.
+struct DistStats {
+  uint64_t epochs_folded = 0;
+  uint64_t updates_folded = 0;
+  uint64_t gaps = 0;         ///< epochs known lost across all workers
+  uint64_t sessions = 0;     ///< distinct worker sessions seen
+  uint64_t interrupted = 0;  ///< workers disconnected without a final epoch
+  uint64_t fold_ns = 0;      ///< cumulative wall time decoding + folding
+  bool combiner = false;     ///< node forwards upstream instead of serving
+  std::vector<DistWorkerStats> workers;
+};
+
+void SerializeDistStats(const DistStats& stats, BitWriter* writer);
+DistStats DeserializeDistStats(BitReader* reader);
 
 // Small shared primitives the payload structs compose.
 void WriteString(BitWriter* writer, const std::string& s);

@@ -162,8 +162,9 @@ void Server::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto connection =
-        std::make_unique<Connection>(fd, options_.outbox_capacity);
+    auto connection = std::make_unique<Connection>(
+        fd, next_connection_id_.fetch_add(1, std::memory_order_relaxed),
+        options_.outbox_capacity);
     Connection* raw = connection.get();
     raw->reader = std::thread([this, raw] { ReaderMain(raw); });
     raw->writer = std::thread([this, raw] { WriterMain(raw); });
@@ -214,6 +215,7 @@ void Server::ReaderMain(Connection* connection) {
     }
     if (!HandleFrame(connection, std::move(frame.value()))) break;
   }
+  if (extension_ != nullptr) extension_->OnConnectionClosed(connection->id);
   connection->outbox.Close();
   // Wake the writer if it is mid-send on a dead peer, and mark the
   // connection reapable once the writer drains.
@@ -299,14 +301,58 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       const std::string key = ReadString(&body);
       const std::vector<stream::Update> updates = ReadUpdates(&body);
       if (body.failed()) return SendMalformed(connection);
-      const Status status = registry_.Ingest(tenant, key, updates);
-      if (!status.ok()) {
-        SendError(connection, status.message());
+      const Result<uint64_t> seen = registry_.Ingest(tenant, key, updates);
+      if (!seen.ok()) {
+        SendError(connection, seen.status().message());
       } else {
         BitWriter reply;
         reply.WriteU64(updates.size());
         SendOk(connection, reply);
       }
+      return true;
+    }
+    case Opcode::kIngestStream: {
+      // Pipelined ingest: NO response frame. The sender streams a run
+      // of these back-to-back and collects one cumulative INGEST_SYNC
+      // ack, so neither side pays a per-batch round trip. Errors are
+      // deferred: the first one poisons the run (later frames are
+      // decoded but not applied) and surfaces exactly once, on the
+      // sync — the frame boundary stays sound throughout, so the
+      // connection itself keeps serving.
+      const std::string tenant = ReadString(&body);
+      const std::string key = ReadString(&body);
+      const std::vector<stream::Update> updates = ReadUpdates(&body);
+      if (body.failed()) {
+        if (connection->stream_error.empty()) {
+          connection->stream_error = "malformed request body";
+        }
+        return true;
+      }
+      if (!connection->stream_error.empty()) return true;
+      const Result<uint64_t> seen = registry_.Ingest(tenant, key, updates);
+      if (!seen.ok()) {
+        connection->stream_error = seen.status().message();
+        return true;
+      }
+      connection->stream_count += updates.size();
+      connection->stream_seen = seen.value();
+      return true;
+    }
+    case Opcode::kIngestSync: {
+      // Close the streamed run: one ack carrying the cumulative accepted
+      // count and the target stream's updates_seen, or the run's first
+      // deferred error. Either way the run state resets.
+      if (connection->stream_error.empty()) {
+        BitWriter reply;
+        reply.WriteU64(connection->stream_count);
+        reply.WriteU64(connection->stream_seen);
+        SendOk(connection, reply);
+      } else {
+        SendError(connection, connection->stream_error);
+      }
+      connection->stream_count = 0;
+      connection->stream_seen = 0;
+      connection->stream_error.clear();
       return true;
     }
     case Opcode::kQuery: {
@@ -390,6 +436,24 @@ bool Server::HandleFrame(Connection* connection, Frame frame) {
       BitWriter reply;
       SerializeStats(registry_.Stats(), &reply);
       SendOk(connection, reply);
+      return true;
+    }
+    case Opcode::kEpoch:
+    case Opcode::kDistStats:
+      break;  // dist-tier opcodes: handled by the extension below
+  }
+  // Not a core opcode: offer it to the extension (the dist-tier
+  // aggregator) before declaring it unknown.
+  if (extension_ != nullptr) {
+    BitWriter reply;
+    Status status = Status::OK();
+    if (extension_->HandleOpcode(connection->id, frame.first, &body, &reply,
+                                 &status)) {
+      if (!status.ok()) {
+        SendError(connection, status.message());
+      } else {
+        SendOk(connection, reply);
+      }
       return true;
     }
   }

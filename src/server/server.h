@@ -60,6 +60,31 @@
 
 namespace lps::server {
 
+/// Extension point for opcodes the core transport does not implement
+/// (the distributed-aggregation tier in src/dist/ registers one).
+/// Server offers every non-core opcode here before answering "unknown
+/// opcode". Implementations must be thread-safe: HandleOpcode runs
+/// concurrently on connection reader threads.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+
+  /// Returns true when this handler owns `opcode`; the server then
+  /// sends either an error response carrying `status`'s message (when
+  /// non-OK) or an ok response with `*reply` as its body. `body` is the
+  /// request's permissive reader; a handler that finds it failed()
+  /// should answer "malformed request body" like the core opcodes do.
+  /// `connection_id` is stable for the life of the TCP connection and
+  /// never reused within one server.
+  virtual bool HandleOpcode(uint64_t connection_id, uint8_t opcode,
+                            BitReader* body, BitWriter* reply,
+                            Status* status) = 0;
+
+  /// The connection's reader exited (peer EOF, protocol violation, or
+  /// server shutdown) — runs exactly once per accepted connection.
+  virtual void OnConnectionClosed(uint64_t connection_id) = 0;
+};
+
 class Server {
  public:
   struct Options {
@@ -108,6 +133,10 @@ class Server {
 
   TenantRegistry& registry() { return registry_; }
 
+  /// Attaches the non-core-opcode handler (the dist-tier aggregator).
+  /// Must run before Start(); `handler` must outlive the server.
+  void set_extension(FrameHandler* handler) { extension_ = handler; }
+
   /// Tenants rebuilt from the store during Start() (0 without data_dir).
   size_t restored_tenants() const { return restored_tenants_; }
 
@@ -136,13 +165,20 @@ class Server {
   };
 
   struct Connection {
-    explicit Connection(int fd_in, size_t outbox_capacity)
-        : fd(fd_in), outbox(outbox_capacity) {}
+    explicit Connection(int fd_in, uint64_t id_in, size_t outbox_capacity)
+        : fd(fd_in), id(id_in), outbox(outbox_capacity) {}
     int fd;
+    /// Monotonic per-server id, handed to the FrameHandler extension so
+    /// it can track per-connection peers (never reused).
+    uint64_t id;
     Outbox outbox;
     std::thread reader;
     std::thread writer;
     std::atomic<bool> done{false};
+    // ---- INGEST_STREAM run state (touched by the reader thread only) --
+    uint64_t stream_count = 0;  ///< updates accepted since the last sync
+    uint64_t stream_seen = 0;   ///< target stream's updates_seen, last frame
+    std::string stream_error;   ///< first deferred error; empty = clean run
   };
 
   void AcceptLoop();
@@ -167,6 +203,8 @@ class Server {
   void SnapshotLoop();
 
   Options options_;
+  FrameHandler* extension_ = nullptr;  // set before Start(), then const
+  std::atomic<uint64_t> next_connection_id_{1};
   /// Declared BEFORE registry_: entries hold WindowManagers whose spill
   /// chains reference the store, so the registry must die first.
   std::unique_ptr<persist::CheckpointStore> store_;

@@ -172,9 +172,9 @@ Status TenantRegistry::Create(const std::string& tenant,
   return Status::OK();
 }
 
-Status TenantRegistry::Ingest(const std::string& tenant,
-                              const std::string& key,
-                              const std::vector<stream::Update>& updates) {
+Result<uint64_t> TenantRegistry::Ingest(
+    const std::string& tenant, const std::string& key,
+    const std::vector<stream::Update>& updates) {
   std::unique_lock<std::mutex> lock;
   auto entry = FindLive(tenant, key, &lock);
   if (entry == nullptr) {
@@ -225,6 +225,54 @@ Status TenantRegistry::Ingest(const std::string& tenant,
   }
   entry->updates_seen += updates.size();
   updates_.fetch_add(updates.size(), std::memory_order_relaxed);
+  ingests_.fetch_add(1, std::memory_order_relaxed);
+  return entry->updates_seen;
+}
+
+Status TenantRegistry::FoldEpoch(const std::string& tenant,
+                                 const std::string& key,
+                                 const SketchConfig& config,
+                                 const LinearSketch& delta, uint64_t count) {
+  std::unique_lock<std::mutex> lock;
+  auto entry = FindLive(tenant, key, &lock);
+  if (entry == nullptr) {
+    SketchConfig inline_config = config;
+    inline_config.shards = 1;
+    inline_config.threads = 0;
+    const Status created = Create(tenant, key, inline_config);
+    // Two workers racing their first epoch both miss the lookup; losing
+    // the CREATE race is fine as long as somebody won it.
+    entry = FindLive(tenant, key, &lock);
+    if (entry == nullptr) {
+      return created.ok() ? Status::Failed("fold raced a concurrent drop")
+                          : created;
+    }
+  }
+  // The entry may predate this worker (created by a CREATE request or
+  // another worker's first epoch): its spec must match the epoch's
+  // byte-for-byte, else Merge would CHECK on mismatched parameters.
+  BitWriter ours;
+  BitWriter theirs;
+  SerializeSpec(entry->config.spec, &ours);
+  SerializeSpec(config.spec, &theirs);
+  if (ours.bit_count() != theirs.bit_count() ||
+      ours.words() != theirs.words()) {
+    return Status::InvalidArgument("epoch spec does not match stream " +
+                                   tenant + "/" + key);
+  }
+  // Mixed ingest (direct INGEST plus folded epochs) must not fold into
+  // a replica that lags an open pipeline epoch.
+  Quiesce(entry.get());
+  entry->last_touch_ms = NowMs();
+  entry->replicas[0]->Merge(delta);
+  if (entry->window != nullptr && count > 0) {
+    // Checkpoint positions reflect fold ARRIVAL order across workers —
+    // window starts are aggregator-local, only the whole prefix is
+    // order-independent (docs/architecture.md, failure semantics).
+    entry->window->SealEpoch(count);
+  }
+  entry->updates_seen += count;
+  updates_.fetch_add(count, std::memory_order_relaxed);
   ingests_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

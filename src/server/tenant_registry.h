@@ -110,9 +110,23 @@ class TenantRegistry {
   /// Appends a batch of updates to the stream. Routed through the
   /// entry's pipeline when one is configured, else applied inline;
   /// window checkpoints are sealed at exact checkpoint_interval
-  /// positions either way.
-  Status Ingest(const std::string& tenant, const std::string& key,
-                const std::vector<stream::Update>& updates);
+  /// positions either way. Returns the stream's updates_seen after the
+  /// batch (the cumulative position INGEST_SYNC acks report).
+  Result<uint64_t> Ingest(const std::string& tenant, const std::string& key,
+                          const std::vector<stream::Update>& updates);
+
+  /// Folds one distributed epoch delta into (tenant, key): Merge into
+  /// the whole-prefix sketch, seal a window checkpoint at the epoch
+  /// boundary, advance updates_seen by `count`. Creates the entry from
+  /// `config` on first fold, with an inline topology — the aggregator
+  /// needs no pipeline; its fan-in parallelism IS the worker processes.
+  /// `delta` must already be validated against `config` (the aggregator
+  /// runs dist::DecodeEpochState first); this method cross-checks
+  /// `config` against the entry's so a stream created with different
+  /// parameters can never reach Merge's parameter CHECK.
+  Status FoldEpoch(const std::string& tenant, const std::string& key,
+                   const SketchConfig& config, const LinearSketch& delta,
+                   uint64_t count);
 
   /// Whole-stream query: quiesces any open pipeline epoch, then answers
   /// from replica 0 with the same unified QueryResult the CLI prints.

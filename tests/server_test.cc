@@ -547,6 +547,101 @@ TEST(ServerTest, DeadSlowClientDoesNotWedgeTheServer) {
   server.Stop();
 }
 
+TEST(ServerTest, StreamedIngestMatchesRpcIngestBitForBit) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Create("rpc", "s", HeavyConfig(7)).ok());
+  ASSERT_TRUE(client.Create("stream", "s", HeavyConfig(7)).ok());
+
+  const std::vector<stream::Update> updates = TenantStream(3, 4096);
+  constexpr size_t kBatch = 257;  // odd size: exercise the partial tail
+  uint64_t total = 0;
+  for (size_t at = 0; at < updates.size(); at += kBatch) {
+    const size_t take = std::min(kBatch, updates.size() - at);
+    const std::vector<stream::Update> batch(updates.begin() + at,
+                                            updates.begin() + at + take);
+    const auto seen = client.Ingest("rpc", "s", batch);
+    ASSERT_TRUE(seen.ok()) << seen.status().ToString();
+    // The whole run goes on the wire before the single sync below reads
+    // anything back — that pipelining is the point of the opcode.
+    ASSERT_TRUE(client.StreamIngest("stream", "s", batch).ok());
+    total += take;
+  }
+  const auto ack = client.StreamSync();
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->count, total);
+  EXPECT_EQ(ack->updates_seen, total);
+
+  const auto rpc_snap = client.Snapshot("rpc", "s");
+  const auto stream_snap = client.Snapshot("stream", "s");
+  ASSERT_TRUE(rpc_snap.ok() && stream_snap.ok());
+  EXPECT_EQ(stream_snap->updates_seen, rpc_snap->updates_seen);
+  EXPECT_EQ(stream_snap->state_bits, rpc_snap->state_bits);
+  EXPECT_EQ(stream_snap->state_words, rpc_snap->state_words);
+  server->Stop();
+}
+
+TEST(ServerTest, StreamErrorsDeferToTheSyncAndResetTheRun) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Create("a", "s", HeavyConfig(1)).ok());
+
+  // An entire run against a stream that doesn't exist: every frame is
+  // swallowed silently, the one sync carries the first error.
+  ASSERT_TRUE(client.StreamIngest("nobody", "s", TenantStream(0, 32)).ok());
+  ASSERT_TRUE(client.StreamIngest("nobody", "s", TenantStream(0, 32)).ok());
+  const auto missing = client.StreamSync();
+  EXPECT_FALSE(missing.ok());
+
+  // The first failure poisons the run: the valid prefix is applied, the
+  // poisoning batch and everything after it are decoded but dropped.
+  const std::vector<stream::Update> good = TenantStream(0, 64);
+  const std::vector<stream::Update> hostile = {{kN + 5, 1}};
+  ASSERT_TRUE(client.StreamIngest("a", "s", good).ok());
+  ASSERT_TRUE(client.StreamIngest("a", "s", hostile).ok());
+  ASSERT_TRUE(client.StreamIngest("a", "s", good).ok());
+  const auto poisoned = client.StreamSync();
+  EXPECT_FALSE(poisoned.ok());
+  const auto snap = client.Snapshot("a", "s");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->updates_seen, good.size());
+
+  // The sync reset the run state, so the connection starts clean.
+  ASSERT_TRUE(client.StreamIngest("a", "s", good).ok());
+  const auto clean = client.StreamSync();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->count, good.size());
+  EXPECT_EQ(clean->updates_seen, 2 * good.size());
+  server->Stop();
+}
+
+TEST(ServerTest, MalformedStreamBodyIsDeferredNotFatal) {
+  auto server = MustStart();
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Create("a", "s", HeavyConfig(1)).ok());
+
+  // A well-framed INGEST_STREAM whose 64-bit body is garbage: like any
+  // stream frame it gets NO reply — the decode failure is deferred to
+  // the sync and the frame boundary stays sound.
+  std::vector<uint8_t> frame = {17, 0, 0, 0,
+                                uint8_t(Opcode::kIngestStream),
+                                64, 0,  0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 8; ++i) frame.push_back(0xFF);
+  ASSERT_TRUE(client.SendRaw(frame).ok());
+  const auto sync = client.StreamSync();
+  EXPECT_FALSE(sync.ok());
+  EXPECT_NE(sync.status().ToString().find("malformed"), std::string::npos)
+      << sync.status().ToString();
+
+  // Same connection, next run: clean.
+  const std::vector<stream::Update> good = TenantStream(0, 48);
+  ASSERT_TRUE(client.StreamIngest("a", "s", good).ok());
+  const auto ack = client.StreamSync();
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->count, good.size());
+  server->Stop();
+}
+
 TEST(ServerTest, DropForgetsOnlyTheNamedStream) {
   auto server = MustStart();
   Client client = MustConnect(*server);

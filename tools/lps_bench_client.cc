@@ -27,9 +27,20 @@
 // both from the rebooted daemon and demands they are BIT-IDENTICAL to
 // the pre-crash files.
 //
+// --dist-verify / --dist-gap-verify pair with the distributed tier's
+// multi-process smoke: after N lps_worker processes ship the planted
+// stream (src/dist/planted.h) into an aggregator, dist-verify rebuilds
+// the solo sketch in-process and demands the aggregator's SNAPSHOT
+// state is bit-identical and its QUERY answer equal (with the planted
+// heavy hitter present); dist-gap-verify polls DIST_STATS until a
+// killed worker shows up as an interrupted lane, then proves the
+// aggregator still serves the epochs it already folded.
+//
 // Usage:
 //   lps_bench_client [--port p] [--quick] [--smoke] [--out file]
 //                    [--crash-prepare | --crash-verify]
+//                    [--dist-verify | --dist-gap-verify]
+//                    [--total n] [--tenant t] [--key k]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -42,6 +53,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/api/query_result.h"
+#include "src/api/sketch_spec.h"
+#include "src/dist/planted.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 #include "src/stream/generators.h"
@@ -98,6 +112,11 @@ struct Flags {
   bool smoke = false;
   bool crash_prepare = false;
   bool crash_verify = false;
+  bool dist_verify = false;
+  bool dist_gap_verify = false;
+  uint64_t total = 1 << 16;  // planted-stream length for --dist-verify
+  std::string tenant = "dist";
+  std::string key = "s";
   std::string out = "BENCH_serve.json";
 };
 
@@ -293,6 +312,131 @@ int RunCrashVerify(const std::string& host, int port,
   return 0;
 }
 
+// ------------------------------------------------------ dist tier verify --
+
+/// The oracle side of the multi-process smoke: every update of the
+/// planted stream applied to one local sketch — what the aggregator's
+/// fold must reproduce exactly.
+std::unique_ptr<lps::LinearSketch> SoloPlanted(uint64_t total) {
+  auto sketch = lps::MakeSketch(lps::dist::PlantedConfig().spec);
+  std::vector<lps::stream::Update> updates;
+  updates.reserve(4096);
+  for (uint64_t position = 0; position < total;) {
+    updates.clear();
+    while (updates.size() < 4096 && position < total) {
+      updates.push_back(
+          lps::dist::PlantedUpdate(position++, lps::dist::kPlantedUniverse));
+    }
+    sketch->UpdateBatch(updates.data(), updates.size());
+  }
+  return sketch;
+}
+
+int RunDistVerify(const std::string& host, int port, uint64_t total,
+                  const std::string& tenant, const std::string& key) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+
+  const std::unique_ptr<lps::LinearSketch> solo = SoloPlanted(total);
+  lps::BitWriter solo_state;
+  solo->Serialize(&solo_state);
+
+  auto snapshot = client.Snapshot(tenant, key);
+  if (!snapshot.ok()) return Fail("snapshot", snapshot.status());
+  if (snapshot->updates_seen != total) {
+    std::fprintf(stderr,
+                 "lps_bench_client: aggregator folded %llu updates, "
+                 "expected %llu\n",
+                 static_cast<unsigned long long>(snapshot->updates_seen),
+                 static_cast<unsigned long long>(total));
+    return 1;
+  }
+  const bool state_equal = snapshot->state_bits == solo_state.bit_count() &&
+                           snapshot->state_words == solo_state.words();
+  if (!state_equal) {
+    std::fprintf(stderr,
+                 "lps_bench_client: aggregator state (%zu bits) is not "
+                 "bit-identical to the solo sketch (%zu bits)\n",
+                 snapshot->state_bits, solo_state.bit_count());
+    return 1;
+  }
+
+  auto query = client.Query(tenant, key);
+  if (!query.ok()) return Fail("query", query.status());
+  const QueryResult solo_answer = lps::Query(*solo);
+  if (*query != solo_answer) {
+    std::fprintf(stderr,
+                 "lps_bench_client: aggregator answers differently from "
+                 "solo:\n  %s  %s",
+                 solo_answer.ToText().c_str(), query->ToText().c_str());
+    return 1;
+  }
+  const bool heavy_found =
+      std::find(query->items.begin(), query->items.end(),
+                lps::dist::kPlantedHeavy) != query->items.end();
+  if (!heavy_found) {
+    std::fprintf(stderr,
+                 "lps_bench_client: planted heavy coordinate %llu missing "
+                 "from distributed answer: %s",
+                 static_cast<unsigned long long>(lps::dist::kPlantedHeavy),
+                 query->ToText().c_str());
+    return 1;
+  }
+  std::printf("dist verify OK (%llu updates, %zu state bits bit-identical "
+              "to solo, answers equal)\n",
+              static_cast<unsigned long long>(total), snapshot->state_bits);
+  return 0;
+}
+
+int RunDistGapVerify(const std::string& host, int port,
+                     const std::string& tenant, const std::string& key) {
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+
+  // The killed worker disconnects without a final marker; give the
+  // aggregator a generous window to notice the closed socket.
+  lps::server::DistStats stats;
+  bool interrupted = false;
+  for (int attempt = 0; attempt < 100 && !interrupted; ++attempt) {
+    auto fetched = client.FetchDistStats();
+    if (!fetched.ok()) return Fail("dist stats", fetched.status());
+    stats = std::move(fetched.value());
+    interrupted = stats.interrupted > 0;
+    if (!interrupted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (!interrupted) {
+    std::fprintf(stderr,
+                 "lps_bench_client: no interrupted lane reported after a "
+                 "worker kill (%llu epochs, %llu gaps)\n",
+                 static_cast<unsigned long long>(stats.epochs_folded),
+                 static_cast<unsigned long long>(stats.gaps));
+    return 1;
+  }
+
+  // Degraded, not down: the epochs folded before the kill still serve.
+  auto query = client.Query(tenant, key);
+  if (!query.ok()) return Fail("query after worker kill", query.status());
+  const bool heavy_found =
+      std::find(query->items.begin(), query->items.end(),
+                lps::dist::kPlantedHeavy) != query->items.end();
+  if (query->type != QueryResult::Type::kHeavyHitters || !heavy_found) {
+    std::fprintf(stderr,
+                 "lps_bench_client: degraded aggregator lost the planted "
+                 "answer: %s",
+                 query->ToText().c_str());
+    return 1;
+  }
+  std::printf("dist gap verify OK (%llu interrupted lane(s), %llu epochs "
+              "still served)\n",
+              static_cast<unsigned long long>(stats.interrupted),
+              static_cast<unsigned long long>(stats.epochs_folded));
+  return 0;
+}
+
 // ---------------------------------------------------------------- bench --
 
 struct PhaseStats {
@@ -314,14 +458,22 @@ struct SweepRow {
   PhaseStats ingest;
   PhaseStats query;
   double updates_per_sec = 0;
+  /// Aggregate worker-side send throughput: the sum over client threads
+  /// of each thread's own updates / its own ingest-phase wall time. The
+  /// per-thread clock excludes the other phases' tail, so this is the
+  /// rate the senders actually sustained — the number comparable with
+  /// the distributed tier's per-worker ingest rates.
+  double send_updates_per_sec = 0;
 };
 
 /// One tenant's full load: CREATE, `requests` INGEST batches, then
-/// `queries` QUERY + one WINDOW. Latencies append under `mutex`.
+/// `queries` QUERY + one WINDOW. Latencies append under `mutex`;
+/// `send_rate_sum` accumulates this thread's own ingest-phase rate.
 void TenantLoad(const std::string& host, int port, uint64_t tenant,
                 uint64_t n, size_t requests, size_t batch, size_t queries,
                 std::mutex* mutex, std::vector<double>* ingest_us,
-                std::vector<double>* query_us, bool* failed) {
+                std::vector<double>* query_us, double* send_rate_sum,
+                bool* failed) {
   auto connected = lps::server::Client::Connect(host, port);
   if (!connected.ok()) {
     std::lock_guard<std::mutex> lock(*mutex);
@@ -338,6 +490,7 @@ void TenantLoad(const std::string& host, int port, uint64_t tenant,
   std::vector<double> my_ingest, my_query;
   std::vector<lps::stream::Update> updates(batch);
   uint64_t position = 0;
+  const auto ingest_phase_start = Clock::now();
   for (size_t r = 0; r < requests; ++r) {
     for (size_t i = 0; i < batch; ++i) {
       updates[i] = MakeUpdate(tenant, position++, n);
@@ -351,6 +504,13 @@ void TenantLoad(const std::string& host, int port, uint64_t tenant,
       return;
     }
   }
+  const double ingest_phase_seconds =
+      std::chrono::duration<double>(Clock::now() - ingest_phase_start)
+          .count();
+  const double my_send_rate =
+      ingest_phase_seconds > 0
+          ? double(requests * batch) / ingest_phase_seconds
+          : 0;
   for (size_t q = 0; q < queries; ++q) {
     const auto start = Clock::now();
     // Every 4th query materializes a trailing window instead — both
@@ -369,6 +529,59 @@ void TenantLoad(const std::string& host, int port, uint64_t tenant,
   std::lock_guard<std::mutex> lock(*mutex);
   ingest_us->insert(ingest_us->end(), my_ingest.begin(), my_ingest.end());
   query_us->insert(query_us->end(), my_query.begin(), my_query.end());
+  *send_rate_sum += my_send_rate;
+}
+
+/// Single-tenant framing comparison: the same updates once as per-batch
+/// INGEST round trips and once as a pipelined INGEST_STREAM run closed
+/// by one INGEST_SYNC — the satellite measurement behind the streamed
+/// opcode. Returns false on any failure.
+bool RunFramingCompare(const std::string& host, int port, bool quick,
+                       double* rpc_ups, double* stream_ups) {
+  const uint64_t n = 1 << 14;
+  const size_t requests = quick ? 64 : 512;
+  const size_t batch = quick ? 256 : 1024;
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return false;
+  lps::server::Client client = std::move(connected.value());
+
+  std::vector<lps::stream::Update> updates(batch);
+  const auto run = [&](const std::string& key, bool streamed,
+                       double* out) -> bool {
+    if (!client.Create("framing", key, TenantConfig(77, n)).ok()) {
+      return false;
+    }
+    uint64_t position = 0;
+    const auto start = Clock::now();
+    for (size_t r = 0; r < requests; ++r) {
+      for (size_t i = 0; i < batch; ++i) {
+        updates[i] = MakeUpdate(77, position++, n);
+      }
+      if (streamed) {
+        if (!client.StreamIngest("framing", key, updates).ok()) return false;
+      } else {
+        if (!client.Ingest("framing", key, updates).ok()) return false;
+      }
+    }
+    if (streamed) {
+      auto ack = client.StreamSync();
+      if (!ack.ok() || ack->count != uint64_t(requests * batch)) return false;
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    *out = seconds > 0 ? double(requests * batch) / seconds : 0;
+    return true;
+  };
+  if (!run("rpc", false, rpc_ups)) return false;
+  if (!run("stream", true, stream_ups)) return false;
+  // Both framings must land the same stream: equal answers or the
+  // comparison is meaningless.
+  auto rpc_query = client.Query("framing", "rpc");
+  auto stream_query = client.Query("framing", "stream");
+  if (!rpc_query.ok() || !stream_query.ok() || *rpc_query != *stream_query) {
+    return false;
+  }
+  return true;
 }
 
 int RunBench(const std::string& host, int port, bool quick,
@@ -383,6 +596,7 @@ int RunBench(const std::string& host, int port, bool quick,
   for (int tenants : tenant_counts) {
     std::mutex mutex;
     std::vector<double> ingest_us, query_us;
+    double send_rate_sum = 0;
     bool failed = false;
     const auto start = Clock::now();
     std::vector<std::thread> threads;
@@ -391,7 +605,7 @@ int RunBench(const std::string& host, int port, bool quick,
       threads.emplace_back([&, t] {
         TenantLoad(host, port, uint64_t(t) + uint64_t(tenants) * 1000, n,
                    requests, batch, queries, &mutex, &ingest_us, &query_us,
-                   &failed);
+                   &send_rate_sum, &failed);
       });
     }
     for (auto& thread : threads) thread.join();
@@ -412,14 +626,26 @@ int RunBench(const std::string& host, int port, bool quick,
     row.query = Summarize(query_us, seconds);
     row.updates_per_sec =
         double(size_t(tenants) * requests * batch) / seconds;
+    row.send_updates_per_sec = send_rate_sum;
     rows.push_back(row);
     std::printf("tenants %2d: ingest %8.0f req/s (p50 %7.1f us, p99 %8.1f "
                 "us), query %7.0f req/s (p50 %7.1f us, p99 %8.1f us), "
-                "%.2f Mupd/s\n",
+                "%.2f Mupd/s, send %.2f Mupd/s\n",
                 tenants, row.ingest.rps, row.ingest.p50_us,
                 row.ingest.p99_us, row.query.rps, row.query.p50_us,
-                row.query.p99_us, row.updates_per_sec / 1e6);
+                row.query.p99_us, row.updates_per_sec / 1e6,
+                row.send_updates_per_sec / 1e6);
   }
+
+  double rpc_ups = 0, stream_ups = 0;
+  if (!RunFramingCompare(host, port, quick, &rpc_ups, &stream_ups)) {
+    std::fprintf(stderr, "lps_bench_client: framing comparison failed\n");
+    return 1;
+  }
+  std::printf("framing: RPC %.2f Mupd/s, INGEST_STREAM %.2f Mupd/s "
+              "(%.2fx)\n",
+              rpc_ups / 1e6, stream_ups / 1e6,
+              rpc_ups > 0 ? stream_ups / rpc_ups : 0);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -437,13 +663,17 @@ int RunBench(const std::string& host, int port, bool quick,
                  "    {\"tenants\": %d, \"ingest_rps\": %.0f, "
                  "\"ingest_p50_us\": %.1f, \"ingest_p99_us\": %.1f, "
                  "\"query_rps\": %.0f, \"query_p50_us\": %.1f, "
-                 "\"query_p99_us\": %.1f, \"updates_per_sec\": %.0f}%s\n",
+                 "\"query_p99_us\": %.1f, \"updates_per_sec\": %.0f, "
+                 "\"send_updates_per_sec\": %.0f}%s\n",
                  row.tenants, row.ingest.rps, row.ingest.p50_us,
                  row.ingest.p99_us, row.query.rps, row.query.p50_us,
                  row.query.p99_us, row.updates_per_sec,
-                 i + 1 < rows.size() ? "," : "");
+                 row.send_updates_per_sec, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out,
+               "  ],\n  \"stream_framing\": {\"rpc_updates_per_sec\": %.0f, "
+               "\"stream_updates_per_sec\": %.0f, \"speedup\": %.3f}\n}\n",
+               rpc_ups, stream_ups, rpc_ups > 0 ? stream_ups / rpc_ups : 0);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
@@ -463,6 +693,16 @@ int main(int argc, char** argv) {
       flags.crash_prepare = true;
     } else if (std::strcmp(argv[a], "--crash-verify") == 0) {
       flags.crash_verify = true;
+    } else if (std::strcmp(argv[a], "--dist-verify") == 0) {
+      flags.dist_verify = true;
+    } else if (std::strcmp(argv[a], "--dist-gap-verify") == 0) {
+      flags.dist_gap_verify = true;
+    } else if (std::strcmp(argv[a], "--total") == 0 && a + 1 < argc) {
+      flags.total = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(argv[a], "--tenant") == 0 && a + 1 < argc) {
+      flags.tenant = argv[++a];
+    } else if (std::strcmp(argv[a], "--key") == 0 && a + 1 < argc) {
+      flags.key = argv[++a];
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       flags.out = argv[++a];
     } else if (std::strcmp(argv[a], "--quick") == 0) {
@@ -470,9 +710,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: lps_bench_client [--port p] [--quick] [--smoke] "
-                   "[--out file] [--crash-prepare | --crash-verify]\n");
+                   "[--out file] [--crash-prepare | --crash-verify] "
+                   "[--dist-verify | --dist-gap-verify] [--total n] "
+                   "[--tenant t] [--key k]\n");
       return 2;
     }
+  }
+  if ((flags.dist_verify || flags.dist_gap_verify) && flags.port == 0) {
+    // The dist modes check an external aggregator that workers shipped
+    // into; an in-process empty server has nothing to verify.
+    std::fprintf(stderr, "lps_bench_client: dist modes need --port\n");
+    return 2;
   }
   if (flags.crash_prepare || flags.crash_verify) {
     // The crash modes only make sense against an external daemon that
@@ -500,7 +748,12 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  if (flags.crash_prepare) {
+  if (flags.dist_verify) {
+    exit_code =
+        RunDistVerify("127.0.0.1", port, flags.total, flags.tenant, flags.key);
+  } else if (flags.dist_gap_verify) {
+    exit_code = RunDistGapVerify("127.0.0.1", port, flags.tenant, flags.key);
+  } else if (flags.crash_prepare) {
     exit_code = RunCrashPrepare("127.0.0.1", port, flags.out);
   } else if (flags.crash_verify) {
     exit_code = RunCrashVerify("127.0.0.1", port, flags.out);

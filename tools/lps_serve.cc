@@ -22,6 +22,14 @@
 // on boot (a SIGKILL'd daemon comes back answering identically up to
 // the last completed snapshot pass), and — with --idle-timeout-ms —
 // evicted from RAM when idle, rehydrating lazily on next touch.
+//
+// Every lps_serve is also a distributed-tier AGGREGATOR (src/dist/):
+// lps_worker processes ship sealed epoch deltas which fold into the
+// registry with Merge, so the global prefix is served by the same
+// QUERY/WINDOW/SNAPSHOT surface. With --upstream host:port the daemon
+// runs as an interior COMBINER of a fan-in tree instead: child epochs
+// fold locally and the combined delta ships one level up every
+// --flush-interval-ms.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -31,6 +39,7 @@
 #include <string>
 #include <thread>
 
+#include "src/dist/aggregator.h"
 #include "src/kernels/kernels.h"
 #include "src/server/server.h"
 
@@ -45,7 +54,9 @@ int Usage() {
                "usage: lps_serve [--port p] [--data-dir dir]\n"
                "                 [--snapshot-interval-ms n] "
                "[--idle-timeout-ms n]\n"
-               "                 [--resident-checkpoints n]\n");
+               "                 [--resident-checkpoints n]\n"
+               "                 [--upstream host:port] [--node-id id]\n"
+               "                 [--flush-interval-ms n]\n");
   return 2;
 }
 
@@ -61,9 +72,30 @@ bool ParseU64(const char* text, uint64_t* out) {
 
 int main(int argc, char** argv) {
   lps::server::Server::Options options;
+  lps::dist::Aggregator::Options dist_options;
+  bool combiner = false;
   for (int a = 1; a < argc; ++a) {
     uint64_t value = 0;
-    if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
+    if (std::strcmp(argv[a], "--upstream") == 0 && a + 1 < argc) {
+      const std::string upstream = argv[a + 1];
+      const size_t colon = upstream.rfind(':');
+      if (colon == std::string::npos ||
+          !ParseU64(upstream.c_str() + colon + 1, &value) || value > 65535) {
+        return Usage();
+      }
+      dist_options.upstream_host = upstream.substr(0, colon);
+      dist_options.upstream_port = int(value);
+      combiner = true;
+      ++a;
+    } else if (std::strcmp(argv[a], "--node-id") == 0 && a + 1 < argc) {
+      dist_options.node_id = argv[a + 1];
+      ++a;
+    } else if (std::strcmp(argv[a], "--flush-interval-ms") == 0 &&
+               a + 1 < argc) {
+      if (!ParseU64(argv[a + 1], &value) || value == 0) return Usage();
+      dist_options.flush_interval_ms = value;
+      ++a;
+    } else if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
       if (!ParseU64(argv[a + 1], &value) || value > 65535) return Usage();
       options.port = int(value);
       ++a;
@@ -90,9 +122,23 @@ int main(int argc, char** argv) {
   }
 
   lps::server::Server server(options);
+  if (!combiner) dist_options.registry = &server.registry();
+  // Per-boot nonce on the combiner's upstream lane: a restarted
+  // combiner must not continue the old session's sequence space.
+  dist_options.upstream_session =
+      uint64_t(std::chrono::system_clock::now().time_since_epoch().count()) |
+      1;
+  lps::dist::Aggregator aggregator(dist_options);
+  server.set_extension(&aggregator);
   const lps::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "lps_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  const lps::Status dist_started = aggregator.Start();
+  if (!dist_started.ok()) {
+    std::fprintf(stderr, "lps_serve: %s\n", dist_started.ToString().c_str());
+    server.Stop();
     return 1;
   }
 
@@ -104,6 +150,12 @@ int main(int argc, char** argv) {
   std::printf("lps_serve listening on 127.0.0.1:%d\n", server.port());
   std::printf("lps_serve kernel backend: %s\n",
               lps::kernels::ActiveBackendName());
+  if (combiner) {
+    std::printf("lps_serve combiner %s -> %s:%d\n",
+                dist_options.node_id.c_str(),
+                dist_options.upstream_host.c_str(),
+                dist_options.upstream_port);
+  }
   if (!options.data_dir.empty()) {
     std::printf("lps_serve data dir %s: %llu tenants restored, "
                 "%llu torn bytes dropped\n",
@@ -119,6 +171,16 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  aggregator.Stop();
+  const lps::server::DistStats dist_stats = aggregator.Stats();
+  if (dist_stats.epochs_folded > 0 || combiner) {
+    std::printf("lps_serve dist: %llu epochs folded, %llu updates, "
+                "%llu gaps, %llu sessions\n",
+                static_cast<unsigned long long>(dist_stats.epochs_folded),
+                static_cast<unsigned long long>(dist_stats.updates_folded),
+                static_cast<unsigned long long>(dist_stats.gaps),
+                static_cast<unsigned long long>(dist_stats.sessions));
+  }
   const lps::server::ServerStats stats = server.registry().Stats();
   std::printf("lps_serve shut down cleanly: %llu tenants, %llu updates, "
               "%llu ingests, %llu queries, %llu snapshots, "
