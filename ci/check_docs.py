@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Docs gate: no dead relative links, and every fenced C++ example
+compiles against the real headers.
+
+Scope: README.md and docs/*.md.
+
+Link check — every markdown link whose target is a relative path (not
+http(s)/mailto/pure-#fragment) must resolve to a file or directory,
+relative to the linking document's own directory. Fragments are stripped
+before the existence check; anchor validity is not checked (header
+renames are caught by review, missing FILES are what rot silently).
+
+Snippet check — every fenced block tagged ```cpp is extracted into a
+scratch translation unit and compiled with `$CXX -std=c++17
+-fsyntax-only -I<repo>`:
+
+  * `#include` lines are hoisted to the top, and `#include "src/lps.h"`
+    is added when the snippet names anything from lps:: (so examples can
+    omit the boilerplate the way prose wants to);
+  * the snippet is first compiled at namespace scope (covers complete
+    functions/classes and full programs); if that fails, it is retried
+    wrapped in a uniquely named function body (covers statement-level
+    examples). Only a snippet failing BOTH shapes fails the gate, and
+    the namespace-scope diagnostics are what get printed;
+  * a snippet whose first line contains `doc-snippet: no-compile`
+    is skipped (for deliberately elided pseudo-code) — the skip is
+    logged, never silent.
+
+Blocks tagged anything else (```text, ```console, ```json, bare ```)
+are prose, not code, and are ignored.
+
+Exit codes: 0 pass, 1 dead link or non-compiling snippet, 2 bad setup.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def log(msg):
+    print(f"docs check: {msg}")
+
+
+def find_docs():
+    docs = []
+    readme = os.path.join(REPO, "README.md")
+    if os.path.exists(readme):
+        docs.append(readme)
+    docs_dir = os.path.join(REPO, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                docs.append(os.path.join(docs_dir, name))
+    return docs
+
+
+def check_links(path):
+    """Returns a list of (lineno, target) dead links."""
+    dead = []
+    base = os.path.dirname(path)
+    with open(path) as f:
+        in_fence = False
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue  # code blocks may show illustrative paths
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(base, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def extract_snippets(path):
+    """Returns a list of (first lineno inside the fence, code string)."""
+    snippets = []
+    with open(path) as f:
+        lines = f.readlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if match and match.group(1) in ("cpp", "c++", "cxx"):
+            body = []
+            i += 1
+            first = i + 1
+            while i < len(lines) and not FENCE_RE.match(lines[i]):
+                body.append(lines[i])
+                i += 1
+            snippets.append((first, "".join(body)))
+        elif match:
+            # Non-C++ fence: skip to its closing fence so C++-looking
+            # lines inside (say, a console transcript) are not extracted.
+            i += 1
+            while i < len(lines) and not FENCE_RE.match(lines[i]):
+                i += 1
+        i += 1
+    return snippets
+
+
+def build_tus(code, index):
+    """The candidate translation units for a snippet, preferred first."""
+    includes = []
+    rest = []
+    for line in code.splitlines():
+        if line.lstrip().startswith("#include"):
+            includes.append(line.lstrip())
+        else:
+            rest.append(line)
+    body = "\n".join(rest)
+    if "lps" in code and '#include "src/lps.h"' not in includes:
+        includes.insert(0, '#include "src/lps.h"')
+    prefix = "\n".join(includes) + "\n\n"
+    return [
+        prefix + body + "\n",  # complete declarations / full program
+        prefix + f"void lps_doc_snippet_{index}() {{\n{body}\n}}\n",
+    ]
+
+
+def try_compile(cxx, tu):
+    """Returns (ok, stderr)."""
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cc", delete=False) as f:
+        f.write(tu)
+        tu_path = f.name
+    try:
+        result = subprocess.run(
+            [cxx, "-std=c++17", "-fsyntax-only", f"-I{REPO}", tu_path],
+            capture_output=True, text=True)
+        return result.returncode == 0, result.stderr
+    finally:
+        os.unlink(tu_path)
+
+
+def compile_snippet(cxx, code, doc, lineno, index):
+    first_line = code.splitlines()[0] if code.splitlines() else ""
+    if "doc-snippet: no-compile" in first_line:
+        log(f"{doc}:{lineno}: snippet skipped (marked no-compile)")
+        return True
+    first_stderr = None
+    for tu in build_tus(code, index):
+        ok, stderr = try_compile(cxx, tu)
+        if ok:
+            return True
+        if first_stderr is None:
+            first_stderr = stderr
+    log(f"{doc}:{lineno}: snippet does NOT compile:")
+    sys.stderr.write(first_stderr or "")
+    return False
+
+
+def main():
+    cxx = os.environ.get("CXX", "c++")
+    try:
+        subprocess.run([cxx, "--version"], capture_output=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        print(f"docs check: compiler '{cxx}' not runnable", file=sys.stderr)
+        return 2
+
+    docs = find_docs()
+    if not docs:
+        print("docs check: no documents found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    links = 0
+    compiled = 0
+    for path in docs:
+        rel = os.path.relpath(path, REPO)
+        dead = check_links(path)
+        with open(path) as f:
+            text = f.read()
+        links += len([t for t in LINK_RE.findall(text)
+                      if not t.startswith(("http://", "https://",
+                                           "mailto:", "#"))])
+        for lineno, target in dead:
+            log(f"{rel}:{lineno}: dead link -> {target}")
+            failures += 1
+        for index, (lineno, code) in enumerate(extract_snippets(path)):
+            if compile_snippet(cxx, code, rel, lineno, index):
+                compiled += 1
+            else:
+                failures += 1
+
+    if failures:
+        print(f"docs check: FAIL ({failures} problem(s))", file=sys.stderr)
+        return 1
+    log(f"pass ({len(docs)} documents, {links} relative links resolved, "
+        f"{compiled} snippets compiled)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,20 @@ Compared metrics (the PR-to-PR trajectory the repo tracks):
     hardware_threads + quick mode + process topology (forked vs
     threaded) only.
 
+--io swaps the metric set for the async ingest front-end
+(BENCH_io.json):
+
+  * async-vs-memory bit-identity — the current run must report the
+    file-fed sketch state byte-equal to in-memory ingest. Deterministic,
+    checked on any runner.
+  * overlap ratios — per format, speedup_vs_naive and
+    overlap_efficiency (both are same-run ratios, so machine-portable),
+    but only when BOTH sides ran on >= 4 hardware threads: a 1-core box
+    timeslices the prefetch/decode/ingest stages and the ratio is
+    scheduler noise.
+  * absolute decode MB/s and ingest wall times — same hardware_threads
+    + quick mode only.
+
 Per the repo's bench-gating convention every skip is LOGGED, never
 silent, and the whole gate is skipped (exit 0) under sanitizer
 instrumentation (LPS_BENCH_SANITIZED env) or on runners with < 4 cores.
@@ -375,6 +389,97 @@ def compare_dist(base, cur, allowed, max_regress):
     return compared, failed
 
 
+def compare_io(base, cur, allowed, max_regress):
+    """The --io metric set; returns (compared, failed)."""
+    failed = []
+    compared = 0
+
+    # Bit-identity is the async front-end's contract (sink sees every
+    # update once, in order; chunk boundaries are the pipeline's own) —
+    # deterministic, so it holds on any runner.
+    compared += 1
+    if cur.get("bit_identical"):
+        log("io: async file-fed state bit-identical to in-memory (ok)")
+    else:
+        log("io: async file-fed state DIVERGED from in-memory ingest")
+        failed.append("io bit_identity")
+
+    cur_threads = cur.get("hardware_threads", 0)
+    base_threads = base.get("hardware_threads", 0)
+    if cur_threads < 4 or base_threads < 4:
+        side = "current" if cur_threads < 4 else "baseline"
+        threads = cur_threads if cur_threads < 4 else base_threads
+        log(f"io overlap ratios: skipped ({side} ran on {threads} hardware "
+            "threads < 4 — the pipeline stages timeslice one core)")
+    else:
+        for brow in base.get("overlap", []):
+            fmt = brow.get("format")
+            crow = next(
+                (r for r in cur.get("overlap", []) if r.get("format") == fmt),
+                None)
+            if crow is None:
+                log(f"io overlap {fmt}: skipped (missing in current)")
+                continue
+            for metric in ("speedup_vs_naive", "overlap_efficiency"):
+                b = brow.get(metric)
+                c = crow.get(metric)
+                if not b or not c or b <= 0:
+                    continue
+                compared += 1
+                regressed = c < b * (1.0 - max_regress)
+                verdict = "REGRESSED" if regressed else "ok"
+                log(f"io overlap {fmt} {metric}: {c:.2f} vs baseline "
+                    f"{b:.2f} ({verdict})")
+                if regressed:
+                    failed.append(f"io overlap {fmt} {metric}")
+
+    if (base.get("hardware_threads") != cur.get("hardware_threads")
+            or base.get("quick") != cur.get("quick")):
+        log("io absolute metrics: skipped (hardware_threads/quick "
+            "mismatch — deterministic checks and ratios only)")
+        return compared, failed
+    for brow in base.get("decode", []):
+        fmt = brow.get("format")
+        crow = next(
+            (r for r in cur.get("decode", []) if r.get("format") == fmt),
+            None)
+        if crow is None:
+            log(f"io decode {fmt}: skipped (missing in current)")
+            continue
+        for metric in ("mb_per_sec", "mitem_per_sec"):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = c < b * (1.0 - max_regress)
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"io decode {fmt} {metric}: {c:.1f} vs baseline {b:.1f} "
+                f"({verdict})")
+            if regressed:
+                failed.append(f"io decode {fmt} {metric}")
+    for brow in base.get("overlap", []):
+        fmt = brow.get("format")
+        crow = next(
+            (r for r in cur.get("overlap", []) if r.get("format") == fmt),
+            None)
+        if crow is None:
+            continue
+        for metric in ("async_seconds",):
+            b = brow.get(metric)
+            c = crow.get(metric)
+            if not b or not c:
+                continue
+            compared += 1
+            regressed = c > b * allowed
+            verdict = "REGRESSED" if regressed else "ok"
+            log(f"io overlap {fmt} {metric}: {c:.4f} vs baseline {b:.4f} "
+                f"({verdict})")
+            if regressed:
+                failed.append(f"io overlap {fmt} {metric}")
+    return compared, failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_throughput.json")
@@ -391,10 +496,14 @@ def main():
                         help="compare BENCH_distributed.json files "
                         "(distributed tier: bit-identity, worker scaling, "
                         "fold latency)")
+    parser.add_argument("--io", action="store_true",
+                        help="compare BENCH_io.json files (async ingest "
+                        "front-end: bit-identity, overlap ratios, decode "
+                        "throughput)")
     args = parser.parse_args()
-    if args.serve + args.persist + args.dist > 1:
-        print("bench compare: --serve, --persist, and --dist are mutually "
-              "exclusive", file=sys.stderr)
+    if args.serve + args.persist + args.dist + args.io > 1:
+        print("bench compare: --serve, --persist, --dist, and --io are "
+              "mutually exclusive", file=sys.stderr)
         return 2
 
     env = os.environ.get("LPS_BENCH_SANITIZED", "")
@@ -407,21 +516,23 @@ def main():
     cur = load(args.current)
     cur_threads = cur.get("hardware_threads", 0)
     base_threads = base.get("hardware_threads", 0)
-    # The persist and dist metric sets lead with deterministic checks
-    # (compression ratios, fold bit-identity), which any runner can
-    # verify; their timing metrics are separately gated inside the
-    # compare functions.
-    if cur_threads < 4 and not (args.persist or args.dist):
+    # The persist, dist, and io metric sets lead with deterministic
+    # checks (compression ratios, fold/async bit-identity), which any
+    # runner can verify; their timing metrics are separately gated
+    # inside the compare functions.
+    if cur_threads < 4 and not (args.persist or args.dist or args.io):
         log(f"skipped ({cur_threads} hardware threads < 4: scaling is not "
             "observable on this runner)")
         return 0
 
     allowed = 1.0 + args.max_regress
 
-    if args.serve or args.persist or args.dist:
-        mode = "serve" if args.serve else "persist" if args.persist else "dist"
+    if args.serve or args.persist or args.dist or args.io:
+        mode = ("serve" if args.serve else "persist" if args.persist
+                else "dist" if args.dist else "io")
         compare = (compare_serve if args.serve
-                   else compare_persist if args.persist else compare_dist)
+                   else compare_persist if args.persist
+                   else compare_dist if args.dist else compare_io)
         compared, failed = compare(base, cur, allowed, args.max_regress)
         if failed:
             print(f"bench compare: FAIL — >{args.max_regress:.0%} regression "

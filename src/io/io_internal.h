@@ -1,0 +1,90 @@
+// Internals shared between the byte-source backends: the bounded
+// prefetch ring (producer fills aligned slots ahead of the consumer;
+// ring depth is the backpressure) and the io_uring hooks that
+// uring_reader.cc implements whether or not the backend is compiled in.
+// Not part of the public facade — include src/io/byte_source.h instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/io/byte_source.h"
+#include "src/util/status.h"
+
+namespace lps::io {
+
+/// Ring-slot alignment: one page, so positional reads land page-aligned.
+inline constexpr size_t kIoAlignment = 4096;
+
+struct FreeDeleter {
+  void operator()(char* p) const { std::free(p); }
+};
+using AlignedBuffer = std::unique_ptr<char, FreeDeleter>;
+
+/// Allocates kIoAlignment-aligned storage of at least `bytes`.
+AlignedBuffer AllocateAligned(size_t bytes);
+
+/// Bounded ring of filled buffers between one producer (a prefetch
+/// thread or an io_uring completion loop) and one consumer (Next()).
+/// The producer blocks while every slot is filled — that bound is the
+/// backpressure that keeps a fast reader from outrunning a slow
+/// pipeline. The consumer blocks while no slot is filled, and that wait
+/// is metered: it is exactly the read time ingestion failed to overlap.
+class PrefetchRing {
+ public:
+  PrefetchRing(size_t slots, size_t slot_bytes);
+
+  // Producer side.
+  /// Blocks until a slot is free; returns its buffer, or nullptr once
+  /// the consumer has stopped (destruction) — the producer must exit.
+  char* AcquireFree();
+  void CommitFilled(size_t size);
+  void FinishEof();
+  void FinishError(Status status);
+
+  // Consumer side (ByteSource::Next semantics: recycles the previously
+  // returned slot, then blocks for the next filled one).
+  Result<Chunk> Next();
+  /// Unblocks a producer stuck in AcquireFree; call before joining it.
+  void Stop();
+
+  size_t slot_bytes() const { return slot_bytes_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  double wait_seconds() const { return wait_seconds_; }
+
+ private:
+  struct Slot {
+    AlignedBuffer buffer;
+    size_t size = 0;
+  };
+
+  const size_t slot_bytes_;
+  std::mutex mutex_;
+  std::condition_variable can_fill_;
+  std::condition_variable can_consume_;
+  std::vector<Slot> slots_;
+  size_t head_ = 0;        // oldest filled slot
+  size_t filled_ = 0;      // filled, not yet recycled (includes held one)
+  bool holding_ = false;   // consumer holds slots_[head_]
+  bool done_ = false;      // producer finished (EOF or error_)
+  bool stopped_ = false;   // consumer gone; producer must exit
+  Status error_;
+  uint64_t bytes_read_ = 0;
+  double wait_seconds_ = 0;
+};
+
+/// io_uring hooks, always defined (in uring_reader.cc). When the backend
+/// is not compiled in (-DLPS_IO_URING absent) or the running kernel
+/// refuses io_uring_setup, UringRuntimeAvailable() is false and
+/// MakeUringFileSource returns nullptr — callers fall back to the thread
+/// backend, so a binary built with the option still runs everywhere.
+bool UringRuntimeAvailable();
+std::unique_ptr<ByteSource> MakeUringFileSource(
+    int fd, const FileSourceOptions& options);
+
+}  // namespace lps::io

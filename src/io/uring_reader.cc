@@ -1,0 +1,309 @@
+// io_uring file backend for MakeFileSource — raw syscalls (no liburing
+// dependency), compiled only behind -DLPS_IO_URING on Linux. The shape
+// mirrors the kernels layer: the build option adds the backend, a
+// runtime probe decides whether this kernel can run it, and every entry
+// point here degrades to "unavailable" (nullptr / false) so callers fall
+// back to the thread backend — a binary built with the option still runs
+// on kernels without io_uring, containers that seccomp it away, etc.
+//
+// Unlike the thread backend there is no producer thread: up to
+// ring_slots positional reads are kept in flight in the kernel at once,
+// and Next() reaps completions in submission order. Offsets are assigned
+// assuming full reads; a short mid-file read (rare for regular files,
+// but legal) rebases the stream — in-flight later reads are invalidated
+// by generation tag and resubmitted from the corrected offset — so the
+// delivered byte stream is exact regardless.
+#include "src/io/io_internal.h"
+
+#if defined(LPS_IO_URING) && defined(__linux__) && \
+    __has_include(<linux/io_uring.h>)
+#define LPS_IO_URING_ENABLED 1
+#else
+#define LPS_IO_URING_ENABLED 0
+#endif
+
+#if LPS_IO_URING_ENABLED
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lps::io {
+
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+class UringFileSource : public ByteSource {
+ public:
+  static std::unique_ptr<ByteSource> Open(int fd,
+                                          const FileSourceOptions& options) {
+    auto source = std::unique_ptr<UringFileSource>(
+        new UringFileSource(fd, options));
+    if (!source->Init()) return nullptr;
+    return std::unique_ptr<ByteSource>(std::move(source));
+  }
+
+  ~UringFileSource() override {
+    if (sq_ring_ != MAP_FAILED) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (cq_ring_ != MAP_FAILED) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sqes_ != MAP_FAILED) ::munmap(sqes_, sqes_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    ::close(fd_);
+  }
+
+  Result<Chunk> Next() override;
+  uint64_t bytes_read() const override { return bytes_read_; }
+  double wait_seconds() const override { return wait_seconds_; }
+  const char* backend() const override { return "uring"; }
+
+ private:
+  struct Completion {
+    bool ready = false;
+    int64_t res = 0;
+  };
+
+  UringFileSource(int fd, const FileSourceOptions& options)
+      : fd_(fd), slot_bytes_(options.buffer_bytes),
+        depth_(std::max<size_t>(options.ring_slots, 2)) {}
+
+  bool Init();
+  void SubmitReads();
+  bool ReapInto(Completion* slots);  // drain CQEs; false on enter failure
+  /// seq -> (generation << 32 | seq % depth) user_data tag.
+  uint64_t TagOf(uint64_t seq) const {
+    return (generation_ << 32) | (seq % depth_);
+  }
+
+  const int fd_;
+  const size_t slot_bytes_;
+  const size_t depth_;
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = MAP_FAILED;
+  void* cq_ring_ = MAP_FAILED;
+  void* sqes_ = MAP_FAILED;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  size_t sqes_bytes_ = 0;
+  // SQ ring pointers.
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  io_uring_sqe* sqe_array_ = nullptr;
+  // CQ ring pointers.
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqe_array_ = nullptr;
+
+  std::vector<AlignedBuffer> buffers_;     // one per in-flight slot
+  std::vector<iovec> iovecs_;              // READV descriptors, per slot
+  std::vector<Completion> completions_;    // indexed by seq % depth_
+  uint64_t generation_ = 0;                // bumped on rebase
+  uint64_t next_submit_seq_ = 0;
+  uint64_t next_consume_seq_ = 0;
+  uint64_t next_submit_offset_ = 0;
+  bool saw_eof_ = false;     // a consumed completion returned 0 bytes
+  bool consumed_eof_ = false;
+  bool holding_ = false;     // buffers_[<prev seq> % depth_] is exposed
+  Status error_;
+  uint64_t bytes_read_ = 0;
+  double wait_seconds_ = 0;
+};
+
+bool UringFileSource::Init() {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  ring_fd_ = SysUringSetup(static_cast<unsigned>(depth_), &params);
+  if (ring_fd_ < 0) return false;
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sq_ring_ == MAP_FAILED || cq_ring_ == MAP_FAILED ||
+      sqes_ == MAP_FAILED) {
+    return false;
+  }
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  sqe_array_ = static_cast<io_uring_sqe*>(sqes_);
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  cqe_array_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+
+  buffers_.resize(depth_);
+  for (auto& buffer : buffers_) buffer = AllocateAligned(slot_bytes_);
+  iovecs_.resize(depth_);
+  completions_.resize(depth_);
+  SubmitReads();
+  return true;
+}
+
+void UringFileSource::SubmitReads() {
+  // Keep one read in flight per free slot. A slot is free when its seq
+  // has been consumed AND its buffer is not the one currently exposed.
+  unsigned submitted = 0;
+  while (!saw_eof_ && error_.ok() &&
+         next_submit_seq_ < next_consume_seq_ + depth_ -
+                                (holding_ ? 1u : 0u)) {
+    const uint64_t seq = next_submit_seq_;
+    const unsigned index = static_cast<unsigned>(seq % depth_);
+    io_uring_sqe* sqe = &sqe_array_[index];
+    std::memset(sqe, 0, sizeof(*sqe));
+    // READV (kernel 5.1+) rather than READ (5.6+): one iovec per slot,
+    // kept alive in iovecs_ until the completion is reaped.
+    iovecs_[index] = {buffers_[index].get(), slot_bytes_};
+    sqe->opcode = IORING_OP_READV;
+    sqe->fd = fd_;
+    sqe->addr = reinterpret_cast<uint64_t>(&iovecs_[index]);
+    sqe->len = 1;
+    sqe->off = next_submit_offset_;
+    sqe->user_data = TagOf(seq);
+    const unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+    sq_array_[tail & sq_mask_] = index;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    completions_[index].ready = false;
+    next_submit_offset_ += slot_bytes_;  // assumes full read; rebased if short
+    ++next_submit_seq_;
+    ++submitted;
+  }
+  if (submitted > 0) {
+    if (SysUringEnter(ring_fd_, submitted, 0, 0) < 0) {
+      error_ = Status::Failed(std::string("io_uring_enter failed: ") +
+                              std::strerror(errno));
+    }
+  }
+}
+
+bool UringFileSource::ReapInto(Completion* slots) {
+  const unsigned head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  for (unsigned h = head; h != tail; ++h) {
+    const io_uring_cqe& cqe = cqe_array_[h & cq_mask_];
+    if ((cqe.user_data >> 32) != generation_) continue;  // stale after rebase
+    const unsigned index = static_cast<unsigned>(cqe.user_data & 0xffffffffu);
+    slots[index].ready = true;
+    slots[index].res = cqe.res;
+  }
+  __atomic_store_n(cq_head_, tail, __ATOMIC_RELEASE);
+  return true;
+}
+
+Result<Chunk> UringFileSource::Next() {
+  if (holding_) {
+    holding_ = false;
+    ++next_consume_seq_;
+  }
+  if (!error_.ok()) return error_;
+  if (consumed_eof_) return Chunk{};
+  SubmitReads();
+  const unsigned index = static_cast<unsigned>(next_consume_seq_ % depth_);
+  while (!completions_[index].ready) {
+    if (!error_.ok()) return error_;
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = SysUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+    wait_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rc < 0 && errno != EINTR) {
+      error_ = Status::Failed(std::string("io_uring_enter failed: ") +
+                              std::strerror(errno));
+      return error_;
+    }
+    ReapInto(completions_.data());
+  }
+  const int64_t res = completions_[index].res;
+  completions_[index].ready = false;
+  if (res < 0) {
+    error_ = Status::Failed(std::string("read failed: ") +
+                            std::strerror(static_cast<int>(-res)));
+    return error_;
+  }
+  if (res == 0) {
+    consumed_eof_ = true;
+    saw_eof_ = true;
+    return Chunk{};
+  }
+  const uint64_t consumed_offset =
+      next_submit_offset_ -
+      (next_submit_seq_ - next_consume_seq_) * slot_bytes_;
+  if (static_cast<size_t>(res) < slot_bytes_) {
+    // Short read: every later in-flight offset is now wrong. Rebase —
+    // invalidate them by generation and resubmit from the true offset.
+    ++generation_;
+    next_submit_seq_ = next_consume_seq_ + 1;
+    next_submit_offset_ = consumed_offset + static_cast<uint64_t>(res);
+    for (auto& completion : completions_) completion.ready = false;
+  }
+  holding_ = true;
+  bytes_read_ += static_cast<uint64_t>(res);
+  return Chunk{buffers_[index].get(), static_cast<size_t>(res)};
+}
+
+}  // namespace
+
+bool UringRuntimeAvailable() {
+  static const bool available = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysUringSetup(2, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return available;
+}
+
+std::unique_ptr<ByteSource> MakeUringFileSource(
+    int fd, const FileSourceOptions& options) {
+  if (!UringRuntimeAvailable()) return nullptr;
+  return UringFileSource::Open(fd, options);
+}
+
+}  // namespace lps::io
+
+#else  // !LPS_IO_URING_ENABLED
+
+namespace lps::io {
+
+bool UringRuntimeAvailable() { return false; }
+
+std::unique_ptr<ByteSource> MakeUringFileSource(
+    int /*fd*/, const FileSourceOptions& /*options*/) {
+  return nullptr;
+}
+
+}  // namespace lps::io
+
+#endif  // LPS_IO_URING_ENABLED

@@ -11,7 +11,9 @@
 //   Ingestion         stream::StreamDriver (single-threaded batching),
 //                     stream::ParallelPipeline (thread-per-shard runtime),
 //                     stream::WindowManager (sliding windows by
-//                     subtraction)
+//                     subtraction), io::StreamFeeder over io::ByteSource
+//                     (async file/socket ingest overlapping read, decode,
+//                     and sketching — see docs/io.md)
 //   Queries           Query(sketch) -> QueryResult, the tagged answer
 //                     type shared by the CLI, the server wire protocol,
 //                     and the examples
@@ -37,6 +39,10 @@
 #include "src/duplicates/duplicates.h"
 #include "src/duplicates/positive_finder.h"
 #include "src/heavy/heavy_hitters.h"
+#include "src/io/bits_io.h"
+#include "src/io/byte_source.h"
+#include "src/io/stream_feeder.h"
+#include "src/io/update_decoder.h"
 #include "src/norm/l0_norm.h"
 #include "src/norm/lp_norm.h"
 #include "src/stream/exact_vector.h"

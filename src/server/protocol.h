@@ -36,6 +36,11 @@
 // This header is shared VERBATIM by the server, the Client class, the
 // lps_bench_client load generator, and the loopback tests — the codec
 // exists exactly once.
+//
+// The prose reference — frame diagrams, the full opcode table, error
+// semantics, and the version/compat rules — is docs/protocol.md; its
+// fenced examples are compiled against this header by the CI docs job
+// (ci/check_docs.py), so the document cannot drift from the code.
 #pragma once
 
 #include <cstdint>

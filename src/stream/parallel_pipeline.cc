@@ -143,6 +143,10 @@ size_t ParallelPipeline::Drive(const UpdateStream& stream) {
   return Drive(stream.data(), stream.size());
 }
 
+void ParallelPipeline::PushBatch(const Update* updates, size_t count) {
+  for (size_t t = 0; t < count; ++t) Push(updates[t]);
+}
+
 void ParallelPipeline::Push(Update u) {
   const int s = ShardOf(u);
   auto& staging = staging_[static_cast<size_t>(s)];

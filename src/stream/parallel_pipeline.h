@@ -120,6 +120,14 @@ class ParallelPipeline {
   /// Flush, state-wise — for every thread count.
   void Push(Update u);
 
+  /// Push for a run of updates, without the quiesce Drive ends with —
+  /// the entry point for async feeders (src/io/StreamFeeder) that must
+  /// keep the workers busy across arbitrarily chunked arrivals.
+  /// State-identical to calling Push on each update: chunk boundaries
+  /// stay governed by the producer-side fill rule, so how the arrivals
+  /// were chunked never shows in the final state.
+  void PushBatch(const Update* updates, size_t count);
+
   /// Seals every shard's staged remainder and waits until the workers
   /// have applied every queued batch (the quiesce barrier). On return the
   /// replicas jointly hold the whole stream so far and no worker touches

@@ -36,10 +36,17 @@
 // killed worker shows up as an interrupted lane, then proves the
 // aggregator still serves the epochs it already folded.
 //
+// --replay FILE streams a trace file (text or binary, '-' = stdin) into
+// the server through the pipelined INGEST_STREAM framing, with the async
+// front-end (src/io/StreamFeeder) reading and decoding ahead of the
+// socket — the end-to-end "disk to daemon" path. Prints the achieved
+// update rate and the server's query answer for the replayed stream.
+//
 // Usage:
 //   lps_bench_client [--port p] [--quick] [--smoke] [--out file]
 //                    [--crash-prepare | --crash-verify]
 //                    [--dist-verify | --dist-gap-verify]
+//                    [--replay FILE]
 //                    [--total n] [--tenant t] [--key k]
 #include <algorithm>
 #include <chrono>
@@ -56,6 +63,8 @@
 #include "src/api/query_result.h"
 #include "src/api/sketch_spec.h"
 #include "src/dist/planted.h"
+#include "src/io/byte_source.h"
+#include "src/io/stream_feeder.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 #include "src/stream/generators.h"
@@ -118,6 +127,7 @@ struct Flags {
   std::string tenant = "dist";
   std::string key = "s";
   std::string out = "BENCH_serve.json";
+  std::string replay;  // trace file for --replay ('-' = stdin)
 };
 
 int Fail(const char* what, const lps::Status& status) {
@@ -584,6 +594,65 @@ bool RunFramingCompare(const std::string& host, int port, bool quick,
   return true;
 }
 
+// --------------------------------------------------------------- replay --
+
+/// Streams a trace file into the server over the pipelined INGEST_STREAM
+/// framing. The async front-end reads and decodes ahead of the socket,
+/// so the wire send overlaps disk I/O — this is the end-to-end
+/// file-to-daemon path the src/io/ subsystem exists for.
+int RunReplay(const std::string& host, int port, const std::string& path,
+              const std::string& tenant, const std::string& key) {
+  auto source = lps::io::MakeFileSource(path);
+  if (!source.ok()) return Fail("open trace", source.status());
+  lps::io::StreamFeeder feeder(std::move(source.value()));
+  auto header_n = feeder.ReadHeader();
+  if (!header_n.ok()) return Fail("trace header", header_n.status());
+  const uint64_t n = header_n.value();
+
+  auto connected = lps::server::Client::Connect(host, port);
+  if (!connected.ok()) return Fail("connect", connected.status());
+  lps::server::Client client = std::move(connected.value());
+  const lps::Status created = client.Create(tenant, key, TenantConfig(0, n));
+  if (!created.ok()) return Fail("create", created);
+
+  // Ship each decoded batch without waiting for an ack; one INGEST_SYNC
+  // at the end settles the whole stream.
+  lps::Status send_status;
+  std::vector<lps::stream::Update> batch;
+  auto stats =
+      feeder.Feed([&](const lps::stream::Update* updates, size_t count) {
+        if (!send_status.ok()) return;
+        batch.assign(updates, updates + count);
+        send_status = client.StreamIngest(tenant, key, batch);
+      });
+  if (!stats.ok()) return Fail("replay", stats.status());
+  if (!send_status.ok()) return Fail("stream ingest", send_status);
+  auto ack = client.StreamSync();
+  if (!ack.ok()) return Fail("stream sync", ack.status());
+  if (ack->count != stats->updates) {
+    std::fprintf(stderr, "lps_bench_client: server acked %llu of %llu\n",
+                 static_cast<unsigned long long>(ack->count),
+                 static_cast<unsigned long long>(stats->updates));
+    return 1;
+  }
+  if (stats->malformed > 0) {
+    std::fprintf(stderr, "lps_bench_client: skipped %llu malformed records\n",
+                 static_cast<unsigned long long>(stats->malformed));
+  }
+
+  auto query = client.Query(tenant, key);
+  if (!query.ok()) return Fail("query", query.status());
+  const double seconds = stats->wall_seconds;
+  std::printf("replayed %llu updates (%.1f MB) in %.3f s: %.2f Mupd/s, "
+              "read-wait %.1f%%\n",
+              static_cast<unsigned long long>(stats->updates),
+              double(stats->bytes) / 1e6, seconds,
+              seconds > 0 ? double(stats->updates) / seconds / 1e6 : 0.0,
+              seconds > 0 ? 100.0 * stats->read_wait_seconds / seconds : 0.0);
+  std::printf("query: %zu heavy hitters\n", query->items.size());
+  return 0;
+}
+
 int RunBench(const std::string& host, int port, bool quick,
              const std::string& out_path) {
   const uint64_t n = 1 << 14;
@@ -705,14 +774,16 @@ int main(int argc, char** argv) {
       flags.key = argv[++a];
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       flags.out = argv[++a];
+    } else if (std::strcmp(argv[a], "--replay") == 0 && a + 1 < argc) {
+      flags.replay = argv[++a];
     } else if (std::strcmp(argv[a], "--quick") == 0) {
       // handled by bench::Quick
     } else {
       std::fprintf(stderr,
                    "usage: lps_bench_client [--port p] [--quick] [--smoke] "
                    "[--out file] [--crash-prepare | --crash-verify] "
-                   "[--dist-verify | --dist-gap-verify] [--total n] "
-                   "[--tenant t] [--key k]\n");
+                   "[--dist-verify | --dist-gap-verify] [--replay FILE] "
+                   "[--total n] [--tenant t] [--key k]\n");
       return 2;
     }
   }
@@ -757,6 +828,9 @@ int main(int argc, char** argv) {
     exit_code = RunCrashPrepare("127.0.0.1", port, flags.out);
   } else if (flags.crash_verify) {
     exit_code = RunCrashVerify("127.0.0.1", port, flags.out);
+  } else if (!flags.replay.empty()) {
+    exit_code =
+        RunReplay("127.0.0.1", port, flags.replay, flags.tenant, flags.key);
   } else if (flags.smoke) {
     exit_code = RunSmoke("127.0.0.1", port);
   } else {

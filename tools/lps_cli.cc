@@ -4,24 +4,25 @@
 // writing code.
 //
 // Usage:
-//   lps_cli gen <kind> <n> <arg> <seed>        write a trace to stdout
+//   lps_cli gen <kind> <n> <arg> <seed> [--binary]   write a trace to stdout
 //       kinds: turnstile <#updates> | sparse <#nonzero> |
 //              zipf <scale> | duplicates <extras>
 //   lps_cli sample <p|L0> <eps> <delta> <seed>
 //           [--shards k] [--threads t] [--window w [--checkpoint c]]
-//   lps_cli duplicates <delta> <seed>          < trace    find a duplicate
+//           [--from FILE]
+//   lps_cli duplicates <delta> <seed> [--from FILE]  < trace  find a duplicate
 //   lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]
-//           [--window w [--checkpoint c]]                         < trace
+//           [--window w [--checkpoint c]] [--from FILE]        < trace
 //   lps_cli norm <p> <seed> [--shards k] [--threads t]
-//           [--window w [--checkpoint c]]                         < trace
-//   lps_cli stats                              < trace    exact summary
+//           [--window w [--checkpoint c]] [--from FILE]        < trace
+//   lps_cli stats [--from FILE]                < trace    exact summary
 //   lps_cli save sample <p|L0> <eps> <delta> <seed> <file>  < trace
 //   lps_cli save heavy <p> <phi> <seed> <file>              < trace
 //   lps_cli save norm <p> <seed> <file>                     < trace
 //   lps_cli save duplicates <delta> <seed> <file>           < trace
 //   lps_cli load <file>                        restore state and query it
 //   lps_cli merge <out> <in1> <in2> [in...]    add saved states (linearity)
-//   lps_cli version                            dispatched kernel backend
+//   lps_cli version                            dispatched kernel + io backend
 //
 // save writes the full LinearSketch state (versioned header, params,
 // seeds, counters); load reconstructs without any out-of-band information
@@ -43,12 +44,21 @@
 // printed. With --shards k the checkpoints seal at parallel-runtime
 // epoch boundaries (every c updates, after MergeShards), so windows and
 // sharding compose.
+// --from FILE ingests through the async front-end (src/io/): a prefetch
+// thread reads the file while the decoder and the pipeline run, and the
+// update stream is never materialized in memory — the path for replays
+// larger than RAM. FILE may be '-' for stdin; text and binary traces are
+// auto-detected. Without --from, the trace is read (and materialized)
+// from stdin exactly as before. Final sketch state is bit-identical
+// either way at the same --shards/--threads topology (tests/io_test.cc).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/kernels/kernels.h"
@@ -60,15 +70,17 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> <seed>\n"
+      "  lps_cli gen {turnstile|sparse|zipf|duplicates} <n> <arg> <seed>"
+      " [--binary]\n"
       "  lps_cli sample {<p>|L0} <eps> <delta> <seed>"
-      " [--shards k] [--threads t] [--window w [--checkpoint c]]\n"
-      "  lps_cli duplicates <delta> <seed>                         < trace\n"
+      " [--shards k] [--threads t] [--window w [--checkpoint c]]"
+      " [--from FILE]\n"
+      "  lps_cli duplicates <delta> <seed> [--from FILE]           < trace\n"
       "  lps_cli heavy <p> <phi> <seed> [--shards k] [--threads t]"
-      " [--window w [--checkpoint c]]                              < trace\n"
+      " [--window w [--checkpoint c]] [--from FILE]                < trace\n"
       "  lps_cli norm <p> <seed> [--shards k] [--threads t]"
-      " [--window w [--checkpoint c]]                              < trace\n"
-      "  lps_cli stats                                             < trace\n"
+      " [--window w [--checkpoint c]] [--from FILE]                < trace\n"
+      "  lps_cli stats [--from FILE]                               < trace\n"
       "  lps_cli save sample {<p>|L0} <eps> <delta> <seed> <file>  < trace\n"
       "  lps_cli save heavy <p> <phi> <seed> <file>                < trace\n"
       "  lps_cli save norm <p> <seed> <file>                       < trace\n"
@@ -80,8 +92,9 @@ int Usage() {
 }
 
 /// Runtime info line: which SIMD kernel backend this process dispatched
-/// (and the full set the binary + host could run) — the quick way to see
-/// what LPS_KERNELS resolved to.
+/// (and the full set the binary + host could run) plus the file-read
+/// backend --from resolves to — the quick way to see what LPS_KERNELS
+/// and LPS_IO resolved to.
 int CmdVersion() {
   std::printf("lps_cli — Lp sampler library (JST11)\n");
   std::printf("kernel backend: %s (available:",
@@ -90,6 +103,7 @@ int CmdVersion() {
     std::printf(" %s", lps::kernels::BackendName(backend));
   }
   std::printf(")\n");
+  std::printf("io backend: %s\n", lps::io::IoBackendName());
   return 0;
 }
 
@@ -122,6 +136,35 @@ int TakeCountFlag(int* argc, char** argv, const char* flag, int fallback,
     return static_cast<int>(value);
   }
   return fallback;
+}
+
+/// Strips "--from PATH" from argv. Returns false (after an error message)
+/// when the flag is present without a value; *path is left empty when the
+/// flag is absent (read the trace from stdin, materialized).
+bool TakeFromFlag(int* argc, char** argv, std::string* path) {
+  for (int a = 2; a < *argc; ++a) {
+    if (std::strcmp(argv[a], "--from") != 0) continue;
+    if (a + 1 >= *argc) {
+      std::fprintf(stderr, "--from needs a path ('-' = stdin)\n");
+      return false;
+    }
+    *path = argv[a + 1];
+    for (int b = a + 2; b < *argc; ++b) argv[b - 2] = argv[b];
+    *argc -= 2;
+    return true;
+  }
+  return true;
+}
+
+/// Strips a bare boolean flag from argv; returns whether it was present.
+bool TakeBoolFlag(int* argc, char** argv, const char* flag) {
+  for (int a = 2; a < *argc; ++a) {
+    if (std::strcmp(argv[a], flag) != 0) continue;
+    for (int b = a + 1; b < *argc; ++b) argv[b - 1] = argv[b];
+    *argc -= 1;
+    return true;
+  }
+  return false;
 }
 
 /// Parses both ingestion-topology flags. Returns false (usage error) if
@@ -183,6 +226,78 @@ lps::Result<lps::stream::Trace> LoadTrace() {
   return trace;
 }
 
+/// The stream behind a command: either a trace materialized from stdin
+/// (the historical default) or a primed async StreamFeeder over --from
+/// FILE, which never materializes the update stream.
+struct StreamInput {
+  uint64_t n = 0;
+  lps::stream::Trace trace;                       // when feeder == nullptr
+  std::unique_ptr<lps::io::StreamFeeder> feeder;  // async when set
+};
+
+std::unique_ptr<StreamInput> OpenInput(const std::string& from) {
+  auto input = std::make_unique<StreamInput>();
+  if (from.empty()) {
+    auto trace = LoadTrace();
+    if (!trace.ok()) return nullptr;
+    input->trace = std::move(trace.value());
+    input->n = input->trace.n;
+    return input;
+  }
+  auto source = lps::io::MakeFileSource(from);
+  if (!source.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", from.c_str(),
+                 source.status().ToString().c_str());
+    return nullptr;
+  }
+  input->feeder =
+      std::make_unique<lps::io::StreamFeeder>(std::move(source.value()));
+  auto n = input->feeder->ReadHeader();
+  if (!n.ok()) {
+    std::fprintf(stderr, "bad trace in %s: %s\n", from.c_str(),
+                 n.status().ToString().c_str());
+    return nullptr;
+  }
+  input->n = n.value();
+  return input;
+}
+
+/// Reports a feeder run: an I/O error is fatal, skipped malformed records
+/// are noted — a replay keeps going when one producer wrote one bad line,
+/// but not silently.
+bool ReportFeed(const lps::Result<lps::io::FeedStats>& stats) {
+  if (!stats.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 stats.status().ToString().c_str());
+    return false;
+  }
+  if (stats->malformed > 0) {
+    std::fprintf(stderr, "note: skipped %llu malformed records\n",
+                 static_cast<unsigned long long>(stats->malformed));
+  }
+  return true;
+}
+
+/// Async ingest: drains the feeder into the replicas through the parallel
+/// runtime. With a WindowManager attached, PipelineSink closes an epoch
+/// (MergeShards + SealEpoch) every `interval` updates — the same
+/// boundaries solo ingestion seals at; without one, the single epoch
+/// closes at end of stream.
+bool FeedSharded(lps::io::StreamFeeder* feeder,
+                 const std::vector<lps::LinearSketch*>& replicas, int threads,
+                 lps::stream::WindowManager* wm, uint64_t interval) {
+  lps::stream::ParallelPipeline::Options options;
+  options.shards = static_cast<int>(replicas.size());
+  options.threads = threads;
+  lps::stream::ParallelPipeline pipeline(options);
+  pipeline.Add("sink", replicas);
+  lps::io::PipelineSink sink(&pipeline, wm, interval);
+  auto stats = feeder->Feed(std::ref(sink));
+  if (!ReportFeed(stats)) return false;
+  sink.Finish();
+  return true;
+}
+
 /// Drives the trace into `sink`, either directly or through the parallel
 /// ingestion runtime over `replicas` (replica 0 == sink), merging
 /// afterwards. threads == 0 applies batches inline (deterministic
@@ -208,54 +323,73 @@ void Ingest(const lps::stream::Trace& trace,
 }
 
 int CmdGen(int argc, char** argv) {
+  const bool binary = TakeBoolFlag(&argc, argv, "--binary");
   if (argc != 6) return Usage();
   const std::string kind = argv[2];
   const uint64_t n = std::strtoull(argv[3], nullptr, 10);
   const uint64_t arg = std::strtoull(argv[4], nullptr, 10);
   const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
   if (n == 0) return Usage();
+  lps::stream::UpdateStream updates;
   if (kind == "turnstile") {
-    lps::stream::WriteTrace(std::cout, n,
-                            lps::stream::UniformTurnstile(n, arg, 100, seed));
+    updates = lps::stream::UniformTurnstile(n, arg, 100, seed);
   } else if (kind == "sparse") {
-    lps::stream::WriteTrace(std::cout, n,
-                            lps::stream::SparseVector(n, arg, 1000, seed));
+    updates = lps::stream::SparseVector(n, arg, 1000, seed);
   } else if (kind == "zipf") {
-    lps::stream::WriteTrace(
-        std::cout, n,
-        lps::stream::ZipfianVector(n, 1.0, static_cast<int64_t>(arg), true,
-                                   seed));
+    updates = lps::stream::ZipfianVector(n, 1.0, static_cast<int64_t>(arg),
+                                         true, seed);
   } else if (kind == "duplicates") {
-    lps::stream::WriteLetterTrace(std::cout, n,
-                                  lps::stream::DuplicateStream(n, arg, seed));
+    if (!binary) {
+      lps::stream::WriteLetterTrace(
+          std::cout, n, lps::stream::DuplicateStream(n, arg, seed));
+      return 0;
+    }
+    // Binary traces carry letters as the equivalent (letter, +1) updates
+    // the decoder would produce for "l <letter>" lines.
+    for (const uint64_t letter : lps::stream::DuplicateStream(n, arg, seed)) {
+      updates.push_back({letter, 1});
+    }
   } else {
     return Usage();
+  }
+  if (binary) {
+    std::string out;
+    lps::io::WriteBinaryTrace(&out, n, updates);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+  } else {
+    lps::stream::WriteTrace(std::cout, n, updates);
   }
   return 0;
 }
 
 // ------------------------------------------------------------ structures --
 // Builders shared by the direct commands and `save`: construct the
-// structure for a command spec, ingest (optionally sharded), and hand the
-// merged structure to the caller.
+// structure for a command spec, ingest (optionally sharded, optionally
+// async via --from), and hand the merged structure to the caller.
 
 /// Windowed ingestion: replica 0 is wrapped in a WindowManager. Solo
 /// ingestion seals automatically every `checkpoint` updates; sharded
 /// ingestion runs the parallel runtime in epochs of `checkpoint` updates
 /// (Drive, MergeShards, SealEpoch — replica 0 holds the full prefix
-/// exactly at those boundaries). Returns the materialized trailing
-/// window and prints the chosen range (the start rounds down to a
-/// checkpoint boundary).
+/// exactly at those boundaries); async ingestion seals the same epochs
+/// through PipelineSink. Returns the materialized trailing window and
+/// prints the chosen range (the start rounds down to a checkpoint
+/// boundary).
 std::unique_ptr<lps::LinearSketch> IngestWindowed(
-    const lps::stream::Trace& t,
-    const std::vector<lps::LinearSketch*>& replicas, int threads,
-    const WindowSpec& spec) {
+    StreamInput& in, const std::vector<lps::LinearSketch*>& replicas,
+    int threads, const WindowSpec& spec) {
   lps::stream::WindowManager::Options options;
   options.checkpoint_interval = spec.checkpoint;
   lps::stream::WindowManager wm(replicas[0], options);
-  if (replicas.size() == 1 && threads == 0) {
-    wm.PushBatch(t.updates.data(), t.updates.size());
+  if (in.feeder != nullptr) {
+    if (!FeedSharded(in.feeder.get(), replicas, threads, &wm,
+                     spec.checkpoint)) {
+      return nullptr;
+    }
+  } else if (replicas.size() == 1 && threads == 0) {
+    wm.PushBatch(in.trace.updates.data(), in.trace.updates.size());
   } else {
+    const auto& t = in.trace;
     lps::stream::ParallelPipeline::Options popts;
     popts.shards = static_cast<int>(replicas.size());
     popts.threads = threads;
@@ -284,29 +418,36 @@ std::unique_ptr<lps::LinearSketch> IngestWindowed(
 
 /// Builds `shards` identical replicas of `spec` through the MakeSketch
 /// registry (the same one CREATE requests and DeserializeAnySketch use),
-/// ingests the trace through the parallel runtime (sharded when
-/// shards > 1, threaded when threads > 0), and returns the merged
-/// structure — windowed to the last window.window updates when requested.
-std::unique_ptr<lps::LinearSketch> BuildSharded(const lps::stream::Trace& t,
-                                                int shards, int threads,
+/// ingests the input through the parallel runtime (sharded when
+/// shards > 1, threaded when threads > 0, streamed when the input is a
+/// feeder), and returns the merged structure — windowed to the last
+/// window.window updates when requested. Returns nullptr on a feed error.
+std::unique_ptr<lps::LinearSketch> BuildSharded(StreamInput& in, int shards,
+                                                int threads,
                                                 const WindowSpec& window,
                                                 const lps::SketchSpec& spec) {
   std::vector<std::unique_ptr<lps::LinearSketch>> replicas;
   for (int s = 0; s < shards; ++s) replicas.push_back(lps::MakeSketch(spec));
   std::vector<lps::LinearSketch*> raw;
   for (auto& r : replicas) raw.push_back(r.get());
-  if (window.window > 0) return IngestWindowed(t, raw, threads, window);
-  Ingest(t, raw, threads);
+  if (window.window > 0) return IngestWindowed(in, raw, threads, window);
+  if (in.feeder != nullptr) {
+    if (!FeedSharded(in.feeder.get(), raw, threads, nullptr, 0)) {
+      return nullptr;
+    }
+  } else {
+    Ingest(in.trace, raw, threads);
+  }
   return std::move(replicas[0]);
 }
 
-std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
+std::unique_ptr<lps::LinearSketch> BuildSampler(StreamInput& in,
                                                 const char* p_arg, double eps,
                                                 double delta, uint64_t seed,
                                                 int shards, int threads,
                                                 const WindowSpec& window) {
   lps::SketchSpec spec;
-  spec.n = t.n;
+  spec.n = in.n;
   spec.delta = delta;
   spec.seed = seed;
   if (std::strcmp(p_arg, "L0") == 0) {
@@ -316,53 +457,71 @@ std::unique_ptr<lps::LinearSketch> BuildSampler(const lps::stream::Trace& t,
     spec.p = std::strtod(p_arg, nullptr);
     spec.eps = eps;
   }
-  return BuildSharded(t, shards, threads, window, spec);
+  return BuildSharded(in, shards, threads, window, spec);
 }
 
-std::unique_ptr<lps::LinearSketch> BuildHeavy(const lps::stream::Trace& t,
-                                              double p, double phi,
-                                              uint64_t seed, int shards,
-                                              int threads,
+std::unique_ptr<lps::LinearSketch> BuildHeavy(StreamInput& in, double p,
+                                              double phi, uint64_t seed,
+                                              int shards, int threads,
                                               const WindowSpec& window) {
   lps::SketchSpec spec;
   spec.kind = lps::SketchKind::kCsHeavyHitters;
-  spec.n = t.n;
+  spec.n = in.n;
   spec.p = p;
   spec.phi = phi;
   spec.seed = seed;
-  return BuildSharded(t, shards, threads, window, spec);
+  return BuildSharded(in, shards, threads, window, spec);
 }
 
-std::unique_ptr<lps::LinearSketch> BuildNorm(const lps::stream::Trace& t,
-                                             double p, uint64_t seed,
-                                             int shards, int threads,
+std::unique_ptr<lps::LinearSketch> BuildNorm(StreamInput& in, double p,
+                                             uint64_t seed, int shards,
+                                             int threads,
                                              const WindowSpec& window) {
   lps::SketchSpec spec;
   spec.kind = lps::SketchKind::kLpNormEstimator;
-  spec.n = t.n;
+  spec.n = in.n;
   spec.p = p;
   spec.seed = seed;  // rows == 0 resolves to DefaultRows(n) in MakeSketch
-  return BuildSharded(t, shards, threads, window, spec);
+  return BuildSharded(in, shards, threads, window, spec);
 }
 
-std::unique_ptr<lps::LinearSketch> BuildDuplicates(const lps::stream::Trace& t,
+std::unique_ptr<lps::LinearSketch> BuildDuplicates(StreamInput& in,
                                                    double delta,
                                                    uint64_t seed) {
   lps::SketchSpec spec;
   spec.kind = lps::SketchKind::kDuplicateFinder;
-  spec.n = t.n;
+  spec.n = in.n;
   spec.delta = delta;
   spec.seed = seed;
   auto finder = lps::MakeSketch(spec);
-  for (const auto& u : t.updates) {
-    if (u.delta != 1) {
-      std::fprintf(stderr, "duplicates mode expects a letter trace\n");
-      return nullptr;
+  bool letters_only = true;
+  if (in.feeder != nullptr) {
+    auto stats =
+        in.feeder->Feed([&](const lps::stream::Update* u, size_t c) {
+          for (size_t t = 0; t < c; ++t) {
+            if (u[t].delta != 1) {
+              letters_only = false;
+              continue;
+            }
+            finder->Update(u[t].index, +1);
+          }
+        });
+    if (!ReportFeed(stats)) return nullptr;
+  } else {
+    for (const auto& u : in.trace.updates) {
+      if (u.delta != 1) {
+        letters_only = false;
+        break;
+      }
+      // A letter is a (letter, +1) update on top of the finder's built-in
+      // initialization — ProcessItem and the LinearSketch entry point are
+      // the same operation.
+      finder->Update(u.index, +1);
     }
-    // A letter is a (letter, +1) update on top of the finder's built-in
-    // initialization — ProcessItem and the LinearSketch entry point are
-    // the same operation.
-    finder->Update(u.index, +1);
+  }
+  if (!letters_only) {
+    std::fprintf(stderr, "duplicates mode expects a letter trace\n");
+    return nullptr;
   }
   return finder;
 }
@@ -396,7 +555,11 @@ int SaveSketch(const lps::LinearSketch& sketch, const char* path) {
 }
 
 std::unique_ptr<lps::LinearSketch> LoadSketch(const char* path) {
-  auto reader = lps::ReadBitsFromFile(path);
+  // Streamed container read (src/io/bits_io.h): the reader validates the
+  // header as it goes and never sizes an allocation from the file's
+  // claimed length — a corrupt or hostile file fails cleanly instead of
+  // slurping first and asking questions later.
+  auto reader = lps::io::ReadBitsStreamed(path);
   if (!reader.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  reader.status().ToString().c_str());
@@ -415,26 +578,31 @@ std::unique_ptr<lps::LinearSketch> LoadSketch(const char* path) {
 int CmdSample(int argc, char** argv) {
   int shards = 0, threads = 0;
   WindowSpec spec;
+  std::string from;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc != 6) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
   const double eps = std::strtod(argv[3], nullptr);
   const double delta = std::strtod(argv[4], nullptr);
   const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
   auto sampler =
-      BuildSampler(*trace, argv[2], eps, delta, seed, shards, threads, spec);
+      BuildSampler(*in, argv[2], eps, delta, seed, shards, threads, spec);
+  if (sampler == nullptr) return 1;
   return ReportQuery(*sampler);
 }
 
 int CmdDuplicates(int argc, char** argv) {
+  std::string from;
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc != 4) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
   const double delta = std::strtod(argv[2], nullptr);
   const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
-  auto finder = BuildDuplicates(*trace, delta, seed);
+  auto finder = BuildDuplicates(*in, delta, seed);
   if (finder == nullptr) return 2;
   return ReportQuery(*finder);
 }
@@ -442,68 +610,88 @@ int CmdDuplicates(int argc, char** argv) {
 int CmdHeavy(int argc, char** argv) {
   int shards = 0, threads = 0;
   WindowSpec spec;
+  std::string from;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc != 5) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
-  auto hh = BuildHeavy(*trace, std::strtod(argv[2], nullptr),
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
+  auto hh = BuildHeavy(*in, std::strtod(argv[2], nullptr),
                        std::strtod(argv[3], nullptr),
                        std::strtoull(argv[4], nullptr, 10), shards, threads,
                        spec);
+  if (hh == nullptr) return 1;
   return ReportQuery(*hh);
 }
 
 int CmdNorm(int argc, char** argv) {
   int shards = 0, threads = 0;
   WindowSpec spec;
+  std::string from;
   if (!TakeTopologyFlags(&argc, argv, &shards, &threads)) return Usage();
   if (!TakeWindowFlags(&argc, argv, &spec)) return Usage();
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc != 4) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
-  auto est = BuildNorm(*trace, std::strtod(argv[2], nullptr),
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
+  auto est = BuildNorm(*in, std::strtod(argv[2], nullptr),
                        std::strtoull(argv[3], nullptr, 10), shards, threads,
                        spec);
+  if (est == nullptr) return 1;
   return ReportQuery(*est);
 }
 
-int CmdStats(int argc, char**) {
+int CmdStats(int argc, char** argv) {
+  std::string from;
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc != 2) return Usage();
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
-  lps::stream::ExactVector x(trace->n);
-  x.Apply(trace->updates);
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
+  lps::stream::ExactVector x(in->n);
+  size_t count = 0;
+  if (in->feeder != nullptr) {
+    auto stats = in->feeder->Feed([&](const lps::stream::Update* u,
+                                      size_t c) {
+      for (size_t t = 0; t < c; ++t) x.Apply(u[t]);
+      count += c;
+    });
+    if (!ReportFeed(stats)) return 1;
+  } else {
+    x.Apply(in->trace.updates);
+    count = in->trace.updates.size();
+  }
   std::printf("n %llu  updates %zu  L0 %llu  ||x||_1 %.6g  ||x||_2 %.6g  "
               "total %lld\n",
-              static_cast<unsigned long long>(trace->n),
-              trace->updates.size(),
+              static_cast<unsigned long long>(in->n), count,
               static_cast<unsigned long long>(x.L0()), x.NormP(1.0),
               x.NormP(2.0), static_cast<long long>(x.Total()));
   return 0;
 }
 
 int CmdSave(int argc, char** argv) {
+  std::string from;
+  if (!TakeFromFlag(&argc, argv, &from)) return Usage();
   if (argc < 4) return Usage();
   const std::string what = argv[2];
   const char* path = argv[argc - 1];
-  auto trace = LoadTrace();
-  if (!trace.ok()) return 1;
+  auto in = OpenInput(from);
+  if (in == nullptr) return 1;
   std::unique_ptr<lps::LinearSketch> sketch;
   const WindowSpec whole;  // save persists the whole-stream sketch
   if (what == "sample" && argc == 8) {
-    sketch = BuildSampler(*trace, argv[3], std::strtod(argv[4], nullptr),
+    sketch = BuildSampler(*in, argv[3], std::strtod(argv[4], nullptr),
                           std::strtod(argv[5], nullptr),
                           std::strtoull(argv[6], nullptr, 10), 1, 0, whole);
   } else if (what == "heavy" && argc == 7) {
-    sketch = BuildHeavy(*trace, std::strtod(argv[3], nullptr),
+    sketch = BuildHeavy(*in, std::strtod(argv[3], nullptr),
                         std::strtod(argv[4], nullptr),
                         std::strtoull(argv[5], nullptr, 10), 1, 0, whole);
   } else if (what == "norm" && argc == 6) {
-    sketch = BuildNorm(*trace, std::strtod(argv[3], nullptr),
+    sketch = BuildNorm(*in, std::strtod(argv[3], nullptr),
                        std::strtoull(argv[4], nullptr, 10), 1, 0, whole);
   } else if (what == "duplicates" && argc == 6) {
-    sketch = BuildDuplicates(*trace, std::strtod(argv[3], nullptr),
+    sketch = BuildDuplicates(*in, std::strtod(argv[3], nullptr),
                              std::strtoull(argv[4], nullptr, 10));
   } else {
     return Usage();

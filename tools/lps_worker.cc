@@ -14,12 +14,20 @@
 //              [--total n] [--offset i] [--stride w]
 //              [--epoch-interval n] [--shards s] [--threads t]
 //              [--worker-id id] [--session n] [--batch n]
-//              [--throttle-us n]
+//              [--throttle-us n] [--from FILE]
 //
 // --throttle-us sleeps between batches — the CI kill smoke uses it to
 // catch a worker mid-stream deterministically. --session defaults to a
 // per-boot nonce; pass it explicitly to model a worker RESTART
 // continuing (new session, same worker id).
+//
+// --from FILE replaces the planted stream: the worker ingests a trace
+// file (text or binary, '-' = stdin) through the async front-end
+// (src/io/StreamFeeder) — reads prefetch and decode overlap the
+// pipeline + epoch shipping, and the stream is never materialized. The
+// universe size comes from the trace header; --total/--offset/--stride
+// are rejected alongside it (slicing a file replay is the shell's job:
+// feed each worker its own file).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +41,8 @@
 
 #include "src/dist/planted.h"
 #include "src/dist/worker.h"
+#include "src/io/byte_source.h"
+#include "src/io/stream_feeder.h"
 
 namespace {
 
@@ -43,7 +53,7 @@ int Usage() {
                "                  [--epoch-interval n] [--shards s] "
                "[--threads t]\n"
                "                  [--worker-id id] [--session n] [--batch n]\n"
-               "                  [--throttle-us n]\n");
+               "                  [--throttle-us n] [--from FILE]\n");
   return 2;
 }
 
@@ -70,6 +80,8 @@ int main(int argc, char** argv) {
   uint64_t batch = 512;
   uint64_t throttle_us = 0;
   bool have_port = false;
+  bool have_slice_flag = false;  // --total/--offset/--stride given
+  std::string from;
   for (int a = 1; a < argc; ++a) {
     uint64_t value = 0;
     if (std::strcmp(argv[a], "--port") == 0 && a + 1 < argc) {
@@ -88,12 +100,18 @@ int main(int argc, char** argv) {
       ++a;
     } else if (std::strcmp(argv[a], "--total") == 0 && a + 1 < argc) {
       if (!ParseU64(argv[a + 1], &total)) return Usage();
+      have_slice_flag = true;
       ++a;
     } else if (std::strcmp(argv[a], "--offset") == 0 && a + 1 < argc) {
       if (!ParseU64(argv[a + 1], &offset)) return Usage();
+      have_slice_flag = true;
       ++a;
     } else if (std::strcmp(argv[a], "--stride") == 0 && a + 1 < argc) {
       if (!ParseU64(argv[a + 1], &stride) || stride == 0) return Usage();
+      have_slice_flag = true;
+      ++a;
+    } else if (std::strcmp(argv[a], "--from") == 0 && a + 1 < argc) {
+      from = argv[a + 1];
       ++a;
     } else if (std::strcmp(argv[a], "--epoch-interval") == 0 && a + 1 < argc) {
       if (!ParseU64(argv[a + 1], &options.epoch_interval)) return Usage();
@@ -123,6 +141,32 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_port) return Usage();
+  if (!from.empty() && have_slice_flag) {
+    std::fprintf(stderr,
+                 "lps_worker: --from replaces the planted stream; "
+                 "--total/--offset/--stride do not apply to a file replay\n");
+    return 2;
+  }
+  // File replay: prime the feeder first — the trace header's universe
+  // size replaces the planted one in the worker's sketch config.
+  std::unique_ptr<lps::io::StreamFeeder> feeder;
+  if (!from.empty()) {
+    auto source = lps::io::MakeFileSource(from);
+    if (!source.ok()) {
+      std::fprintf(stderr, "lps_worker: cannot open %s: %s\n", from.c_str(),
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    feeder =
+        std::make_unique<lps::io::StreamFeeder>(std::move(source.value()));
+    auto header_n = feeder->ReadHeader();
+    if (!header_n.ok()) {
+      std::fprintf(stderr, "lps_worker: bad trace in %s: %s\n", from.c_str(),
+                   header_n.status().ToString().c_str());
+      return 1;
+    }
+    options.config.spec.n = header_n.value();
+  }
   if (options.session == 0) {
     // Per-boot nonce: restarts must look like new sessions upstream.
     options.session =
@@ -137,6 +181,43 @@ int main(int argc, char** argv) {
     return 1;
   }
   lps::dist::Worker& worker = *built.value();
+
+  if (feeder != nullptr) {
+    // Async replay: decoded batches flow straight into Push (which seals
+    // and ships epochs at its interval); the prefetcher and decoder run
+    // ahead on their own threads. A Push failure (dead aggregator past
+    // the retry budget) poisons the rest of the feed.
+    lps::Status push_status;
+    auto stats = feeder->Feed([&](const lps::stream::Update* u, size_t c) {
+      if (!push_status.ok()) return;
+      push_status = worker.Push(u, c);
+      if (throttle_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(throttle_us));
+      }
+    });
+    if (!stats.ok()) {
+      std::fprintf(stderr, "lps_worker: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!push_status.ok()) {
+      std::fprintf(stderr, "lps_worker: %s\n", push_status.ToString().c_str());
+      return 1;
+    }
+    if (stats.value().malformed > 0) {
+      std::fprintf(stderr, "lps_worker: skipped %llu malformed records\n",
+                   static_cast<unsigned long long>(stats.value().malformed));
+    }
+    const lps::Status finished = worker.Finish();
+    if (!finished.ok()) {
+      std::fprintf(stderr, "lps_worker: %s\n", finished.ToString().c_str());
+      return 1;
+    }
+    std::printf("lps_worker done: %llu updates in %llu epochs\n",
+                static_cast<unsigned long long>(worker.updates_pushed()),
+                static_cast<unsigned long long>(worker.epochs_shipped()));
+    return 0;
+  }
 
   const uint64_t n = lps::dist::kPlantedUniverse;
   std::vector<lps::stream::Update> updates;
